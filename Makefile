@@ -1,0 +1,31 @@
+# Convenience targets for the RAE reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments examples verify clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/crafted_image_attack.py
+	$(PYTHON) examples/webserver_survival.py
+	$(PYTHON) examples/post_error_testing.py
+	$(PYTHON) examples/process_isolation.py
+
+verify:
+	$(PYTHON) -m repro.tools verify --depth 3
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info

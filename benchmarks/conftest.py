@@ -1,0 +1,14 @@
+"""Shared benchmark configuration.
+
+Every benchmark prints a paper-style table alongside pytest-benchmark's
+timing output; EXPERIMENTS.md records the paper-vs-measured comparison.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _deterministic_env():
+    """Benchmarks are seeded; nothing to set up, but the fixture is the
+    place to grow environment pinning if needed."""
+    yield

@@ -1,0 +1,191 @@
+"""Ablation — availability under bugs (§1, §2.3).
+
+The paper's availability pitch: "when a bug is triggered, the
+slow-but-correct shadow takes over, updates state correctly, and then
+resumes the base, thus providing high availability."  This benchmark
+runs the same bug-ridden workload under three regimes:
+
+* **RAE** — recovery masks every detected error;
+* **crash-restart** — the 'traditional' world: a detected error aborts
+  the mount; the operator remounts (journal replay) and the application
+  retries, losing the uncommitted window;
+* **NVP-3** — three-version voting (the §2.1 strawman), which masks the
+  fault but pays ~3× on every operation and cannot re-synchronize the
+  faulted member.
+
+Reported: operations completed, runtime failures surfaced to the app,
+executions performed (the overhead axis), and recoveries.
+"""
+
+from repro.api import FsOp
+from repro.basefs.filesystem import BaseFilesystem
+from repro.basefs.hooks import HookPoints
+from repro.bench import make_device
+from repro.bench.reporting import format_table, print_banner
+from repro.core.supervisor import RAEConfig, RAEFilesystem
+from repro.errors import FsError, KernelBug
+from repro.spec.model import SpecFilesystem
+from repro.spec.nvp import NVPExecutor
+from repro.workloads import WorkloadGenerator, fileserver_profile
+
+N_OPS = 600
+BUG_PERIOD = 150  # every Nth page.write hook call crashes (base regimes)
+NVP_BUG_PERIOD = 40  # every Nth write() call crashes member 0 (NVP regime)
+
+
+def make_hooks() -> HookPoints:
+    hooks = HookPoints()
+    counter = {"n": 0}
+
+    def periodic_bug(point, ctx):
+        counter["n"] += 1
+        if counter["n"] % BUG_PERIOD == 0:
+            raise KernelBug("periodic deterministic bug")
+
+    hooks.register("page.write", periodic_bug)
+    return hooks
+
+
+def workload() -> list[FsOp]:
+    return WorkloadGenerator(fileserver_profile(), seed=99).ops(N_OPS)
+
+
+def run_rae() -> dict:
+    fs = RAEFilesystem(make_device(32768), RAEConfig(), hooks=make_hooks())
+    completed = failures = 0
+    for operation in workload():
+        try:
+            operation.apply(fs)
+            completed += 1
+        except FsError:
+            completed += 1
+        except Exception:  # noqa: BLE001
+            failures += 1
+    return {
+        "regime": "RAE (base + shadow)",
+        "completed": completed,
+        "surfaced failures": failures,
+        "executions": completed + failures,
+        "recoveries": fs.recovery_count,
+    }
+
+
+def run_crash_restart() -> dict:
+    """A bare base; every runtime error aborts and costs a remount, and
+    the application's op is lost (reported as a failure)."""
+    device = make_device(32768)
+    fs = BaseFilesystem(device, hooks=make_hooks())
+    completed = failures = remounts = 0
+    seq = 0
+    for operation in workload():
+        seq += 1
+        try:
+            operation.apply(fs, opseq=seq)
+            completed += 1
+        except FsError:
+            completed += 1
+        except Exception:  # noqa: BLE001 — crash: remount, lose the window
+            failures += 1
+            remounts += 1
+            fs._mounted = False
+            fs = BaseFilesystem(device, hooks=fs.hooks)
+    return {
+        "regime": "crash + remount",
+        "completed": completed,
+        "surfaced failures": failures,
+        "executions": completed + failures,
+        "recoveries": remounts,
+    }
+
+
+def run_nvp() -> dict:
+    """Three spec-model versions with the bug armed in version 0 only
+    (independent-failure assumption, generously granted)."""
+    versions = [SpecFilesystem(), SpecFilesystem(), SpecFilesystem()]
+    counter = {"n": 0}
+    original_write = versions[0].write
+
+    def buggy_write(fd, data, opseq=0):
+        counter["n"] += 1
+        if counter["n"] % NVP_BUG_PERIOD == 0:
+            raise KernelBug("periodic deterministic bug")
+        return original_write(fd, data, opseq=opseq)
+
+    versions[0].write = buggy_write
+    nvp = NVPExecutor(versions)
+    completed = failures = 0
+    for index, operation in enumerate(workload()):
+        try:
+            nvp.apply(operation, opseq=index + 1)
+            completed += 1
+        except Exception:  # noqa: BLE001
+            failures += 1
+    return {
+        "regime": "NVP-3 (voting)",
+        "completed": completed,
+        "surfaced failures": failures,
+        "executions": nvp.stats.executions,
+        "recoveries": len(nvp.faulted),
+    }
+
+
+def test_availability_rae_vs_baselines(benchmark):
+    rae = benchmark(run_rae)
+    crash = run_crash_restart()
+    nvp = run_nvp()
+
+    total_ops = len(workload())
+    print_banner(f"Availability under periodic deterministic bugs ({total_ops} ops)")
+    headers = ["regime", "completed", "surfaced failures", "executions", "recoveries"]
+    print(format_table(headers, [[r[h] for h in headers] for r in (rae, crash, nvp)]))
+
+    # RAE: full availability, ~1x execution cost.
+    assert rae["surfaced failures"] == 0
+    assert rae["completed"] == total_ops
+    assert rae["recoveries"] >= 1
+    # Crash-restart: loses operations.
+    assert crash["surfaced failures"] >= 1
+    # NVP masks the member fault but pays well over 2x executions and
+    # permanently retires the faulted member (no state reconstruction).
+    assert nvp["surfaced failures"] == 0
+    assert nvp["executions"] > 2 * total_ops
+    assert nvp["recoveries"] == 1  # one faulted member, never repaired
+
+
+def test_rae_overhead_without_bugs(benchmark):
+    """The other half of the availability claim: in the common case
+    (no errors), RAE's recording costs little over the bare base."""
+    import time
+
+    operations = workload()
+
+    def run_bare():
+        fs = BaseFilesystem(make_device(32768))
+        for index, operation in enumerate(operations):
+            operation.apply(fs, opseq=index + 1)
+            fs.writeback.tick()
+
+    def run_supervised():
+        fs = RAEFilesystem(make_device(32768), RAEConfig())
+        for operation in operations:
+            try:
+                operation.apply(fs)
+            except FsError:
+                pass
+
+    benchmark(run_supervised)
+    start = time.perf_counter()
+    run_bare()
+    bare = time.perf_counter() - start
+    start = time.perf_counter()
+    run_supervised()
+    supervised = time.perf_counter() - start
+    overhead = supervised / bare - 1
+    print_banner("RAE common-path overhead (no bugs triggered)")
+    print(
+        format_table(
+            ["configuration", "seconds", "overhead"],
+            [["bare base", bare, "—"], ["RAE supervisor (recording on)", supervised, f"{overhead:+.1%}"]],
+        )
+    )
+    assert overhead < 1.0, f"recording overhead should be moderate, got {overhead:.1%}"

@@ -1,0 +1,92 @@
+"""Ablation — how much each base-side cache buys (Figure 2's left side,
+decomposed).
+
+The paper's architecture argument is that the base's performance comes
+from exactly the components the shadow omits.  This sweep turns them
+down one at a time — dentry cache, page cache, buffer cache — and
+measures throughput on a cache-friendly workload, quantifying how far a
+"de-optimized base" drifts toward shadow territory.
+"""
+
+import time
+
+from repro.basefs.filesystem import BaseFilesystem
+from repro.bench import make_device, run_ops
+from repro.bench.reporting import format_table, print_banner
+from repro.workloads import WorkloadGenerator, webserver_profile
+
+N_OPS = 300
+
+
+def throughput(**kwargs) -> float:
+    operations = WorkloadGenerator(webserver_profile(), seed=777).ops(N_OPS)
+    fs = BaseFilesystem(make_device(16384), **kwargs)
+    start = time.perf_counter()
+    run_ops(fs, operations)
+    return len(operations) / (time.perf_counter() - start)
+
+
+CONFIGS = [
+    ("full caches (default)", {}),
+    ("tiny dentry cache (4)", {"dentry_cache_capacity": 4}),
+    ("tiny page cache (8)", {"page_cache_capacity": 8}),
+    ("tiny buffer cache (8)", {"buffer_cache_capacity": 8}),
+    ("tiny inode cache (4)", {"inode_cache_capacity": 4}),
+    ("everything tiny", {
+        "dentry_cache_capacity": 4,
+        "page_cache_capacity": 8,
+        "buffer_cache_capacity": 8,
+        "inode_cache_capacity": 4,
+    }),
+]
+
+
+def test_cache_size_ablation(benchmark):
+    benchmark(throughput)
+    rows = []
+    results = {}
+    for label, kwargs in CONFIGS:
+        ops_per_second = throughput(**kwargs)
+        results[label] = ops_per_second
+        rows.append([label, ops_per_second])
+    full = results["full caches (default)"]
+    for row in rows:
+        row.append(f"{row[1] / full:.2f}x")
+    print_banner("Base throughput vs cache capacities (webserver)")
+    print(format_table(["configuration", "ops/s", "vs full"], rows))
+    # Starving every cache must cost real throughput on this workload.
+    assert results["everything tiny"] < full * 0.9
+
+
+def test_readahead_ablation(benchmark):
+    """Read-ahead effect on sequential read throughput."""
+    from repro.api import OpenFlags, op
+
+    def build_and_read(readahead_window: int) -> float:
+        fs = BaseFilesystem(make_device(16384))
+        fs.page_cache.readahead_window = readahead_window
+        fd = fs.open("/seq", OpenFlags.CREAT, opseq=1)
+        fs.write(fd, b"r" * (256 * 4096), opseq=2)
+        fs.commit()
+        fs.page_cache.drop_all()
+        fs.lseek(fd, 0, 0, opseq=3)
+        start = time.perf_counter()
+        while fs.read(fd, 4096, opseq=4):
+            pass
+        elapsed = time.perf_counter() - start
+        fs.close(fd, opseq=5)
+        return 256 / elapsed
+
+    benchmark.pedantic(build_and_read, args=(4,), rounds=2, iterations=1)
+    without = build_and_read(0)
+    with_ra = build_and_read(8)
+    print_banner("Sequential read throughput: read-ahead off vs window=8")
+    print(
+        format_table(
+            ["configuration", "blocks/s"],
+            [["readahead off", without], ["readahead window 8", with_ra]],
+        )
+    )
+    # Read-ahead must not hurt; in this in-memory model the win is small
+    # (no seek latency), so the assertion is directional only.
+    assert with_ra > without * 0.7

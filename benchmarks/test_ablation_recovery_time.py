@@ -1,0 +1,124 @@
+"""Ablation — recovery time (§4.3).
+
+"Even though recovery performance is not a primary concern for the
+shadow filesystem, recovery time does impact the expected response time
+observed by applications with in-flight operations."
+
+Two sweeps:
+
+* recovery latency vs **op-log length** (the window since the last
+  commit): replay dominates, so latency grows roughly linearly;
+* recovery latency vs **image size**: mount/replay touch per-group
+  metadata, so the dependence is mild — the shadow only reads what the
+  window needs.
+"""
+
+import time
+
+from repro.api import OpenFlags, op
+from repro.basefs.hooks import HookPoints
+from repro.basefs.writeback import WritebackPolicy
+from repro.bench import make_device
+from repro.bench.reporting import format_table, print_banner
+from repro.core.supervisor import RAEConfig, RAEFilesystem
+from repro.errors import KernelBug
+from repro.workloads import WorkloadGenerator, fileserver_profile
+
+HUGE_INTERVAL = WritebackPolicy(
+    dirty_page_high_water=10_000, dirty_metadata_high_water=10_000, commit_interval_ops=100_000
+)
+
+
+def recovery_latency(window_ops: int, block_count: int = 16384) -> tuple[float, int]:
+    """Build a window of ``window_ops`` uncommitted ops, then trigger a
+    bug and measure the recovery the supervisor performs."""
+    hooks = HookPoints()
+
+    def bomb(point, ctx):
+        if ctx.get("name") == "trigger-now":
+            raise KernelBug("measured failure")
+
+    hooks.register("dir.insert", bomb)
+    # A journal sized for the giant uncommitted window this sweep builds
+    # (the clamped write-back policy would otherwise commit early).
+    device = make_device(block_count, journal_blocks=768)
+    fs = RAEFilesystem(device, RAEConfig(), hooks=hooks, writeback_policy=HUGE_INTERVAL)
+    operations = WorkloadGenerator(fileserver_profile(), seed=55).ops(window_ops, include_prepopulation=False)
+    for operation in operations:
+        if operation.name == "fsync":
+            continue  # an fsync is a durability point: it would truncate the window
+        try:
+            operation.apply(fs)
+        except Exception:  # noqa: BLE001 — errno noise is fine
+            pass
+    window = len(fs.oplog)
+    fs.mkdir("/trigger-now")
+    assert fs.recovery_count == 1
+    return fs.stats.recovery.total_seconds[0], window
+
+
+def test_recovery_time_vs_oplog_length(benchmark):
+    benchmark(recovery_latency, 50)
+
+    rows = []
+    latencies = {}
+    for window_ops in (10, 50, 200, 800):
+        latency, window = recovery_latency(window_ops)
+        latencies[window_ops] = latency
+        rows.append([window_ops, window, latency * 1000])
+    print_banner("Recovery time vs op-log length (uncommitted window)")
+    print(format_table(["workload ops", "recorded entries", "recovery ms"], rows))
+    # Longer windows must cost more to replay (generous 1.5x guard
+    # against timer noise at the small end).
+    assert latencies[800] > latencies[10] * 1.5
+
+
+def test_recovery_time_vs_image_size(benchmark):
+    benchmark(recovery_latency, 100, 4096)
+    rows = []
+    latencies = {}
+    for block_count in (4096, 16384, 65536):
+        latency, _ = recovery_latency(100, block_count=block_count)
+        latencies[block_count] = latency
+        rows.append([f"{block_count * 4 // 1024} MiB", block_count, latency * 1000])
+    print_banner("Recovery time vs image size (fixed 100-op window)")
+    print(format_table(["image", "blocks", "recovery ms"], rows))
+    # Image size must matter far less than linearly (16x size, < 8x time).
+    assert latencies[65536] < latencies[4096] * 8
+
+
+def test_recovery_phase_breakdown_is_replay_dominated(benchmark):
+    benchmark(recovery_latency, 50)
+    hooks = HookPoints()
+
+    def bomb(point, ctx):
+        if ctx.get("name") == "trigger-now":
+            raise KernelBug("x")
+
+    hooks.register("dir.insert", bomb)
+    device = make_device(16384, journal_blocks=768)
+    fs = RAEFilesystem(device, RAEConfig(), hooks=hooks, writeback_policy=HUGE_INTERVAL)
+    for operation in WorkloadGenerator(fileserver_profile(), seed=56).ops(400, include_prepopulation=False):
+        if operation.name == "fsync":
+            continue
+        try:
+            operation.apply(fs)
+        except Exception:  # noqa: BLE001
+            pass
+    fs.mkdir("/trigger-now")
+    recovery = fs.stats.recovery
+    print_banner("Recovery phase breakdown (400-op window)")
+    print(
+        format_table(
+            ["phase", "ms", "share"],
+            [
+                ["contained reboot", recovery.reboot_seconds[0] * 1000,
+                 f"{recovery.reboot_seconds[0] / recovery.total_seconds[0]:.0%}"],
+                ["shadow replay", recovery.replay_seconds[0] * 1000,
+                 f"{recovery.replay_seconds[0] / recovery.total_seconds[0]:.0%}"],
+                ["hand-off", recovery.handoff_seconds[0] * 1000,
+                 f"{recovery.handoff_seconds[0] / recovery.total_seconds[0]:.0%}"],
+            ],
+        )
+    )
+    assert recovery.replay_seconds[0] > recovery.handoff_seconds[0]

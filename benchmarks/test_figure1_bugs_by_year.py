@@ -1,0 +1,28 @@
+"""Figure 1 — Number of deterministic bugs by year.
+
+Regenerates the per-year stacked series (2013–2023) from the dataset via
+the classifier and checks the paper's qualitative claim: more bugs are
+fixed in recent years (testing reveals more vulnerabilities; new kernel
+features introduce new bugs).
+"""
+
+from repro.bench.reporting import print_banner
+from repro.bugstudy import PAPER_YEARS, build_dataset, build_figure1
+
+
+def test_figure1_bugs_by_year(benchmark):
+    records = build_dataset()
+    figure = benchmark(build_figure1, records)
+
+    print_banner("Figure 1: Number of deterministic bugs by year")
+    print(figure.render())
+
+    assert figure.total == 165
+    assert {year: figure.year_total(year) for year in sorted(figure.by_year)} == PAPER_YEARS
+    # Rising trend: the 2019-2023 half strictly exceeds 2013-2017.
+    early = sum(PAPER_YEARS[y] for y in range(2013, 2018))
+    late = sum(PAPER_YEARS[y] for y in range(2019, 2024))
+    assert late > early
+    # Every consequence class appears somewhere in the series.
+    for consequence in ("crash", "nocrash", "warn", "unknown"):
+        assert sum(count for _y, count in figure.series(consequence)) > 0

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""The §2.1 attack scenario: a crafted disk image that bypasses FSCK.
+
+"One notable type of deterministic bug occurs when a user mounts a
+crafted disk image and issues operations to trigger a null-pointer
+dereference or use-after-free in the kernel; such images can bypass
+FSCK, leading to crashes from malicious attackers."
+
+This example plays both sides:
+
+1. the attacker builds a structurally valid image whose directory
+   entries carry names that trip a known input-sanity bug;
+2. fsck declares the image clean (it *is* structurally clean);
+3. mounting it on the bare base and listing the share crashes the
+   kernel — reproducibly, because the bug is deterministic;
+4. the same image under RAE: the crash is detected, the shadow (which
+   has the sanity checks the base lacks) executes the operations, and
+   the user gets their directory listing.
+
+Run:  python examples/crafted_image_attack.py
+"""
+
+from repro import MemoryBlockDevice
+from repro.basefs.filesystem import BaseFilesystem
+from repro.basefs.hooks import HookPoints
+from repro.core.supervisor import RAEConfig, RAEFilesystem
+from repro.errors import KernelBug
+from repro.faults import Injector, make_dir_insert_crash_bug, make_lookup_crash_bug
+from repro.faults.crafted import craft_poisoned_name_image
+from repro.fsck import Fsck
+
+TRIGGER = " evil"  # the byte pattern the base's parser mishandles
+
+
+def buggy_hooks() -> tuple[HookPoints, Injector]:
+    hooks = HookPoints()
+    injector = Injector(hooks)
+    injector.arm(make_dir_insert_crash_bug(substring=TRIGGER))
+    injector.arm(make_lookup_crash_bug(substring=TRIGGER))
+    return hooks, injector
+
+
+def main() -> None:
+    # --- the attacker prepares the image ------------------------------
+    device = MemoryBlockDevice(block_count=8192)
+    traps = craft_poisoned_name_image(device, trigger_substring=TRIGGER, n_traps=2)
+    print(f"attacker planted: {traps}")
+
+    # --- the victim checks it, like a diligent admin ------------------
+    report = Fsck(device).run()
+    print(f"fsck verdict: {'CLEAN — mount away!' if report.clean else 'rejected'}")
+    assert report.clean
+
+    # --- mounting on the bare (buggy) base: kernel crash ---------------
+    hooks, injector = buggy_hooks()
+    bare = BaseFilesystem(device, hooks=hooks)
+    injector.retarget(bare)
+    try:
+        bare.stat(traps[0])
+    except KernelBug as bug:
+        print(f"bare base: KERNEL BUG — {bug}")
+    bare._mounted = False  # the machine just died; simulate that
+
+    # --- the same image under RAE --------------------------------------
+    hooks, injector = buggy_hooks()
+    fs = RAEFilesystem(device, RAEConfig(), hooks=hooks)
+    injector.retarget(fs.base)
+    fs.on_reboot.append(injector.retarget)
+
+    listing = fs.readdir("/share")
+    print(f"RAE: /share listed fine: {listing}")
+    st = fs.stat(traps[0])
+    print(f"RAE: stat({traps[0]!r}) -> ino {st.ino}, {st.size} bytes")
+    fd = fs.open(traps[0])
+    print(f"RAE: file contents: {fs.read(fd, 64)!r}")
+    fs.close(fd)
+    print(f"recoveries performed while serving the attack: {fs.recovery_count}")
+    for event in fs.stats.events:
+        print(f"  masked: {event.detected}")
+
+    fs.unmount()
+    print(f"image still clean after the whole episode: {Fsck(device).run().clean}")
+
+
+if __name__ == "__main__":
+    main()

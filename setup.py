@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package, so ``pip install -e .``
+cannot build a PEP 660 editable wheel.  ``python setup.py develop`` (or
+``pip install -e . --no-build-isolation`` on machines with ``wheel``)
+installs the package; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,84 @@
+"""repro — Shadow Filesystems: Robust Alternative Execution (RAE).
+
+A full Python reproduction of "Shadow Filesystems: Recovering from
+Filesystem Runtime Errors via Robust Alternative Execution"
+(HotStorage '24): a performance-oriented base filesystem, a simple
+never-writing shadow sharing its API and on-disk format, and the RAE
+runtime that masks detected runtime errors by contained reboot, shadow
+replay, and metadata hand-off.
+
+Quickstart::
+
+    from repro import MemoryBlockDevice, mkfs, RAEFilesystem, OpenFlags
+
+    device = MemoryBlockDevice(block_count=8192)
+    mkfs(device)
+    fs = RAEFilesystem(device)
+    fs.mkdir("/projects")
+    fd = fs.open("/projects/notes.txt", OpenFlags.CREAT)
+    fs.write(fd, b"hello")
+    fs.fsync(fd)
+    fs.close(fd)
+    fs.unmount()
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.api import FilesystemAPI, FsOp, OpenFlags, OpResult, StatResult, op
+from repro.blockdev.device import FileBlockDevice, MemoryBlockDevice
+from repro.errors import (
+    Errno,
+    FsError,
+    InvariantViolation,
+    KernelBug,
+    KernelWarning,
+    RecoveryFailure,
+)
+from repro.ondisk.mkfs import mkfs
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FilesystemAPI",
+    "FsOp",
+    "op",
+    "OpResult",
+    "OpenFlags",
+    "StatResult",
+    "MemoryBlockDevice",
+    "FileBlockDevice",
+    "mkfs",
+    "Errno",
+    "FsError",
+    "KernelBug",
+    "KernelWarning",
+    "InvariantViolation",
+    "RecoveryFailure",
+    "RAEFilesystem",
+    "RAEConfig",
+    "BaseFilesystem",
+    "ShadowFilesystem",
+    "SpecFilesystem",
+    "__version__",
+]
+
+_LAZY = {
+    "RAEFilesystem": "repro.core.supervisor",
+    "RAEConfig": "repro.core.supervisor",
+    "BaseFilesystem": "repro.basefs.filesystem",
+    "ShadowFilesystem": "repro.shadowfs.filesystem",
+    "SpecFilesystem": "repro.spec.model",
+}
+
+
+def __getattr__(name: str):
+    # RAEFilesystem & friends import half the package; keeping them lazy
+    # lets leaf modules (errors, api, ondisk) import `repro` cheaply.
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, name)

@@ -1,0 +1,33 @@
+"""The base filesystem: the performance-oriented implementation.
+
+This package is the left-hand side of the paper's Figure 2 — the complex,
+optimized filesystem that RAE protects.  Its defining features, each one
+deliberately *absent* from the shadow:
+
+* a **dentry cache** (:mod:`repro.basefs.dentry_cache`) so repeated path
+  lookups skip directory scans, with negative entries;
+* an **inode cache** (:mod:`repro.basefs.inode_cache`) of decoded inodes
+  with dirty tracking;
+* a **page cache** (:mod:`repro.basefs.page_cache`) holding file data,
+  written back lazily;
+* **delayed allocation** (:mod:`repro.basefs.allocator`) — file blocks
+  are not allocated until write-back/commit;
+* an **asynchronous block layer** (the blk-mq model from
+  :mod:`repro.blockdev.blkmq`) under a write-back buffer cache;
+* **journaling** (:mod:`repro.basefs.journal_mgr`) in ordered mode, with
+  the validate-on-sync error-detection hook the fault model assumes;
+* a **write-back daemon** (:mod:`repro.basefs.writeback`) that flushes on
+  ticks and memory pressure;
+* a **lock manager** (:mod:`repro.basefs.locks`) modelling the locking
+  discipline whose violations are a classic non-deterministic bug class;
+* **bug hook points** (:mod:`repro.basefs.hooks`) threaded through every
+  subsystem, where :mod:`repro.faults` arms the study's bug taxonomy.
+
+The entry point is :class:`repro.basefs.filesystem.BaseFilesystem`.
+"""
+
+from repro.basefs.filesystem import BaseFilesystem
+from repro.basefs.hooks import HookPoints
+from repro.basefs.vfs import FdState, FdTable
+
+__all__ = ["BaseFilesystem", "HookPoints", "FdTable", "FdState"]

@@ -1,0 +1,215 @@
+"""Block and inode allocation.
+
+The base's allocators are where "policy decisions" live — §3.3's example
+of allowed base/shadow divergence: *which* blocks get allocated may differ
+between the two, as long as the resulting metadata is consistent.  The
+base plays the performance game:
+
+* **block allocation** seeks locality: it starts searching in the
+  inode's own block group, from a per-group rotor (last allocation
+  position), before spilling into other groups;
+* **inode allocation** spreads directories into the emptiest group
+  (Orlov-flavoured) and co-locates files with their parent directory;
+* **delayed allocation** is implemented above this module (the page
+  cache holds unmapped dirty pages; the commit path calls into here),
+  but the reservation accounting that makes early ``ENOSPC`` possible
+  is here.
+
+The shadow's allocator (in :mod:`repro.shadowfs`) is, by contrast, a
+strict first-fit scan from zero — simplest possible, per the paper.
+
+:class:`AllocState` owns the in-memory bitmaps and free counters; it is
+part of the distrusted state dropped at contained reboot and rebuilt from
+disk (plus the shadow's hand-off) afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.basefs.hooks import HookPoints
+from repro.errors import Errno, FsError, InvariantViolation
+from repro.ondisk.bitmap import Bitmap
+from repro.ondisk.layout import DiskLayout
+
+
+@dataclass
+class AllocState:
+    """In-memory allocation bitmaps, one pair per group, plus accounting."""
+
+    layout: DiskLayout
+    block_bitmaps: list[Bitmap] = field(default_factory=list)
+    inode_bitmaps: list[Bitmap] = field(default_factory=list)
+    dirty_block_groups: set[int] = field(default_factory=set)
+    dirty_inode_groups: set[int] = field(default_factory=set)
+    free_blocks: int = 0
+    free_inodes: int = 0
+    reserved_blocks: int = 0  # delayed-allocation reservations
+    rotors: dict[int, int] = field(default_factory=dict)  # group -> next search bit
+    # Blocks freed since the last commit.  Their bitmap bits stay SET so
+    # they cannot be reallocated and overwritten in place (ordered-mode
+    # data writes land before the freeing transaction commits; reuse
+    # would corrupt files whose on-disk metadata still references them —
+    # the same discipline JBD2 enforces).  The commit path applies these
+    # to the bitmaps just before journaling.
+    pending_free: set[int] = field(default_factory=set)
+
+    @classmethod
+    def load(cls, layout: DiskLayout, read_block) -> "AllocState":
+        """Read every group's bitmaps from disk (mount path)."""
+        state = cls(layout=layout)
+        for group in range(layout.group_count):
+            bb = Bitmap.from_block(layout.blocks_per_group, read_block(layout.block_bitmap_block(group)))
+            ib = Bitmap.from_block(layout.inodes_per_group, read_block(layout.inode_bitmap_block(group)))
+            state.block_bitmaps.append(bb)
+            state.inode_bitmaps.append(ib)
+            state.free_blocks += bb.count_free()
+            state.free_inodes += ib.count_free()
+        return state
+
+    @property
+    def available_blocks(self) -> int:
+        """Blocks free *and* not spoken for by delalloc reservations."""
+        return self.free_blocks - self.reserved_blocks
+
+    def reserve(self, nblocks: int) -> None:
+        """Reserve capacity for delayed allocation; ENOSPC if exhausted."""
+        if nblocks < 0:
+            raise ValueError("negative reservation")
+        if self.available_blocks < nblocks:
+            raise FsError(Errno.ENOSPC, f"cannot reserve {nblocks} blocks ({self.available_blocks} available)")
+        self.reserved_blocks += nblocks
+
+    def release_reservation(self, nblocks: int) -> None:
+        if nblocks < 0 or nblocks > self.reserved_blocks:
+            raise InvariantViolation(
+                f"reservation release of {nblocks} with {self.reserved_blocks} outstanding",
+                check="delalloc-reservation",
+            )
+        self.reserved_blocks -= nblocks
+
+
+class BlockAllocator:
+    """Locality-seeking block allocator over :class:`AllocState`."""
+
+    def __init__(self, state: AllocState, hooks: HookPoints):
+        self.state = state
+        self.hooks = hooks
+
+    def allocate(self, goal_group: int, charge_reservation: bool = False) -> int:
+        """Allocate one block, preferring ``goal_group``; returns the block.
+
+        ``charge_reservation`` consumes one delalloc reservation instead of
+        free-count headroom (commit-time allocation of reserved pages).
+        """
+        layout = self.state.layout
+        if not charge_reservation and self.state.available_blocks < 1:
+            raise FsError(Errno.ENOSPC, "no unreserved blocks")
+        if self.state.free_blocks < 1:
+            raise FsError(Errno.ENOSPC, "no free blocks")
+        order = [goal_group % layout.group_count] + [
+            g for g in range(layout.group_count) if g != goal_group % layout.group_count
+        ]
+        for group in order:
+            bitmap = self.state.block_bitmaps[group]
+            rotor = self.state.rotors.get(group, 0)
+            bit = bitmap.find_free(start=rotor)
+            if bit is None:
+                continue
+            bitmap.set(bit)
+            self.state.rotors[group] = bit + 1
+            self.state.dirty_block_groups.add(group)
+            self.state.free_blocks -= 1
+            if charge_reservation:
+                self.state.release_reservation(1)
+            block = layout.group_start(group) + bit
+            self.hooks.fire("alloc.block", group=group, block=block)
+            return block
+        raise FsError(Errno.ENOSPC, "all groups full")
+
+    def free(self, block: int) -> None:
+        """Free a block: counted immediately, reusable only after the
+        next commit (see ``AllocState.pending_free``)."""
+        layout = self.state.layout
+        group = layout.group_of_block(block)
+        if layout.is_metadata_block(block):
+            raise InvariantViolation(f"attempt to free metadata block {block}", check="free-metadata-block")
+        bit = block - layout.group_start(group)
+        bitmap = self.state.block_bitmaps[group]
+        if block in self.state.pending_free or not bitmap.test(bit):
+            raise InvariantViolation(f"double free of block {block}", check="block-double-free")
+        self.state.pending_free.add(block)
+        self.state.free_blocks += 1
+        self.hooks.fire("free.block", block=block)
+
+    def apply_pending_frees(self) -> int:
+        """Commit path: clear the bitmap bits of blocks freed this window
+        (their frees become durable with this transaction); returns the
+        number applied."""
+        layout = self.state.layout
+        applied = len(self.state.pending_free)
+        for block in sorted(self.state.pending_free):
+            group = layout.group_of_block(block)
+            self.state.block_bitmaps[group].clear(block - layout.group_start(group))
+            self.state.dirty_block_groups.add(group)
+        self.state.pending_free.clear()
+        return applied
+
+
+class InodeAllocator:
+    """Orlov-flavoured inode allocator over :class:`AllocState`."""
+
+    def __init__(self, state: AllocState, hooks: HookPoints):
+        self.state = state
+        self.hooks = hooks
+
+    def allocate(self, parent_group: int, is_dir: bool) -> int:
+        """Allocate an inode number.  Directories spread to the emptiest
+        group; files stay near their parent."""
+        layout = self.state.layout
+        if self.state.free_inodes < 1:
+            raise FsError(Errno.ENOSPC, "no free inodes")
+        if is_dir:
+            order = sorted(
+                range(layout.group_count),
+                key=lambda g: (-self.state.inode_bitmaps[g].count_free(), g),
+            )
+        else:
+            goal = parent_group % layout.group_count
+            order = [goal] + [g for g in range(layout.group_count) if g != goal]
+        for group in order:
+            bitmap = self.state.inode_bitmaps[group]
+            bit = bitmap.find_free(start=0)
+            if bit is None:
+                continue
+            bitmap.set(bit)
+            self.state.dirty_inode_groups.add(group)
+            self.state.free_inodes -= 1
+            ino = group * layout.inodes_per_group + bit + 1
+            self.hooks.fire("alloc.inode", group=group, ino=ino)
+            return ino
+        raise FsError(Errno.ENOSPC, "all inode groups full")
+
+    def claim(self, ino: int) -> None:
+        """Mark a specific inode allocated (recovery hand-off ingest)."""
+        layout = self.state.layout
+        group = layout.group_of_ino(ino)
+        bit = layout.ino_index_in_group(ino)
+        bitmap = self.state.inode_bitmaps[group]
+        if bitmap.test(bit):
+            raise InvariantViolation(f"claim of already-allocated inode {ino}", check="inode-claim")
+        bitmap.set(bit)
+        self.state.dirty_inode_groups.add(group)
+        self.state.free_inodes -= 1
+
+    def free(self, ino: int) -> None:
+        layout = self.state.layout
+        group = layout.group_of_ino(ino)
+        bit = layout.ino_index_in_group(ino)
+        bitmap = self.state.inode_bitmaps[group]
+        if not bitmap.test(bit):
+            raise InvariantViolation(f"double free of inode {ino}", check="inode-double-free")
+        bitmap.clear(bit)
+        self.state.dirty_inode_groups.add(group)
+        self.state.free_inodes += 1
+        self.hooks.fire("free.inode", ino=ino)

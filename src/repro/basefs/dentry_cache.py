@@ -1,0 +1,101 @@
+"""The dentry cache.
+
+Maps ``(parent_ino, name)`` to a child inode number so repeated lookups
+skip the directory scan.  Supports *negative* entries (name known absent),
+which is where much of the real-world subtlety — and several of the
+studied bugs — lives: a stale negative entry makes a file invisible, a
+stale positive one resurrects a deleted file.  The base invalidates
+entries on every namespace mutation; the injected "stale dentry" bug class
+works precisely by suppressing one of those invalidations.
+
+§3.3: "the shadow does not use a dentry cache, and instead always performs
+path lookup from the root inode" — this module has no shadow counterpart.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass
+class DentryCacheStats:
+    hits: int = 0
+    misses: int = 0
+    negative_hits: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.negative_hits + self.misses
+        return (self.hits + self.negative_hits) / total if total else 0.0
+
+
+class DentryCache:
+    """LRU cache of directory-entry lookups, with negative caching.
+
+    ``lookup`` returns the child ino, ``NEGATIVE`` (name known absent), or
+    ``None`` (unknown — caller must scan the directory).
+    """
+
+    NEGATIVE = 0  # ino 0 is invalid, so it can encode "known absent"
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple[int, str], int] = OrderedDict()
+        self.stats = DentryCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, parent_ino: int, name: str) -> int | None:
+        key = (parent_ino, name)
+        ino = self._entries.get(key)
+        if ino is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        if ino == self.NEGATIVE:
+            self.stats.negative_hits += 1
+        else:
+            self.stats.hits += 1
+        return ino
+
+    def insert(self, parent_ino: int, name: str, ino: int) -> None:
+        """Record a positive lookup result."""
+        if ino == self.NEGATIVE:
+            raise ValueError("use insert_negative for absent names")
+        self._insert((parent_ino, name), ino)
+
+    def insert_negative(self, parent_ino: int, name: str) -> None:
+        """Record that ``name`` is absent from ``parent_ino``."""
+        self._insert((parent_ino, name), self.NEGATIVE)
+
+    def invalidate(self, parent_ino: int, name: str) -> None:
+        if self._entries.pop((parent_ino, name), None) is not None:
+            self.stats.invalidations += 1
+
+    def invalidate_dir(self, parent_ino: int) -> None:
+        """Drop every entry under one directory (rmdir of the dir, rename)."""
+        victims = [key for key in self._entries if key[0] == parent_ino]
+        for key in victims:
+            del self._entries[key]
+        self.stats.invalidations += len(victims)
+
+    def invalidate_ino(self, ino: int) -> None:
+        """Drop every entry *resolving to* ``ino`` (inode reuse safety)."""
+        victims = [key for key, value in self._entries.items() if value == ino]
+        for key in victims:
+            del self._entries[key]
+        self.stats.invalidations += len(victims)
+
+    def drop_all(self) -> None:
+        self._entries.clear()
+
+    def _insert(self, key: tuple[int, str], ino: int) -> None:
+        self._entries[key] = ino
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)

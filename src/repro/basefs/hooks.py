@@ -1,0 +1,94 @@
+"""Bug-injection hook points.
+
+The base filesystem calls :meth:`HookPoints.fire` at named points in its
+code paths — lookup, directory insert, allocation, page-cache write,
+journal commit, and so on.  The fault injector (:mod:`repro.faults`)
+registers handlers on those names; a handler may
+
+* raise :class:`~repro.errors.KernelBug` (a BUG()-style crash),
+* raise :class:`~repro.errors.KernelWarning` (a WARN_ON hit),
+* mutate the fired context in place (silent corruption — the NoCrash
+  consequence class), or
+* do nothing this time (non-deterministic bugs fire probabilistically
+  from a seeded RNG).
+
+Without an injector attached, ``fire`` is a cheap no-op — the common
+case, matching the paper's observation that the base keeps runtime
+checking (and here, checking *hooks*) lean for performance.
+
+Hook names used by the base (the injector validates against this list):
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol
+
+HOOK_NAMES = (
+    "vfs.lookup",  # per path component resolution; ctx: parent_ino, name
+    "vfs.open",  # ctx: path, flags, ino
+    "vfs.close",  # ctx: fd, ino
+    "dir.insert",  # ctx: dir_ino, name, child_ino
+    "dir.remove",  # ctx: dir_ino, name
+    "dir.read",  # ctx: dir_ino
+    "inode.read",  # ctx: ino
+    "inode.dirty",  # ctx: ino
+    "inode.evict",  # ctx: ino
+    "alloc.inode",  # ctx: group, ino
+    "alloc.block",  # ctx: group, block
+    "free.block",  # ctx: block
+    "free.inode",  # ctx: ino
+    "page.write",  # ctx: ino, logical
+    "page.read",  # ctx: ino, logical
+    "truncate",  # ctx: ino, old_size, new_size
+    "rename",  # ctx: src, dst
+    "symlink",  # ctx: path, target
+    "journal.commit",  # ctx: nblocks
+    "journal.checkpoint",  # ctx: (none)
+    "writeback.tick",  # ctx: dirty_pages
+    "blkmq.submit",  # ctx: op, block
+    "lock.acquire",  # ctx: ino
+    "mount",  # ctx: (none)
+)
+
+
+class Hook(Protocol):
+    def __call__(self, point: str, ctx: dict[str, Any]) -> None: ...
+
+
+class HookPoints:
+    """Registry of handlers keyed by hook-point name.
+
+    ``fired`` counts per-point invocations, which benchmarks use to show
+    how much busier the base's machinery is than the shadow's (which has
+    no hooks at all — there is nothing to inject into).
+    """
+
+    def __init__(self):
+        self._handlers: dict[str, list[Hook]] = {}
+        self.fired: dict[str, int] = {}
+        self.enabled = True
+
+    def register(self, point: str, handler: Hook) -> None:
+        if point not in HOOK_NAMES:
+            raise ValueError(f"unknown hook point {point!r}")
+        self._handlers.setdefault(point, []).append(handler)
+
+    def unregister_all(self) -> None:
+        self._handlers.clear()
+
+    def fire(self, point: str, **ctx: Any) -> dict[str, Any]:
+        """Invoke handlers for ``point``; returns the (possibly mutated) ctx.
+
+        Exceptions from handlers propagate — that is the entire point: an
+        armed KernelBug unwinds out of the base exactly as a real BUG()
+        would unwind into the error path.
+        """
+        if not self.enabled:
+            return ctx
+        handlers = self._handlers.get(point)
+        if handlers is None:
+            return ctx
+        self.fired[point] = self.fired.get(point, 0) + 1
+        for handler in handlers:
+            handler(point, ctx)
+        return ctx

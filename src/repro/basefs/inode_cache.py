@@ -1,0 +1,123 @@
+"""The inode cache.
+
+Decoded :class:`~repro.ondisk.inode.OnDiskInode` objects keyed by inode
+number, with dirty tracking and LRU eviction of clean, unpinned entries.
+Dirty inodes are the metadata half of the "buffered update" the op log
+protects: they exist only here until a journal commit serializes them back
+into their inode-table blocks.
+
+Contained reboot drops this cache wholesale — a detected error means
+nothing in it can be trusted — and the recovery hand-off repopulates it
+from the shadow's output, entries marked dirty so the normal commit path
+persists them (§3.2 "reuses its existing logic to place them into its
+cache, marked as dirty").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.ondisk.inode import OnDiskInode
+
+
+@dataclass
+class CachedInode:
+    """One cache slot.  ``pins`` counts open fds + in-operation references;
+    a pinned inode is never evicted."""
+
+    ino: int
+    inode: OnDiskInode
+    dirty: bool = False
+    pins: int = 0
+
+
+@dataclass
+class InodeCacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+
+class InodeCache:
+    def __init__(self, capacity: int = 1024):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._slots: OrderedDict[int, CachedInode] = OrderedDict()
+        self.stats = InodeCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __contains__(self, ino: int) -> bool:
+        return ino in self._slots
+
+    def get(self, ino: int) -> CachedInode | None:
+        slot = self._slots.get(ino)
+        if slot is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._slots.move_to_end(ino)
+        return slot
+
+    def insert(self, ino: int, inode: OnDiskInode, dirty: bool = False) -> CachedInode:
+        if ino in self._slots:
+            raise ValueError(f"inode {ino} already cached")
+        slot = CachedInode(ino=ino, inode=inode, dirty=dirty)
+        self._slots[ino] = slot
+        self._slots.move_to_end(ino)
+        self._evict_excess()
+        return slot
+
+    def mark_dirty(self, ino: int) -> None:
+        slot = self._slots.get(ino)
+        if slot is None:
+            raise KeyError(f"inode {ino} not cached")
+        slot.dirty = True
+
+    def pin(self, ino: int) -> None:
+        slot = self._slots.get(ino)
+        if slot is None:
+            raise KeyError(f"inode {ino} not cached")
+        slot.pins += 1
+
+    def unpin(self, ino: int) -> None:
+        slot = self._slots.get(ino)
+        if slot is None:
+            raise KeyError(f"inode {ino} not cached")
+        if slot.pins <= 0:
+            raise ValueError(f"inode {ino} not pinned")
+        slot.pins -= 1
+
+    def dirty_inodes(self) -> list[CachedInode]:
+        """Dirty slots in inode-number order (deterministic commit order)."""
+        return [self._slots[ino] for ino in sorted(self._slots) if self._slots[ino].dirty]
+
+    def clean(self, ino: int) -> None:
+        """Mark a slot clean after its table block was journaled."""
+        slot = self._slots.get(ino)
+        if slot is not None:
+            slot.dirty = False
+
+    def remove(self, ino: int) -> None:
+        """Drop a slot (inode freed).  Dirty state is discarded — the
+        caller has already recorded the free in the bitmaps."""
+        self._slots.pop(ino, None)
+
+    def drop_all(self) -> None:
+        """Contained reboot: discard everything, dirty included."""
+        self._slots.clear()
+
+    def _evict_excess(self) -> None:
+        while len(self._slots) > self.capacity:
+            victim = None
+            for ino, slot in self._slots.items():
+                if not slot.dirty and slot.pins == 0:
+                    victim = ino
+                    break
+            if victim is None:
+                return  # everything dirty/pinned: over-capacity until commit
+            del self._slots[victim]
+            self.stats.evictions += 1

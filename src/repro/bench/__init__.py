@@ -1,0 +1,27 @@
+"""Benchmark harness helpers shared by ``benchmarks/``.
+
+Keeps benchmark files declarative: construction of filesystems over
+sized devices, workload execution with timing, and paper-style table
+rendering live here.
+"""
+
+from repro.bench.harness import (
+    make_base,
+    make_device,
+    make_rae,
+    make_shadow,
+    run_ops,
+    time_ops,
+)
+from repro.bench.reporting import format_table, print_banner
+
+__all__ = [
+    "make_device",
+    "make_base",
+    "make_shadow",
+    "make_rae",
+    "run_ops",
+    "time_ops",
+    "format_table",
+    "print_banner",
+]

@@ -1,0 +1,39 @@
+"""Plain-text reporting for benchmark output (paper-style tables)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Fixed-width table; floats get 3 significant decimals."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) if i else cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def print_banner(text: str) -> None:
+    bar = "=" * max(60, len(text) + 4)
+    print(f"\n{bar}\n  {text}\n{bar}")

@@ -1,0 +1,232 @@
+"""A blk-mq-style asynchronous block layer.
+
+The paper repeatedly singles out the modern asynchronous block layer
+(blk-mq, io_uring, polling-mode IO) as a source of complexity — and of bugs
+— in the base filesystem's environment, and its *absence* as a defining
+simplification of the shadow ("performs IO synchronously").  This module
+models that layer for the base:
+
+* callers build :class:`IoRequest` objects and ``submit`` them to one of
+  several hardware-context queues (selected by block number, like blk-mq's
+  per-CPU software queues mapping to hardware queues);
+* a pluggable :class:`IoScheduler` orders each queue's pending requests;
+* :meth:`BlockMQ.pump` dispatches up to a configurable number of requests
+  per call to the underlying synchronous device and moves them to the
+  completion list, where callbacks fire.
+
+Everything is deterministic — there are no threads.  "Asynchrony" means
+requests sit in queues until a pump step, which is exactly what the
+write-back machinery of the base needs, and what makes the base's behaviour
+reproducible in tests.  Benchmarks use queue depth and merge statistics to
+show the base's common-path IO batching (Figure 2's left side).
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.blockdev.device import BlockDevice
+from repro.errors import DeviceError
+
+
+@dataclass
+class IoRequest:
+    """One asynchronous block IO request.
+
+    ``op`` is ``"read"``, ``"write"``, or ``"flush"``.  ``callback`` (if
+    set) runs at completion with the finished request; for reads the data is
+    in ``result``, for failures ``error`` is set instead.
+    """
+
+    op: str
+    block: int = 0
+    data: bytes | None = None
+    callback: Callable[["IoRequest"], None] | None = None
+    tag: int = 0
+    result: bytes | None = None
+    error: Exception | None = None
+    done: bool = False
+
+    def complete(self, result: bytes | None = None, error: Exception | None = None) -> None:
+        self.result = result
+        self.error = error
+        self.done = True
+        if self.callback is not None:
+            self.callback(self)
+
+
+class IoScheduler(ABC):
+    """Orders the pending requests of one hardware queue."""
+
+    @abstractmethod
+    def order(self, pending: list[IoRequest]) -> list[IoRequest]:
+        """Return ``pending`` in dispatch order (must be a permutation)."""
+
+
+class NoopScheduler(IoScheduler):
+    """FIFO dispatch — the no-op elevator."""
+
+    def order(self, pending: list[IoRequest]) -> list[IoRequest]:
+        return list(pending)
+
+
+class DeadlineScheduler(IoScheduler):
+    """Sort by block number, reads before writes, preserving arrival ties.
+
+    A simplified deadline/elevator hybrid: it demonstrates that the base's
+    IO completion *order* differs from submission order, which is one of
+    the non-determinism sources the shadow eliminates.
+    """
+
+    def order(self, pending: list[IoRequest]) -> list[IoRequest]:
+        reads = sorted((r for r in pending if r.op == "read"), key=lambda r: (r.block, r.tag))
+        other = sorted((r for r in pending if r.op != "read"), key=lambda r: (r.block, r.tag))
+        return reads + other
+
+
+@dataclass
+class BlockMQStats:
+    """Counters exposed to benchmarks."""
+
+    submitted: int = 0
+    dispatched: int = 0
+    merged: int = 0
+    max_queue_depth: int = 0
+    pump_calls: int = 0
+
+
+class BlockMQ:
+    """Multi-queue asynchronous front-end over a synchronous device.
+
+    ``nr_queues`` hardware contexts each hold a pending list; ``submit``
+    hashes the request's block to a queue and attempts a write-merge (a
+    newer write to the same block replaces the queued one — the classic
+    write-combining the page cache relies on).  ``pump(budget)`` dispatches
+    up to ``budget`` requests round-robin across queues; ``drain`` pumps
+    until empty.  ``fail_submissions`` lets the bug injector wedge the
+    layer, modelling the block-layer interaction bugs from the study.
+    """
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        nr_queues: int = 4,
+        scheduler: IoScheduler | None = None,
+    ):
+        if nr_queues <= 0:
+            raise ValueError("nr_queues must be positive")
+        self.device = device
+        self.nr_queues = nr_queues
+        self.scheduler = scheduler or NoopScheduler()
+        self._queues: list[list[IoRequest]] = [[] for _ in range(nr_queues)]
+        self._tag_counter = itertools.count()
+        self.completed: list[IoRequest] = []
+        self.stats = BlockMQStats()
+        self.fail_submissions = False
+
+    def queue_for(self, block: int) -> int:
+        """Map a block number to a hardware-queue index."""
+        return block % self.nr_queues
+
+    @property
+    def depth(self) -> int:
+        """Total requests currently queued (not yet dispatched)."""
+        return sum(len(q) for q in self._queues)
+
+    def submit(self, request: IoRequest) -> IoRequest:
+        """Queue a request; returns it with its dispatch tag assigned."""
+        if self.fail_submissions:
+            raise DeviceError("block layer is wedged (injected)", block=request.block)
+        if request.op not in ("read", "write", "flush"):
+            raise ValueError(f"unknown IO op {request.op!r}")
+        if request.op == "write" and request.data is None:
+            raise ValueError("write request without data")
+        request.tag = next(self._tag_counter)
+        queue = self._queues[self.queue_for(request.block)]
+
+        if request.op == "write":
+            for i, pending in enumerate(queue):
+                if pending.op == "write" and pending.block == request.block:
+                    # Write merge: the newer data supersedes the queued write.
+                    queue[i] = request
+                    self.stats.merged += 1
+                    self.stats.submitted += 1
+                    pending.complete(error=None)
+                    return request
+
+        queue.append(request)
+        self.stats.submitted += 1
+        self.stats.max_queue_depth = max(self.stats.max_queue_depth, self.depth)
+        return request
+
+    def submit_write(self, block: int, data: bytes, callback: Callable[[IoRequest], None] | None = None) -> IoRequest:
+        return self.submit(IoRequest(op="write", block=block, data=data, callback=callback))
+
+    def submit_read(self, block: int, callback: Callable[[IoRequest], None] | None = None) -> IoRequest:
+        return self.submit(IoRequest(op="read", block=block, callback=callback))
+
+    def submit_flush(self, callback: Callable[[IoRequest], None] | None = None) -> IoRequest:
+        return self.submit(IoRequest(op="flush", callback=callback))
+
+    def pump(self, budget: int = 64) -> int:
+        """Dispatch up to ``budget`` queued requests; return the number done.
+
+        Queues are visited round-robin; within a queue the scheduler decides
+        order.  Errors from the device are captured on the request rather
+        than raised, mirroring asynchronous completion status.
+        """
+        self.stats.pump_calls += 1
+        dispatched = 0
+        ordered: list[list[IoRequest]] = [self.scheduler.order(q) for q in self._queues]
+        for q in self._queues:
+            q.clear()
+        cursors = [0] * self.nr_queues
+        while dispatched < budget:
+            progressed = False
+            for qi in range(self.nr_queues):
+                if dispatched >= budget:
+                    break
+                if cursors[qi] < len(ordered[qi]):
+                    request = ordered[qi][cursors[qi]]
+                    cursors[qi] += 1
+                    self._dispatch(request)
+                    dispatched += 1
+                    progressed = True
+            if not progressed:
+                break
+        # Anything not dispatched goes back on its queue in order.
+        for qi in range(self.nr_queues):
+            self._queues[qi].extend(ordered[qi][cursors[qi] :])
+        return dispatched
+
+    def drain(self) -> int:
+        """Pump until all queues are empty; return total dispatched."""
+        total = 0
+        while self.depth:
+            total += self.pump()
+        return total
+
+    def _dispatch(self, request: IoRequest) -> None:
+        self.stats.dispatched += 1
+        try:
+            if request.op == "read":
+                request.complete(result=self.device.read_block(request.block))
+            elif request.op == "write":
+                assert request.data is not None
+                self.device.write_block(request.block, request.data)
+                request.complete()
+            else:
+                self.device.flush()
+                request.complete()
+        except Exception as exc:  # noqa: BLE001 — async completion carries the error
+            request.complete(error=exc)
+        self.completed.append(request)
+
+    def reap(self) -> list[IoRequest]:
+        """Return and clear the completed-request list."""
+        done = self.completed
+        self.completed = []
+        return done

@@ -1,0 +1,277 @@
+"""Synchronous block devices.
+
+Every filesystem in the reproduction — base and shadow alike — ultimately
+reads and writes fixed-size blocks through the :class:`BlockDevice`
+interface.  The base stacks a buffer cache and an asynchronous blk-mq layer
+on top; the shadow calls ``read_block`` directly, synchronously, which is
+exactly the simplification the paper prescribes (§3.3).
+
+Two concrete devices are provided.  :class:`MemoryBlockDevice` backs the
+image with a ``bytearray`` and is what tests and most benchmarks use.
+:class:`FileBlockDevice` backs the image with a file on the host
+filesystem, which lets the shadow run in a genuinely separate OS process
+(``repro.core.procrunner``) while reading the same image the base mounted.
+
+Wrappers:
+
+* :class:`WriteFencedDevice` enforces the shadow's never-write rule by
+  raising :class:`~repro.errors.ShadowWriteAttempt` on any mutation.
+* :class:`CountingDevice` tallies reads/writes/flushes for benchmarks and
+  for tests that assert IO behaviour (e.g. "the shadow read only the blocks
+  it needed").
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+
+from repro.errors import DeviceError, ShadowWriteAttempt
+
+
+class BlockDevice(ABC):
+    """Abstract fixed-block-size storage device.
+
+    Blocks are addressed ``0 .. block_count - 1``.  ``read_block`` returns
+    exactly ``block_size`` bytes; ``write_block`` requires exactly
+    ``block_size`` bytes.  ``flush`` is a barrier: after it returns, all
+    previously written blocks are considered durable (crash simulation in
+    :class:`MemoryBlockDevice` keys off this).
+    """
+
+    def __init__(self, block_size: int, block_count: int):
+        if block_size <= 0 or block_size % 512 != 0:
+            raise ValueError(f"block_size must be a positive multiple of 512, got {block_size}")
+        if block_count <= 0:
+            raise ValueError(f"block_count must be positive, got {block_count}")
+        self.block_size = block_size
+        self.block_count = block_count
+
+    @property
+    def size_bytes(self) -> int:
+        """Total device capacity in bytes."""
+        return self.block_size * self.block_count
+
+    def check_block(self, block: int) -> None:
+        """Raise :class:`DeviceError` if ``block`` is out of range."""
+        if not 0 <= block < self.block_count:
+            raise DeviceError(f"block {block} out of range [0, {self.block_count})", block=block)
+
+    @abstractmethod
+    def read_block(self, block: int) -> bytes:
+        """Return the ``block_size`` bytes stored at ``block``."""
+
+    @abstractmethod
+    def write_block(self, block: int, data: bytes) -> None:
+        """Store ``data`` (exactly ``block_size`` bytes) at ``block``."""
+
+    @abstractmethod
+    def flush(self) -> None:
+        """Barrier: make all prior writes durable."""
+
+    def close(self) -> None:
+        """Release any resources.  Safe to call more than once."""
+
+    def _check_write(self, block: int, data: bytes) -> None:
+        self.check_block(block)
+        if len(data) != self.block_size:
+            raise DeviceError(
+                f"write of {len(data)} bytes to block {block}; block size is {self.block_size}",
+                block=block,
+            )
+
+
+class MemoryBlockDevice(BlockDevice):
+    """A ``bytearray``-backed device with optional crash simulation.
+
+    When ``track_durability`` is true the device keeps a second copy of the
+    image representing what would survive a power failure: writes land only
+    in the volatile image until ``flush`` copies them to the durable image.
+    ``crash()`` then discards the volatile image.  The journal-atomicity
+    property tests (DESIGN §5.5) are built on this.
+    """
+
+    def __init__(self, block_size: int = 4096, block_count: int = 4096, track_durability: bool = False):
+        super().__init__(block_size, block_count)
+        self._data = bytearray(self.size_bytes)
+        self._track_durability = track_durability
+        self._durable: bytearray | None = bytearray(self.size_bytes) if track_durability else None
+        self._dirty_since_flush: set[int] = set()
+        self._closed = False
+
+    def read_block(self, block: int) -> bytes:
+        if self._closed:
+            raise DeviceError("device is closed", block=block)
+        self.check_block(block)
+        off = block * self.block_size
+        return bytes(self._data[off : off + self.block_size])
+
+    def write_block(self, block: int, data: bytes) -> None:
+        if self._closed:
+            raise DeviceError("device is closed", block=block)
+        self._check_write(block, data)
+        off = block * self.block_size
+        self._data[off : off + self.block_size] = data
+        if self._track_durability:
+            self._dirty_since_flush.add(block)
+
+    def flush(self) -> None:
+        if self._closed:
+            raise DeviceError("device is closed")
+        if self._track_durability:
+            assert self._durable is not None
+            for block in self._dirty_since_flush:
+                off = block * self.block_size
+                self._durable[off : off + self.block_size] = self._data[off : off + self.block_size]
+            self._dirty_since_flush.clear()
+
+    def crash(self) -> None:
+        """Simulate a power failure: discard un-flushed writes.
+
+        Only meaningful with ``track_durability``; without it the call is
+        rejected because there is no durable image to fall back to.
+        """
+        if not self._track_durability:
+            raise DeviceError("crash() requires track_durability=True")
+        assert self._durable is not None
+        self._data = bytearray(self._durable)
+        self._dirty_since_flush.clear()
+
+    def snapshot(self) -> bytes:
+        """Return a copy of the current (volatile) image."""
+        return bytes(self._data)
+
+    def restore(self, image: bytes) -> None:
+        """Replace the image contents (both volatile and durable views)."""
+        if len(image) != self.size_bytes:
+            raise DeviceError(f"image is {len(image)} bytes; device holds {self.size_bytes}")
+        self._data = bytearray(image)
+        if self._track_durability:
+            self._durable = bytearray(image)
+            self._dirty_since_flush.clear()
+
+    def close(self) -> None:
+        self._closed = True
+
+
+class FileBlockDevice(BlockDevice):
+    """A device backed by a regular file on the host filesystem.
+
+    The file is created (zero-filled) if it does not exist or is too short.
+    ``flush`` maps to ``os.fsync``.  Because the image lives in a real file,
+    a shadow process started by :mod:`repro.core.procrunner` can open its
+    own read-only :class:`FileBlockDevice` on the same path.
+    """
+
+    def __init__(self, path: str | os.PathLike, block_size: int = 4096, block_count: int = 4096, readonly: bool = False):
+        super().__init__(block_size, block_count)
+        self.path = os.fspath(path)
+        self.readonly = readonly
+        mode = "rb" if readonly else ("r+b" if os.path.exists(self.path) else "w+b")
+        self._file = open(self.path, mode)
+        if not readonly:
+            self._file.seek(0, os.SEEK_END)
+            current = self._file.tell()
+            if current < self.size_bytes:
+                self._file.truncate(self.size_bytes)
+        self._closed = False
+
+    def read_block(self, block: int) -> bytes:
+        if self._closed:
+            raise DeviceError("device is closed", block=block)
+        self.check_block(block)
+        self._file.seek(block * self.block_size)
+        data = self._file.read(self.block_size)
+        if len(data) < self.block_size:
+            data = data + b"\x00" * (self.block_size - len(data))
+        return data
+
+    def write_block(self, block: int, data: bytes) -> None:
+        if self._closed:
+            raise DeviceError("device is closed", block=block)
+        if self.readonly:
+            raise DeviceError(f"write to read-only device {self.path}", block=block)
+        self._check_write(block, data)
+        self._file.seek(block * self.block_size)
+        self._file.write(data)
+
+    def flush(self) -> None:
+        if self._closed:
+            raise DeviceError("device is closed")
+        if not self.readonly:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if not self._closed:
+            self._file.close()
+            self._closed = True
+
+
+class WriteFencedDevice(BlockDevice):
+    """A read-only view of another device that *raises* on writes.
+
+    This is how the reproduction enforces the paper's rule that the shadow
+    never writes to disk: the recovery coordinator always hands the shadow a
+    write-fenced device, and :class:`~repro.errors.ShadowWriteAttempt` is a
+    non-recoverable programming error, not a maskable fault.
+    """
+
+    def __init__(self, inner: BlockDevice):
+        super().__init__(inner.block_size, inner.block_count)
+        self._inner = inner
+
+    def read_block(self, block: int) -> bytes:
+        return self._inner.read_block(block)
+
+    def write_block(self, block: int, data: bytes) -> None:
+        raise ShadowWriteAttempt(f"shadow attempted to write block {block}")
+
+    def flush(self) -> None:
+        raise ShadowWriteAttempt("shadow attempted to flush the device")
+
+    def close(self) -> None:
+        """Closing the fence does not close the underlying device."""
+
+
+class CountingDevice(BlockDevice):
+    """Pass-through wrapper that counts IO operations.
+
+    Benchmarks use the counters to report IO amplification; tests use them
+    to assert properties such as "the dentry cache eliminated repeat
+    directory reads" or "the shadow issued no writes".
+    """
+
+    def __init__(self, inner: BlockDevice):
+        super().__init__(inner.block_size, inner.block_count)
+        self._inner = inner
+        self.reads = 0
+        self.writes = 0
+        self.flushes = 0
+        self.blocks_read: list[int] = []
+        self.blocks_written: list[int] = []
+
+    def read_block(self, block: int) -> bytes:
+        self.reads += 1
+        self.blocks_read.append(block)
+        return self._inner.read_block(block)
+
+    def write_block(self, block: int, data: bytes) -> None:
+        self.writes += 1
+        self.blocks_written.append(block)
+        self._inner.write_block(block, data)
+
+    def flush(self) -> None:
+        self.flushes += 1
+        self._inner.flush()
+
+    def reset_counts(self) -> None:
+        """Zero all counters (the wrapped device is untouched)."""
+        self.reads = 0
+        self.writes = 0
+        self.flushes = 0
+        self.blocks_read.clear()
+        self.blocks_written.clear()
+
+    def close(self) -> None:
+        self._inner.close()

@@ -1,0 +1,157 @@
+"""Device-level fault injection.
+
+The paper's fault model (§3.1) covers transient hardware faults alongside
+software bugs; the shadow's extensive runtime checks exist specifically to
+"defend against transient hardware faults that are outside of the
+specification, e.g., the silent data corruption of CPU cores".  This module
+provides the hardware half of that model at the device boundary:
+
+* **transient read errors** — a read fails with a :class:`DeviceError`
+  (``transient=True``) a configured number of times, then succeeds, the way
+  a retried medium error behaves;
+* **silent corruption** — a read returns bit-flipped data without any error
+  indication, the failure mode checksums and invariant checks exist for;
+* **stuck corruption** — the stored data itself is corrupted, so every
+  subsequent read observes the same damage.
+
+Fault plans are deterministic: each fault names a block, a trigger count
+(which access to the block should misbehave), and a payload.  Determinism
+matters because the reproduction's recovery property tests re-run the exact
+same fault schedule under the shadow and assert the checks catch it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.blockdev.device import BlockDevice
+from repro.errors import DeviceError
+
+
+@dataclass
+class ReadErrorFault:
+    """Fail reads of ``block`` with a transient IO error.
+
+    ``times`` reads fail starting from access number ``after`` (0-based
+    count of reads of that block); later reads succeed, modelling a
+    transient medium error that clears on retry.
+    """
+
+    block: int
+    times: int = 1
+    after: int = 0
+
+
+@dataclass
+class FlipFault:
+    """Corrupt reads of ``block`` by XOR-ing ``xor_byte`` at ``offset``.
+
+    If ``sticky`` is true the stored data is corrupted in place on first
+    trigger (all subsequent readers see it); otherwise only the returned
+    copy is damaged, modelling corruption on the wire — for ``times``
+    accesses starting at access ``after`` (``times=None`` = every one).
+    """
+
+    block: int
+    offset: int = 0
+    xor_byte: int = 0xFF
+    after: int = 0
+    times: int | None = None
+    sticky: bool = False
+
+
+@dataclass
+class DeviceFaultPlan:
+    """A deterministic schedule of device faults.
+
+    The plan is consumed by :class:`FaultyBlockDevice`.  ``injected`` and
+    ``triggered`` counters let tests assert that a planned fault actually
+    fired during the scenario under test.
+    """
+
+    read_errors: list[ReadErrorFault] = field(default_factory=list)
+    flips: list[FlipFault] = field(default_factory=list)
+
+    def add_read_error(self, block: int, times: int = 1, after: int = 0) -> "DeviceFaultPlan":
+        self.read_errors.append(ReadErrorFault(block=block, times=times, after=after))
+        return self
+
+    def add_flip(
+        self,
+        block: int,
+        offset: int = 0,
+        xor_byte: int = 0xFF,
+        after: int = 0,
+        times: int | None = None,
+        sticky: bool = False,
+    ) -> "DeviceFaultPlan":
+        self.flips.append(
+            FlipFault(block=block, offset=offset, xor_byte=xor_byte, after=after, times=times, sticky=sticky)
+        )
+        return self
+
+
+class FaultyBlockDevice(BlockDevice):
+    """Wrap a device with a :class:`DeviceFaultPlan`.
+
+    Reads consult the plan; writes and flushes pass straight through.  The
+    wrapper counts per-block read accesses so ``after``/``times`` windows
+    are interpreted deterministically regardless of caching behaviour above
+    (callers that want cache-independent schedules should mount the faulty
+    device below the cache, which is what the test suite does).
+    """
+
+    def __init__(self, inner: BlockDevice, plan: DeviceFaultPlan):
+        super().__init__(inner.block_size, inner.block_count)
+        self._inner = inner
+        self.plan = plan
+        self._read_counts: dict[int, int] = {}
+        self.faults_fired = 0
+
+    def access_count(self, block: int) -> int:
+        """Reads of ``block`` so far — i.e. the access index the *next*
+        read will have.  Use it to schedule a fault 'from now on'."""
+        return self._read_counts.get(block, 0)
+
+    def read_block(self, block: int) -> bytes:
+        access = self._read_counts.get(block, 0)
+        self._read_counts[block] = access + 1
+
+        for fault in self.plan.read_errors:
+            if fault.block == block and fault.after <= access < fault.after + fault.times:
+                self.faults_fired += 1
+                raise DeviceError(
+                    f"injected transient read error on block {block} (access {access})",
+                    block=block,
+                    transient=True,
+                )
+
+        data = self._inner.read_block(block)
+        for fault in self.plan.flips:
+            if fault.block == block and access >= fault.after:
+                if fault.times is not None and access >= fault.after + fault.times:
+                    continue
+                if fault.sticky:
+                    # Damage the stored copy once; subsequent reads see it
+                    # naturally, so only trigger on the first qualifying read.
+                    if access == fault.after:
+                        self.faults_fired += 1
+                        damaged = bytearray(data)
+                        damaged[fault.offset] ^= fault.xor_byte
+                        self._inner.write_block(block, bytes(damaged))
+                        data = bytes(damaged)
+                else:
+                    self.faults_fired += 1
+                    damaged = bytearray(data)
+                    damaged[fault.offset] ^= fault.xor_byte
+                    data = bytes(damaged)
+        return data
+
+    def write_block(self, block: int, data: bytes) -> None:
+        self._inner.write_block(block, data)
+
+    def flush(self) -> None:
+        self._inner.flush()
+
+    def close(self) -> None:
+        self._inner.close()

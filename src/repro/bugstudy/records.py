@@ -1,0 +1,100 @@
+"""Bug records and the study's classification rules.
+
+A :class:`BugRecord` carries what the paper's methodology extracts from
+a kernel commit: the fix year, whether a reproducer exists, subsystem
+tags, and the commit message (whose wording carries the consequence
+evidence).  The two classifiers implement Table 1's caption:
+
+* **determinism** — non-deterministic iff no reproducer, or tagged/worded
+  as IO-interaction (multiple inflight requests, interrupt timing) or
+  threading (race, lock, concurrency); ``unknown`` when the record has
+  too little signal either way (no reproducer info *and* no tags);
+* **consequence** — ``crash`` on oops/BUG()/null-deref/use-after-free
+  language, ``warn`` when a WARN_ON/WARN_ONCE path is hit, ``nocrash``
+  on corruption/performance/permission/freeze/deadlock symptoms, and
+  ``unknown`` "when the commit message does not contain clear clues of
+  external symptoms".
+
+Precedence notes (needed to make classification a function): an
+explicit WARN path wins over crash words (the WARN prevented the oops);
+crash wins over nocrash symptoms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+CRASH_MARKERS = (
+    "null pointer dereference",
+    "null-ptr-deref",
+    "use-after-free",
+    "use after free",
+    "kernel bug at",
+    "bug()",
+    "oops",
+    "panic",
+    "general protection fault",
+    "out-of-bounds",
+    "array-index-out-of-bounds",
+    "kernel crash",
+)
+WARN_MARKERS = ("warn_on", "warn_once", "warning at", "hits a warn")
+NOCRASH_MARKERS = (
+    "data corruption",
+    "corrupted",
+    "wrong data",
+    "stale data",
+    "performance regression",
+    "slowdown",
+    "permission",
+    "deadlock",
+    "hang",
+    "freeze",
+    "soft lockup",
+    "leak",
+    "wrong error code",
+    "incorrect result",
+)
+IO_TAGS = ("io", "blk-mq", "io_uring", "writeback", "bio", "inflight", "interrupt")
+THREAD_TAGS = ("race", "lock", "concurrency", "threading", "smp", "rcu")
+
+
+@dataclass
+class BugRecord:
+    bug_id: str
+    year: int
+    title: str
+    message: str
+    has_reproducer: bool | None  # None = no information
+    tags: frozenset[str] = field(default_factory=frozenset)
+    source: str = "bugzilla"  # or "reported-by"
+
+
+def classify_determinism(record: BugRecord) -> str:
+    """'deterministic' | 'nondeterministic' | 'unknown' per the caption."""
+    text = (record.title + " " + record.message).lower()
+    tagged_io = any(tag in record.tags for tag in IO_TAGS) or any(f" {t} " in f" {text} " for t in ("inflight",))
+    tagged_thread = any(tag in record.tags for tag in THREAD_TAGS) or "race condition" in text
+    if tagged_io or tagged_thread:
+        return "nondeterministic"
+    if record.has_reproducer is None:
+        return "unknown"
+    if not record.has_reproducer:
+        return "nondeterministic"
+    return "deterministic"
+
+
+def classify_consequence(record: BugRecord) -> str:
+    """'crash' | 'warn' | 'nocrash' | 'unknown' per the caption."""
+    text = (record.title + " " + record.message).lower()
+    if any(marker in text for marker in WARN_MARKERS):
+        return "warn"
+    if any(marker in text for marker in CRASH_MARKERS):
+        return "crash"
+    if any(marker in text for marker in NOCRASH_MARKERS):
+        return "nocrash"
+    return "unknown"
+
+
+def classify_record(record: BugRecord) -> tuple[str, str]:
+    return classify_determinism(record), classify_consequence(record)

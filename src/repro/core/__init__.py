@@ -1,0 +1,62 @@
+"""RAE: the paper's primary contribution.
+
+This package turns a base filesystem and a shadow implementation into a
+Robust-Alternative-Execution pair:
+
+* :mod:`repro.core.oplog` — records "the operation sequence that tracks
+  the gap between the applications' view and the on-disk state" (§3.2),
+  including outcomes (return values, fds, inode numbers), truncated when
+  buffered updates reach disk;
+* :mod:`repro.core.detector` — classifies escaping exceptions into
+  detected runtime errors and applies the WARN policy;
+* :mod:`repro.core.reboot` — contained reboot: discard the base's
+  in-memory state, replay the journal, re-mount, preserving data pages
+  and the application;
+* :mod:`repro.core.recovery` — the coordinator: reboot, launch the
+  shadow, replay constrained + autonomous, collect output;
+* :mod:`repro.core.handoff` — metadata downloading: ingest the shadow's
+  output into the rebooted base's caches, marked dirty (constrained-mode
+  cross-checking itself lives in :mod:`repro.shadowfs.replay`);
+* :mod:`repro.core.procrunner` — run the shadow in a separate OS process
+  (the paper's isolation boundary) instead of in-process;
+* :mod:`repro.core.supervisor` — :class:`RAEFilesystem`, the facade
+  applications call.  In the common case it is a thin recording wrapper
+  over the base; when the detector fires, it runs recovery and resumes.
+"""
+
+__all__ = [
+    "OpLog",
+    "OpRecord",
+    "Detector",
+    "DetectedError",
+    "WarnPolicy",
+    "RAEFilesystem",
+    "RAEConfig",
+    "RecoveryOutcome",
+    "RecoveryStats",
+]
+
+_EXPORTS = {
+    "OpLog": "repro.core.oplog",
+    "OpRecord": "repro.core.oplog",
+    "Detector": "repro.core.detector",
+    "DetectedError": "repro.core.detector",
+    "WarnPolicy": "repro.core.detector",
+    "RAEFilesystem": "repro.core.supervisor",
+    "RAEConfig": "repro.core.supervisor",
+    "RecoveryOutcome": "repro.core.recovery",
+    "RecoveryStats": "repro.core.recovery",
+}
+
+
+def __getattr__(name: str):
+    # Lazy exports: repro.shadowfs.replay imports repro.core.oplog, and an
+    # eager package __init__ here would close an import cycle through
+    # repro.core.recovery -> repro.core.procrunner -> repro.shadowfs.replay.
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.core' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, name)

@@ -1,0 +1,100 @@
+"""Error detection.
+
+"All errors that can be detected are handled by the shadow" (§2.1); this
+module decides what counts as detected.  Anything escaping a base
+filesystem operation that is not a legitimate :class:`FsError` is a
+runtime error:
+
+* :class:`KernelBug` — a BUG()-style crash (deterministic or not);
+* :class:`KernelWarning` — a WARN_ON hit.  The paper's Table 1 tracks
+  WARN as its own consequence class; :class:`WarnPolicy` decides whether
+  a WARN engages recovery (``RECOVER``) or is merely counted
+  (``IGNORE`` — in which case the *injector* is configured not to raise,
+  since a WARN_ON in a real kernel does not abort the operation);
+* :class:`InvariantViolation` — validate-on-sync or another runtime
+  check caught corrupted state before it could persist (the fault-model
+  assumption of §3.1);
+* :class:`DeviceError` — an IO failure, transient or not;
+* anything else — an unexpected software fault (in kernel terms, an
+  oops from a code path nobody annotated).
+
+The detector never *handles* anything; it classifies and counts, and the
+supervisor acts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import DeviceError, FsError, InvariantViolation, KernelBug, KernelWarning
+
+
+class WarnPolicy(enum.Enum):
+    RECOVER = "recover"
+    IGNORE = "ignore"
+
+
+class ErrorKind(enum.Enum):
+    BUG = "bug"
+    WARN = "warn"
+    INVARIANT = "invariant"
+    DEVICE = "device"
+    UNEXPECTED = "unexpected"
+
+
+@dataclass
+class DetectedError:
+    kind: ErrorKind
+    exception: BaseException
+    seq: int | None = None
+    op_name: str | None = None
+
+    def describe(self) -> str:
+        where = f" during op #{self.seq} ({self.op_name})" if self.seq is not None else ""
+        return f"{self.kind.value}{where}: {self.exception}"
+
+
+@dataclass
+class DetectorStats:
+    detections: dict[str, int] = field(default_factory=dict)
+
+    def count(self, kind: ErrorKind) -> None:
+        self.detections[kind.value] = self.detections.get(kind.value, 0) + 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.detections.values())
+
+
+class Detector:
+    def __init__(self, warn_policy: WarnPolicy = WarnPolicy.RECOVER):
+        self.warn_policy = warn_policy
+        self.stats = DetectorStats()
+        self.history: list[DetectedError] = []
+
+    def classify(self, exc: BaseException, seq: int | None = None, op_name: str | None = None) -> DetectedError:
+        """Classify an escaped exception.  ``FsError`` is a caller bug —
+        those are outcomes, not runtime errors — and is rejected loudly."""
+        if isinstance(exc, FsError):
+            raise AssertionError("FsError reached the detector; it should have been an outcome") from exc
+        if isinstance(exc, KernelBug):
+            kind = ErrorKind.BUG
+        elif isinstance(exc, KernelWarning):
+            kind = ErrorKind.WARN
+        elif isinstance(exc, InvariantViolation):
+            kind = ErrorKind.INVARIANT
+        elif isinstance(exc, DeviceError):
+            kind = ErrorKind.DEVICE
+        else:
+            kind = ErrorKind.UNEXPECTED
+        detected = DetectedError(kind=kind, exception=exc, seq=seq, op_name=op_name)
+        self.stats.count(kind)
+        self.history.append(detected)
+        return detected
+
+    def should_recover(self, detected: DetectedError) -> bool:
+        """WARNs obey the policy; everything else always recovers."""
+        if detected.kind is ErrorKind.WARN:
+            return self.warn_policy is WarnPolicy.RECOVER
+        return True

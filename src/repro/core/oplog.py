@@ -1,0 +1,95 @@
+"""Operation recording.
+
+§3.2: "the base filesystem must record the operation sequence that tracks
+the gap between the applications' view and the on-disk state. ...The
+recorded operation sequence also reflects the outcome of the operations,
+such as the return value, new file descriptors, and new inode numbers."
+
+The log has two parts:
+
+* **entries** — every operation completed since the last durability
+  point (journal commit), each with its :class:`~repro.api.OpResult`
+  outcome.  This is what constrained replay re-executes.
+* **fd registry** — a snapshot of the open-descriptor table taken at the
+  last durability point.  Descriptors can long outlive any single commit
+  window, so truncating the entries must not lose them; the snapshot is
+  the replay engine's starting fd state.
+
+Truncation: when the base commits, everything recorded so far is
+reflected on disk, so the entries are discarded and the registry is
+re-snapshotted — the paper's "when a file descriptor is closed and the
+buffered updates are flushed to disk, the corresponding recorded
+operations can be discarded", generalized to the commit boundary that
+actually makes updates durable here.
+
+``read`` and ``lseek`` are recorded too: they mutate fd offsets (part of
+essential state) and their recorded outcomes give constrained mode its
+cross-check material.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.api import FsOp, OpResult
+from repro.basefs.vfs import FdState
+
+
+@dataclass
+class OpRecord:
+    """One completed operation and its application-visible outcome."""
+
+    seq: int
+    op: FsOp
+    outcome: OpResult
+
+    def describe(self) -> str:
+        status = self.outcome.errno.name if self.outcome.errno else "ok"
+        return f"#{self.seq} {self.op.describe()} -> {status}"
+
+
+@dataclass
+class OpLogStats:
+    recorded: int = 0
+    truncations: int = 0
+    max_entries: int = 0
+    max_bytes: int = 0
+
+
+@dataclass
+class OpLog:
+    entries: list[OpRecord] = field(default_factory=list)
+    fd_snapshot: dict[int, FdState] = field(default_factory=dict)
+    stats: OpLogStats = field(default_factory=OpLogStats)
+
+    def record(self, seq: int, op: FsOp, outcome: OpResult) -> OpRecord:
+        record = OpRecord(seq=seq, op=op, outcome=outcome)
+        self.entries.append(record)
+        self.stats.recorded += 1
+        self.stats.max_entries = max(self.stats.max_entries, len(self.entries))
+        self.stats.max_bytes = max(self.stats.max_bytes, self.approximate_bytes())
+        return record
+
+    def truncate(self, fd_snapshot: dict[int, FdState]) -> None:
+        """Durability point reached: drop entries, refresh the registry."""
+        self.entries.clear()
+        self.fd_snapshot = {fd: st.snapshot() for fd, st in fd_snapshot.items()}
+        self.stats.truncations += 1
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def approximate_bytes(self) -> int:
+        """Rough memory footprint, for the op-log ablation benchmark."""
+        total = 64 * len(self.fd_snapshot)
+        for record in self.entries:
+            total += 96
+            for value in record.op.args.values():
+                if isinstance(value, (bytes, bytearray, str)):
+                    total += len(value)
+            value = record.outcome.value
+            if isinstance(value, (bytes, bytearray, str)):
+                total += len(value)
+            elif isinstance(value, list):
+                total += sum(len(str(item)) for item in value)
+        return total

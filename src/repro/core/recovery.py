@@ -1,0 +1,123 @@
+"""The recovery coordinator.
+
+One function, :func:`run_recovery`, executes the full §3.2 procedure:
+
+    contained reboot  →  shadow launch  →  constrained + autonomous
+    replay  →  metadata download  →  (supervisor commits and resumes)
+
+and times each phase, because "the time required for recovery ... does
+impact the expected response time observed by applications with
+in-flight operations" (§4.3) — the recovery-time ablation benchmark
+reads these timings.
+
+The shadow runs in-process by default; with ``in_process=False`` and a
+file-backed device it runs as a separate OS process via
+:mod:`repro.core.procrunner`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.api import FsOp
+from repro.basefs.filesystem import BaseFilesystem
+from repro.blockdev.device import BlockDevice, FileBlockDevice
+from repro.core.handoff import download_metadata
+from repro.core.oplog import OpLog
+from repro.core.procrunner import run_shadow_process
+from repro.core.reboot import contained_reboot
+from repro.errors import RecoveryFailure
+from repro.shadowfs.checks import CheckLevel
+from repro.shadowfs.filesystem import ShadowFilesystem
+from repro.shadowfs.output import MetadataUpdate
+from repro.shadowfs.replay import ReplayEngine, ReplayReport
+
+
+@dataclass
+class RecoveryStats:
+    """Cumulative over a supervisor's lifetime; per-event timings too."""
+
+    attempts: int = 0
+    successes: int = 0
+    failures: int = 0
+    ops_replayed: int = 0
+    reboot_seconds: list[float] = field(default_factory=list)
+    replay_seconds: list[float] = field(default_factory=list)
+    handoff_seconds: list[float] = field(default_factory=list)
+    total_seconds: list[float] = field(default_factory=list)
+
+    def note(self, reboot_s: float, replay_s: float, handoff_s: float) -> None:
+        self.reboot_seconds.append(reboot_s)
+        self.replay_seconds.append(replay_s)
+        self.handoff_seconds.append(handoff_s)
+        self.total_seconds.append(reboot_s + replay_s + handoff_s)
+
+
+@dataclass
+class RecoveryOutcome:
+    fs: BaseFilesystem
+    update: MetadataUpdate
+    report: ReplayReport
+    reboot_seconds: float
+    replay_seconds: float
+    handoff_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.reboot_seconds + self.replay_seconds + self.handoff_seconds
+
+
+def run_recovery(
+    old_fs: BaseFilesystem,
+    device: BlockDevice,
+    oplog: OpLog,
+    inflight: tuple[int, FsOp] | None,
+    check_level: CheckLevel = CheckLevel.FULL,
+    strict_crosscheck: bool = True,
+    in_process: bool = True,
+) -> RecoveryOutcome:
+    """Execute one recovery.  Raises :class:`RecoveryFailure` if the
+    shadow cannot produce trustworthy state."""
+    t0 = time.perf_counter()
+    reboot = contained_reboot(old_fs, device)
+    new_fs = reboot.fs
+    t1 = time.perf_counter()
+
+    # The preserved data pages stay with the rebooted base (read cache);
+    # they are NOT given to the shadow's replay: a page reflects the state
+    # at crash time, while replay needs the state at each op's position —
+    # the recorded write payloads regenerate that exactly.  (The paper
+    # shares pages because it does not record payloads; see DESIGN.md.)
+    if in_process:
+        shadow = ShadowFilesystem(device, check_level=check_level)
+        engine = ReplayEngine(shadow, strict=strict_crosscheck)
+        update = engine.run(oplog.entries, oplog.fd_snapshot, inflight)
+        report = engine.report
+    else:
+        if not isinstance(device, FileBlockDevice):
+            raise RecoveryFailure(
+                "separate-process shadow requires a file-backed device", phase="shadow-process"
+            )
+        device.flush()
+        update, report = run_shadow_process(
+            device.path,
+            oplog.entries,
+            oplog.fd_snapshot,
+            inflight,
+            check_level=check_level,
+            strict=strict_crosscheck,
+        )
+    t2 = time.perf_counter()
+
+    download_metadata(new_fs, update)
+    t3 = time.perf_counter()
+
+    return RecoveryOutcome(
+        fs=new_fs,
+        update=update,
+        report=report,
+        reboot_seconds=t1 - t0,
+        replay_seconds=t2 - t1,
+        handoff_seconds=t3 - t2,
+    )

@@ -1,0 +1,139 @@
+"""Background integrity scrubbing (an extension past the paper).
+
+The paper's runtime checks run *reactively*: validate-on-sync guards the
+commit path, and the shadow checks everything during recovery.  Neither
+notices corruption of *already-committed* on-disk state until something
+trips over it.  The scrubber closes that gap: it walks the image
+incrementally in the background (a few inodes per step, like a
+patrol-read), validating each structure straight from the device with
+the shadow's own check engine — cheap because it is incremental, and
+honest because it bypasses every cache.
+
+Findings are reported, not repaired: a scrub hit on recent state is
+fixable by recovery (the journal still holds a clean copy — see
+``tests/test_integration_device_faults.py``), an older one is fsck
+territory.  Either way the operator learns *before* an application does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.blockdev.device import BlockDevice
+from repro.ondisk.bitmap import Bitmap
+from repro.ondisk.directory import DirBlock
+from repro.ondisk.inode import OnDiskInode
+from repro.ondisk.layout import INODE_SIZE, DiskLayout
+from repro.ondisk.mapping import BlockMapReader
+from repro.shadowfs.checks import CheckLevel, ShadowChecks
+from repro.errors import InvariantViolation
+
+
+@dataclass
+class ScrubFinding:
+    ino: int
+    problem: str
+
+    def __str__(self) -> str:
+        return f"inode {self.ino}: {self.problem}"
+
+
+@dataclass
+class ScrubStats:
+    passes: int = 0  # full sweeps completed
+    inodes_scanned: int = 0
+    dir_blocks_scanned: int = 0
+    findings: list[ScrubFinding] = field(default_factory=list)
+
+
+class Scrubber:
+    """Incremental on-disk integrity patrol.
+
+    ``step(n)`` validates the next ``n`` inode slots (wrapping); live
+    inodes get the full shadow check treatment plus a directory-block
+    parse for directories.  Reads go straight to the device — the whole
+    point is to distrust every cache.
+
+    The scrubber never writes and never raises: corruption becomes a
+    :class:`ScrubFinding`.  Callers that want RAE to engage can raise on
+    findings themselves (see ``tests/test_core_scrubber.py``).
+    """
+
+    def __init__(self, device: BlockDevice, layout: DiskLayout, check_level: CheckLevel = CheckLevel.BASIC):
+        self.device = device
+        self.layout = layout
+        self.checks = ShadowChecks(layout, level=check_level)
+        self.stats = ScrubStats()
+        self._cursor = 1  # next ino to scan
+        self._reader = BlockMapReader(device.read_block)
+
+    def _inode_bitmap(self, group: int) -> Bitmap:
+        return Bitmap.from_block(
+            self.layout.inodes_per_group, self.device.read_block(self.layout.inode_bitmap_block(group))
+        )
+
+    def _block_allocated(self, block: int) -> bool:
+        group = self.layout.group_of_block(block)
+        bitmap = Bitmap.from_block(
+            self.layout.blocks_per_group, self.device.read_block(self.layout.block_bitmap_block(group))
+        )
+        return bitmap.test(block - self.layout.group_start(group))
+
+    def step(self, n_inodes: int = 8) -> list[ScrubFinding]:
+        """Scan the next ``n_inodes`` slots; returns new findings."""
+        new_findings: list[ScrubFinding] = []
+        for _ in range(n_inodes):
+            ino = self._cursor
+            self._cursor += 1
+            if self._cursor > self.layout.inode_count:
+                self._cursor = 1
+                self.stats.passes += 1
+            if ino == 1:
+                continue  # reserved
+            new_findings.extend(self._scan_ino(ino))
+        self.stats.findings.extend(new_findings)
+        return new_findings
+
+    def full_pass(self) -> list[ScrubFinding]:
+        """One complete sweep of the inode space."""
+        start_findings = len(self.stats.findings)
+        self._cursor = 1
+        self.step(self.layout.inode_count)
+        return self.stats.findings[start_findings:]
+
+    # ------------------------------------------------------------------
+
+    def _scan_ino(self, ino: int) -> list[ScrubFinding]:
+        findings: list[ScrubFinding] = []
+        self.stats.inodes_scanned += 1
+        block, offset = self.layout.inode_location(ino)
+        raw = self.device.read_block(block)[offset : offset + INODE_SIZE]
+        try:
+            inode = OnDiskInode.unpack(raw)
+        except ValueError as exc:
+            findings.append(ScrubFinding(ino=ino, problem=f"unparseable inode: {exc}"))
+            return findings
+        group = self.layout.group_of_ino(ino)
+        allocated = self._inode_bitmap(group).test(self.layout.ino_index_in_group(ino))
+        if inode.is_free:
+            if allocated:
+                findings.append(ScrubFinding(ino=ino, problem="bitmap says allocated, slot is free"))
+            return findings
+        if not allocated:
+            findings.append(ScrubFinding(ino=ino, problem="live inode free in the bitmap"))
+        try:
+            self.checks.inode(ino, inode, allow_orphan=True)
+            for pointer in self._reader.all_referenced_blocks(inode):
+                if 0 < pointer < self.layout.block_count and not self.layout.is_metadata_block(pointer):
+                    self.checks.block_allocated(pointer, self._block_allocated)
+        except (InvariantViolation, ValueError) as exc:
+            findings.append(ScrubFinding(ino=ino, problem=str(exc)))
+            return findings
+        if inode.is_dir:
+            for _logical, physical in self._reader.iter_data_blocks(inode):
+                self.stats.dir_blocks_scanned += 1
+                try:
+                    self.checks.dir_block(ino, physical, self.device.read_block(physical))
+                except InvariantViolation as exc:
+                    findings.append(ScrubFinding(ino=ino, problem=str(exc)))
+        return findings

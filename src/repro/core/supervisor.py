@@ -1,0 +1,310 @@
+"""The RAE supervisor: what applications actually mount.
+
+:class:`RAEFilesystem` implements :class:`repro.api.FilesystemAPI` by
+delegating to a :class:`BaseFilesystem` in the common case — adding only
+operation recording and a write-back tick — and running the full
+recovery procedure when the detector classifies an escaped exception as
+a runtime error.  From the application's perspective, a deterministic
+kernel bug looks like a slightly slow operation that nonetheless returns
+the correct result: "high performance in the common case; correctness
+and high-availability despite bugs and errors in rare cases" (§5).
+
+New operations are not admitted during recovery (§3.2); since the
+supervisor is the single entry point and recovery runs synchronously
+inside the failed call, this holds by construction.
+
+If recovery itself fails (:class:`RecoveryFailure`), the exception
+propagates: the paper's design has no further fallback, and the caller
+decides between remounting from the last durable state or giving up.
+The availability benchmark compares exactly these two worlds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.api import FilesystemAPI, FsOp, OpenFlags, OpResult, StatResult
+from repro.basefs.filesystem import BaseFilesystem
+from repro.basefs.hooks import HookPoints
+from repro.basefs.writeback import WritebackPolicy
+from repro.blockdev.device import BlockDevice
+from repro.core.detector import DetectedError, Detector, WarnPolicy
+from repro.core.oplog import OpLog
+from repro.core.recovery import RecoveryStats, run_recovery
+from repro.errors import Errno, FsError, RecoveryFailure
+from repro.shadowfs.checks import CheckLevel
+
+
+@dataclass
+class RAEConfig:
+    """Supervisor policy knobs, mirroring the paper's configurables."""
+
+    check_level: CheckLevel = CheckLevel.FULL
+    strict_crosscheck: bool = True
+    warn_policy: WarnPolicy = WarnPolicy.RECOVER
+    shadow_in_process: bool = True
+    commit_after_recovery: bool = True
+    auto_writeback: bool = True
+
+
+@dataclass
+class RAEEvent:
+    """One recovery episode, for reporting and examples."""
+
+    seq: int | None
+    detected: str
+    replayed_ops: int
+    total_seconds: float
+    discrepancies: int
+
+
+@dataclass
+class RAEStats:
+    ops: int = 0
+    recoveries: int = 0
+    recovery: RecoveryStats = field(default_factory=RecoveryStats)
+    events: list[RAEEvent] = field(default_factory=list)
+
+
+class RAEFilesystem(FilesystemAPI):
+    def __init__(
+        self,
+        device: BlockDevice,
+        config: RAEConfig | None = None,
+        hooks: HookPoints | None = None,
+        writeback_policy: WritebackPolicy | None = None,
+        **base_kwargs,
+    ):
+        self.device = device
+        self.config = config or RAEConfig()
+        self.base = BaseFilesystem(
+            device, hooks=hooks, writeback_policy=writeback_policy, **base_kwargs
+        )
+        self.oplog = OpLog()
+        self.detector = Detector(warn_policy=self.config.warn_policy)
+        self.stats = RAEStats()
+        self.seq = 0
+        self._in_recovery = False
+        # Called with the new base after every contained reboot; the fault
+        # injector registers its retarget() here so payload bugs keep
+        # pointing at live state.
+        self.on_reboot: list = []
+        self._wire_base()
+
+    def _wire_base(self) -> None:
+        self.base.on_commit.append(self._on_commit)
+
+    def _on_commit(self, _epoch: int) -> None:
+        """Durability point: discard the replayable window (§3.2)."""
+        self.oplog.truncate(self.base.fd_table.snapshot())
+
+    # ------------------------------------------------------------------
+
+    def unmount(self) -> None:
+        """Unmount with the same protection as any operation: a runtime
+        error in the final commit triggers recovery, then one retry."""
+        try:
+            self.base.unmount()
+        except Exception as exc:  # noqa: BLE001 — runtime-error boundary
+            detected = self.detector.classify(exc, op_name="unmount")
+            if not self.detector.should_recover(detected):
+                raise
+            self._recover(detected, inflight=None)
+            self.base.unmount()
+
+    @property
+    def recovery_count(self) -> int:
+        return self.stats.recoveries
+
+    def _call(self, name: str, **args):
+        """Execute one operation with recording, detection, recovery."""
+        if self._in_recovery:
+            raise RecoveryFailure("operation submitted during recovery", phase="admission")
+        op = FsOp(name=name, args=args)
+        self.seq += 1
+        seq = self.seq
+        self.stats.ops += 1
+        try:
+            outcome = op.apply(self.base, opseq=seq)
+        except Exception as exc:  # noqa: BLE001 — runtime-error boundary
+            detected = self.detector.classify(exc, seq=seq, op_name=name)
+            if not self.detector.should_recover(detected):
+                # Ignored WARN: the operation aborted midway; its partial
+                # effects stay (as after a real WARN_ON that taints state).
+                # We surface EIO, the kernel's catch-all for "it broke".
+                outcome = OpResult(errno=Errno.EIO)
+            else:
+                outcome = self._recover(detected, inflight=(seq, op))
+        else:
+            if op.is_mutation:
+                self.oplog.record(seq, op, outcome)
+
+        if self.config.auto_writeback and not self._in_recovery:
+            try:
+                self.base.writeback.tick()
+            except Exception as exc:  # noqa: BLE001 — commit-path errors
+                detected = self.detector.classify(exc, seq=seq, op_name="writeback")
+                if self.detector.should_recover(detected):
+                    self._recover(detected, inflight=None)
+
+        if outcome.errno is not None:
+            raise FsError(outcome.errno, f"{name} failed")
+        return outcome.value
+
+    def _recover(self, detected: DetectedError, inflight: tuple[int, FsOp] | None, depth: int = 0) -> OpResult:
+        """Run the full recovery procedure; returns the in-flight op's
+        outcome (empty success result when there was none).
+
+        ``depth`` guards the nested case: a bug firing during the
+        post-recovery commit triggers another recovery (the hand-off
+        state is safely replayable because the in-flight op is recorded
+        before the commit is attempted); three consecutive failures give
+        up, surfacing RecoveryFailure."""
+        self._in_recovery = True
+        self.stats.recovery.attempts += 1
+        try:
+            outcome = run_recovery(
+                self.base,
+                self.device,
+                self.oplog,
+                inflight,
+                check_level=self.config.check_level,
+                strict_crosscheck=self.config.strict_crosscheck,
+                in_process=self.config.shadow_in_process,
+            )
+        except RecoveryFailure:
+            self.stats.recovery.failures += 1
+            raise
+        finally:
+            self._in_recovery = False
+
+        self.base = outcome.fs
+        self._wire_base()
+        for callback in self.on_reboot:
+            callback(self.base)
+        replayed = outcome.report.constrained_ops + outcome.report.autonomous_ops
+        self.stats.recovery.successes += 1
+        self.stats.recovery.ops_replayed += replayed
+        self.stats.recovery.note(
+            outcome.reboot_seconds, outcome.replay_seconds, outcome.handoff_seconds
+        )
+        self.stats.recoveries += 1
+        self.stats.events.append(
+            RAEEvent(
+                seq=detected.seq,
+                detected=detected.describe(),
+                replayed_ops=replayed,
+                total_seconds=outcome.total_seconds,
+                discrepancies=len(outcome.report.discrepancies),
+            )
+        )
+
+        result = outcome.update.inflight_result
+        delegated_fsync = result is not None and result.value == "fsync-delegated"
+        if (
+            inflight is not None
+            and result is not None
+            and result.errno is None
+            and not delegated_fsync
+        ):
+            # The in-flight op is now a completed op of the replayable
+            # window.  Record it BEFORE any commit attempt: if that commit
+            # itself fails and triggers a nested recovery, the op's effects
+            # must be reconstructible from the log.
+            self.oplog.record(inflight[0], inflight[1], result)
+
+        if self.config.commit_after_recovery or delegated_fsync:
+            # Persist the recovered state (this truncates the op log via
+            # the on_commit callback) and perform any delegated fsync.
+            try:
+                self.base.commit()
+            except Exception as exc:  # noqa: BLE001 — commit-path bug
+                nested = self.detector.classify(exc, op_name="post-recovery-commit")
+                if depth >= 2 or not self.detector.should_recover(nested):
+                    raise RecoveryFailure(
+                        f"post-recovery commit failed: {exc}", phase="post-commit"
+                    ) from exc
+                self._recover(nested, inflight=None, depth=depth + 1)
+
+        if result is None or delegated_fsync:
+            return OpResult()
+        return result
+
+    # ==================================================================
+    # FilesystemAPI — thin recording wrappers
+
+    def mkdir(self, path: str, perms: int = 0o755, opseq: int = 0) -> None:
+        return self._call("mkdir", path=path, perms=perms)
+
+    def rmdir(self, path: str, opseq: int = 0) -> None:
+        return self._call("rmdir", path=path)
+
+    def unlink(self, path: str, opseq: int = 0) -> None:
+        return self._call("unlink", path=path)
+
+    def rename(self, src: str, dst: str, opseq: int = 0) -> None:
+        return self._call("rename", src=src, dst=dst)
+
+    def link(self, existing: str, new: str, opseq: int = 0) -> None:
+        return self._call("link", existing=existing, new=new)
+
+    def symlink(self, target: str, path: str, opseq: int = 0) -> None:
+        return self._call("symlink", target=target, path=path)
+
+    def readlink(self, path: str) -> str:
+        return self._call("readlink", path=path)
+
+    def readdir(self, path: str) -> list[str]:
+        return self._call("readdir", path=path)
+
+    def stat(self, path: str) -> StatResult:
+        return self._call("stat", path=path)
+
+    def lstat(self, path: str) -> StatResult:
+        return self._call("lstat", path=path)
+
+    def truncate(self, path: str, size: int, opseq: int = 0) -> None:
+        return self._call("truncate", path=path, size=size)
+
+    def open(self, path: str, flags: OpenFlags = OpenFlags.NONE, perms: int = 0o644, opseq: int = 0) -> int:
+        return self._call("open", path=path, flags=int(flags), perms=perms)
+
+    def close(self, fd: int, opseq: int = 0) -> None:
+        return self._call("close", fd=fd)
+
+    def read(self, fd: int, length: int, opseq: int = 0) -> bytes:
+        return self._call("read", fd=fd, length=length)
+
+    def write(self, fd: int, data: bytes, opseq: int = 0) -> int:
+        return self._call("write", fd=fd, data=data)
+
+    def lseek(self, fd: int, offset: int, whence: int = 0, opseq: int = 0) -> int:
+        return self._call("lseek", fd=fd, offset=offset, whence=whence)
+
+    def fsync(self, fd: int, opseq: int = 0) -> None:
+        return self._call("fsync", fd=fd)
+
+    def fstat_ino(self, fd: int) -> int:
+        return self.base.fstat_ino(fd)
+
+    # ------------------------------------------------------------------
+
+    def report(self) -> str:
+        """Human-readable supervisor summary (examples and operators)."""
+        lines = [
+            f"RAE supervisor: {self.stats.ops} operations, "
+            f"{self.stats.recoveries} recoveries "
+            f"({self.stats.recovery.failures} failed), "
+            f"{len(self.oplog)} ops in the current window",
+        ]
+        for event in self.stats.events:
+            lines.append(
+                f"  - {event.detected}: replayed {event.replayed_ops} ops in "
+                f"{event.total_seconds * 1000:.1f} ms"
+                + (f", {event.discrepancies} discrepancies" if event.discrepancies else "")
+            )
+        detections = self.detector.stats.detections
+        if detections:
+            by_kind = ", ".join(f"{kind}={count}" for kind, count in sorted(detections.items()))
+            lines.append(f"  detections by kind: {by_kind}")
+        return "\n".join(lines)

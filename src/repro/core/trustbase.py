@@ -1,0 +1,166 @@
+"""Trusted-code quantification (§4.3).
+
+"Our current plan is to reuse the code from the base's implementation to
+read the metadata from the device and fill the base's cache (e.g., page
+cache, inode cache).  We expect to quantify the code we trust (i.e.,
+reused)."
+
+This module does that quantification for the reproduction: it measures
+(in source lines, comments and blanks excluded) the four trust
+categories the design implies:
+
+* **verified-equivalent** — the shadow implementation and its checks:
+  the code whose correctness the design stakes everything on (in the
+  paper, the Verus-verified body; here, the exhaustively/property-
+  checked one), plus the executable spec it is checked against;
+* **shared format** — the on-disk (de)serialization both filesystems
+  use; a bug here affects both sides identically, so it is inside the
+  trusted base by construction;
+* **reused hand-off interfaces** — the base-side code recovery relies
+  on: the absorb interfaces, the buffer/page cache and fd-table
+  machinery they fill, and journal replay.  The paper's point is that
+  this set should be small and "extensively-tested";
+* **unverified base** — everything else in the base: the code RAE
+  assumes is buggy.
+
+The interesting output is the ratio: how much *less* code the recovery
+path trusts compared to the base it protects.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+
+
+def _count_sloc(module) -> int:
+    """Source lines of code: non-blank, non-comment physical lines."""
+    try:
+        source = inspect.getsource(module)
+    except (OSError, TypeError):
+        return 0
+    count = 0
+    in_doc = False
+    doc_delim = None
+    for raw in source.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if in_doc:
+            if doc_delim in line:
+                in_doc = False
+            continue
+        if line.startswith("#"):
+            continue
+        if line.startswith(('"""', "'''")):
+            doc_delim = line[:3]
+            # one-line docstring?
+            if line.count(doc_delim) >= 2 and len(line) > 3:
+                continue
+            in_doc = True
+            continue
+        count += 1
+    return count
+
+
+@dataclass
+class TrustCategory:
+    name: str
+    modules: list[str]
+    sloc: int = 0
+
+
+@dataclass
+class TrustReport:
+    categories: list[TrustCategory] = field(default_factory=list)
+
+    def category(self, name: str) -> TrustCategory:
+        return next(c for c in self.categories if c.name == name)
+
+    @property
+    def recovery_trusted(self) -> int:
+        """Code the recovery path must trust: verified-equivalent +
+        shared format + reused hand-off interfaces."""
+        return sum(
+            c.sloc
+            for c in self.categories
+            if c.name in ("verified-equivalent", "shared-format", "reused-handoff")
+        )
+
+    @property
+    def unverified(self) -> int:
+        return self.category("unverified-base").sloc
+
+    def render(self) -> str:
+        lines = ["Trusted-code quantification (§4.3), source lines (SLOC):", ""]
+        width = max(len(c.name) for c in self.categories)
+        for category in self.categories:
+            lines.append(f"  {category.name:<{width}}  {category.sloc:6d}   ({len(category.modules)} modules)")
+        reused = self.category("reused-handoff").sloc
+        checked = self.category("verified-equivalent").sloc + self.category("shared-format").sloc
+        lines.append("")
+        lines.append(f"  checked code (shadow + spec + format)        : {checked} SLOC")
+        lines.append(f"  trusted-but-unverified reused base machinery : {reused} SLOC")
+        lines.append(f"  distrusted base the pair protects            : {self.unverified} SLOC")
+        if self.unverified:
+            lines.append(
+                f"  -> recovery relies on unverified code for only "
+                f"{reused / (reused + self.unverified):.0%} of the base-side line count"
+            )
+        return "\n".join(lines)
+
+
+_CATEGORIES: dict[str, list[str]] = {
+    "verified-equivalent": [
+        "repro.shadowfs.filesystem",
+        "repro.shadowfs.checks",
+        "repro.shadowfs.replay",
+        "repro.shadowfs.output",
+        "repro.spec.model",
+        "repro.spec.equivalence",
+        "repro.spec.verifier",
+    ],
+    "shared-format": [
+        "repro.ondisk.layout",
+        "repro.ondisk.superblock",
+        "repro.ondisk.bitmap",
+        "repro.ondisk.inode",
+        "repro.ondisk.directory",
+        "repro.ondisk.mapping",
+        "repro.ondisk.journal",
+        "repro.api",
+    ],
+    "reused-handoff": [
+        # The base-side machinery recovery reuses: absorb interfaces live
+        # in basefs.filesystem but the caches/fd-table they fill are whole
+        # modules, counted fully (a conservative over-estimate).
+        "repro.blockdev.cache",
+        "repro.basefs.page_cache",
+        "repro.basefs.inode_cache",
+        "repro.basefs.vfs",
+        "repro.core.handoff",
+        "repro.core.reboot",
+    ],
+    "unverified-base": [
+        "repro.basefs.filesystem",
+        "repro.basefs.allocator",
+        "repro.basefs.journal_mgr",
+        "repro.basefs.writeback",
+        "repro.basefs.dentry_cache",
+        "repro.basefs.locks",
+        "repro.basefs.hooks",
+        "repro.blockdev.blkmq",
+    ],
+}
+
+
+def trusted_code_report() -> TrustReport:
+    import importlib
+
+    report = TrustReport()
+    for name, module_names in _CATEGORIES.items():
+        category = TrustCategory(name=name, modules=module_names)
+        for module_name in module_names:
+            category.sloc += _count_sloc(importlib.import_module(module_name))
+        report.categories.append(category)
+    return report

@@ -1,0 +1,146 @@
+"""Error taxonomy for the RAE reproduction.
+
+The paper distinguishes several classes of runtime trouble:
+
+* POSIX-style errors that a filesystem legitimately returns to the
+  application (``ENOENT``, ``ENOSPC``, ...).  These are *not* faults: the
+  base returns them, the shadow replays them, and RAE never engages.
+* Runtime errors inside the base filesystem: crashes (``BUG()``-style),
+  warnings (``WARN_ON()``-style), and invariant-check failures detected by
+  validate-on-sync style machinery.  These engage RAE.
+* Device-level faults (transient read errors, silent corruption) that the
+  shadow's extensive runtime checks are designed to survive.
+
+Everything in this module is shared by the base, the shadow, and the RAE
+core, so it deliberately has no dependencies on any other repro module.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Errno(enum.IntEnum):
+    """POSIX errno values used by the filesystem API.
+
+    The values match Linux so that traces read naturally; only the codes the
+    reproduction actually uses are defined.
+    """
+
+    EPERM = 1
+    ENOENT = 2
+    EIO = 5
+    EBADF = 9
+    EEXIST = 17
+    ENOTDIR = 20
+    EISDIR = 21
+    EINVAL = 22
+    EFBIG = 27
+    ENOSPC = 28
+    EROFS = 30
+    ENAMETOOLONG = 36
+    ENOTEMPTY = 39
+    ELOOP = 40
+
+
+class FsError(Exception):
+    """A legitimate POSIX error returned by a filesystem operation.
+
+    ``FsError`` is part of the API contract: both the base and the shadow
+    raise it for invalid requests, and the recorded operation log stores the
+    errno as the operation's outcome.  RAE never treats an ``FsError`` as a
+    reason to engage the shadow.
+    """
+
+    def __init__(self, errno: Errno, message: str = ""):
+        self.errno = Errno(errno)
+        super().__init__(f"[{self.errno.name}] {message}" if message else self.errno.name)
+
+
+class KernelBug(Exception):
+    """A ``BUG()``-style crash inside the base filesystem.
+
+    In Linux this would oops the kernel; in the reproduction it unwinds to
+    the RAE supervisor, which treats it as a detected runtime error and
+    starts recovery.  The optional ``bug_id`` names the injected bug that
+    fired, so recovery can report which fault was masked.
+    """
+
+    def __init__(self, message: str = "", bug_id: str | None = None):
+        self.bug_id = bug_id
+        super().__init__(message or "kernel BUG")
+
+
+class KernelWarning(Exception):
+    """A ``WARN_ON()``-style runtime warning raised to the detector.
+
+    The paper notes WARN is the suggested substitute for BUG in modern
+    kernel development.  The base's hook layer converts armed WARN bugs into
+    this exception only when the detector's policy says warnings should
+    engage recovery; otherwise they are logged and execution continues.
+    """
+
+    def __init__(self, message: str = "", bug_id: str | None = None):
+        self.bug_id = bug_id
+        super().__init__(message or "kernel WARNING")
+
+
+class InvariantViolation(Exception):
+    """A runtime invariant check failed.
+
+    Raised by the shadow's extensive runtime checks (``repro.shadowfs.checks``)
+    and by the base's validate-on-sync machinery.  In the base this engages
+    RAE; in the shadow it aborts recovery (the shadow must never hand off
+    state it cannot vouch for).
+    """
+
+    def __init__(self, message: str = "", check: str | None = None):
+        self.check = check
+        super().__init__(message or "invariant violation")
+
+
+class DeviceError(Exception):
+    """An IO error reported by the block device (transient or persistent)."""
+
+    def __init__(self, message: str = "", block: int | None = None, transient: bool = False):
+        self.block = block
+        self.transient = transient
+        super().__init__(message or "device error")
+
+
+class ShadowWriteAttempt(Exception):
+    """The shadow attempted a device write.
+
+    The shadow's defining restriction (§3.2) is that it never writes to
+    disk.  A write-fenced device raises this, and any occurrence is a bug in
+    the reproduction itself, so it is never caught by recovery code.
+    """
+
+
+class RecoveryFailure(Exception):
+    """RAE recovery could not complete.
+
+    Raised when the shadow itself fails (an invariant violation during
+    replay, a cross-check discrepancy under a strict policy, or the shadow
+    process dying).  The supervisor surfaces this to the caller: at that
+    point the paper's design has no further fallback beyond a full
+    crash-and-restore, which the caller may perform via remount.
+    """
+
+    def __init__(self, message: str = "", phase: str | None = None):
+        self.phase = phase
+        super().__init__(message or "recovery failure")
+
+
+class CrossCheckMismatch(RecoveryFailure):
+    """Constrained-mode replay disagreed with the base's recorded outcome.
+
+    §3.2: "Discrepancies in output are reported; whether or not to continue
+    can be configured."  Under the strict policy this exception aborts
+    recovery; under the permissive policy it is recorded and replay
+    continues with the shadow's own result.
+    """
+
+    def __init__(self, message: str = "", op_index: int | None = None):
+        super().__init__(message, phase="crosscheck")
+        self.op_index = op_index

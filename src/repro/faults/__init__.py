@@ -1,0 +1,58 @@
+"""Fault and bug injection.
+
+The paper's Table 1 taxonomy — determinism × consequence — turned into
+an executable catalog:
+
+* :mod:`repro.faults.catalog` — :class:`BugSpec` (what a bug is: its
+  trigger, hook point, determinism, consequence, payload) plus a library
+  of concrete bug constructors modelled on studied ext4 bug classes
+  (input-sanity crashes, use-after-free on close, stale dentry
+  invalidation, allocator accounting corruption, block-layer wedges,
+  lock-discipline WARNs, watchdog-detected freezes);
+* :mod:`repro.faults.injector` — arms specs into a base filesystem's
+  :class:`~repro.basefs.hooks.HookPoints`, with seeded probabilistic
+  firing for the non-deterministic classes and fire accounting for
+  experiments;
+* :mod:`repro.faults.crafted` — the §2.1 attack: structurally valid
+  images ("such images can bypass FSCK") whose contents trip armed bugs
+  when operated on.
+
+Device-level (hardware) faults live in :mod:`repro.blockdev.faults`.
+"""
+
+from repro.faults.catalog import (
+    BugSpec,
+    Consequence,
+    Determinism,
+    make_alloc_accounting_bug,
+    make_blkmq_wedge_bug,
+    make_close_use_after_free_bug,
+    make_dir_insert_crash_bug,
+    make_freeze_bug,
+    make_lockdep_warn_bug,
+    make_lookup_crash_bug,
+    make_size_corruption_bug,
+    make_stale_dentry_bug,
+    make_truncate_warn_bug,
+    standard_catalog,
+)
+from repro.faults.injector import ArmedBug, Injector
+
+__all__ = [
+    "BugSpec",
+    "Consequence",
+    "Determinism",
+    "Injector",
+    "ArmedBug",
+    "standard_catalog",
+    "make_dir_insert_crash_bug",
+    "make_lookup_crash_bug",
+    "make_close_use_after_free_bug",
+    "make_truncate_warn_bug",
+    "make_lockdep_warn_bug",
+    "make_size_corruption_bug",
+    "make_alloc_accounting_bug",
+    "make_stale_dentry_bug",
+    "make_blkmq_wedge_bug",
+    "make_freeze_bug",
+]

@@ -1,0 +1,256 @@
+"""The bug catalog.
+
+Each :class:`BugSpec` describes one injectable bug with the two axes of
+the paper's study:
+
+* **determinism** — a deterministic bug fires whenever its trigger
+  matches (same inputs → same failure: re-execution on the base would
+  hit it again, which is why the shadow exists); a non-deterministic bug
+  additionally rolls a seeded probability die (timing/races in the real
+  world);
+* **consequence** — ``CRASH`` raises :class:`KernelBug`, ``WARN`` raises
+  :class:`KernelWarning` (or merely counts, when the WARN policy says
+  ignore), ``NOCRASH`` silently corrupts state via its payload (the
+  consequence class that validate-on-sync exists to catch), ``FREEZE``
+  models a hang detected by a watchdog (surfaced as a ``KernelBug``
+  tagged ``watchdog`` — a real hang cannot be represented in a
+  single-threaded reproduction, but its *detection* can).
+
+The concrete constructors below are patterned on studied ext4 bug
+classes: each docstring names the analog.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class Determinism(enum.Enum):
+    DETERMINISTIC = "deterministic"
+    NONDETERMINISTIC = "nondeterministic"
+
+
+class Consequence(enum.Enum):
+    CRASH = "crash"
+    WARN = "warn"
+    NOCRASH = "nocrash"
+    FREEZE = "freeze"
+
+
+Trigger = Callable[[dict[str, Any]], bool]
+Payload = Callable[[Any, dict[str, Any]], None]  # (base_fs, ctx)
+
+
+@dataclass
+class BugSpec:
+    bug_id: str
+    title: str
+    hook: str
+    determinism: Determinism
+    consequence: Consequence
+    trigger: Trigger
+    payload: Payload | None = None  # NOCRASH corruption
+    probability: float = 1.0  # <1.0 only sensible for NONDETERMINISTIC
+    max_fires: int | None = None  # None = unlimited
+    tags: set[str] = field(default_factory=set)
+
+    def __post_init__(self):
+        if self.consequence is Consequence.NOCRASH and self.payload is None:
+            raise ValueError(f"bug {self.bug_id}: NOCRASH requires a payload")
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError(f"bug {self.bug_id}: probability {self.probability}")
+        if self.determinism is Determinism.DETERMINISTIC and self.probability < 1.0:
+            raise ValueError(f"bug {self.bug_id}: a deterministic bug cannot be probabilistic")
+
+
+# ---------------------------------------------------------------------------
+# concrete bug constructors
+
+
+def make_dir_insert_crash_bug(substring: str = " evil", bug_id: str = "dirent-null-deref") -> BugSpec:
+    """Analog of crafted-image null-pointer dereferences (§2.1, [13, 38,
+    52]): inserting a directory entry whose name contains a poisoned
+    substring dereferences a null dentry.  Deterministic CRASH."""
+    return BugSpec(
+        bug_id=bug_id,
+        title=f"null-pointer dereference inserting dirent containing {substring!r}",
+        hook="dir.insert",
+        determinism=Determinism.DETERMINISTIC,
+        consequence=Consequence.CRASH,
+        trigger=lambda ctx: substring in str(ctx.get("name", "")),
+        tags={"input-sanity", "crafted-image"},
+    )
+
+
+def make_lookup_crash_bug(substring: str, bug_id: str = "lookup-oob") -> BugSpec:
+    """Analog of f2fs's array-index-out-of-bounds in lookup [38]: looking
+    up a poisoned name indexes past a table.  Deterministic CRASH."""
+    return BugSpec(
+        bug_id=bug_id,
+        title=f"array index out of bounds looking up {substring!r}",
+        hook="vfs.lookup",
+        determinism=Determinism.DETERMINISTIC,
+        consequence=Consequence.CRASH,
+        trigger=lambda ctx: substring in str(ctx.get("name", "")),
+        tags={"input-sanity", "crafted-image"},
+    )
+
+
+def make_close_use_after_free_bug(nth: int = 1, bug_id: str = "close-uaf") -> BugSpec:
+    """Analog of the ext4_put_super use-after-free [52]: the Nth close
+    touches freed memory.  Deterministic CRASH (trigger counts fires
+    internally via the injector's per-bug counter)."""
+    return BugSpec(
+        bug_id=bug_id,
+        title=f"use-after-free on close #{nth}",
+        hook="vfs.close",
+        determinism=Determinism.DETERMINISTIC,
+        consequence=Consequence.CRASH,
+        trigger=lambda ctx: ctx.get("_bug_eligible_count", 0) == nth - 1,
+        tags={"lifetime"},
+    )
+
+
+def make_truncate_warn_bug(threshold: int = 1 << 20, bug_id: str = "truncate-warn") -> BugSpec:
+    """Analog of i_size/i_disksize WARN_ON mismatches [13]: shrinking a
+    file across a large range hits a WARN_ON.  Deterministic WARN."""
+    return BugSpec(
+        bug_id=bug_id,
+        title=f"WARN_ON truncating across more than {threshold} bytes",
+        hook="truncate",
+        determinism=Determinism.DETERMINISTIC,
+        consequence=Consequence.WARN,
+        trigger=lambda ctx: ctx.get("old_size", 0) - ctx.get("new_size", 0) > threshold,
+        tags={"size-accounting"},
+    )
+
+
+def make_lockdep_warn_bug(probability: float = 0.02, bug_id: str = "lockdep-race") -> BugSpec:
+    """A lock-discipline violation caught by lockdep — the threading bug
+    class Table 1 counts as non-deterministic.  Probabilistic WARN."""
+    return BugSpec(
+        bug_id=bug_id,
+        title="lockdep warning on inode lock acquisition",
+        hook="lock.acquire",
+        determinism=Determinism.NONDETERMINISTIC,
+        consequence=Consequence.WARN,
+        trigger=lambda ctx: True,
+        probability=probability,
+        tags={"threading"},
+    )
+
+
+def make_size_corruption_bug(nth: int = 3, bug_id: str = "size-corruption") -> BugSpec:
+    """A NoCrash bug: the Nth inode-dirty silently corrupts the size
+    field (the data-corruption consequence class).  Caught — before
+    persistence — by validate-on-sync, per the fault model: a corrupted
+    size fails the transaction validator's inode checks."""
+
+    def payload(fs, ctx):
+        inode = ctx.get("inode")
+        if inode is not None:
+            # Way out of range: trips the itable validator's size bound.
+            inode.size = inode.size + (1 << 60)
+
+    return BugSpec(
+        bug_id=bug_id,
+        title=f"silent inode size corruption on dirty #{nth}",
+        hook="inode.dirty",
+        determinism=Determinism.DETERMINISTIC,
+        consequence=Consequence.NOCRASH,
+        trigger=lambda ctx: ctx.get("_bug_eligible_count", 0) == nth - 1,
+        payload=payload,
+        tags={"corruption"},
+    )
+
+
+def make_alloc_accounting_bug(nth: int = 5, bug_id: str = "alloc-accounting") -> BugSpec:
+    """A NoCrash accounting bug: the Nth block allocation forgets to
+    decrement the free count, so the superblock disagrees with the
+    bitmaps at the next commit — exactly what validate-on-sync's
+    free-count cross-check catches."""
+
+    def payload(fs, ctx):
+        fs.alloc.free_blocks += 1  # the "forgotten" decrement
+
+    return BugSpec(
+        bug_id=bug_id,
+        title=f"free-count accounting skew on allocation #{nth}",
+        hook="alloc.block",
+        determinism=Determinism.DETERMINISTIC,
+        consequence=Consequence.NOCRASH,
+        trigger=lambda ctx: ctx.get("_bug_eligible_count", 0) == nth - 1,
+        payload=payload,
+        tags={"accounting"},
+    )
+
+
+def make_stale_dentry_bug(name: str, collateral: str, bug_id: str = "stale-dentry") -> BugSpec:
+    """A NoCrash cache-coherence bug: removing ``name`` invalidates the
+    *wrong* dentry — it plants a negative entry for ``collateral`` in the
+    same directory, making an existing file invisible to later lookups.
+    This class is *not* caught by validate-on-sync (the on-disk state is
+    fine) — only differential testing or the application notices,
+    motivating §4.3's discrepancy reporting."""
+
+    def payload(fs, ctx):
+        dir_ino = ctx.get("dir_ino")
+        if dir_ino is not None:
+            fs.dentry_cache.insert_negative(dir_ino, collateral)
+
+    return BugSpec(
+        bug_id=bug_id,
+        title=f"dentry invalidation of the wrong entry ({collateral!r}) removing {name!r}",
+        hook="dir.remove",
+        determinism=Determinism.DETERMINISTIC,
+        consequence=Consequence.NOCRASH,
+        trigger=lambda ctx: ctx.get("name") == name,
+        payload=payload,
+        tags={"cache-coherence"},
+    )
+
+
+def make_blkmq_wedge_bug(probability: float = 0.01, bug_id: str = "blkmq-wedge") -> BugSpec:
+    """A block-layer interaction bug (the blk-mq/io_uring class §2.1
+    blames for recent regressions): a submission path crash under
+    queueing conditions.  Probabilistic CRASH."""
+    return BugSpec(
+        bug_id=bug_id,
+        title="block layer submission crash",
+        hook="blkmq.submit",
+        determinism=Determinism.NONDETERMINISTIC,
+        consequence=Consequence.CRASH,
+        trigger=lambda ctx: ctx.get("op") == "write",
+        probability=probability,
+        tags={"block-layer", "io"},
+    )
+
+
+def make_freeze_bug(substring: str, bug_id: str = "journal-hang") -> BugSpec:
+    """A freeze/deadlock (NoCrash in Table 1's external-symptom terms,
+    but detected here by the watchdog): commit stalls forever when the
+    trigger matches.  Surfaced as a watchdog-tagged KernelBug."""
+    return BugSpec(
+        bug_id=bug_id,
+        title=f"journal commit hang near {substring!r}",
+        hook="journal.commit",
+        determinism=Determinism.DETERMINISTIC,
+        consequence=Consequence.FREEZE,
+        trigger=lambda ctx: ctx.get("_bug_eligible_count", 0) == 0,
+        tags={"deadlock"},
+    )
+
+
+def standard_catalog() -> list[BugSpec]:
+    """One bug of each studied class, with default triggers — what the
+    availability benchmark arms."""
+    return [
+        make_dir_insert_crash_bug(),
+        make_lookup_crash_bug(substring=" "),
+        make_truncate_warn_bug(),
+        make_lockdep_warn_bug(),
+        make_alloc_accounting_bug(nth=5000),
+        make_blkmq_wedge_bug(),
+    ]

@@ -1,0 +1,127 @@
+"""Crafted disk images (§2.1).
+
+"One notable type of deterministic bug occurs when a user mounts a
+crafted disk image and issues operations to trigger a null-pointer
+dereference or use-after-free in the kernel; such images can bypass
+FSCK, leading to crashes from malicious attackers."
+
+This module builds such images for the reproduction's base filesystem.
+The crafted images are *structurally valid* — they parse, they checksum,
+they pass :mod:`repro.fsck` — but their contents are adversarial:
+
+* :func:`craft_poisoned_name_image` plants directory entries whose names
+  contain an armed bug's trigger substring, so that merely looking up or
+  listing the planted directory crashes an (injected-buggy) base;
+* :func:`craft_symlink_maze` builds a dense web of symlink chains and a
+  terminal loop — legal per the format, hostile to naive resolvers;
+* :func:`craft_deep_tree` nests directories to a configured depth, the
+  stack-abuse shape.
+
+Each returns the list of planted trap paths so examples and tests can
+walk straight into them.  Construction uses the *shadow* filesystem
+machinery offline (mount image → mutate → write overlay back), which is
+also a nice demonstration that the shadow code doubles as tooling.
+"""
+
+from __future__ import annotations
+
+from repro.blockdev.device import BlockDevice
+from repro.ondisk.mkfs import mkfs
+from repro.shadowfs.checks import CheckLevel
+from repro.shadowfs.filesystem import ShadowFilesystem
+
+
+def _apply_overlay(shadow: ShadowFilesystem, device: BlockDevice) -> None:
+    """Write a shadow's overlay back to the device (offline tooling only:
+    this is the one place shadow-produced blocks hit a disk directly,
+    because here *we* are the attacker preparing an image, not the
+    recovery path)."""
+    for block in sorted(shadow.overlay.blocks):
+        device.write_block(block, shadow.overlay.blocks[block])
+    device.flush()
+
+
+def craft_poisoned_name_image(
+    device: BlockDevice,
+    trigger_substring: str,
+    directory: str = "/share",
+    n_traps: int = 3,
+    format_first: bool = True,
+) -> list[str]:
+    """Build an image whose ``directory`` contains entries with names
+    embedding ``trigger_substring``.  Returns the trap paths."""
+    if format_first:
+        mkfs(device)
+    shadow = ShadowFilesystem(device, check_level=CheckLevel.BASIC)
+    seq = 1
+    shadow.mkdir(directory, opseq=seq)
+    traps = []
+    for i in range(n_traps):
+        seq += 1
+        name = f"report{trigger_substring}{i}.txt"
+        path = f"{directory}/{name}"
+        fd = shadow.open(path, flags=_creat(), opseq=seq)
+        seq += 1
+        shadow.write(fd, b"innocuous content\n", opseq=seq)
+        seq += 1
+        shadow.close(fd, opseq=seq)
+        traps.append(path)
+    seq += 1
+    shadow.mkdir(f"{directory}/docs", opseq=seq)  # benign decoys
+    _apply_overlay(shadow, device)
+    return traps
+
+
+def craft_symlink_maze(
+    device: BlockDevice,
+    chain_length: int = 6,
+    format_first: bool = True,
+) -> dict[str, str]:
+    """Build a symlink chain ``/maze/hop0 -> hop1 -> ... -> loopA <-> loopB``.
+
+    Returns {entry: what it should resolve to} — the chain head resolves
+    fine (length < the 8-hop limit when ``chain_length`` allows), the
+    loop pair must yield ELOOP.  A resolver without a depth limit spins
+    forever; the shadow's bounded resolution is the defense.
+    """
+    if format_first:
+        mkfs(device)
+    shadow = ShadowFilesystem(device, check_level=CheckLevel.BASIC)
+    seq = 1
+    shadow.mkdir("/maze", opseq=seq)
+    seq += 1
+    fd = shadow.open("/maze/treasure", flags=_creat(), opseq=seq)
+    seq += 1
+    shadow.write(fd, b"found it\n", opseq=seq)
+    seq += 1
+    shadow.close(fd, opseq=seq)
+    for i in range(chain_length):
+        seq += 1
+        target = "/maze/treasure" if i == chain_length - 1 else f"/maze/hop{i + 1}"
+        shadow.symlink(target, f"/maze/hop{i}", opseq=seq)
+    seq += 1
+    shadow.symlink("/maze/loopB", "/maze/loopA", opseq=seq)
+    seq += 1
+    shadow.symlink("/maze/loopA", "/maze/loopB", opseq=seq)
+    _apply_overlay(shadow, device)
+    return {"/maze/hop0": "/maze/treasure", "/maze/loopA": "ELOOP", "/maze/loopB": "ELOOP"}
+
+
+def craft_deep_tree(device: BlockDevice, depth: int = 32, format_first: bool = True) -> str:
+    """Nest directories ``/d/d/d/...`` to ``depth``; returns the deepest
+    path.  Bounded recursion in resolvers is the property under test."""
+    if format_first:
+        mkfs(device)
+    shadow = ShadowFilesystem(device, check_level=CheckLevel.BASIC)
+    path = ""
+    for i in range(depth):
+        path += "/d"
+        shadow.mkdir(path, opseq=i + 1)
+    _apply_overlay(shadow, device)
+    return path
+
+
+def _creat() -> int:
+    from repro.api import OpenFlags
+
+    return int(OpenFlags.CREAT)

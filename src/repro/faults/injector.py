@@ -1,0 +1,114 @@
+"""The injection engine.
+
+Arms :class:`BugSpec` objects into a base filesystem's hook registry.
+Each armed bug keeps its own state: an invocation counter (exposed to
+triggers as ``ctx["_bug_eligible_count"]`` so "the Nth close" style
+triggers work), a fire counter, and its slice of the seeded RNG for
+probabilistic (non-deterministic) bugs.
+
+Consequence dispatch:
+
+* ``CRASH``  → raise :class:`KernelBug`;
+* ``FREEZE`` → raise :class:`KernelBug` tagged ``watchdog:<id>`` (a
+  detected hang);
+* ``WARN``   → raise :class:`KernelWarning` when ``warn_raises`` (the
+  RECOVER policy), else count silently (IGNORE policy, like a logged
+  WARN_ON that execution runs past);
+* ``NOCRASH`` → run the payload against the filesystem/context.
+
+The injector holds a reference to the *current* base filesystem; the
+supervisor's recovery swaps in the rebooted instance via
+:meth:`retarget` so payload-style bugs keep pointing at live state (the
+hooks object itself survives the reboot — armed bugs stay armed, which
+is what makes deterministic bugs deterministic across recoveries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import KernelBug, KernelWarning
+from repro.faults.catalog import BugSpec, Consequence, Determinism
+from repro.util import make_rng
+
+
+@dataclass
+class ArmedBug:
+    spec: BugSpec
+    invocations: int = 0
+    fires: int = 0
+    warn_logs: int = 0
+    enabled: bool = True
+
+
+@dataclass
+class InjectorStats:
+    fires_by_bug: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_fires(self) -> int:
+        return sum(self.fires_by_bug.values())
+
+
+class Injector:
+    def __init__(self, hooks, seed: int = 0, warn_raises: bool = True):
+        self.hooks = hooks
+        self.rng = make_rng(seed)
+        self.warn_raises = warn_raises
+        self.armed: dict[str, ArmedBug] = {}
+        self.stats = InjectorStats()
+        self._fs = None
+
+    def retarget(self, fs) -> None:
+        """Point payload bugs at the (re)mounted base filesystem."""
+        self._fs = fs
+
+    def arm(self, spec: BugSpec) -> ArmedBug:
+        if spec.bug_id in self.armed:
+            raise ValueError(f"bug {spec.bug_id!r} already armed")
+        armed = ArmedBug(spec=spec)
+        self.armed[spec.bug_id] = armed
+
+        def handler(point: str, ctx: dict[str, Any]) -> None:
+            self._fire(armed, ctx)
+
+        self.hooks.register(spec.hook, handler)
+        return armed
+
+    def arm_all(self, specs) -> list[ArmedBug]:
+        return [self.arm(spec) for spec in specs]
+
+    def disarm(self, bug_id: str) -> None:
+        """Soft-disarm: the handler stays registered but never fires —
+        the moral equivalent of the bug being patched."""
+        self.armed[bug_id].enabled = False
+
+    def _fire(self, armed: ArmedBug, ctx: dict[str, Any]) -> None:
+        if not armed.enabled:
+            return
+        spec = armed.spec
+        ctx["_bug_eligible_count"] = armed.invocations
+        armed.invocations += 1
+        if spec.max_fires is not None and armed.fires >= spec.max_fires:
+            return
+        if not spec.trigger(ctx):
+            return
+        if spec.determinism is Determinism.NONDETERMINISTIC and self.rng.random() >= spec.probability:
+            return
+
+        armed.fires += 1
+        self.stats.fires_by_bug[spec.bug_id] = self.stats.fires_by_bug.get(spec.bug_id, 0) + 1
+
+        if spec.consequence is Consequence.CRASH:
+            raise KernelBug(spec.title, bug_id=spec.bug_id)
+        if spec.consequence is Consequence.FREEZE:
+            raise KernelBug(f"watchdog: {spec.title}", bug_id=f"watchdog:{spec.bug_id}")
+        if spec.consequence is Consequence.WARN:
+            if self.warn_raises:
+                raise KernelWarning(spec.title, bug_id=spec.bug_id)
+            armed.warn_logs += 1
+            return
+        # NOCRASH: silent corruption.
+        assert spec.payload is not None
+        spec.payload(self._fs, ctx)

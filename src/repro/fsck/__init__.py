@@ -1,0 +1,22 @@
+"""Offline filesystem checking and repair.
+
+§4.3 notes that a robust shadow "essentially requir[es] a verified
+version of the filesystem checker (FSCK)" to guarantee input images are
+valid.  This package is the reproduction's checker:
+
+* :mod:`repro.fsck.checker` — :class:`Fsck`, a five-phase e2fsck-style
+  scan (superblock, inodes & block reachability, directory structure,
+  connectivity, link counts & bitmaps) producing typed findings;
+* :mod:`repro.fsck.repairs` — the repair pass: replay the journal,
+  release orphans, rebuild bitmaps and counts, fix link counts, and mark
+  the image clean.
+
+The recovery path uses the checker in tests to certify invariant 6 of
+DESIGN.md: anything the base or the recovery hand-off persists must be
+fsck-clean.
+"""
+
+from repro.fsck.checker import Finding, Fsck, FsckReport, Severity
+from repro.fsck.repairs import repair_image
+
+__all__ = ["Fsck", "FsckReport", "Finding", "Severity", "repair_image"]

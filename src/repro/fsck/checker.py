@@ -1,0 +1,308 @@
+"""The filesystem checker.
+
+Five phases over an unmounted image, mirroring e2fsck's structure:
+
+0. **superblock** — magic, version, checksum, geometry consistency;
+   a dirty mount state is a *warning* (journal replay pending), and the
+   check continues against a journal-replayed in-memory clone;
+1. **inodes** — every allocated inode parses (checksum!), has a valid
+   type, a sane size for its type, and block pointers in range; every
+   referenced block (data + indirect) is collected, double references
+   are errors;
+2. **directories** — every directory block parses; entries reference
+   allocated, live inodes whose type matches the entry's ftype; ``.``
+   and ``..`` exist and point correctly;
+3. **connectivity** — every allocated inode is reachable from the root
+   (unreachable-but-nonzero-nlink = error; nlink==0 = orphan warning,
+   the deleted-but-open case);
+4. **counts & bitmaps** — stored nlink equals counted references; block
+   and inode bitmaps equal the computed reachability sets; superblock
+   free counts match.
+
+Findings carry a severity: ``ERROR`` makes the image unclean; ``WARN``
+(orphans, dirty state) does not — matching the paper's observation that
+images can be *structurally* acceptable yet still adversarial.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.blockdev.device import BlockDevice
+from repro.ondisk.bitmap import Bitmap
+from repro.ondisk.directory import DirBlock
+from repro.ondisk.inode import FileType, MAX_FILE_SIZE, OnDiskInode
+from repro.ondisk.journal import replay_journal
+from repro.ondisk.layout import BLOCK_SIZE, INODE_SIZE, DiskLayout
+from repro.ondisk.mapping import BlockMapReader
+from repro.ondisk.superblock import STATE_DIRTY, Superblock
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARN = "warn"
+
+
+@dataclass
+class Finding:
+    severity: Severity
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity.value}] {self.code}: {self.message}"
+
+
+@dataclass
+class FsckReport:
+    findings: list[Finding] = field(default_factory=list)
+    inodes_scanned: int = 0
+    blocks_referenced: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.errors
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARN]
+
+    def add(self, severity: Severity, code: str, message: str) -> None:
+        self.findings.append(Finding(severity, code, message))
+
+
+class _View:
+    """Read view over the device with journal replay applied virtually."""
+
+    def __init__(self, device: BlockDevice, overlay: dict[int, bytes]):
+        self._device = device
+        self._overlay = overlay
+
+    def read(self, block: int) -> bytes:
+        cached = self._overlay.get(block)
+        return cached if cached is not None else self._device.read_block(block)
+
+
+class Fsck:
+    def __init__(self, device: BlockDevice):
+        self.device = device
+        self.report = FsckReport()
+
+    def run(self) -> FsckReport:
+        report = self.report
+        try:
+            sb = Superblock.unpack(self.device.read_block(0))
+        except ValueError as exc:
+            report.add(Severity.ERROR, "sb-parse", str(exc))
+            return report
+        try:
+            layout = sb.layout()
+        except ValueError as exc:
+            report.add(Severity.ERROR, "sb-geometry", str(exc))
+            return report
+        for problem in sb.validate_against(layout):
+            report.add(Severity.ERROR, "sb-consistency", problem)
+        if layout.block_count != self.device.block_count:
+            report.add(
+                Severity.ERROR,
+                "sb-geometry",
+                f"superblock claims {layout.block_count} blocks, device has {self.device.block_count}",
+            )
+            return report
+
+        overlay: dict[int, bytes] = {}
+        if sb.mount_state == STATE_DIRTY:
+            report.add(Severity.WARN, "sb-dirty", "image was not cleanly unmounted; replaying journal virtually")
+            try:
+                for txn in replay_journal(self.device, layout, apply=False):
+                    overlay.update(txn.writes)
+            except ValueError as exc:
+                report.add(Severity.ERROR, "journal", f"journal unreadable: {exc}")
+            if 0 in overlay:
+                try:
+                    sb = Superblock.unpack(overlay[0])
+                except ValueError as exc:
+                    report.add(Severity.ERROR, "journal", f"journaled superblock invalid: {exc}")
+
+        view = _View(self.device, overlay)
+        self._check_body(sb, layout, view, report)
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _check_body(self, sb: Superblock, layout: DiskLayout, view: _View, report: FsckReport) -> None:
+        # Phase 1: inode scan.
+        inode_allocated: dict[int, bool] = {}
+        inodes: dict[int, OnDiskInode] = {}
+        for group in range(layout.group_count):
+            bitmap = Bitmap.from_block(layout.inodes_per_group, view.read(layout.inode_bitmap_block(group)))
+            for bit in range(layout.inodes_per_group):
+                ino = group * layout.inodes_per_group + bit + 1
+                inode_allocated[ino] = bitmap.test(bit)
+
+        referenced_blocks: dict[int, int] = {}  # block -> referencing ino
+        reader = BlockMapReader(view.read)
+        for ino in range(1, layout.inode_count + 1):
+            block, offset = layout.inode_location(ino)
+            raw = view.read(block)[offset : offset + INODE_SIZE]
+            try:
+                inode = OnDiskInode.unpack(raw)
+            except ValueError as exc:
+                report.add(Severity.ERROR, "inode-parse", f"inode {ino}: {exc}")
+                continue
+            if inode.is_free:
+                if inode_allocated.get(ino) and ino != 1:
+                    report.add(Severity.ERROR, "inode-bitmap", f"inode {ino} marked allocated but table slot is free")
+                continue
+            report.inodes_scanned += 1
+            inodes[ino] = inode
+            if not inode_allocated.get(ino):
+                report.add(Severity.ERROR, "inode-bitmap", f"inode {ino} in use but free in the bitmap")
+            if inode.ftype not in (FileType.REGULAR, FileType.DIRECTORY, FileType.SYMLINK):
+                report.add(Severity.ERROR, "inode-type", f"inode {ino} has invalid type (mode 0x{inode.mode:x})")
+                continue
+            if inode.size > MAX_FILE_SIZE:
+                report.add(Severity.ERROR, "inode-size", f"inode {ino} size {inode.size}")
+            if inode.is_dir and inode.size % BLOCK_SIZE:
+                report.add(Severity.ERROR, "inode-size", f"directory inode {ino} has unaligned size {inode.size}")
+            if inode.is_symlink and not 0 < inode.size < BLOCK_SIZE:
+                report.add(Severity.ERROR, "inode-size", f"symlink inode {ino} has size {inode.size}")
+            try:
+                for referenced in reader.all_referenced_blocks(inode):
+                    if not 0 < referenced < layout.block_count:
+                        report.add(Severity.ERROR, "block-range", f"inode {ino} references block {referenced}")
+                        continue
+                    if layout.is_metadata_block(referenced):
+                        report.add(
+                            Severity.ERROR, "block-range", f"inode {ino} references metadata block {referenced}"
+                        )
+                        continue
+                    previous = referenced_blocks.get(referenced)
+                    if previous is not None:
+                        report.add(
+                            Severity.ERROR,
+                            "block-shared",
+                            f"block {referenced} referenced by both inode {previous} and inode {ino}",
+                        )
+                    referenced_blocks[referenced] = ino
+            except ValueError as exc:
+                report.add(Severity.ERROR, "block-map", f"inode {ino}: {exc}")
+        report.blocks_referenced = len(referenced_blocks)
+
+        # Phase 2: directory structure.
+        link_counts: dict[int, int] = {}
+        children: dict[int, list[int]] = {}
+        for ino, inode in sorted(inodes.items()):
+            if not inode.is_dir:
+                continue
+            names: dict[str, int] = {}
+            for _logical, physical in reader.iter_data_blocks(inode):
+                try:
+                    entries = DirBlock(view.read(physical)).entries()
+                except ValueError as exc:
+                    report.add(Severity.ERROR, "dir-parse", f"dir {ino} block {physical}: {exc}")
+                    continue
+                for entry in entries:
+                    if entry.name in names:
+                        report.add(Severity.ERROR, "dir-dup", f"dir {ino} has duplicate entry {entry.name!r}")
+                    names[entry.name] = entry.ino
+                    if not 1 <= entry.ino <= layout.inode_count:
+                        report.add(
+                            Severity.ERROR, "dir-ref", f"dir {ino} entry {entry.name!r} -> invalid ino {entry.ino}"
+                        )
+                        continue
+                    target = inodes.get(entry.ino)
+                    if target is None:
+                        report.add(
+                            Severity.ERROR, "dir-ref", f"dir {ino} entry {entry.name!r} -> free inode {entry.ino}"
+                        )
+                        continue
+                    if entry.ftype != target.ftype:
+                        report.add(
+                            Severity.ERROR,
+                            "dir-ftype",
+                            f"dir {ino} entry {entry.name!r} ftype {entry.ftype.name} != inode {target.ftype.name}",
+                        )
+                    if entry.name == ".":
+                        if entry.ino != ino:
+                            report.add(Severity.ERROR, "dir-dots", f"dir {ino} has '.' -> {entry.ino}")
+                    elif entry.name != "..":
+                        link_counts[entry.ino] = link_counts.get(entry.ino, 0) + 1
+                        if target.is_dir:
+                            children.setdefault(ino, []).append(entry.ino)
+            if "." not in names or ".." not in names:
+                report.add(Severity.ERROR, "dir-dots", f"dir {ino} lacks '.' or '..'")
+
+        # Phase 3: connectivity.
+        reachable: set[int] = set()
+        stack = [sb.root_ino]
+        while stack:
+            ino = stack.pop()
+            if ino in reachable:
+                continue
+            reachable.add(ino)
+            stack.extend(children.get(ino, []))
+        for ino, inode in sorted(inodes.items()):
+            if ino == 1:
+                continue  # reserved
+            if inode.is_dir and ino not in reachable:
+                report.add(Severity.ERROR, "unreachable", f"directory inode {ino} unreachable from root")
+            elif not inode.is_dir and link_counts.get(ino, 0) == 0:
+                if inode.nlink == 0:
+                    report.add(Severity.WARN, "orphan", f"inode {ino} is an orphan (deleted but allocated)")
+                else:
+                    report.add(Severity.ERROR, "unreachable", f"inode {ino} has nlink {inode.nlink} but no entries")
+
+        # Phase 4: link counts.
+        for ino, inode in sorted(inodes.items()):
+            if ino == sb.root_ino:
+                expected = 2 + sum(1 for child in children.get(ino, []) if inodes[child].is_dir)
+            elif inode.is_dir:
+                expected = 2 + sum(1 for child in children.get(ino, []) if inodes[child].is_dir)
+            else:
+                expected = link_counts.get(ino, 0)
+            if inode.is_dir and ino not in reachable:
+                continue  # already reported
+            if not inode.is_dir and expected == 0:
+                continue  # orphan, already reported
+            if inode.nlink != expected:
+                report.add(
+                    Severity.ERROR, "nlink", f"inode {ino} has nlink {inode.nlink}, counted {expected}"
+                )
+
+        # Phase 5: bitmaps and free counts.
+        free_blocks = 0
+        for group in range(layout.group_count):
+            bitmap = Bitmap.from_block(layout.blocks_per_group, view.read(layout.block_bitmap_block(group)))
+            free_blocks += bitmap.count_free()
+            group_start = layout.group_start(group)
+            present = layout.group_block_count(group)
+            metadata = set(layout.metadata_blocks(group))
+            for bit in range(layout.blocks_per_group):
+                block = group_start + bit
+                allocated = bitmap.test(bit)
+                if bit >= present:
+                    if not allocated:
+                        report.add(Severity.ERROR, "bitmap-tail", f"past-end block {block} marked free")
+                    continue
+                should = block in metadata or block in referenced_blocks
+                if should and not allocated:
+                    report.add(Severity.ERROR, "bitmap-lost", f"in-use block {block} is free in the bitmap")
+                elif allocated and not should:
+                    report.add(Severity.WARN, "bitmap-leak", f"block {block} allocated but unreferenced")
+        free_inodes = sum(
+            1 for ino, allocated in inode_allocated.items() if not allocated
+        )
+        if sb.free_blocks != free_blocks:
+            report.add(
+                Severity.ERROR, "sb-counts", f"superblock free_blocks {sb.free_blocks}, bitmaps say {free_blocks}"
+            )
+        if sb.free_inodes != free_inodes:
+            report.add(
+                Severity.ERROR, "sb-counts", f"superblock free_inodes {sb.free_inodes}, bitmaps say {free_inodes}"
+            )

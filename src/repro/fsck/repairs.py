@@ -1,0 +1,162 @@
+"""Repair pass.
+
+``repair_image`` makes an image mountable again after a crash or a
+detected inconsistency, with the classic e2fsck moves:
+
+1. replay the journal for real and reset it;
+2. re-derive ground truth by scanning inodes from the root (reachable
+   set), ignoring whatever the bitmaps claim;
+3. release orphans (allocated inodes unreachable from the root): their
+   blocks and inode slots are freed — data loss, faithfully reported;
+4. rebuild both bitmaps from the reachable set and metadata layout;
+5. fix stored link counts to the counted values;
+6. write a clean superblock with correct free counts.
+
+The function returns a human-readable action log.  It is deliberately
+*not* part of RAE recovery — the paper's whole point is that RAE avoids
+this lossy path — but it is the baseline "crash and run fsck" world the
+availability benchmark compares against.
+"""
+
+from __future__ import annotations
+
+from repro.blockdev.device import BlockDevice
+from repro.ondisk.bitmap import Bitmap
+from repro.ondisk.directory import DirBlock
+from repro.ondisk.inode import FileType, OnDiskInode
+from repro.ondisk.journal import replay_journal, reset_journal
+from repro.ondisk.layout import INODE_SIZE, DiskLayout
+from repro.ondisk.mapping import BlockMapReader
+from repro.ondisk.superblock import STATE_CLEAN, Superblock
+
+
+def repair_image(device: BlockDevice) -> list[str]:
+    actions: list[str] = []
+    sb = Superblock.unpack(device.read_block(0), verify=False)
+    layout = sb.layout()
+
+    txns = replay_journal(device, layout, apply=True)
+    if txns:
+        actions.append(f"replayed {len(txns)} journal transactions")
+    reset_journal(device, layout, start_seq=(txns[-1].seq + 1) if txns else 1)
+    sb = Superblock.unpack(device.read_block(0), verify=False)
+
+    reader = BlockMapReader(device.read_block)
+
+    def read_inode(ino: int) -> OnDiskInode | None:
+        block, offset = layout.inode_location(ino)
+        raw = device.read_block(block)[offset : offset + INODE_SIZE]
+        try:
+            return OnDiskInode.unpack(raw)
+        except ValueError:
+            return None
+
+    def write_inode(ino: int, inode: OnDiskInode | None) -> None:
+        block, offset = layout.inode_location(ino)
+        raw = bytearray(device.read_block(block))
+        raw[offset : offset + INODE_SIZE] = inode.pack() if inode else b"\x00" * INODE_SIZE
+        device.write_block(block, bytes(raw))
+
+    # Walk from the root to find the reachable world and true link counts.
+    reachable: dict[int, OnDiskInode] = {}
+    link_counts: dict[int, int] = {}
+    subdir_counts: dict[int, int] = {}
+    stack = [sb.root_ino]
+    while stack:
+        ino = stack.pop()
+        if ino in reachable:
+            continue
+        inode = read_inode(ino)
+        if inode is None or inode.is_free:
+            continue
+        reachable[ino] = inode
+        if not inode.is_dir:
+            continue
+        for _logical, physical in reader.iter_data_blocks(inode):
+            try:
+                entries = DirBlock(device.read_block(physical)).entries()
+            except ValueError:
+                actions.append(f"dir {ino}: discarding unparseable block {physical}")
+                device.write_block(physical, DirBlock().to_block())
+                continue
+            for entry in entries:
+                if entry.name in (".", ".."):
+                    continue
+                if not 1 <= entry.ino <= layout.inode_count:
+                    continue
+                child = read_inode(entry.ino)
+                if child is None or child.is_free:
+                    continue
+                link_counts[entry.ino] = link_counts.get(entry.ino, 0) + 1
+                if child.is_dir:
+                    subdir_counts[ino] = subdir_counts.get(ino, 0) + 1
+                    stack.append(entry.ino)
+                else:
+                    # Files and symlinks are reachable leaves: record them
+                    # so the orphan pass does not release them.
+                    reachable.setdefault(entry.ino, child)
+
+    # Release orphans: allocated, parse-able inodes not reachable.
+    freed_inodes = 0
+    for ino in range(2, layout.inode_count + 1):
+        if ino in reachable:
+            continue
+        inode = read_inode(ino)
+        if inode is None:
+            write_inode(ino, None)
+            actions.append(f"cleared unparseable inode {ino}")
+            continue
+        if inode.is_free:
+            continue
+        write_inode(ino, None)
+        freed_inodes += 1
+    if freed_inodes:
+        actions.append(f"released {freed_inodes} orphan inodes")
+
+    # Fix link counts.
+    for ino, inode in sorted(reachable.items()):
+        expected = 2 + subdir_counts.get(ino, 0) if inode.is_dir else link_counts.get(ino, 0)
+        if inode.nlink != expected:
+            actions.append(f"inode {ino}: nlink {inode.nlink} -> {expected}")
+            inode.nlink = expected
+            write_inode(ino, inode)
+
+    # Rebuild bitmaps from the reachable world.
+    referenced: set[int] = set()
+    for inode in reachable.values():
+        try:
+            referenced.update(reader.all_referenced_blocks(inode))
+        except ValueError:
+            continue
+    free_blocks = 0
+    free_inodes = 0
+    for group in range(layout.group_count):
+        block_bitmap = Bitmap(layout.blocks_per_group)
+        group_start = layout.group_start(group)
+        present = layout.group_block_count(group)
+        for meta in layout.metadata_blocks(group):
+            block_bitmap.set(meta - group_start)
+        for bit in range(present, layout.blocks_per_group):
+            block_bitmap.set(bit)
+        for bit in range(present):
+            if group_start + bit in referenced:
+                block_bitmap.set(bit)
+        device.write_block(layout.block_bitmap_block(group), block_bitmap.to_block())
+        free_blocks += block_bitmap.count_free()
+
+        inode_bitmap = Bitmap(layout.inodes_per_group)
+        for bit in range(layout.inodes_per_group):
+            ino = group * layout.inodes_per_group + bit + 1
+            if ino == 1 or ino in reachable:
+                inode_bitmap.set(bit)
+        device.write_block(layout.inode_bitmap_block(group), inode_bitmap.to_block())
+        free_inodes += inode_bitmap.count_free()
+    actions.append("rebuilt block and inode bitmaps")
+
+    sb.free_blocks = free_blocks
+    sb.free_inodes = free_inodes
+    sb.mount_state = STATE_CLEAN
+    device.write_block(0, sb.pack())
+    device.flush()
+    actions.append(f"superblock: free {free_blocks} blocks / {free_inodes} inodes, marked clean")
+    return actions

@@ -1,0 +1,53 @@
+"""The shared on-disk format.
+
+RAE's central constraint is that the base and shadow filesystems "adhere to
+the same API and on-disk formats" — the shadow must be able to mount the
+very image the base was mutating.  This package is that contract: a binary
+ext2/4-flavoured format with
+
+* a checksummed superblock (:mod:`repro.ondisk.superblock`),
+* block groups of block/inode bitmaps + inode tables
+  (:mod:`repro.ondisk.layout`, :mod:`repro.ondisk.bitmap`),
+* 256-byte inodes with 12 direct, one single-indirect and one
+  double-indirect block pointer (:mod:`repro.ondisk.inode`,
+  :mod:`repro.ondisk.mapping`),
+* ext2-style variable-length directory entries
+  (:mod:`repro.ondisk.directory`),
+* a JBD2-style physical journal (:mod:`repro.ondisk.journal`),
+* ``mkfs`` and image inspection tools (:mod:`repro.ondisk.mkfs`,
+  :mod:`repro.ondisk.image`).
+
+Everything here is pure (de)serialization plus arithmetic: no caching, no
+policy.  The base and the shadow each build their own machinery on top.
+"""
+
+from repro.ondisk.layout import DiskLayout, BLOCK_SIZE, ROOT_INO, INODE_SIZE
+from repro.ondisk.superblock import Superblock, SUPERBLOCK_MAGIC
+from repro.ondisk.bitmap import Bitmap
+from repro.ondisk.inode import OnDiskInode, FileType, N_DIRECT
+from repro.ondisk.directory import DirEntry, DirBlock, MAX_NAME_LEN
+from repro.ondisk.journal import JournalWriter, JournalTxn, replay_journal, reset_journal
+from repro.ondisk.mkfs import mkfs
+from repro.ondisk.mapping import BlockMapReader
+
+__all__ = [
+    "DiskLayout",
+    "BLOCK_SIZE",
+    "ROOT_INO",
+    "INODE_SIZE",
+    "Superblock",
+    "SUPERBLOCK_MAGIC",
+    "Bitmap",
+    "OnDiskInode",
+    "FileType",
+    "N_DIRECT",
+    "DirEntry",
+    "DirBlock",
+    "MAX_NAME_LEN",
+    "JournalWriter",
+    "JournalTxn",
+    "replay_journal",
+    "reset_journal",
+    "mkfs",
+    "BlockMapReader",
+]

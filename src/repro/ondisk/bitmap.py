@@ -1,0 +1,114 @@
+"""Allocation bitmaps.
+
+One :class:`Bitmap` covers one block group's blocks or inodes; it
+serializes to exactly one device block (the layout guarantees a group's
+bitmap fits).  Bit ``i`` set means "allocated".
+
+The class is used by mkfs (to pre-mark metadata), by the base's allocators,
+by the shadow (read-only consistency checks and autonomous-mode
+allocation), and by fsck (to rebuild expected bitmaps).  It is therefore
+strictly mechanical — no allocation *policy* lives here.
+"""
+
+from __future__ import annotations
+
+from repro.ondisk.layout import BLOCK_SIZE
+
+
+class Bitmap:
+    """A fixed-size bit vector with find-free support.
+
+    ``nbits`` is the logical size; bits beyond it exist in the serialized
+    block but are treated as allocated so they can never be handed out.
+    """
+
+    def __init__(self, nbits: int, data: bytes | None = None):
+        if not 0 < nbits <= BLOCK_SIZE * 8:
+            raise ValueError(f"nbits {nbits} does not fit one block")
+        self.nbits = nbits
+        if data is None:
+            self._bytes = bytearray(BLOCK_SIZE)
+        else:
+            if len(data) != BLOCK_SIZE:
+                raise ValueError(f"bitmap block must be {BLOCK_SIZE} bytes, got {len(data)}")
+            self._bytes = bytearray(data)
+
+    @classmethod
+    def from_block(cls, nbits: int, block: bytes) -> "Bitmap":
+        return cls(nbits, data=block)
+
+    def to_block(self) -> bytes:
+        return bytes(self._bytes)
+
+    def _check(self, bit: int) -> None:
+        if not 0 <= bit < self.nbits:
+            raise ValueError(f"bit {bit} out of range [0, {self.nbits})")
+
+    def test(self, bit: int) -> bool:
+        self._check(bit)
+        return bool(self._bytes[bit >> 3] & (1 << (bit & 7)))
+
+    def set(self, bit: int) -> None:
+        self._check(bit)
+        self._bytes[bit >> 3] |= 1 << (bit & 7)
+
+    def clear(self, bit: int) -> None:
+        self._check(bit)
+        self._bytes[bit >> 3] &= ~(1 << (bit & 7)) & 0xFF
+
+    def find_free(self, start: int = 0) -> int | None:
+        """First clear bit at or after ``start`` (wrapping), or None if full.
+
+        The wrap-around search is what the base's locality-seeking allocator
+        relies on: it passes a goal bit and takes the nearest free one.
+        """
+        if self.nbits == 0:
+            return None
+        start = start % self.nbits
+        for i in range(self.nbits):
+            bit = (start + i) % self.nbits
+            if not self.test(bit):
+                return bit
+        return None
+
+    def find_free_run(self, length: int, start: int = 0) -> int | None:
+        """First position (>= start, no wrap) of ``length`` clear bits."""
+        if length <= 0:
+            raise ValueError("length must be positive")
+        run = 0
+        for bit in range(start, self.nbits):
+            if self.test(bit):
+                run = 0
+            else:
+                run += 1
+                if run == length:
+                    return bit - length + 1
+        return None
+
+    def count_set(self) -> int:
+        total = 0
+        full_bytes, rem = divmod(self.nbits, 8)
+        for i in range(full_bytes):
+            total += self._bytes[i].bit_count()
+        for bit in range(full_bytes * 8, full_bytes * 8 + rem):
+            if self._bytes[bit >> 3] & (1 << (bit & 7)):
+                total += 1
+        return total
+
+    def count_free(self) -> int:
+        return self.nbits - self.count_set()
+
+    def set_bits(self) -> list[int]:
+        """All set bit positions (used by fsck and equivalence checks)."""
+        return [bit for bit in range(self.nbits) if self.test(bit)]
+
+    def copy(self) -> "Bitmap":
+        return Bitmap(self.nbits, data=bytes(self._bytes))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bitmap):
+            return NotImplemented
+        return self.nbits == other.nbits and self.set_bits() == other.set_bits()
+
+    def __repr__(self) -> str:
+        return f"Bitmap(nbits={self.nbits}, set={self.count_set()})"

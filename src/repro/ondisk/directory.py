@@ -1,0 +1,188 @@
+"""Directory entry format.
+
+Directories are regular files whose data blocks hold ext2-style
+variable-length entries::
+
+    +--------+---------+----------+-----------+-----------------+
+    | ino u32| rec_len | name_len | file_type | name (name_len) |
+    +--------+---------+----------+-----------+-----------------+
+
+``rec_len`` chains entries within a block (entries never cross block
+boundaries); an entry with ``ino == 0`` is a free slot whose space is
+described by its ``rec_len``.  Deleting an entry folds its space into the
+*previous* entry's ``rec_len`` (or zeroes the ino if it is first), exactly
+the ext2 discipline — which means directory blocks accumulate the kind of
+slack and tombstones the shadow's checks and fsck must handle.
+
+:class:`DirBlock` wraps one block with insert/remove/find.  Packing is
+byte-exact: base and shadow must produce identical directory *contents*
+for identical operation histories (slot placement included, since both use
+first-fit), which the equivalence checker exploits.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.ondisk.inode import FileType
+from repro.ondisk.layout import BLOCK_SIZE
+
+MAX_NAME_LEN = 255
+_HEADER = "<IHBB"
+_HEADER_SIZE = struct.calcsize(_HEADER)  # 8
+
+
+def entry_size(name_len: int) -> int:
+    """On-disk footprint of an entry with ``name_len`` bytes of name,
+    rounded to 4-byte alignment."""
+    return (_HEADER_SIZE + name_len + 3) & ~3
+
+
+@dataclass
+class DirEntry:
+    """One live directory entry (free slots are not represented)."""
+
+    ino: int
+    name: str
+    ftype: FileType
+    offset: int = 0  # byte offset within the block, filled in by parse
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("empty directory entry name")
+        if len(self.name.encode()) > MAX_NAME_LEN:
+            raise ValueError(f"name too long: {self.name[:32]}...")
+
+
+class DirBlock:
+    """One directory data block.
+
+    A fresh block is a single free slot spanning the whole block.  All
+    mutation is first-fit and deterministic.
+    """
+
+    def __init__(self, data: bytes | None = None):
+        if data is None:
+            empty = struct.pack(_HEADER, 0, BLOCK_SIZE, 0, 0)
+            self._data = bytearray(empty + b"\x00" * (BLOCK_SIZE - len(empty)))
+        else:
+            if len(data) != BLOCK_SIZE:
+                raise ValueError(f"directory block must be {BLOCK_SIZE} bytes, got {len(data)}")
+            self._data = bytearray(data)
+
+    def to_block(self) -> bytes:
+        return bytes(self._data)
+
+    # ---- raw record walking ----------------------------------------------
+
+    def _records(self) -> list[tuple[int, int, int, int, int]]:
+        """Yield ``(offset, ino, rec_len, name_len, file_type)`` for every
+        record — live and free — validating the chain as it goes."""
+        records = []
+        offset = 0
+        while offset < BLOCK_SIZE:
+            if offset + _HEADER_SIZE > BLOCK_SIZE:
+                raise ValueError(f"directory record header at {offset} crosses block end")
+            ino, rec_len, name_len, ftype = struct.unpack_from(_HEADER, self._data, offset)
+            if rec_len < _HEADER_SIZE:
+                raise ValueError(f"directory record at {offset} has rec_len {rec_len} < header size")
+            if rec_len % 4 != 0:
+                raise ValueError(f"directory record at {offset} has unaligned rec_len {rec_len}")
+            if offset + rec_len > BLOCK_SIZE:
+                raise ValueError(f"directory record at {offset} overruns the block (rec_len {rec_len})")
+            if ino != 0 and entry_size(name_len) > rec_len:
+                raise ValueError(f"directory record at {offset}: name_len {name_len} exceeds rec_len {rec_len}")
+            records.append((offset, ino, rec_len, name_len, ftype))
+            offset += rec_len
+        if offset != BLOCK_SIZE:
+            raise ValueError(f"directory records end at {offset}, not at block boundary")
+        return records
+
+    def entries(self) -> list[DirEntry]:
+        """All live entries in block order."""
+        out = []
+        for offset, ino, _rec_len, name_len, ftype in self._records():
+            if ino == 0:
+                continue
+            name = self._data[offset + _HEADER_SIZE : offset + _HEADER_SIZE + name_len].decode()
+            out.append(DirEntry(ino=ino, name=name, ftype=FileType(ftype), offset=offset))
+        return out
+
+    def find(self, name: str) -> DirEntry | None:
+        for entry in self.entries():
+            if entry.name == name:
+                return entry
+        return None
+
+    # ---- mutation ----------------------------------------------------------
+
+    def insert(self, ino: int, name: str, ftype: FileType) -> bool:
+        """First-fit insert; returns False if no slot is large enough.
+
+        The caller (either filesystem) is responsible for having checked
+        name uniqueness across the whole directory.
+        """
+        if ino == 0:
+            raise ValueError("cannot insert entry with ino 0")
+        encoded = name.encode()
+        if not 0 < len(encoded) <= MAX_NAME_LEN:
+            raise ValueError(f"bad name length {len(encoded)}")
+        needed = entry_size(len(encoded))
+
+        for offset, rec_ino, rec_len, name_len, _ftype in self._records():
+            if rec_ino == 0:
+                if rec_len >= needed:
+                    self._write_record(offset, ino, rec_len, encoded, ftype)
+                    return True
+            else:
+                used = entry_size(name_len)
+                slack = rec_len - used
+                if slack >= needed:
+                    # Shrink the live record to its minimal footprint and
+                    # carve the new entry out of its slack.
+                    struct.pack_into("<H", self._data, offset + 4, used)
+                    self._write_record(offset + used, ino, slack, encoded, ftype)
+                    return True
+        return False
+
+    def remove(self, name: str) -> bool:
+        """Remove the entry named ``name``; returns whether it existed."""
+        records = self._records()
+        for i, (offset, ino, rec_len, name_len, _ftype) in enumerate(records):
+            if ino == 0:
+                continue
+            current = self._data[offset + _HEADER_SIZE : offset + _HEADER_SIZE + name_len].decode()
+            if current != name:
+                continue
+            if i == 0:
+                # First record: mark free, keep its rec_len.
+                struct.pack_into(_HEADER, self._data, offset, 0, rec_len, 0, 0)
+            else:
+                # Fold into the previous record.
+                prev_offset, prev_ino, prev_len, prev_name_len, prev_ftype = records[i - 1]
+                struct.pack_into(
+                    _HEADER, self._data, prev_offset, prev_ino, prev_len + rec_len, prev_name_len, prev_ftype
+                )
+            return True
+        return False
+
+    def is_empty(self) -> bool:
+        """True if the block holds no live entries."""
+        return not self.entries()
+
+    def free_space_for(self, name: str) -> bool:
+        """Would ``insert(name)`` succeed?  (Non-mutating probe.)"""
+        probe = DirBlock(self.to_block())
+        return probe.insert(1, name, FileType.REGULAR)
+
+    def _write_record(self, offset: int, ino: int, rec_len: int, encoded_name: bytes, ftype: FileType) -> None:
+        struct.pack_into(_HEADER, self._data, offset, ino, rec_len, len(encoded_name), int(ftype))
+        name_start = offset + _HEADER_SIZE
+        self._data[name_start : name_start + len(encoded_name)] = encoded_name
+        # Zero any stale bytes between the name end and the record end so
+        # identical histories produce byte-identical blocks.
+        pad_start = name_start + len(encoded_name)
+        pad_end = offset + min(rec_len, entry_size(len(encoded_name)))
+        if pad_end > pad_start:
+            self._data[pad_start:pad_end] = b"\x00" * (pad_end - pad_start)

@@ -1,0 +1,129 @@
+"""Image-level inspection helpers.
+
+These are *offline* tools: they read raw blocks without mounting, and are
+used by examples, tests, and the crafted-image generator to look at what
+is actually on disk.  (fsck lives in :mod:`repro.fsck`; this module does
+not judge, it only reports.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.blockdev.device import BlockDevice, MemoryBlockDevice
+from repro.ondisk.bitmap import Bitmap
+from repro.ondisk.directory import DirBlock
+from repro.ondisk.inode import OnDiskInode
+from repro.ondisk.layout import INODE_SIZE, INODES_PER_BLOCK, DiskLayout
+from repro.ondisk.mapping import BlockMapReader
+from repro.ondisk.superblock import Superblock
+
+
+@dataclass
+class GroupInfo:
+    group: int
+    free_blocks: int
+    free_inodes: int
+
+
+@dataclass
+class ImageInfo:
+    """Summary of an image's metadata as stored (not as it *should* be)."""
+
+    superblock: Superblock
+    groups: list[GroupInfo] = field(default_factory=list)
+    live_inodes: int = 0
+
+    @property
+    def free_blocks_by_bitmap(self) -> int:
+        return sum(g.free_blocks for g in self.groups)
+
+    @property
+    def free_inodes_by_bitmap(self) -> int:
+        return sum(g.free_inodes for g in self.groups)
+
+
+def read_superblock(device: BlockDevice, verify: bool = True) -> Superblock:
+    return Superblock.unpack(device.read_block(0), verify=verify)
+
+
+def read_inode(device: BlockDevice, layout: DiskLayout, ino: int, verify: bool = True) -> OnDiskInode:
+    """Read inode ``ino`` straight from the inode table."""
+    block, offset = layout.inode_location(ino)
+    raw = device.read_block(block)
+    return OnDiskInode.unpack(raw[offset : offset + INODE_SIZE], verify=verify)
+
+
+def write_inode(device: BlockDevice, layout: DiskLayout, ino: int, inode: OnDiskInode) -> None:
+    """Write inode ``ino`` straight into the inode table (offline tooling;
+    mounted filesystems go through their own machinery)."""
+    block, offset = layout.inode_location(ino)
+    raw = bytearray(device.read_block(block))
+    raw[offset : offset + INODE_SIZE] = inode.pack()
+    device.write_block(block, bytes(raw))
+
+
+def read_block_bitmap(device: BlockDevice, layout: DiskLayout, group: int) -> Bitmap:
+    return Bitmap.from_block(layout.blocks_per_group, device.read_block(layout.block_bitmap_block(group)))
+
+
+def read_inode_bitmap(device: BlockDevice, layout: DiskLayout, group: int) -> Bitmap:
+    return Bitmap.from_block(layout.inodes_per_group, device.read_block(layout.inode_bitmap_block(group)))
+
+
+def describe(device: BlockDevice, verify: bool = True) -> ImageInfo:
+    """Summarize an image: superblock + per-group bitmap accounting."""
+    sb = read_superblock(device, verify=verify)
+    layout = sb.layout()
+    info = ImageInfo(superblock=sb)
+    for group in range(layout.group_count):
+        bb = read_block_bitmap(device, layout, group)
+        ib = read_inode_bitmap(device, layout, group)
+        info.groups.append(GroupInfo(group=group, free_blocks=bb.count_free(), free_inodes=ib.count_free()))
+    for ino in range(1, layout.inode_count + 1):
+        inode = read_inode(device, layout, ino, verify=False)
+        if not inode.is_free:
+            info.live_inodes += 1
+    return info
+
+
+def clone_to_memory(device: BlockDevice) -> MemoryBlockDevice:
+    """Copy an image into a fresh in-memory device (snapshot for tests)."""
+    clone = MemoryBlockDevice(block_size=device.block_size, block_count=device.block_count)
+    for block in range(device.block_count):
+        clone.write_block(block, device.read_block(block))
+    return clone
+
+
+def dump_tree(device: BlockDevice, max_entries: int = 10_000) -> dict[str, int]:
+    """Walk the namespace offline; return ``path -> ino`` for every entry.
+
+    Used by examples to show what recovery preserved.  Walks directories
+    via raw reads (no filesystem object), refusing cycles via a visited
+    set, and stops after ``max_entries`` as a safety valve against crafted
+    images.
+    """
+    sb = read_superblock(device)
+    layout = sb.layout()
+    reader = BlockMapReader(device.read_block)
+    result: dict[str, int] = {"/": sb.root_ino}
+    stack: list[tuple[str, int]] = [("/", sb.root_ino)]
+    visited: set[int] = set()
+    while stack:
+        path, ino = stack.pop()
+        if ino in visited:
+            continue
+        visited.add(ino)
+        inode = read_inode(device, layout, ino)
+        if not inode.is_dir:
+            continue
+        for _logical, physical in reader.iter_data_blocks(inode):
+            for entry in DirBlock(device.read_block(physical)).entries():
+                if entry.name in (".", ".."):
+                    continue
+                child_path = (path.rstrip("/") + "/" + entry.name) or "/"
+                result[child_path] = entry.ino
+                if len(result) > max_entries:
+                    raise ValueError("namespace exceeds max_entries; crafted image?")
+                stack.append((child_path, entry.ino))
+    return result

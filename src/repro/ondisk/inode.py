@@ -1,0 +1,201 @@
+"""On-disk inodes.
+
+Each inode is 256 bytes: type/permissions, ownership, link count, size,
+logical timestamps, 12 direct block pointers, one single-indirect and one
+double-indirect pointer, a generation number, and a trailing CRC.  A block
+pointer of 0 means "hole / unallocated" (block 0 is the superblock, so it
+can never legitimately be file data).
+
+With 4 KiB blocks the size ceiling is ``(12 + 1024 + 1024²) * 4096`` ≈ 4 GiB,
+far beyond anything the experiments create, but enforced anyway
+(``EFBIG``) because bound checks are exactly the kind of input sanity the
+bug study found missing in real filesystems.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+
+from repro.ondisk.layout import BLOCK_SIZE, INODE_SIZE
+from repro.util import checksum32
+
+N_DIRECT = 12
+PTRS_PER_BLOCK = BLOCK_SIZE // 4  # 1024 u32 pointers per indirect block
+
+MAX_FILE_BLOCKS = N_DIRECT + PTRS_PER_BLOCK + PTRS_PER_BLOCK * PTRS_PER_BLOCK
+MAX_FILE_SIZE = MAX_FILE_BLOCKS * BLOCK_SIZE
+
+
+class FileType(enum.IntEnum):
+    """File type stored in the high bits of ``mode`` (values are ad hoc)."""
+
+    NONE = 0
+    REGULAR = 1
+    DIRECTORY = 2
+    SYMLINK = 3
+
+
+_TYPE_SHIFT = 12
+_PERM_MASK = 0o7777
+
+# mode, uid, gid, nlink, flags, size, atime, mtime, ctime, generation,
+# 12 direct, indirect, double_indirect, checksum
+_FORMAT = "<IIIIIQQQQI" + "I" * N_DIRECT + "III"
+_SIZE = struct.calcsize(_FORMAT)
+assert _SIZE <= INODE_SIZE, _SIZE
+
+
+def make_mode(ftype: FileType, perms: int = 0o644) -> int:
+    """Compose a mode word from a file type and permission bits."""
+    return (int(ftype) << _TYPE_SHIFT) | (perms & _PERM_MASK)
+
+
+@dataclass
+class OnDiskInode:
+    """One inode as stored in the inode table.
+
+    The dataclass is mutable working state; ``pack`` freezes it into its
+    256-byte slot.  Equality compares every stored field, which the
+    base/shadow equivalence checker relies on (timestamps are logical, so
+    they too must agree).
+    """
+
+    mode: int = 0
+    uid: int = 0
+    gid: int = 0
+    nlink: int = 0
+    flags: int = 0
+    size: int = 0
+    atime: int = 0
+    mtime: int = 0
+    ctime: int = 0
+    generation: int = 0
+    direct: list[int] = field(default_factory=lambda: [0] * N_DIRECT)
+    indirect: int = 0
+    double_indirect: int = 0
+
+    # ---- type helpers ----------------------------------------------------
+
+    @property
+    def ftype(self) -> FileType:
+        raw = self.mode >> _TYPE_SHIFT
+        try:
+            return FileType(raw)
+        except ValueError:
+            return FileType.NONE
+
+    @property
+    def perms(self) -> int:
+        return self.mode & _PERM_MASK
+
+    @property
+    def is_regular(self) -> bool:
+        return self.ftype == FileType.REGULAR
+
+    @property
+    def is_dir(self) -> bool:
+        return self.ftype == FileType.DIRECTORY
+
+    @property
+    def is_symlink(self) -> bool:
+        return self.ftype == FileType.SYMLINK
+
+    @property
+    def is_free(self) -> bool:
+        """An all-zero mode marks a never-used / freed inode slot."""
+        return self.mode == 0
+
+    def block_count(self) -> int:
+        """Logical blocks spanned by ``size`` (not blocks allocated)."""
+        return (self.size + BLOCK_SIZE - 1) // BLOCK_SIZE
+
+    # ---- serialization ---------------------------------------------------
+
+    def pack(self) -> bytes:
+        if len(self.direct) != N_DIRECT:
+            raise ValueError(f"inode has {len(self.direct)} direct pointers, expected {N_DIRECT}")
+        body = struct.pack(
+            _FORMAT,
+            self.mode,
+            self.uid,
+            self.gid,
+            self.nlink,
+            self.flags,
+            self.size,
+            self.atime,
+            self.mtime,
+            self.ctime,
+            self.generation,
+            *self.direct,
+            self.indirect,
+            self.double_indirect,
+            0,
+        )
+        crc = checksum32(body[: _SIZE - 4])
+        body = body[: _SIZE - 4] + struct.pack("<I", crc)
+        return body + b"\x00" * (INODE_SIZE - len(body))
+
+    @classmethod
+    def unpack(cls, raw: bytes, verify: bool = True) -> "OnDiskInode":
+        """Parse a 256-byte inode slot.
+
+        A completely zeroed slot parses as a free inode without checksum
+        verification (zero is not a valid CRC of the zero prefix, and free
+        slots are simply never written).  Any nonzero slot must checksum.
+        """
+        if len(raw) < _SIZE:
+            raise ValueError(f"inode slot too short: {len(raw)} bytes")
+        if raw[:_SIZE] == b"\x00" * _SIZE:
+            return cls()
+        fields = struct.unpack(_FORMAT, raw[:_SIZE])
+        stored_crc = fields[-1]
+        if verify:
+            actual_crc = checksum32(raw[: _SIZE - 4])
+            if actual_crc != stored_crc:
+                raise ValueError(
+                    f"inode checksum mismatch: stored 0x{stored_crc:08x}, computed 0x{actual_crc:08x}"
+                )
+        ino = cls(
+            mode=fields[0],
+            uid=fields[1],
+            gid=fields[2],
+            nlink=fields[3],
+            flags=fields[4],
+            size=fields[5],
+            atime=fields[6],
+            mtime=fields[7],
+            ctime=fields[8],
+            generation=fields[9],
+            direct=list(fields[10 : 10 + N_DIRECT]),
+            indirect=fields[10 + N_DIRECT],
+            double_indirect=fields[11 + N_DIRECT],
+        )
+        return ino
+
+    def copy(self) -> "OnDiskInode":
+        return OnDiskInode(
+            mode=self.mode,
+            uid=self.uid,
+            gid=self.gid,
+            nlink=self.nlink,
+            flags=self.flags,
+            size=self.size,
+            atime=self.atime,
+            mtime=self.mtime,
+            ctime=self.ctime,
+            generation=self.generation,
+            direct=list(self.direct),
+            indirect=self.indirect,
+            double_indirect=self.double_indirect,
+        )
+
+    def direct_and_indirect_roots(self) -> list[int]:
+        """All nonzero top-level pointers (for fsck reachability scans)."""
+        roots = [b for b in self.direct if b]
+        if self.indirect:
+            roots.append(self.indirect)
+        if self.double_indirect:
+            roots.append(self.double_indirect)
+        return roots

@@ -1,0 +1,112 @@
+"""Logical-to-physical block mapping.
+
+An inode maps logical file blocks to physical device blocks through 12
+direct pointers, a single-indirect block, and a double-indirect block.
+Reading that mapping requires device reads (of the indirect blocks), so
+the resolver takes a ``read_block`` callable: the base passes its buffer
+cache's ``read``, the shadow passes its raw synchronous device read, and
+fsck passes a read that also records reachability.  One implementation,
+three consumers — the same no-disagreement rule as the layout module.
+
+Writing the mapping (growing files) is policy-laden and lives in each
+filesystem; only the *pure read side* is shared here.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Iterator
+
+from repro.ondisk.inode import N_DIRECT, PTRS_PER_BLOCK, OnDiskInode
+from repro.ondisk.layout import BLOCK_SIZE
+
+ReadBlock = Callable[[int], bytes]
+
+
+def unpack_pointers(block: bytes) -> list[int]:
+    """Parse an indirect block into its 1024 u32 pointers."""
+    if len(block) != BLOCK_SIZE:
+        raise ValueError(f"indirect block must be {BLOCK_SIZE} bytes, got {len(block)}")
+    return list(struct.unpack(f"<{PTRS_PER_BLOCK}I", block))
+
+
+def pack_pointers(pointers: list[int]) -> bytes:
+    """Serialize 1024 u32 pointers into an indirect block."""
+    if len(pointers) != PTRS_PER_BLOCK:
+        raise ValueError(f"expected {PTRS_PER_BLOCK} pointers, got {len(pointers)}")
+    return struct.pack(f"<{PTRS_PER_BLOCK}I", *pointers)
+
+
+class BlockMapReader:
+    """Resolve and enumerate an inode's block map, read-only."""
+
+    def __init__(self, read_block: ReadBlock):
+        self._read = read_block
+
+    def resolve(self, inode: OnDiskInode, logical: int) -> int:
+        """Physical block for logical block ``logical``; 0 means hole."""
+        if logical < 0:
+            raise ValueError(f"negative logical block {logical}")
+        if logical < N_DIRECT:
+            return inode.direct[logical]
+        logical -= N_DIRECT
+        if logical < PTRS_PER_BLOCK:
+            if not inode.indirect:
+                return 0
+            return unpack_pointers(self._read(inode.indirect))[logical]
+        logical -= PTRS_PER_BLOCK
+        if logical < PTRS_PER_BLOCK * PTRS_PER_BLOCK:
+            if not inode.double_indirect:
+                return 0
+            outer_index, inner_index = divmod(logical, PTRS_PER_BLOCK)
+            outer = unpack_pointers(self._read(inode.double_indirect))
+            inner_block = outer[outer_index]
+            if not inner_block:
+                return 0
+            return unpack_pointers(self._read(inner_block))[inner_index]
+        raise ValueError(f"logical block {logical + N_DIRECT + PTRS_PER_BLOCK} beyond maximum file size")
+
+    def iter_data_blocks(self, inode: OnDiskInode) -> Iterator[tuple[int, int]]:
+        """Yield ``(logical, physical)`` for every mapped (nonzero) block
+        within the inode's size."""
+        for logical in range(inode.block_count()):
+            physical = self.resolve(inode, logical)
+            if physical:
+                yield logical, physical
+
+    def all_referenced_blocks(self, inode: OnDiskInode) -> list[int]:
+        """Every physical block the inode references — data *and* the
+        indirect blocks themselves.  fsck's reachability set."""
+        blocks: list[int] = [b for b in inode.direct if b]
+        if inode.indirect:
+            blocks.append(inode.indirect)
+            blocks.extend(b for b in unpack_pointers(self._read(inode.indirect)) if b)
+        if inode.double_indirect:
+            blocks.append(inode.double_indirect)
+            outer = unpack_pointers(self._read(inode.double_indirect))
+            for inner_block in outer:
+                if inner_block:
+                    blocks.append(inner_block)
+                    blocks.extend(b for b in unpack_pointers(self._read(inner_block)) if b)
+        return blocks
+
+    def read_file_range(self, inode: OnDiskInode, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes at ``offset``, zero-filling holes,
+        truncating at EOF."""
+        if offset < 0 or length < 0:
+            raise ValueError("negative offset or length")
+        if offset >= inode.size:
+            return b""
+        length = min(length, inode.size - offset)
+        out = bytearray()
+        while length > 0:
+            logical, within = divmod(offset, BLOCK_SIZE)
+            take = min(BLOCK_SIZE - within, length)
+            physical = self.resolve(inode, logical)
+            if physical:
+                out += self._read(physical)[within : within + take]
+            else:
+                out += b"\x00" * take
+            offset += take
+            length -= take
+        return bytes(out)

@@ -1,0 +1,42 @@
+"""The shadow filesystem: the robust alternative implementation.
+
+The right-hand side of the paper's Figure 2.  Everything the base has,
+the shadow lacks — by design:
+
+* no dentry cache: every path lookup walks from the root inode and scans
+  directory entries;
+* no inode/page/buffer caches: reads go straight to the device,
+  synchronously;
+* no concurrency, no locks, no asynchronous block layer;
+* no journal and **no device writes at all** — every mutation lands in an
+  in-memory block overlay (:class:`~repro.shadowfs.filesystem.Overlay`),
+  which doubles as the recovery output: the overlay's blocks *are* the
+  "new (and correct) metadata structures that are directly used by a
+  rebooted base";
+* no fsync/sync family (§3.3 API support);
+* the simplest possible allocation policy: first-fit from zero.
+
+What the shadow has *more* of is checking: :mod:`repro.shadowfs.checks`
+validates every structure it reads and every invariant it can afford —
+affordable precisely because performance is a non-goal (§2.3).
+
+:mod:`repro.shadowfs.replay` implements the two §3.2 execution modes over
+a recorded operation sequence (constrained for completed operations,
+autonomous for in-flight ones), and :mod:`repro.shadowfs.output` packages
+the result for hand-off.
+"""
+
+from repro.shadowfs.checks import CheckLevel, ShadowChecks
+from repro.shadowfs.filesystem import Overlay, ShadowFilesystem
+from repro.shadowfs.output import MetadataUpdate
+from repro.shadowfs.replay import ReplayEngine, ReplayReport
+
+__all__ = [
+    "ShadowFilesystem",
+    "Overlay",
+    "ShadowChecks",
+    "CheckLevel",
+    "MetadataUpdate",
+    "ReplayEngine",
+    "ReplayReport",
+]

@@ -1,0 +1,69 @@
+"""The shadow's recovery output.
+
+§3.2: the base "must support metadata downloading by providing
+extensively-tested interfaces to absorb the output of the shadow: a set
+of file descriptors and on-disk metadata structures."
+:class:`MetadataUpdate` is that output, packaged:
+
+* ``metadata_blocks`` — every overlay block that is not file data, with
+  its role (superblock, bitmap, inode table, directory, indirect,
+  symlink), destined for the base's buffer cache, dirty;
+* ``data_pages`` — file data the shadow (re)produced during replay,
+  keyed ``(ino, logical)``, destined for the base's page cache, dirty;
+* ``fd_table`` — the reconstructed descriptor table (numbers, inodes,
+  offsets) to install verbatim;
+* ``free_blocks``/``free_inodes`` — the accounting the base's allocator
+  state adopts;
+* ``inflight_result`` — the outcome of the autonomous-mode operation,
+  which the supervisor delivers to the application as if the base had
+  completed it.
+
+The payload is plain data (bytes/ints) so it crosses the process
+boundary in :mod:`repro.core.procrunner` by pickling without dragging
+filesystem objects along.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.api import OpResult
+from repro.basefs.vfs import FdState
+
+
+@dataclass
+class MetadataUpdate:
+    metadata_blocks: dict[int, bytes] = field(default_factory=dict)
+    roles: dict[int, str] = field(default_factory=dict)
+    data_pages: dict[tuple[int, int], bytes] = field(default_factory=dict)
+    fd_table: dict[int, FdState] = field(default_factory=dict)
+    touched_inos: set[int] = field(default_factory=set)
+    free_blocks: int = 0
+    free_inodes: int = 0
+    inflight_result: OpResult | None = None
+
+    @classmethod
+    def from_shadow(cls, shadow, inflight_result: OpResult | None = None) -> "MetadataUpdate":
+        """Package a shadow filesystem's overlay after replay."""
+        metadata = shadow.overlay.metadata_blocks()
+        return cls(
+            metadata_blocks=metadata,
+            roles={b: shadow.overlay.roles.get(b, "unknown") for b in metadata},
+            data_pages=shadow.overlay.data_blocks(),
+            fd_table=shadow.fd_table.snapshot(),
+            touched_inos=set(shadow.overlay.touched_inos),
+            free_blocks=shadow.sb.free_blocks,
+            free_inodes=shadow.sb.free_inodes,
+            inflight_result=inflight_result,
+        )
+
+    @property
+    def total_blocks(self) -> int:
+        return len(self.metadata_blocks) + len(self.data_pages)
+
+    def summary(self) -> str:
+        return (
+            f"MetadataUpdate({len(self.metadata_blocks)} metadata blocks, "
+            f"{len(self.data_pages)} data pages, {len(self.fd_table)} fds, "
+            f"free {self.free_blocks}b/{self.free_inodes}i)"
+        )

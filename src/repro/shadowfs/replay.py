@@ -1,0 +1,163 @@
+"""Constrained and autonomous replay (§3.2 "Recovery").
+
+The replay engine drives a :class:`ShadowFilesystem` over the recorded
+operation sequence:
+
+* **fd registry install** — descriptors open at the last durability
+  point are validated and installed first;
+* **constrained mode** — completed operations re-execute in order.  For
+  creating operations the base's recorded inode number is pinned via
+  ``ino_hint`` ("the shadow validates if the value produced by the base
+  filesystem is usable, rather than performing its own allocation").
+  Every outcome is cross-checked against the record; a discrepancy is
+  reported, and the ``strict`` policy decides whether replay aborts
+  ("whether or not to continue can be configured").  Operations the base
+  failed with an errno are *omitted* ("The shadow omits operations that
+  returned an error by the base") — except pure fd-state operations
+  (none of which can fail without also failing identically here).
+* **fsync** records are skipped: completed fsyncs only affected
+  durability (already reflected in the on-disk state replay starts
+  from), and an in-flight fsync is delegated back to the base (§3.3).
+* **autonomous mode** — the single in-flight operation executes without
+  hints: the shadow makes its own policy decisions (new inode numbers
+  included) because the application never saw an outcome to honour.
+
+Any :class:`InvariantViolation` from the shadow's checks, or a strict
+cross-check mismatch, aborts replay with :class:`RecoveryFailure` — the
+shadow refuses to hand off state it cannot vouch for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.api import FsOp, OpResult
+from repro.basefs.vfs import FdState
+from repro.core.oplog import OpRecord
+from repro.errors import (
+    CrossCheckMismatch,
+    DeviceError,
+    FsError,
+    InvariantViolation,
+    RecoveryFailure,
+)
+from repro.shadowfs.filesystem import ShadowFilesystem
+from repro.shadowfs.output import MetadataUpdate
+
+
+@dataclass
+class Discrepancy:
+    """One constrained-mode disagreement between base record and shadow."""
+
+    seq: int
+    op: str
+    recorded: str
+    replayed: str
+
+    def __str__(self) -> str:
+        return f"op #{self.seq} {self.op}: base recorded {self.recorded}, shadow produced {self.replayed}"
+
+
+@dataclass
+class ReplayReport:
+    constrained_ops: int = 0
+    autonomous_ops: int = 0
+    skipped_errors: int = 0
+    skipped_fsyncs: int = 0
+    discrepancies: list[Discrepancy] = field(default_factory=list)
+    checks_run: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.discrepancies
+
+
+class ReplayEngine:
+    def __init__(self, shadow: ShadowFilesystem, strict: bool = True):
+        self.shadow = shadow
+        self.strict = strict
+        self.report = ReplayReport()
+
+    def run(
+        self,
+        records: list[OpRecord],
+        fd_snapshot: dict[int, FdState],
+        inflight: tuple[int, FsOp] | None = None,
+    ) -> MetadataUpdate:
+        """Full recovery replay; returns the hand-off payload.
+
+        ``records`` are the completed operations since the last commit,
+        ``fd_snapshot`` the descriptor registry at that commit, and
+        ``inflight`` the (seq, op) that was executing when the error was
+        detected, if any.
+        """
+        try:
+            for state in sorted(fd_snapshot.values(), key=lambda s: s.fd):
+                self.shadow.install_fd(state)
+            for record in records:
+                self._replay_one(record)
+            inflight_result: OpResult | None = None
+            if inflight is not None:
+                seq, op = inflight
+                inflight_result = self._autonomous(seq, op)
+        except InvariantViolation as exc:
+            raise RecoveryFailure(f"shadow invariant check failed during replay: {exc}", phase="replay") from exc
+        except ValueError as exc:
+            # Parse/checksum failures from the format layer: the on-disk
+            # structures are damaged beyond the shadow's ability to vouch.
+            raise RecoveryFailure(f"shadow could not parse on-disk state: {exc}", phase="replay") from exc
+        except DeviceError as exc:
+            raise RecoveryFailure(f"device failed under the shadow: {exc}", phase="replay") from exc
+        finally:
+            self.report.checks_run = self.shadow.checks.stats.checks_run
+        return MetadataUpdate.from_shadow(self.shadow, inflight_result)
+
+    # ------------------------------------------------------------------
+
+    def _replay_one(self, record: OpRecord) -> None:
+        op = record.op
+        if op.name == "fsync":
+            self.report.skipped_fsyncs += 1
+            return
+        if record.outcome.errno is not None:
+            # The base returned an error: no state effect to reconstruct.
+            self.report.skipped_errors += 1
+            return
+        if record.outcome.ino is not None and op.name in ("mkdir", "symlink", "open"):
+            self.shadow.ino_hint = record.outcome.ino
+        replayed = op.apply(self.shadow, opseq=record.seq)
+        self.shadow.ino_hint = None
+        self.report.constrained_ops += 1
+        if not record.outcome.same_outcome_as(replayed):
+            discrepancy = Discrepancy(
+                seq=record.seq,
+                op=op.describe(),
+                recorded=self._brief(record.outcome),
+                replayed=self._brief(replayed),
+            )
+            self.report.discrepancies.append(discrepancy)
+            if self.strict:
+                raise CrossCheckMismatch(str(discrepancy), op_index=record.seq)
+
+    def _autonomous(self, seq: int, op: FsOp) -> OpResult:
+        if op.name == "fsync":
+            # Delegated back to the base: after hand-off the base performs
+            # the fsync itself (§3.3).  Report success-pending.
+            self.report.skipped_fsyncs += 1
+            return OpResult(value="fsync-delegated")
+        result = op.apply(self.shadow, opseq=seq)
+        self.report.autonomous_ops += 1
+        return result
+
+    @staticmethod
+    def _brief(outcome: OpResult) -> str:
+        if outcome.errno is not None:
+            return outcome.errno.name
+        value = outcome.value
+        if isinstance(value, (bytes, bytearray)):
+            text = f"<{len(value)} bytes>"
+        else:
+            text = repr(value)
+        if outcome.ino is not None:
+            text += f" (ino {outcome.ino})"
+        return text

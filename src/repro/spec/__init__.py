@@ -1,0 +1,45 @@
+"""Executable specification and verification harness.
+
+The paper verifies the shadow with Verus; a Python reproduction cannot,
+so this package provides the lightweight-formal-methods substitute the
+paper itself cites as precedent (the S3 approach [8]):
+
+* :mod:`repro.spec.model` — :class:`SpecFilesystem`, a pure in-memory
+  POSIX model implementing the same :class:`~repro.api.FilesystemAPI`.
+  It has no blocks, no bitmaps, no disk — only the semantics.  It is the
+  specification the shadow must refine.
+* :mod:`repro.spec.equivalence` — state- and outcome-equivalence
+  definitions: what "the output at the API level and the effects to
+  on-disk structures must be equivalent" (§3.3) means operationally,
+  including the sanctioned divergences (block placement) and the
+  ino-bijection treatment for the spec model.
+* :mod:`repro.spec.verifier` — bounded-exhaustive refinement checking
+  (every op sequence up to a depth from a small alphabet) plus helpers
+  for the hypothesis property tests.
+* :mod:`repro.spec.nvp` — a classic 3-version NVP voting executor
+  (§2.1's strawman), used as the overhead baseline RAE is compared
+  against.
+"""
+
+from repro.spec.model import SpecFilesystem
+from repro.spec.equivalence import (
+    EquivalenceReport,
+    capture_state,
+    outcomes_equivalent,
+    states_equivalent,
+)
+from repro.spec.verifier import BoundedVerifier, VerifierResult, check_refinement
+from repro.spec.nvp import NVPExecutor, NVPResult
+
+__all__ = [
+    "SpecFilesystem",
+    "EquivalenceReport",
+    "capture_state",
+    "states_equivalent",
+    "outcomes_equivalent",
+    "BoundedVerifier",
+    "VerifierResult",
+    "check_refinement",
+    "NVPExecutor",
+    "NVPResult",
+]

@@ -1,0 +1,219 @@
+"""Equivalence definitions (§3.3 "Core functionality").
+
+"For a given operation sequence, the output at the API level and the
+effects to on-disk structures must be equivalent between the base and
+the shadow.  While some policy decisions might differ, the two must
+agree on essential invariants."
+
+Operationally, two filesystems are state-equivalent when their *logical*
+states match:
+
+* the namespace: the same set of paths with the same types;
+* per path: size (directories excluded — the spec model has no blocks),
+  link count, permissions, logical timestamps, symlink target, and file
+  content;
+* hard-link structure: the path→ino map of one induces the same
+  partition of paths as the other's (an ino *bijection*), without
+  requiring equal numbers — equal numbers are the stronger condition
+  constrained replay separately enforces against the base's records.
+
+Block placement, bitmap contents, and cache state are explicitly *not*
+part of equivalence — they are the sanctioned policy divergence.
+
+:func:`capture_state` extracts the logical state through the public API
+only (so it works identically on base, shadow, spec model, and the RAE
+supervisor), using operations that have no timestamp or fd side effects.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.api import FilesystemAPI, OpResult, StatResult
+from repro.ondisk.inode import FileType
+
+
+@dataclass
+class PathState:
+    ftype: FileType
+    size: int
+    nlink: int
+    perms: int
+    mtime: int
+    ctime: int
+    atime: int
+    ino: int
+    target: str = ""
+    content_sha: str = ""
+
+
+@dataclass
+class FsState:
+    """Logical filesystem state: path -> attributes."""
+
+    paths: dict[str, PathState] = field(default_factory=dict)
+
+    def ino_partition(self) -> dict[int, frozenset[str]]:
+        groups: dict[int, set[str]] = {}
+        for path, state in self.paths.items():
+            groups.setdefault(state.ino, set()).add(path)
+        return {ino: frozenset(paths) for ino, paths in groups.items()}
+
+
+@dataclass
+class EquivalenceReport:
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def equivalent(self) -> bool:
+        return not self.problems
+
+    def add(self, problem: str) -> None:
+        self.problems.append(problem)
+
+    def __str__(self) -> str:
+        if self.equivalent:
+            return "equivalent"
+        return f"{len(self.problems)} divergences: " + "; ".join(self.problems[:8])
+
+
+def capture_state(fs: FilesystemAPI, read_content: bool = True) -> FsState:
+    """Walk the namespace via the public API and snapshot logical state."""
+    state = FsState()
+    stack = ["/"]
+    while stack:
+        path = stack.pop()
+        st = fs.lstat(path)
+        entry = PathState(
+            ftype=st.ftype,
+            size=st.size,
+            nlink=st.nlink,
+            perms=st.perms,
+            mtime=st.mtime,
+            ctime=st.ctime,
+            atime=st.atime,
+            ino=st.ino,
+        )
+        if st.ftype == FileType.SYMLINK:
+            entry.target = fs.readlink(path)
+        elif st.ftype == FileType.REGULAR and read_content:
+            entry.content_sha = _content_sha(fs, path, st.size)
+        state.paths[path] = entry
+        if st.ftype == FileType.DIRECTORY:
+            for name in fs.readdir(path):
+                stack.append(path.rstrip("/") + "/" + name)
+    return state
+
+
+def _content_sha(fs: FilesystemAPI, path: str, size: int) -> str:
+    fd = fs.open(path)
+    try:
+        fs.lseek(fd, 0, 0)
+        hasher = hashlib.sha256()
+        remaining = size
+        while remaining > 0:
+            chunk = fs.read(fd, min(remaining, 1 << 16))
+            if not chunk:
+                break
+            hasher.update(chunk)
+            remaining -= len(chunk)
+        return hasher.hexdigest()
+    finally:
+        fs.close(fd)
+
+
+def states_equivalent(
+    a: FsState,
+    b: FsState,
+    compare_ino_numbers: bool = False,
+    compare_dir_sizes: bool = False,
+) -> EquivalenceReport:
+    """Compare two logical states.
+
+    ``compare_ino_numbers`` demands *equal* inode numbers (base vs shadow
+    under constrained replay); otherwise only the bijection property is
+    required (valid for the spec model).  ``compare_dir_sizes`` is off
+    because the spec model defines directory size as 0.
+    """
+    report = EquivalenceReport()
+    only_a = sorted(set(a.paths) - set(b.paths))
+    only_b = sorted(set(b.paths) - set(a.paths))
+    for path in only_a[:10]:
+        report.add(f"path {path} exists only in A")
+    for path in only_b[:10]:
+        report.add(f"path {path} exists only in B")
+
+    for path in sorted(set(a.paths) & set(b.paths)):
+        pa, pb = a.paths[path], b.paths[path]
+        if pa.ftype != pb.ftype:
+            report.add(f"{path}: type {pa.ftype.name} vs {pb.ftype.name}")
+            continue
+        if pa.ftype != FileType.DIRECTORY or compare_dir_sizes:
+            if pa.size != pb.size:
+                report.add(f"{path}: size {pa.size} vs {pb.size}")
+        for attr in ("nlink", "perms", "mtime", "ctime", "atime"):
+            va, vb = getattr(pa, attr), getattr(pb, attr)
+            if va != vb:
+                report.add(f"{path}: {attr} {va} vs {vb}")
+        if pa.target != pb.target:
+            report.add(f"{path}: symlink target {pa.target!r} vs {pb.target!r}")
+        if pa.content_sha != pb.content_sha:
+            report.add(f"{path}: content differs")
+        if compare_ino_numbers and pa.ino != pb.ino:
+            report.add(f"{path}: ino {pa.ino} vs {pb.ino}")
+
+    if not compare_ino_numbers:
+        partition_a = set(a.ino_partition().values())
+        partition_b = set(b.ino_partition().values())
+        if partition_a != partition_b:
+            report.add("hard-link structure differs (ino partitions are not isomorphic)")
+    return report
+
+
+def outcomes_equivalent(a: OpResult, b: OpResult, ino_map: dict[int, int] | None = None) -> bool:
+    """Outcome equivalence with ino-bijection support (A=reference).
+
+    ``ino_map`` accumulates the reference→other inode correspondence; a
+    violated correspondence means outcomes diverge even if this pair of
+    values looks plausible in isolation.  The map is sound only while no
+    inode number is *reused* (allocators recycle freed numbers at
+    different times) — pass ``None`` for long free-running streams and
+    rely on final-state equivalence, which checks the live-inode
+    partition instead.
+    """
+    if a.errno != b.errno:
+        return False
+    if a.errno is not None:
+        return True
+    if not _values_equivalent(a.value, b.value, ino_map):
+        return False
+    if (a.ino is None) != (b.ino is None):
+        return False
+    if a.ino is not None and not _ino_consistent(a.ino, b.ino, ino_map):
+        return False
+    return True
+
+
+def _values_equivalent(va, vb, ino_map: dict[int, int] | None) -> bool:
+    if isinstance(va, StatResult) and isinstance(vb, StatResult):
+        if va.ftype != vb.ftype or va.nlink != vb.nlink or va.perms != vb.perms:
+            return False
+        if (va.mtime, va.ctime, va.atime) != (vb.mtime, vb.ctime, vb.atime):
+            return False
+        if va.ftype != FileType.DIRECTORY and va.size != vb.size:
+            return False
+        return _ino_consistent(va.ino, vb.ino, ino_map)
+    return va == vb
+
+
+def _ino_consistent(ino_a: int, ino_b: int, ino_map: dict[int, int] | None) -> bool:
+    if ino_map is None:
+        return True
+    known = ino_map.get(ino_a)
+    if known is None:
+        if ino_b in ino_map.values():
+            return False  # would break injectivity
+        ino_map[ino_a] = ino_b
+        return True
+    return known == ino_b

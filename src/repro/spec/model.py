@@ -1,0 +1,467 @@
+"""The executable POSIX specification model.
+
+``SpecFilesystem`` is the semantics of the API with every systems concern
+deleted: no blocks, no allocation, no durability — files are byte
+strings, directories are dicts.  It exists to be *obviously* correct, so
+that "shadow refines spec" (checked exhaustively at small scope and
+property-based at random scope) is meaningful evidence, in the spirit of
+the verified-shadow design.
+
+Behavioural contract shared with base and shadow (kept in lockstep —
+divergence here is a spec bug, and the differential tests will find it):
+
+* errno codes and their *precedence* per operation;
+* fd numbering (lowest free >= 3) and offset semantics;
+* logical timestamps: any time written during an operation equals the
+  caller's ``opseq``; atime is set at creation only (noatime);
+* symlink resolution: intermediate always followed, final per-op,
+  8-deep ELOOP limit, relative targets resolved against the link's
+  directory;
+* orphan semantics: unlinked-but-open files stay readable until the
+  last close.
+
+Inode numbers: the model allocates from its own monotone counter with a
+free-list — these do not match the disk filesystems' allocators, so
+equivalence uses an ino *bijection* rather than equality (see
+:mod:`repro.spec.equivalence`).  ``ino_hint`` is honoured like the
+shadow's, so constrained replay against the spec also works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.api import (
+    FilesystemAPI,
+    OpenFlags,
+    SYMLINK_DEPTH_LIMIT,
+    StatResult,
+    parent_and_name,
+    split_path,
+)
+from repro.basefs.vfs import FdTable
+from repro.errors import Errno, FsError
+from repro.ondisk.inode import FileType, MAX_FILE_SIZE
+from repro.ondisk.layout import BLOCK_SIZE, ROOT_INO
+
+MAX_SYMLINK_TARGET = BLOCK_SIZE - 1
+
+
+@dataclass
+class SpecNode:
+    ino: int
+    ftype: FileType
+    perms: int
+    nlink: int = 0
+    atime: int = 0
+    mtime: int = 0
+    ctime: int = 0
+    data: bytearray = field(default_factory=bytearray)  # file content
+    children: dict[str, int] = field(default_factory=dict)  # dir entries
+    target: str = ""  # symlink target
+
+    @property
+    def size(self) -> int:
+        if self.ftype == FileType.REGULAR:
+            return len(self.data)
+        if self.ftype == FileType.SYMLINK:
+            return len(self.target.encode())
+        # Directory size mirrors the on-disk representation: one block
+        # minimum, growing with entries — but the *model* has no blocks, so
+        # directory size is defined as 0 here and excluded from
+        # equivalence (see spec.equivalence).
+        return 0
+
+
+class SpecFilesystem(FilesystemAPI):
+    def __init__(self):
+        self._nodes: dict[int, SpecNode] = {}
+        self._next_ino = ROOT_INO + 1
+        self._free_inos: list[int] = []
+        self.fd_table = FdTable()
+        self.ino_hint: int | None = None
+        self._orphans: set[int] = set()
+        root = SpecNode(ino=ROOT_INO, ftype=FileType.DIRECTORY, perms=0o755, nlink=2, atime=1, mtime=1, ctime=1)
+        root.children["."] = ROOT_INO
+        root.children[".."] = ROOT_INO
+        self._nodes[ROOT_INO] = root
+
+    # ------------------------------------------------------------------
+
+    def _alloc_ino(self) -> int:
+        if self.ino_hint is not None:
+            ino = self.ino_hint
+            self.ino_hint = None
+            if ino in self._nodes:
+                raise ValueError(f"ino hint {ino} already live in the spec model")
+            return ino
+        if self._free_inos:
+            return self._free_inos.pop()
+        ino = self._next_ino
+        self._next_ino += 1
+        return ino
+
+    def _node(self, ino: int) -> SpecNode:
+        return self._nodes[ino]
+
+    def _destroy(self, node: SpecNode) -> None:
+        del self._nodes[node.ino]
+        self._free_inos.append(node.ino)
+
+    # ------------------------------------------------------------------
+    # resolution (identical algorithm to base/shadow)
+
+    def _resolve_entry(self, path: str, follow_last: bool = True) -> tuple[SpecNode, str, SpecNode | None]:
+        components = split_path(path)
+        current = self._node(ROOT_INO)
+        if not components:
+            return current, "", current
+        depth = 0
+        i = 0
+        while i < len(components):
+            name = components[i]
+            is_last = i == len(components) - 1
+            if current.ftype != FileType.DIRECTORY:
+                raise FsError(Errno.ENOTDIR, "/" + "/".join(components[:i]))
+            child_ino = current.children.get(name)
+            if child_ino is None:
+                if is_last:
+                    return current, name, None
+                raise FsError(Errno.ENOENT, "/" + "/".join(components[: i + 1]))
+            child = self._node(child_ino)
+            if child.ftype == FileType.SYMLINK and (follow_last or not is_last):
+                depth += 1
+                if depth > SYMLINK_DEPTH_LIMIT:
+                    raise FsError(Errno.ELOOP, path)
+                rest = components[i + 1 :]
+                if child.target.startswith("/"):
+                    components = split_path(child.target) + rest
+                    current = self._node(ROOT_INO)
+                else:
+                    components = split_path("/" + child.target) + rest
+                i = 0
+                if not components:
+                    return current, "", current
+                continue
+            if is_last:
+                return current, name, child
+            current = child
+            i += 1
+        raise AssertionError("unreachable")
+
+    def _resolve(self, path: str, follow_last: bool = True) -> SpecNode:
+        _p, _n, node = self._resolve_entry(path, follow_last=follow_last)
+        if node is None:
+            raise FsError(Errno.ENOENT, path)
+        return node
+
+    def _resolve_parent(self, path: str) -> tuple[SpecNode, str]:
+        parents, name = parent_and_name(path)
+        parent = self._resolve("/" + "/".join(parents), follow_last=True)
+        if parent.ftype != FileType.DIRECTORY:
+            raise FsError(Errno.ENOTDIR, path)
+        return parent, name
+
+    # ==================================================================
+    # FilesystemAPI
+
+    def mkdir(self, path: str, perms: int = 0o755, opseq: int = 0) -> None:
+        parent, name = self._resolve_parent(path)
+        if name in parent.children:
+            raise FsError(Errno.EEXIST, path)
+        child = SpecNode(
+            ino=self._alloc_ino(),
+            ftype=FileType.DIRECTORY,
+            perms=perms,
+            nlink=2,
+            atime=opseq,
+            mtime=opseq,
+            ctime=opseq,
+        )
+        child.children["."] = child.ino
+        child.children[".."] = parent.ino
+        self._nodes[child.ino] = child
+        parent.children[name] = child.ino
+        parent.nlink += 1
+        parent.mtime = opseq
+        parent.ctime = opseq
+
+    def rmdir(self, path: str, opseq: int = 0) -> None:
+        parent, name = self._resolve_parent(path)
+        child_ino = parent.children.get(name)
+        if child_ino is None:
+            raise FsError(Errno.ENOENT, path)
+        child = self._node(child_ino)
+        if child.ftype != FileType.DIRECTORY:
+            raise FsError(Errno.ENOTDIR, path)
+        if set(child.children) - {".", ".."}:
+            raise FsError(Errno.ENOTEMPTY, path)
+        del parent.children[name]
+        parent.nlink -= 1
+        parent.mtime = opseq
+        parent.ctime = opseq
+        self._destroy(child)
+
+    def unlink(self, path: str, opseq: int = 0) -> None:
+        parent, name = self._resolve_parent(path)
+        child_ino = parent.children.get(name)
+        if child_ino is None:
+            raise FsError(Errno.ENOENT, path)
+        child = self._node(child_ino)
+        if child.ftype == FileType.DIRECTORY:
+            raise FsError(Errno.EISDIR, path)
+        del parent.children[name]
+        parent.mtime = opseq
+        parent.ctime = opseq
+        child.nlink -= 1
+        child.ctime = opseq
+        if child.nlink == 0:
+            if self.fd_table.fds_for_ino(child.ino):
+                self._orphans.add(child.ino)
+            else:
+                self._destroy(child)
+
+    def rename(self, src: str, dst: str, opseq: int = 0) -> None:
+        src_parent, src_name = self._resolve_parent(src)
+        dst_parent, dst_name = self._resolve_parent(dst)
+        moving_ino = src_parent.children.get(src_name)
+        if moving_ino is None:
+            raise FsError(Errno.ENOENT, src)
+        moving = self._node(moving_ino)
+        existing_ino = dst_parent.children.get(dst_name)
+        if existing_ino == moving_ino:
+            return
+        if moving.ftype == FileType.DIRECTORY:
+            cursor = dst_parent
+            while cursor.ino != ROOT_INO:
+                if cursor.ino == moving_ino:
+                    raise FsError(Errno.EINVAL, f"{dst} is inside {src}")
+                cursor = self._node(cursor.children[".."])
+            if moving_ino == ROOT_INO:
+                raise FsError(Errno.EINVAL, "cannot rename /")
+
+        existing = self._node(existing_ino) if existing_ino is not None else None
+        if existing is not None:
+            if moving.ftype == FileType.DIRECTORY and existing.ftype != FileType.DIRECTORY:
+                raise FsError(Errno.ENOTDIR, dst)
+            if moving.ftype != FileType.DIRECTORY and existing.ftype == FileType.DIRECTORY:
+                raise FsError(Errno.EISDIR, dst)
+            if existing.ftype == FileType.DIRECTORY and set(existing.children) - {".", ".."}:
+                raise FsError(Errno.ENOTEMPTY, dst)
+
+        if existing is not None:
+            del dst_parent.children[dst_name]
+            dst_parent.mtime = opseq
+            dst_parent.ctime = opseq
+            if existing.ftype == FileType.DIRECTORY:
+                dst_parent.nlink -= 1
+                self._destroy(existing)
+            else:
+                existing.nlink -= 1
+                existing.ctime = opseq
+                if existing.nlink == 0:
+                    if self.fd_table.fds_for_ino(existing.ino):
+                        self._orphans.add(existing.ino)
+                    else:
+                        self._destroy(existing)
+
+        del src_parent.children[src_name]
+        src_parent.mtime = opseq
+        src_parent.ctime = opseq
+        dst_parent.children[dst_name] = moving_ino
+        dst_parent.mtime = opseq
+        dst_parent.ctime = opseq
+        if moving.ftype == FileType.DIRECTORY and src_parent.ino != dst_parent.ino:
+            moving.children[".."] = dst_parent.ino
+            src_parent.nlink -= 1
+            dst_parent.nlink += 1
+        moving.ctime = opseq
+
+    def link(self, existing: str, new: str, opseq: int = 0) -> None:
+        target = self._resolve(existing, follow_last=False)
+        if target.ftype == FileType.DIRECTORY:
+            raise FsError(Errno.EPERM, "hard link to directory")
+        new_parent, new_name = self._resolve_parent(new)
+        if new_name in new_parent.children:
+            raise FsError(Errno.EEXIST, new)
+        new_parent.children[new_name] = target.ino
+        new_parent.mtime = opseq
+        new_parent.ctime = opseq
+        target.nlink += 1
+        target.ctime = opseq
+
+    def symlink(self, target: str, path: str, opseq: int = 0) -> None:
+        if not target:
+            raise FsError(Errno.EINVAL, "empty symlink target")
+        if len(target.encode()) > MAX_SYMLINK_TARGET:
+            raise FsError(Errno.ENAMETOOLONG, "symlink target too long")
+        parent, name = self._resolve_parent(path)
+        if name in parent.children:
+            raise FsError(Errno.EEXIST, path)
+        child = SpecNode(
+            ino=self._alloc_ino(),
+            ftype=FileType.SYMLINK,
+            perms=0o777,
+            nlink=1,
+            atime=opseq,
+            mtime=opseq,
+            ctime=opseq,
+            target=target,
+        )
+        self._nodes[child.ino] = child
+        parent.children[name] = child.ino
+        parent.mtime = opseq
+        parent.ctime = opseq
+
+    def readlink(self, path: str) -> str:
+        node = self._resolve(path, follow_last=False)
+        if node.ftype != FileType.SYMLINK:
+            raise FsError(Errno.EINVAL, path)
+        return node.target
+
+    def readdir(self, path: str) -> list[str]:
+        node = self._resolve(path, follow_last=True)
+        if node.ftype != FileType.DIRECTORY:
+            raise FsError(Errno.ENOTDIR, path)
+        return sorted(name for name in node.children if name not in (".", ".."))
+
+    def stat(self, path: str) -> StatResult:
+        return self._stat_node(self._resolve(path, follow_last=True))
+
+    def lstat(self, path: str) -> StatResult:
+        return self._stat_node(self._resolve(path, follow_last=False))
+
+    def _stat_node(self, node: SpecNode) -> StatResult:
+        return StatResult(
+            ino=node.ino,
+            ftype=node.ftype,
+            size=node.size,
+            nlink=node.nlink,
+            perms=node.perms,
+            uid=0,
+            gid=0,
+            atime=node.atime,
+            mtime=node.mtime,
+            ctime=node.ctime,
+        )
+
+    def truncate(self, path: str, size: int, opseq: int = 0) -> None:
+        if size < 0:
+            raise FsError(Errno.EINVAL, f"negative size {size}")
+        if size > MAX_FILE_SIZE:
+            raise FsError(Errno.EFBIG, str(size))
+        node = self._resolve(path, follow_last=True)
+        if node.ftype == FileType.DIRECTORY:
+            raise FsError(Errno.EISDIR, path)
+        if node.ftype == FileType.SYMLINK:
+            raise FsError(Errno.EINVAL, path)
+        self._truncate_node(node, size, opseq)
+
+    def _truncate_node(self, node: SpecNode, size: int, opseq: int) -> None:
+        if size < len(node.data):
+            del node.data[size:]
+        else:
+            node.data.extend(b"\x00" * (size - len(node.data)))
+        node.mtime = opseq
+        node.ctime = opseq
+
+    def open(self, path: str, flags: OpenFlags = OpenFlags.NONE, perms: int = 0o644, opseq: int = 0) -> int:
+        parent_and_name(path)  # reject "/"
+        if flags & OpenFlags.CREAT and flags & OpenFlags.EXCL:
+            parent, name, found = self._resolve_entry(path, follow_last=False)
+            if found is not None:
+                raise FsError(Errno.EEXIST, path)
+        else:
+            parent, name, found = self._resolve_entry(path, follow_last=True)
+
+        if found is None:
+            if not flags & OpenFlags.CREAT:
+                raise FsError(Errno.ENOENT, path)
+            child = SpecNode(
+                ino=self._alloc_ino(),
+                ftype=FileType.REGULAR,
+                perms=perms,
+                nlink=1,
+                atime=opseq,
+                mtime=opseq,
+                ctime=opseq,
+            )
+            self._nodes[child.ino] = child
+            parent.children[name] = child.ino
+            parent.mtime = opseq
+            parent.ctime = opseq
+        else:
+            child = found
+            if child.ftype == FileType.DIRECTORY:
+                raise FsError(Errno.EISDIR, path)
+            if child.ftype == FileType.SYMLINK:
+                raise FsError(Errno.ELOOP, path)
+
+        state = self.fd_table.allocate(child.ino, flags)
+        if flags & OpenFlags.TRUNC and child.size:
+            self._truncate_node(child, 0, opseq)
+        return state.fd
+
+    def close(self, fd: int, opseq: int = 0) -> None:
+        state = self.fd_table.release(fd)
+        if state.ino in self._orphans and not self.fd_table.fds_for_ino(state.ino):
+            self._orphans.discard(state.ino)
+            self._destroy(self._node(state.ino))
+
+    def read(self, fd: int, length: int, opseq: int = 0) -> bytes:
+        if length < 0:
+            raise FsError(Errno.EINVAL, f"negative length {length}")
+        state = self.fd_table.get(fd)
+        node = self._node(state.ino)
+        if node.ftype == FileType.DIRECTORY:
+            raise FsError(Errno.EISDIR, f"fd {fd}")
+        start = state.offset
+        if start >= len(node.data) or length == 0:
+            return b""
+        end = min(len(node.data), start + length)
+        state.offset = end
+        return bytes(node.data[start:end])
+
+    def write(self, fd: int, data: bytes, opseq: int = 0) -> int:
+        if not isinstance(data, (bytes, bytearray)):
+            raise FsError(Errno.EINVAL, "write data must be bytes")
+        state = self.fd_table.get(fd)
+        node = self._node(state.ino)
+        if node.ftype == FileType.DIRECTORY:
+            raise FsError(Errno.EISDIR, f"fd {fd}")
+        if not data:
+            return 0
+        offset = len(node.data) if state.flags & OpenFlags.APPEND else state.offset
+        end = offset + len(data)
+        if end > MAX_FILE_SIZE:
+            raise FsError(Errno.EFBIG, f"write to {end}")
+        if offset > len(node.data):
+            node.data.extend(b"\x00" * (offset - len(node.data)))
+        node.data[offset:end] = data
+        node.mtime = opseq
+        node.ctime = opseq
+        state.offset = end
+        return len(data)
+
+    def lseek(self, fd: int, offset: int, whence: int = 0, opseq: int = 0) -> int:
+        state = self.fd_table.get(fd)
+        node = self._node(state.ino)
+        if whence == 0:
+            new = offset
+        elif whence == 1:
+            new = state.offset + offset
+        elif whence == 2:
+            new = node.size + offset
+        else:
+            raise FsError(Errno.EINVAL, f"whence {whence}")
+        if new < 0:
+            raise FsError(Errno.EINVAL, f"offset {new}")
+        state.offset = new
+        return new
+
+    def fsync(self, fd: int, opseq: int = 0) -> None:
+        """Durability is vacuous in the model; only EBADF semantics."""
+        self.fd_table.get(fd)
+
+    def fstat_ino(self, fd: int) -> int:
+        return self.fd_table.get(fd).ino

@@ -1,0 +1,99 @@
+"""N-version programming baseline (§2.1).
+
+"NVP advocates the independent development of several versions of
+software with the same specification, running them simultaneously to
+generate output by combining the decision of each version (via voting).
+... maintaining and executing multiple versions (often, at least three)
+incurs excessive overhead."
+
+:class:`NVPExecutor` is that strawman, built honestly: every operation
+executes on all N member implementations, outcomes are normalized
+(inode numbers excluded — each member allocates its own) and put to a
+majority vote, and a member that loses the vote is flagged as faulted.
+The ablation benchmark runs it against RAE on identical workloads to
+reproduce the overhead argument: NVP pays ~N× on *every* operation,
+while RAE pays ~1× until an error actually occurs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.api import FilesystemAPI, FsOp, OpResult, StatResult
+
+
+def _normalize(result: OpResult):
+    """A hashable, ino-free projection of an outcome for voting."""
+    if result.errno is not None:
+        return ("errno", int(result.errno))
+    value = result.value
+    if isinstance(value, StatResult):
+        return ("stat", value.ftype, value.size, value.nlink, value.perms, value.mtime, value.ctime)
+    if isinstance(value, list):
+        return ("list", tuple(value))
+    if isinstance(value, bytearray):
+        return ("bytes", bytes(value))
+    return ("value", value)
+
+
+@dataclass
+class NVPResult:
+    op: str
+    winning: OpResult
+    votes: int
+    dissenting_versions: list[int] = field(default_factory=list)
+
+
+@dataclass
+class NVPStats:
+    ops: int = 0
+    executions: int = 0  # ops × versions — the overhead
+    disagreements: int = 0
+    vote_failures: int = 0  # no majority
+
+
+class NVPExecutor:
+    """Run an op across N versions and vote.
+
+    Member exceptions other than ``FsError`` count as that member
+    producing no vote (its fault is masked, the NVP promise) — but the
+    member is left in an unknown state and marked ``faulted``; NVP has
+    no story for re-synchronizing it, which is exactly the paper's
+    criticism that RAE's state reconstruction answers.
+    """
+
+    def __init__(self, versions: list[FilesystemAPI]):
+        if len(versions) < 2:
+            raise ValueError("NVP requires at least two versions")
+        self.versions = versions
+        self.faulted: set[int] = set()
+        self.stats = NVPStats()
+
+    def apply(self, operation: FsOp, opseq: int = 0) -> NVPResult:
+        self.stats.ops += 1
+        outcomes: dict[int, OpResult] = {}
+        for index, version in enumerate(self.versions):
+            if index in self.faulted:
+                continue
+            self.stats.executions += 1
+            try:
+                outcomes[index] = operation.apply(version, opseq=opseq)
+            except Exception:  # noqa: BLE001 — a member crashed
+                self.faulted.add(index)
+
+        if not outcomes:
+            raise RuntimeError("every NVP version has faulted")
+
+        counter = Counter(_normalize(result) for result in outcomes.values())
+        winner_key, votes = counter.most_common(1)[0]
+        if votes <= len(outcomes) // 2 and len(counter) > 1:
+            self.stats.vote_failures += 1
+
+        dissenting = [i for i, result in outcomes.items() if _normalize(result) != winner_key]
+        if dissenting:
+            self.stats.disagreements += 1
+        winning = next(result for result in outcomes.values() if _normalize(result) == winner_key)
+        return NVPResult(
+            op=operation.name, winning=winning, votes=votes, dissenting_versions=dissenting
+        )

@@ -1,0 +1,254 @@
+"""Command-line toolbox: ``python -m repro.tools <command>``.
+
+Operates on image files (the :class:`FileBlockDevice` format):
+
+* ``mkfs <image> [--blocks N]`` — create and format an image;
+* ``fsck <image> [--repair]`` — check (and optionally repair) an image;
+* ``inspect <image>`` — superblock, accounting, and namespace dump;
+* ``ls <image> <path>`` / ``cat <image> <path>`` — read-only access
+  through the *shadow* implementation (never writes, checks everything:
+  the safe way to look at an untrusted image);
+* ``bugstudy`` — print Table 1 and Figure 1 from the study dataset;
+* ``verify [--depth N]`` — run the bounded-exhaustive shadow-vs-spec
+  refinement check;
+* ``trustbase`` — the §4.3 trusted-code-size report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.blockdev.device import FileBlockDevice
+from repro.errors import FsError
+from repro.ondisk.layout import BLOCK_SIZE
+from repro.ondisk.mkfs import mkfs
+from repro.ondisk.superblock import Superblock
+
+
+def _open_image(path: str, readonly: bool = True) -> FileBlockDevice:
+    if not os.path.exists(path):
+        sys.exit(f"error: image {path!r} does not exist")
+    with open(path, "rb") as f:
+        sb = Superblock.unpack(f.read(BLOCK_SIZE), verify=False)
+    block_count = sb.block_count if sb.block_count else os.path.getsize(path) // BLOCK_SIZE
+    return FileBlockDevice(path, block_count=max(block_count, 1), readonly=readonly)
+
+
+def cmd_mkfs(args) -> int:
+    device = FileBlockDevice(args.image, block_count=args.blocks)
+    sb = mkfs(device)
+    device.close()
+    print(f"formatted {args.image}: {sb.block_count} blocks, {sb.free_blocks} free, {sb.free_inodes} inodes free")
+    return 0
+
+
+def cmd_fsck(args) -> int:
+    from repro.fsck import Fsck, repair_image
+
+    if args.repair:
+        device = _open_image(args.image, readonly=False)
+        for action in repair_image(device):
+            print(f"repair: {action}")
+    device = _open_image(args.image, readonly=not args.repair)
+    report = Fsck(device).run()
+    for finding in report.findings:
+        print(finding)
+    status = "clean" if report.clean else f"{len(report.errors)} errors"
+    print(f"{args.image}: {status} ({report.inodes_scanned} inodes, {report.blocks_referenced} blocks referenced)")
+    device.close()
+    return 0 if report.clean else 1
+
+
+def cmd_inspect(args) -> int:
+    from repro.ondisk.image import describe, dump_tree
+
+    device = _open_image(args.image)
+    info = describe(device)
+    sb = info.superblock
+    print(f"image          : {args.image}")
+    print(f"geometry       : {sb.block_count} blocks x {sb.block_size} B, {sb.group_count} groups")
+    print(f"journal        : {sb.journal_blocks} blocks")
+    print(f"mount state    : {'clean' if sb.mount_state == 1 else 'DIRTY'} (mounted {sb.mount_count} times)")
+    print(f"free           : {sb.free_blocks} blocks / {sb.free_inodes} inodes (superblock)")
+    print(f"free (bitmaps) : {info.free_blocks_by_bitmap} blocks / {info.free_inodes_by_bitmap} inodes")
+    print(f"live inodes    : {info.live_inodes}")
+    print("namespace:")
+    for path, ino in sorted(dump_tree(device).items()):
+        print(f"  {path}  (ino {ino})")
+    device.close()
+    return 0
+
+
+def _shadow_for(args):
+    from repro.shadowfs.filesystem import ShadowFilesystem
+
+    return ShadowFilesystem(_open_image(args.image))
+
+
+def cmd_ls(args) -> int:
+    shadow = _shadow_for(args)
+    for name in shadow.readdir(args.path):
+        full = args.path.rstrip("/") + "/" + name
+        st = shadow.lstat(full)
+        print(f"{st.ftype.name.lower():9s} {st.nlink:3d} {st.size:10d}  {name}")
+    return 0
+
+
+def cmd_cat(args) -> int:
+    shadow = _shadow_for(args)
+    fd = shadow.open(args.path)
+    try:
+        size = shadow.lstat(args.path).size if not args.path else shadow.stat(args.path).size
+        sys.stdout.buffer.write(shadow.read(fd, size))
+    finally:
+        shadow.close(fd)
+    return 0
+
+
+def cmd_replay(args) -> int:
+    """Replay a JSON-lines trace against an image through the shadow
+    (read-only: effects land in the overlay, the image is untouched) and
+    diff actual vs recorded outcomes — the §4.3 post-error workflow."""
+    from repro.workloads.trace import replay_trace
+
+    shadow = _shadow_for(args)
+    with open(args.trace, "r") as stream:
+        results = replay_trace(shadow, stream)
+    mismatches = [
+        (index, actual, recorded)
+        for index, actual, recorded in results
+        if recorded is not None and not actual.same_outcome_as(recorded)
+    ]
+    print(f"replayed {len(results)} operations from {args.trace}")
+    for index, actual, recorded in mismatches[:20]:
+        print(f"  DISCREPANCY at op {index}: recorded {recorded}, shadow produced {actual}")
+    print(f"{len(mismatches)} discrepancies" if mismatches else "no discrepancies")
+    return 1 if mismatches else 0
+
+
+def cmd_bugstudy(args) -> int:
+    from repro.bugstudy import build_dataset, build_figure1, build_table1
+
+    records = build_dataset()
+    print(build_table1(records).render())
+    print()
+    print(build_figure1(records).render())
+    return 0
+
+
+def cmd_verify(args) -> int:
+    from repro.spec.verifier import BoundedVerifier
+
+    result = BoundedVerifier(max_depth=args.depth).run()
+    print(f"checked {result.sequences_checked} sequences ({result.ops_executed} ops) at depth {args.depth}")
+    for divergence in result.divergences[:20]:
+        print(f"  DIVERGENCE: {divergence}")
+    print("refinement holds" if result.ok else f"{len(result.divergences)} divergences")
+    return 0 if result.ok else 1
+
+
+def cmd_trustbase(args) -> int:
+    from repro.core.trustbase import trusted_code_report
+
+    print(trusted_code_report().render())
+    return 0
+
+
+def cmd_scrub(args) -> int:
+    from repro.core.scrubber import Scrubber
+    from repro.ondisk.superblock import Superblock
+    from repro.shadowfs.checks import CheckLevel
+
+    device = _open_image(args.image)
+    layout = Superblock.unpack(device.read_block(0), verify=False).layout()
+    level = CheckLevel.FULL if args.full else CheckLevel.BASIC
+    scrubber = Scrubber(device, layout, check_level=level)
+    findings = scrubber.full_pass()
+    print(
+        f"scrubbed {scrubber.stats.inodes_scanned} inodes, "
+        f"{scrubber.stats.dir_blocks_scanned} directory blocks ({level.name} checks)"
+    )
+    for finding in findings:
+        print(f"  FINDING: {finding}")
+    print(f"{len(findings)} findings" if findings else "image is sound")
+    device.close()
+    return 1 if findings else 0
+
+
+def cmd_experiments(args) -> int:
+    """Regenerate every paper table/figure and ablation in one command
+    (wraps the pytest benchmark suite with output unbuffered)."""
+    import subprocess
+
+    here = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    benchmarks = os.path.join(here, "benchmarks")
+    if not os.path.isdir(benchmarks):
+        sys.exit("error: benchmarks/ not found; run from a source checkout")
+    return subprocess.call(
+        [sys.executable, "-m", "pytest", benchmarks, "--benchmark-only", "-q", "-s"]
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.tools", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("mkfs", help="create and format an image file")
+    p.add_argument("image")
+    p.add_argument("--blocks", type=int, default=8192)
+    p.set_defaults(func=cmd_mkfs)
+
+    p = sub.add_parser("fsck", help="check (optionally repair) an image")
+    p.add_argument("image")
+    p.add_argument("--repair", action="store_true")
+    p.set_defaults(func=cmd_fsck)
+
+    p = sub.add_parser("inspect", help="superblock + namespace dump")
+    p.add_argument("image")
+    p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser("ls", help="list a directory via the shadow")
+    p.add_argument("image")
+    p.add_argument("path")
+    p.set_defaults(func=cmd_ls)
+
+    p = sub.add_parser("cat", help="print a file via the shadow")
+    p.add_argument("image")
+    p.add_argument("path")
+    p.set_defaults(func=cmd_cat)
+
+    p = sub.add_parser("replay", help="replay a trace via the shadow, diff outcomes")
+    p.add_argument("image")
+    p.add_argument("trace")
+    p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser("bugstudy", help="print Table 1 and Figure 1")
+    p.set_defaults(func=cmd_bugstudy)
+
+    p = sub.add_parser("verify", help="bounded shadow-vs-spec refinement")
+    p.add_argument("--depth", type=int, default=2)
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("trustbase", help="trusted-code-size report (§4.3)")
+    p.set_defaults(func=cmd_trustbase)
+
+    p = sub.add_parser("scrub", help="integrity-patrol an image (read-only)")
+    p.add_argument("image")
+    p.add_argument("--full", action="store_true", help="cross-structure checks too")
+    p.set_defaults(func=cmd_scrub)
+
+    p = sub.add_parser("experiments", help="regenerate all tables/figures/ablations")
+    p.set_defaults(func=cmd_experiments)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FsError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

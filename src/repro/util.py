@@ -1,0 +1,49 @@
+"""Small shared utilities: checksums, logical time, deterministic RNG.
+
+Nothing here depends on any other repro module.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+
+def checksum32(data: bytes) -> int:
+    """32-bit checksum used by on-disk structures (CRC-32 via zlib).
+
+    The real ext4 uses crc32c; plain crc32 has the same role here — detect
+    silent corruption of metadata blocks — and is available without C
+    extensions.
+    """
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+class LogicalClock:
+    """A monotonically increasing integer clock.
+
+    Filesystem timestamps in the reproduction are logical, not wall-clock:
+    determinism is what makes the base/shadow equivalence checks exact.
+    The clock ticks once per stamp by default.
+    """
+
+    def __init__(self, start: int = 1):
+        self._now = start
+
+    def now(self) -> int:
+        """Return the current time without advancing."""
+        return self._now
+
+    def tick(self) -> int:
+        """Advance the clock and return the new time."""
+        self._now += 1
+        return self._now
+
+
+def make_rng(seed: int) -> random.Random:
+    """A seeded ``random.Random`` — the only RNG source in the repo.
+
+    Workload generators and fault schedules all derive from explicit seeds
+    so that every experiment is replayable.
+    """
+    return random.Random(seed)

@@ -1,0 +1,179 @@
+"""The simulated application.
+
+§2.3: "The data pages are shared between the base and the shadow because
+only applications can detect their corruption."  This module is that
+application: it drives a workload against any
+:class:`~repro.api.FilesystemAPI`, remembers exactly what it wrote, and
+verifies what it reads — so after any recovery it can attest (or refute)
+that its view was preserved.
+
+Used by the availability benchmark (RAE vs crash-restart vs NVP), the
+crafted-image example, and the recovery property tests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.api import FilesystemAPI, FsOp, OpenFlags
+from repro.errors import FsError, RecoveryFailure
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.profiles import Profile
+
+
+@dataclass
+class AppStats:
+    ops_attempted: int = 0
+    ops_completed: int = 0
+    errnos: dict[str, int] = field(default_factory=dict)
+    runtime_failures: int = 0  # exceptions that are NOT errnos: lost availability
+    verify_checks: int = 0
+    corruption_detected: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of attempted operations that completed (ok or errno)."""
+        if not self.ops_attempted:
+            return 1.0
+        failed = self.runtime_failures
+        return (self.ops_attempted - failed) / self.ops_attempted
+
+
+class SimulatedApplication:
+    """Runs a profile's stream, tracking expected file contents.
+
+    ``expected`` maps path -> bytearray of what the app believes the
+    file holds; reads are verified against it.  The tracking is kept in
+    sync only for the write patterns the generator emits (sequential
+    writes through a fresh fd), which is sufficient to detect recovery
+    losing or corrupting data.
+    """
+
+    def __init__(self, fs: FilesystemAPI, profile: Profile, seed: int = 0, verify_reads: bool = True):
+        self.fs = fs
+        self.generator = WorkloadGenerator(profile, seed=seed)
+        self.verify_reads = verify_reads
+        self.stats = AppStats()
+        self.expected: dict[str, bytearray] = {}
+        self._fd_paths: dict[int, str] = {}
+        self._fd_offsets: dict[int, int] = {}
+
+    def run(self, n_ops: int, stop_on_runtime_failure: bool = True) -> AppStats:
+        operations = self.generator.ops(n_ops)
+        start = time.perf_counter()
+        for operation in operations:
+            self.stats.ops_attempted += 1
+            try:
+                self._execute(operation)
+                self.stats.ops_completed += 1
+            except FsError as err:
+                self.stats.errnos[err.errno.name] = self.stats.errnos.get(err.errno.name, 0) + 1
+                self.stats.ops_completed += 1  # an errno is a completed op
+            except (RecoveryFailure, Exception) as exc:  # noqa: BLE001
+                self.stats.runtime_failures += 1
+                if stop_on_runtime_failure:
+                    break
+        self.stats.elapsed_seconds += time.perf_counter() - start
+        return self.stats
+
+    # ------------------------------------------------------------------
+
+    def _execute(self, operation: FsOp) -> None:
+        name, args = operation.name, operation.args
+        fs = self.fs
+        if name == "open":
+            fd = fs.open(args["path"], OpenFlags(args.get("flags", 0)), args.get("perms", 0o644))
+            self._fd_paths[fd] = args["path"]
+            flags = OpenFlags(args.get("flags", 0))
+            self._fd_offsets[fd] = 0
+            if flags & OpenFlags.CREAT and args["path"] not in self.expected:
+                self.expected[args["path"]] = bytearray()
+            if flags & OpenFlags.TRUNC:
+                self.expected[args["path"]] = bytearray()
+            return
+        if name == "close":
+            fs.close(args["fd"])
+            self._fd_paths.pop(args["fd"], None)
+            self._fd_offsets.pop(args["fd"], None)
+            return
+        if name == "write":
+            fd = args["fd"]
+            data = args["data"]
+            n = fs.write(fd, data)
+            path = self._fd_paths.get(fd)
+            if path is not None and path in self.expected:
+                content = self.expected[path]
+                offset = len(content) if self._is_append(fd) else self._fd_offsets.get(fd, 0)
+                if offset > len(content):
+                    content.extend(b"\x00" * (offset - len(content)))
+                content[offset : offset + n] = data[:n]
+                self._fd_offsets[fd] = offset + n
+            return
+        if name == "read":
+            fd = args["fd"]
+            offset = self._fd_offsets.get(fd, 0)
+            data = fs.read(fd, args["length"])
+            path = self._fd_paths.get(fd)
+            if self.verify_reads and path is not None and path in self.expected:
+                self.stats.verify_checks += 1
+                expected = bytes(self.expected[path][offset : offset + len(data)])
+                if expected != data:
+                    self.stats.corruption_detected += 1
+            self._fd_offsets[fd] = offset + len(data)
+            return
+        if name == "truncate":
+            fs.truncate(args["path"], args["size"])
+            if args["path"] in self.expected:
+                content = self.expected[args["path"]]
+                size = args["size"]
+                if size < len(content):
+                    del content[size:]
+                else:
+                    content.extend(b"\x00" * (size - len(content)))
+            return
+        if name == "rename":
+            fs.rename(args["src"], args["dst"])
+            if args["src"] in self.expected:
+                self.expected[args["dst"]] = self.expected.pop(args["src"])
+            return
+        if name == "unlink":
+            fs.unlink(args["path"])
+            self.expected.pop(args["path"], None)
+            return
+        if name == "lseek":
+            new = fs.lseek(args["fd"], args["offset"], args.get("whence", 0))
+            self._fd_offsets[args["fd"]] = new
+            return
+        # Everything else has no content-tracking implications.
+        operation.apply(fs)
+
+    def _is_append(self, fd: int) -> bool:
+        try:
+            return bool(self.fs.fd_table.get(fd).flags & OpenFlags.APPEND)  # type: ignore[attr-defined]
+        except Exception:  # noqa: BLE001 — RAEFilesystem path
+            try:
+                return bool(self.fs.base.fd_table.get(fd).flags & OpenFlags.APPEND)  # type: ignore[attr-defined]
+            except Exception:  # noqa: BLE001
+                return False
+
+    def verify_all(self) -> int:
+        """Re-read every tracked file and count mismatches."""
+        mismatches = 0
+        for path in sorted(self.expected):
+            try:
+                fd = self.fs.open(path)
+            except FsError:
+                mismatches += 1
+                continue
+            try:
+                self.fs.lseek(fd, 0, 0)
+                content = self.fs.read(fd, len(self.expected[path]) + 1)
+            finally:
+                self.fs.close(fd)
+            self.stats.verify_checks += 1
+            if bytes(content) != bytes(self.expected[path]):
+                mismatches += 1
+                self.stats.corruption_detected += 1
+        return mismatches

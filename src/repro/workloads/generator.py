@@ -1,0 +1,287 @@
+"""The op-stream generator.
+
+Produces a deterministic, seeded stream of :class:`~repro.api.FsOp`
+drawn from a profile's weighted mix.  The generator maintains its own
+model of the namespace and fd table it is building — directories,
+files (with believed sizes), open descriptors and their offsets — so
+that:
+
+* emitted operations are valid (no ENOENT noise) against any conformant
+  implementation, which keeps differential runs meaningful;
+* fd numbers in emitted ops are correct by construction (it models the
+  lowest-free-≥3 rule);
+* the same seed yields byte-identical streams, making every experiment
+  replayable.
+
+The stream assumes operations succeed; run it on an adequately sized
+device (``estimate_blocks`` helps pick one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.api import FsOp, OpenFlags, op
+from repro.util import make_rng
+from repro.workloads.profiles import Profile
+
+_PAYLOAD = bytes(range(256)) * 64  # 16 KiB of patterned bytes to slice from
+
+
+@dataclass
+class _FileModel:
+    path: str
+    size: int = 0
+
+
+@dataclass
+class _FdModel:
+    fd: int
+    path: str
+    offset: int = 0
+
+
+class WorkloadGenerator:
+    def __init__(self, profile: Profile, seed: int = 0):
+        self.profile = profile
+        self.rng = make_rng(seed)
+        self._dirs: list[str] = ["/"]
+        self._files: dict[str, _FileModel] = {}
+        self._fds: dict[int, _FdModel] = {}
+        self._name_counter = 0
+        self._ops_emitted = 0
+
+    # ------------------------------------------------------------------
+    # model helpers
+
+    def _fresh_name(self, prefix: str) -> str:
+        self._name_counter += 1
+        return f"{prefix}{self._name_counter:05d}"
+
+    def _pick_dir(self) -> str:
+        return self.rng.choice(self._dirs)
+
+    def _pick_file(self) -> _FileModel | None:
+        if not self._files:
+            return None
+        return self._files[self.rng.choice(sorted(self._files))]
+
+    def _alloc_fd(self, path: str) -> _FdModel:
+        fd = 3
+        while fd in self._fds:
+            fd += 1
+        model = _FdModel(fd=fd, path=path)
+        self._fds[fd] = model
+        return model
+
+    def _join(self, directory: str, name: str) -> str:
+        return (directory.rstrip("/") or "") + "/" + name
+
+    # ------------------------------------------------------------------
+    # op constructors (each returns the ops and updates the model)
+
+    def _op_mkdir(self) -> list[FsOp]:
+        parent = self._pick_dir()
+        path = self._join(parent, self._fresh_name("dir"))
+        self._dirs.append(path)
+        return [op("mkdir", path=path)]
+
+    def _op_create(self) -> list[FsOp]:
+        parent = self._pick_dir()
+        path = self._join(parent, self._fresh_name("file"))
+        blocks = self.rng.randint(*self.profile.file_size_blocks)
+        size = blocks * 4096 // 2  # half-filled blocks keep images modest
+        ops = [op("open", path=path, flags=int(OpenFlags.CREAT))]
+        fd_model = self._alloc_fd(path)
+        written = 0
+        if size:
+            payload = self._payload(min(size, len(_PAYLOAD)))
+            ops.append(op("write", fd=fd_model.fd, data=payload))
+            fd_model.offset = written = len(payload)
+        ops.append(op("close", fd=fd_model.fd))
+        del self._fds[fd_model.fd]
+        self._files[path] = _FileModel(path=path, size=written)
+        return ops
+
+    def _op_write(self) -> list[FsOp]:
+        if self._fds and self.rng.random() < 0.6:
+            fd_model = self._fds[self.rng.choice(sorted(self._fds))]
+        else:
+            target = self._pick_file()
+            if target is None:
+                return self._op_create()
+            flags = OpenFlags.APPEND if self.profile.append_only else OpenFlags.NONE
+            fd_model = self._alloc_fd(target.path)
+            prefix = [op("open", path=target.path, flags=int(flags))]
+            payload = self._payload(self.rng.randint(*self.profile.io_size))
+            result = prefix + [op("write", fd=fd_model.fd, data=payload), op("close", fd=fd_model.fd)]
+            model = self._files.get(target.path)
+            if model is not None:
+                base = model.size if self.profile.append_only else 0
+                model.size = max(model.size, base + len(payload))
+            del self._fds[fd_model.fd]
+            return result
+        payload = self._payload(self.rng.randint(*self.profile.io_size))
+        model = self._files.get(fd_model.path)
+        if model is not None:
+            model.size = max(model.size, fd_model.offset + len(payload))
+        fd_model.offset += len(payload)
+        return [op("write", fd=fd_model.fd, data=payload)]
+
+    def _op_read(self) -> list[FsOp]:
+        target = self._pick_file()
+        if target is None:
+            return self._op_create()
+        length = self.rng.randint(*self.profile.io_size)
+        fd_model = self._alloc_fd(target.path)
+        ops = [
+            op("open", path=target.path),
+            op("read", fd=fd_model.fd, length=length),
+            op("close", fd=fd_model.fd),
+        ]
+        del self._fds[fd_model.fd]
+        return ops
+
+    def _op_open_close(self) -> list[FsOp]:
+        target = self._pick_file()
+        if target is None:
+            return self._op_create()
+        if len(self._fds) < self.profile.max_open_fds and self.rng.random() < 0.5:
+            fd_model = self._alloc_fd(target.path)
+            return [op("open", path=target.path)]
+        if self._fds:
+            fd = self.rng.choice(sorted(self._fds))
+            del self._fds[fd]
+            return [op("close", fd=fd)]
+        return [op("stat", path=target.path)]
+
+    def _op_unlink(self) -> list[FsOp]:
+        candidates = [p for p in self._files if not any(m.path == p for m in self._fds.values())]
+        if not candidates:
+            return self._op_create()
+        path = self.rng.choice(sorted(candidates))
+        del self._files[path]
+        return [op("unlink", path=path)]
+
+    def _op_rename(self) -> list[FsOp]:
+        candidates = [p for p in self._files if not any(m.path == p for m in self._fds.values())]
+        if not candidates:
+            return self._op_create()
+        src = self.rng.choice(sorted(candidates))
+        dst = self._join(self._pick_dir(), self._fresh_name("mv"))
+        model = self._files.pop(src)
+        model.path = dst
+        self._files[dst] = model
+        return [op("rename", src=src, dst=dst)]
+
+    def _op_stat(self) -> list[FsOp]:
+        target = self._pick_file()
+        if target is None:
+            return [op("stat", path=self._pick_dir())]
+        return [op("stat", path=target.path)]
+
+    def _op_readdir(self) -> list[FsOp]:
+        return [op("readdir", path=self._pick_dir())]
+
+    def _op_fsync(self) -> list[FsOp]:
+        if self._fds:
+            fd = self.rng.choice(sorted(self._fds))
+            return [op("fsync", fd=fd)]
+        target = self._pick_file()
+        if target is None:
+            return self._op_create()
+        fd_model = self._alloc_fd(target.path)
+        ops = [op("open", path=target.path), op("fsync", fd=fd_model.fd), op("close", fd=fd_model.fd)]
+        del self._fds[fd_model.fd]
+        return ops
+
+    def _op_truncate(self) -> list[FsOp]:
+        target = self._pick_file()
+        if target is None:
+            return self._op_create()
+        new_size = self.rng.randint(0, max(target.size, 1))
+        target.size = new_size
+        return [op("truncate", path=target.path, size=new_size)]
+
+    def _op_symlink(self) -> list[FsOp]:
+        target = self._pick_file()
+        if target is None:
+            return self._op_create()
+        path = self._join(self._pick_dir(), self._fresh_name("sym"))
+        return [op("symlink", target=target.path, path=path)]
+
+    def _op_link(self) -> list[FsOp]:
+        target = self._pick_file()
+        if target is None:
+            return self._op_create()
+        path = self._join(self._pick_dir(), self._fresh_name("lnk"))
+        self._files[path] = _FileModel(path=path, size=target.size)
+        return [op("link", existing=target.path, new=path)]
+
+    def _op_rmdir(self) -> list[FsOp]:
+        # Only remove dirs the generator knows are empty: ones it created
+        # and into which it never placed anything.  Track lazily: a dir is
+        # removable if no file/dir path lives under it.
+        removable = [
+            d
+            for d in self._dirs
+            if d != "/"
+            and not any(p.startswith(d + "/") for p in self._files)
+            and not any(other.startswith(d + "/") for other in self._dirs if other != d)
+        ]
+        if not removable:
+            return self._op_mkdir()
+        path = self.rng.choice(sorted(removable))
+        self._dirs.remove(path)
+        return [op("rmdir", path=path)]
+
+    # ------------------------------------------------------------------
+
+    def _payload(self, size: int) -> bytes:
+        start = self.rng.randrange(0, 4096)
+        data = (_PAYLOAD * (size // len(_PAYLOAD) + 2))[start : start + size]
+        return data
+
+    def prepopulate(self) -> list[FsOp]:
+        """Setup ops: directory skeleton + initial files."""
+        ops: list[FsOp] = []
+        for _ in range(self.profile.prepopulate_dirs):
+            ops.extend(self._op_mkdir())
+        for _ in range(self.profile.prepopulate_files):
+            ops.extend(self._op_create())
+        return ops
+
+    def stream(self) -> Iterator[FsOp]:
+        """The infinite measured stream."""
+        names = sorted(self.profile.weights)
+        weights = [self.profile.weights[n] for n in names]
+        dispatch = {
+            "mkdir": self._op_mkdir,
+            "create": self._op_create,
+            "write": self._op_write,
+            "read": self._op_read,
+            "open_close": self._op_open_close,
+            "unlink": self._op_unlink,
+            "rename": self._op_rename,
+            "stat": self._op_stat,
+            "readdir": self._op_readdir,
+            "fsync": self._op_fsync,
+            "truncate": self._op_truncate,
+            "symlink": self._op_symlink,
+            "link": self._op_link,
+            "rmdir": self._op_rmdir,
+        }
+        while True:
+            choice = self.rng.choices(names, weights=weights, k=1)[0]
+            for operation in dispatch[choice]():
+                self._ops_emitted += 1
+                yield operation
+
+    def ops(self, n: int, include_prepopulation: bool = True) -> list[FsOp]:
+        """A finite slice: prepopulation plus ``n`` measured operations."""
+        result = self.prepopulate() if include_prepopulation else []
+        stream = self.stream()
+        for _ in range(n):
+            result.append(next(stream))
+        return result

@@ -1,0 +1,145 @@
+"""Operation-trace serialization.
+
+§4.3 casts the shadow as "a valuable post-error testing tool" because
+"the sequence and outputs are recorded (input to the shadow)".  That
+only works if sequences can leave the process: this module serializes
+:class:`~repro.api.FsOp` streams (and optionally their outcomes) to
+JSON-lines, so a failing sequence can be captured on one machine and
+replayed against a shadow — or any implementation — on another.
+
+Format: one JSON object per line::
+
+    {"seq": 12, "op": "write", "args": {"fd": 3, "data": "aGVsbG8="},
+     "outcome": {"errno": null, "value": 5, "ino": null}}
+
+Bytes are base64 (``data`` argument, bytes-valued outcomes); a
+StatResult outcome becomes a dict tagged ``"stat"``.  ``outcome`` is
+optional — plain workload traces omit it, recorded op logs include it.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Iterable, Iterator, TextIO
+
+from repro.api import FsOp, OpResult, StatResult
+from repro.errors import Errno
+from repro.ondisk.inode import FileType
+
+
+def _encode_value(value):
+    if isinstance(value, (bytes, bytearray)):
+        return {"__bytes__": base64.b64encode(bytes(value)).decode("ascii")}
+    if isinstance(value, StatResult):
+        return {
+            "__stat__": {
+                "ino": value.ino,
+                "ftype": int(value.ftype),
+                "size": value.size,
+                "nlink": value.nlink,
+                "perms": value.perms,
+                "uid": value.uid,
+                "gid": value.gid,
+                "atime": value.atime,
+                "mtime": value.mtime,
+                "ctime": value.ctime,
+            }
+        }
+    if isinstance(value, list):
+        return [_encode_value(item) for item in value]
+    return value
+
+
+def _decode_value(value):
+    if isinstance(value, dict):
+        if "__bytes__" in value:
+            return base64.b64decode(value["__bytes__"])
+        if "__stat__" in value:
+            fields = dict(value["__stat__"])
+            fields["ftype"] = FileType(fields["ftype"])
+            return StatResult(**fields)
+    if isinstance(value, list):
+        return [_decode_value(item) for item in value]
+    return value
+
+
+def encode_record(op: FsOp, seq: int | None = None, outcome: OpResult | None = None) -> str:
+    """One trace line for an operation (optionally with its outcome)."""
+    record: dict = {"op": op.name, "args": {k: _encode_value(v) for k, v in op.args.items()}}
+    if seq is not None:
+        record["seq"] = seq
+    if outcome is not None:
+        record["outcome"] = {
+            "errno": int(outcome.errno) if outcome.errno is not None else None,
+            "value": _encode_value(outcome.value),
+            "ino": outcome.ino,
+        }
+    return json.dumps(record, sort_keys=True)
+
+
+def decode_record(line: str) -> tuple[int | None, FsOp, OpResult | None]:
+    """Parse one trace line back into (seq, op, outcome)."""
+    record = json.loads(line)
+    op = FsOp(name=record["op"], args={k: _decode_value(v) for k, v in record["args"].items()})
+    outcome = None
+    if "outcome" in record and record["outcome"] is not None:
+        raw = record["outcome"]
+        outcome = OpResult(
+            errno=Errno(raw["errno"]) if raw["errno"] is not None else None,
+            value=_decode_value(raw["value"]),
+            ino=raw["ino"],
+        )
+    return record.get("seq"), op, outcome
+
+
+def dump_trace(records: Iterable, stream: TextIO) -> int:
+    """Write a trace.  Accepts FsOp items, (seq, op) pairs, or objects
+    with ``.seq``/``.op``/``.outcome`` (i.e. OpRecord).  Returns count."""
+    count = 0
+    for item in records:
+        if isinstance(item, FsOp):
+            line = encode_record(item)
+        elif isinstance(item, tuple):
+            seq, op = item
+            line = encode_record(op, seq=seq)
+        else:
+            line = encode_record(item.op, seq=item.seq, outcome=item.outcome)
+        stream.write(line + "\n")
+        count += 1
+    return count
+
+
+def load_trace(stream: TextIO) -> Iterator[tuple[int | None, FsOp, OpResult | None]]:
+    """Iterate the records of a trace stream."""
+    for line in stream:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        yield decode_record(line)
+
+
+def replay_trace(fs, stream: TextIO, start_seq: int = 1) -> list[tuple[int, OpResult, OpResult | None]]:
+    """Replay a trace against any FilesystemAPI; returns
+    ``(index, actual, recorded-or-None)`` for every op, so callers can
+    diff actual vs recorded outcomes (the §4.3 discrepancy report).
+
+    Recorded inode numbers are pinned via ``ino_hint`` (constrained-mode
+    semantics) when the target implementation supports it, so allocation
+    policy differences never register as discrepancies.
+    """
+    results = []
+    for index, (seq, op, recorded) in enumerate(load_trace(stream)):
+        opseq = seq if seq is not None else start_seq + index
+        if (
+            recorded is not None
+            and recorded.ino is not None
+            and op.name in ("mkdir", "symlink", "open")
+            and hasattr(fs, "ino_hint")
+        ):
+            fs.ino_hint = recorded.ino
+        actual = op.apply(fs, opseq=opseq)
+        if hasattr(fs, "ino_hint"):
+            fs.ino_hint = None
+        results.append((index, actual, recorded))
+    return results

@@ -1,0 +1,104 @@
+"""Tests for repro.api: path validation, FsOp, OpResult."""
+
+import pytest
+
+from repro.api import (
+    FsOp,
+    OP_SIGNATURES,
+    OpResult,
+    OpenFlags,
+    op,
+    parent_and_name,
+    split_path,
+    validate_name,
+)
+from repro.errors import Errno, FsError
+from repro.spec.model import SpecFilesystem
+
+
+class TestPathValidation:
+    def test_root_splits_empty(self):
+        assert split_path("/") == []
+
+    def test_simple_paths(self):
+        assert split_path("/a") == ["a"]
+        assert split_path("/a/b/c") == ["a", "b", "c"]
+
+    def test_trailing_slash_tolerated(self):
+        assert split_path("/a/b/") == ["a", "b"]
+
+    def test_relative_rejected(self):
+        with pytest.raises(FsError) as e:
+            split_path("a/b")
+        assert e.value.errno == Errno.EINVAL
+
+    def test_double_slash_rejected(self):
+        with pytest.raises(FsError):
+            split_path("/a//b")
+
+    def test_dot_components_rejected(self):
+        for bad in ("/a/./b", "/.."):
+            with pytest.raises(FsError):
+                split_path(bad)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(FsError):
+            split_path(123)  # type: ignore[arg-type]
+
+    def test_name_too_long(self):
+        with pytest.raises(FsError) as e:
+            validate_name("x" * 256)
+        assert e.value.errno == Errno.ENAMETOOLONG
+
+    def test_illegal_characters(self):
+        with pytest.raises(FsError):
+            validate_name("a\x00b")
+        with pytest.raises(FsError):
+            validate_name("a/b")
+
+    def test_parent_and_name(self):
+        assert parent_and_name("/a/b/c") == (["a", "b"], "c")
+        assert parent_and_name("/top") == ([], "top")
+        with pytest.raises(FsError):
+            parent_and_name("/")
+
+
+class TestFsOp:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            FsOp(name="chmod", args={})
+
+    def test_unknown_arg_rejected(self):
+        with pytest.raises(ValueError):
+            op("mkdir", nonsense=1)
+
+    def test_signatures_cover_mutation_flag(self):
+        assert OP_SIGNATURES["stat"][1] is False
+        assert OP_SIGNATURES["write"][1] is True
+        assert OP_SIGNATURES["read"][1] is True  # advances fd offset
+        assert op("readdir", path="/").is_mutation is False
+
+    def test_apply_captures_errno(self):
+        spec = SpecFilesystem()
+        result = op("rmdir", path="/missing").apply(spec)
+        assert result.errno == Errno.ENOENT and not result.ok
+
+    def test_apply_captures_value_and_ino(self):
+        spec = SpecFilesystem()
+        result = op("mkdir", path="/d").apply(spec, opseq=1)
+        assert result.ok and result.ino is not None
+        fd_result = op("open", path="/f", flags=int(OpenFlags.CREAT)).apply(spec, opseq=2)
+        assert fd_result.value == 3 and fd_result.ino is not None
+
+    def test_describe_hides_payload_bytes(self):
+        text = op("write", fd=3, data=b"x" * 1000).describe()
+        assert "<1000B>" in text and "xxx" not in text
+
+
+class TestOpResult:
+    def test_same_outcome(self):
+        assert OpResult(value=1).same_outcome_as(OpResult(value=1))
+        assert not OpResult(value=1).same_outcome_as(OpResult(value=2))
+        assert not OpResult(errno=Errno.ENOENT).same_outcome_as(OpResult(value=None))
+        assert OpResult(errno=Errno.ENOENT).same_outcome_as(OpResult(errno=Errno.ENOENT))
+        assert not OpResult(value=1, ino=5).same_outcome_as(OpResult(value=1, ino=6))

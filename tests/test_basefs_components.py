@@ -1,0 +1,376 @@
+"""Tests for basefs support components: vfs, allocator, locks, hooks,
+writeback, journal manager."""
+
+import pytest
+
+from repro.api import OpenFlags
+from repro.basefs.allocator import AllocState, BlockAllocator, InodeAllocator
+from repro.basefs.hooks import HOOK_NAMES, HookPoints
+from repro.basefs.journal_mgr import JournalManager
+from repro.basefs.locks import LockManager
+from repro.basefs.vfs import FIRST_FD, FdState, FdTable
+from repro.basefs.writeback import WritebackDaemon, WritebackPolicy
+from repro.blockdev.cache import BufferCache
+from repro.blockdev.device import MemoryBlockDevice
+from repro.errors import Errno, FsError, InvariantViolation, KernelWarning
+from repro.ondisk.layout import BLOCK_SIZE, DiskLayout
+from repro.ondisk.mkfs import mkfs
+
+
+class TestFdTable:
+    def test_lowest_free_allocation(self):
+        table = FdTable()
+        assert table.allocate(10, OpenFlags.NONE).fd == FIRST_FD
+        assert table.allocate(11, OpenFlags.NONE).fd == FIRST_FD + 1
+        table.release(FIRST_FD)
+        assert table.allocate(12, OpenFlags.NONE).fd == FIRST_FD  # reused
+
+    def test_get_and_release_ebadf(self):
+        table = FdTable()
+        with pytest.raises(FsError) as e:
+            table.get(3)
+        assert e.value.errno == Errno.EBADF
+        with pytest.raises(FsError):
+            table.release(3)
+
+    def test_install_specific(self):
+        table = FdTable()
+        table.install(FdState(fd=7, ino=1, flags=OpenFlags.NONE, offset=5))
+        assert table.get(7).offset == 5
+        with pytest.raises(ValueError):
+            table.install(FdState(fd=7, ino=1, flags=OpenFlags.NONE))
+        with pytest.raises(ValueError):
+            table.install(FdState(fd=1, ino=1, flags=OpenFlags.NONE))
+
+    def test_fds_for_ino(self):
+        table = FdTable()
+        table.allocate(5, OpenFlags.NONE)
+        table.allocate(6, OpenFlags.NONE)
+        table.allocate(5, OpenFlags.NONE)
+        assert table.fds_for_ino(5) == [3, 5]
+
+    def test_snapshot_is_deep(self):
+        table = FdTable()
+        state = table.allocate(5, OpenFlags.NONE)
+        snap = table.snapshot()
+        state.offset = 100
+        assert snap[state.fd].offset == 0
+
+
+@pytest.fixture
+def alloc_state():
+    device = MemoryBlockDevice(block_count=4096)
+    mkfs(device)
+    layout = DiskLayout(block_count=4096)
+    return AllocState.load(layout, device.read_block), layout
+
+
+class TestAllocators:
+    def test_load_counts_match_mkfs(self, alloc_state):
+        state, layout = alloc_state
+        assert state.free_inodes == layout.inode_count - 2
+
+    def test_block_allocate_prefers_goal_group(self, alloc_state):
+        state, layout = alloc_state
+        allocator = BlockAllocator(state, HookPoints())
+        block = allocator.allocate(goal_group=2)
+        assert layout.group_of_block(block) == 2
+        assert not layout.is_metadata_block(block)
+
+    def test_block_free_is_deferred_until_commit(self, alloc_state):
+        state, _ = alloc_state
+        allocator = BlockAllocator(state, HookPoints())
+        block = allocator.allocate(0)
+        before = state.free_blocks
+        allocator.free(block)
+        assert state.free_blocks == before + 1
+        # The bit stays set until apply_pending_frees, so the block is
+        # not immediately reusable.
+        assert block in state.pending_free
+        second = allocator.allocate(0)
+        assert second != block
+        allocator.free(second)
+        assert allocator.apply_pending_frees() == 2
+        assert not state.pending_free
+
+    def test_double_free_detected(self, alloc_state):
+        state, _ = alloc_state
+        allocator = BlockAllocator(state, HookPoints())
+        block = allocator.allocate(0)
+        allocator.free(block)
+        with pytest.raises(InvariantViolation):
+            allocator.free(block)
+
+    def test_free_metadata_block_rejected(self, alloc_state):
+        state, _ = alloc_state
+        allocator = BlockAllocator(state, HookPoints())
+        with pytest.raises(InvariantViolation):
+            allocator.free(0)
+
+    def test_reservations_gate_allocation(self, alloc_state):
+        state, _ = alloc_state
+        allocator = BlockAllocator(state, HookPoints())
+        state.reserve(state.free_blocks)  # reserve everything
+        with pytest.raises(FsError) as e:
+            allocator.allocate(0)
+        assert e.value.errno == Errno.ENOSPC
+        # ... but charged allocation against the reservation works
+        allocator.allocate(0, charge_reservation=True)
+
+    def test_over_reserve_rejected(self, alloc_state):
+        state, _ = alloc_state
+        with pytest.raises(FsError):
+            state.reserve(state.free_blocks + 1)
+        with pytest.raises(InvariantViolation):
+            state.release_reservation(1)  # nothing outstanding
+
+    def test_inode_allocate_dirs_spread(self, alloc_state):
+        state, layout = alloc_state
+        allocator = InodeAllocator(state, HookPoints())
+        # group 0 has two used inodes; a directory goes to an emptier group.
+        ino = allocator.allocate(parent_group=0, is_dir=True)
+        assert layout.group_of_ino(ino) != 0
+
+    def test_inode_allocate_files_follow_parent(self, alloc_state):
+        state, layout = alloc_state
+        allocator = InodeAllocator(state, HookPoints())
+        ino = allocator.allocate(parent_group=1, is_dir=False)
+        assert layout.group_of_ino(ino) == 1
+
+    def test_inode_claim_and_free(self, alloc_state):
+        state, _ = alloc_state
+        allocator = InodeAllocator(state, HookPoints())
+        allocator.claim(100)
+        with pytest.raises(InvariantViolation):
+            allocator.claim(100)
+        allocator.free(100)
+        with pytest.raises(InvariantViolation):
+            allocator.free(100)
+
+
+class TestLockManager:
+    def test_acquire_release(self):
+        locks = LockManager(HookPoints())
+        locks.acquire(5)
+        locks.acquire(9)
+        assert locks.held == [5, 9]
+        locks.release(5)
+        assert locks.held == [9]
+        locks.release_all()
+        assert locks.held == []
+
+    def test_order_violation_counted_not_raised(self):
+        locks = LockManager(HookPoints())
+        locks.acquire(9)
+        locks.acquire(5)  # out of order: counted
+        assert locks.stats.order_violations == 1
+
+    def test_strict_mode_raises_warn(self):
+        locks = LockManager(HookPoints(), strict=True)
+        locks.acquire(9)
+        with pytest.raises(KernelWarning):
+            locks.acquire(5)
+
+    def test_acquire_pair_is_ordered(self):
+        locks = LockManager(HookPoints(), strict=True)
+        locks.acquire_pair(9, 5)
+        assert locks.held == [5, 9]
+
+    def test_recursive_acquire_counts_contention(self):
+        locks = LockManager(HookPoints())
+        locks.acquire(5)
+        locks.acquire(5)
+        assert locks.stats.contentions == 1
+        assert locks.held == [5]
+
+
+class TestHooks:
+    def test_fire_without_handlers_is_noop(self):
+        hooks = HookPoints()
+        hooks.fire("vfs.lookup", parent_ino=2, name="x")
+
+    def test_register_and_fire(self):
+        hooks = HookPoints()
+        seen = []
+        hooks.register("dir.insert", lambda point, ctx: seen.append(ctx["name"]))
+        hooks.fire("dir.insert", dir_ino=2, name="hello", child_ino=3)
+        assert seen == ["hello"]
+        assert hooks.fired["dir.insert"] == 1
+
+    def test_unknown_point_rejected(self):
+        hooks = HookPoints()
+        with pytest.raises(ValueError):
+            hooks.register("no.such.hook", lambda point, ctx: None)
+
+    def test_disabled_hooks_skip_handlers(self):
+        hooks = HookPoints()
+        hooks.register("mount", lambda point, ctx: (_ for _ in ()).throw(RuntimeError))
+        hooks.enabled = False
+        hooks.fire("mount")  # no raise
+
+    def test_handler_mutation_visible(self):
+        hooks = HookPoints()
+        hooks.register("truncate", lambda point, ctx: ctx.update(new_size=0))
+        ctx = hooks.fire("truncate", ino=1, old_size=10, new_size=5)
+        assert ctx["new_size"] == 0
+
+    def test_hook_names_cover_subsystems(self):
+        prefixes = {name.split(".")[0] for name in HOOK_NAMES}
+        assert {"vfs", "dir", "inode", "alloc", "page", "journal", "blkmq", "lock"} <= prefixes
+
+
+class FakeFs:
+    def __init__(self):
+        self.dirty_pages = 0
+        self.dirty_meta = 0
+        self.commits = 0
+
+    def dirty_page_count(self):
+        return self.dirty_pages
+
+    def dirty_metadata_count(self):
+        return self.dirty_meta
+
+    def commit(self):
+        self.commits += 1
+        self.dirty_pages = 0
+        self.dirty_meta = 0
+
+
+class TestWriteback:
+    def test_interval_commit(self):
+        fs = FakeFs()
+        daemon = WritebackDaemon(fs, WritebackPolicy(commit_interval_ops=3))
+        assert not daemon.tick() and not daemon.tick()
+        assert daemon.tick()
+        assert fs.commits == 1
+        assert daemon.stats.interval_commits == 1
+
+    def test_page_pressure_commit(self):
+        fs = FakeFs()
+        daemon = WritebackDaemon(fs, WritebackPolicy(dirty_page_high_water=5, commit_interval_ops=1000))
+        fs.dirty_pages = 5
+        assert daemon.tick()
+        assert daemon.stats.pressure_commits == 1
+
+    def test_metadata_pressure_commit(self):
+        fs = FakeFs()
+        daemon = WritebackDaemon(fs, WritebackPolicy(dirty_metadata_high_water=2, commit_interval_ops=1000))
+        fs.dirty_meta = 3
+        assert daemon.tick()
+
+    def test_external_commit_resets_interval(self):
+        fs = FakeFs()
+        daemon = WritebackDaemon(fs, WritebackPolicy(commit_interval_ops=2))
+        daemon.tick()
+        daemon.note_commit()
+        assert not daemon.tick()  # interval restarted
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            WritebackPolicy(commit_interval_ops=0)
+
+
+class TestJournalManager:
+    def make(self, validator=None, journal_blocks=64, block_count=2048, blocks_per_group=1024):
+        device = MemoryBlockDevice(block_count=block_count)
+        mkfs(device, blocks_per_group=blocks_per_group, journal_blocks=journal_blocks)
+        layout = DiskLayout(
+            block_count=block_count, blocks_per_group=blocks_per_group, journal_blocks=journal_blocks
+        )
+        cache = BufferCache(device, capacity=4096)
+        return JournalManager(device, layout, validator=validator), cache, layout, device
+
+    def test_commit_journals_then_writes_home(self):
+        mgr, cache, layout, device = self.make()
+        target = layout.data_start(0) + 5
+        cache.write(target, b"j" * BLOCK_SIZE)
+        mgr.commit({target: b"j" * BLOCK_SIZE}, cache)
+        assert device.read_block(target) == b"j" * BLOCK_SIZE
+        assert mgr.stats.commits == 1 and not cache.is_dirty(target)
+
+    def test_empty_commit_is_noop(self):
+        mgr, cache, _, _ = self.make()
+        mgr.commit({}, cache)
+        assert mgr.stats.commits == 0
+
+    def test_validator_blocks_bad_txn(self):
+        mgr, cache, layout, device = self.make(validator=lambda txn: ["bad block"])
+        target = layout.data_start(0) + 7  # +0 holds the root dir from mkfs
+        cache.write(target, b"x" * BLOCK_SIZE)
+        with pytest.raises(InvariantViolation):
+            mgr.commit({target: b"x" * BLOCK_SIZE}, cache)
+        assert device.read_block(target) == b"\x00" * BLOCK_SIZE  # nothing persisted
+        assert mgr.stats.validation_failures == 1
+
+    def test_large_txn_chunks(self):
+        # Chunking engages only past the descriptor tag budget (1016),
+        # so this needs a journal region bigger than the budget.
+        mgr, cache, layout, device = self.make(
+            journal_blocks=2048, block_count=8192, blocks_per_group=4096
+        )
+        from repro.ondisk.journal import MAX_TAGS
+
+        assert mgr.max_chunk == MAX_TAGS
+        txn = {}
+        base = layout.data_start(0) + 16
+        for i in range(mgr.max_chunk + 5):
+            block = base + i
+            data = bytes([i % 256]) * BLOCK_SIZE
+            cache.write(block, data)
+            txn[block] = data
+        mgr.commit(txn, cache)
+        assert mgr.stats.chunks == 2
+        # The group replays atomically (both chunks were final+non-final).
+        from repro.ondisk.journal import replay_journal
+
+        txns = replay_journal(device, layout, apply=False)
+        assert len(txns) == 2
+
+    def test_oversized_commit_rejected(self):
+        from repro.errors import InvariantViolation as IV
+
+        mgr, cache, layout, _ = self.make(journal_blocks=64)
+        txn = {}
+        base = layout.data_start(0) + 16
+        for i in range(120):  # two chunks cannot fit a 64-block journal
+            block = base + i
+            data = bytes([i % 256]) * BLOCK_SIZE
+            cache.write(block, data)
+            txn[block] = data
+        with pytest.raises(IV, match="journal-capacity|exceeds the journal"):
+            mgr.commit(txn, cache)
+
+    def test_crash_between_chunks_discards_group(self):
+        """A torn multi-chunk group must not replay partially."""
+        mgr, cache, layout, device = self.make(journal_blocks=256)
+        base = layout.data_start(0) + 16
+        writes_a = {base + i: bytes([1]) * BLOCK_SIZE for i in range(3)}
+        writes_b = {base + 10 + i: bytes([2]) * BLOCK_SIZE for i in range(3)}
+        mgr.writer.append(writes_a, more=True)  # non-final chunk...
+        # ...and the final chunk never lands (crash).
+        from repro.ondisk.journal import replay_journal
+
+        assert replay_journal(device, layout, apply=True) == []
+        assert device.read_block(base) == b"\x00" * BLOCK_SIZE
+        # Whereas a completed group replays whole.
+        mgr2, cache2, layout2, device2 = self.make(journal_blocks=256)
+        mgr2.writer.append(writes_a, more=True)
+        mgr2.writer.append(writes_b, more=False)
+        txns = replay_journal(device2, layout2, apply=True)
+        assert len(txns) == 2
+        assert device2.read_block(base) == bytes([1]) * BLOCK_SIZE
+        assert device2.read_block(base + 10) == bytes([2]) * BLOCK_SIZE
+
+    def test_auto_reset_when_full(self):
+        mgr, cache, layout, _ = self.make()
+        base = layout.data_start(0)
+        for round_number in range(6):
+            txn = {}
+            for i in range(15):
+                block = base + i
+                data = bytes([round_number]) * BLOCK_SIZE
+                cache.write(block, data)
+                txn[block] = data
+            mgr.commit(txn, cache)
+        assert mgr.stats.resets >= 1

@@ -1,0 +1,473 @@
+"""Behavioural tests for the base filesystem's POSIX surface.
+
+These run against ``BaseFilesystem`` directly (no RAE supervisor), with
+explicit opseq stamping via the ``seq`` fixture.
+"""
+
+import pytest
+
+from repro.api import OpenFlags
+from repro.basefs.filesystem import BaseFilesystem
+from repro.errors import Errno, FsError
+from repro.ondisk.inode import FileType, MAX_FILE_SIZE
+from repro.ondisk.layout import BLOCK_SIZE
+
+
+class TestNamespace:
+    def test_mkdir_and_stat(self, base, seq):
+        base.mkdir("/a", opseq=seq())
+        st = base.stat("/a")
+        assert st.ftype == FileType.DIRECTORY and st.nlink == 2 and st.size == BLOCK_SIZE
+
+    def test_mkdir_updates_parent(self, base, seq):
+        root_before = base.stat("/")
+        base.mkdir("/a", opseq=seq())
+        root_after = base.stat("/")
+        assert root_after.nlink == root_before.nlink + 1
+        assert root_after.mtime > root_before.mtime
+
+    def test_mkdir_eexist(self, base, seq):
+        base.mkdir("/a", opseq=seq())
+        with pytest.raises(FsError) as e:
+            base.mkdir("/a", opseq=seq())
+        assert e.value.errno == Errno.EEXIST
+
+    def test_mkdir_missing_parent(self, base, seq):
+        with pytest.raises(FsError) as e:
+            base.mkdir("/no/such", opseq=seq())
+        assert e.value.errno == Errno.ENOENT
+
+    def test_mkdir_through_file_is_enotdir(self, base, seq):
+        fd = base.open("/f", OpenFlags.CREAT, opseq=seq())
+        base.close(fd, opseq=seq())
+        with pytest.raises(FsError) as e:
+            base.mkdir("/f/sub", opseq=seq())
+        assert e.value.errno == Errno.ENOTDIR
+
+    def test_rmdir_empty_only(self, base, seq):
+        base.mkdir("/a", opseq=seq())
+        base.mkdir("/a/b", opseq=seq())
+        with pytest.raises(FsError) as e:
+            base.rmdir("/a", opseq=seq())
+        assert e.value.errno == Errno.ENOTEMPTY
+        base.rmdir("/a/b", opseq=seq())
+        base.rmdir("/a", opseq=seq())
+        assert base.readdir("/") == []
+
+    def test_rmdir_decrements_parent_nlink(self, base, seq):
+        base.mkdir("/a", opseq=seq())
+        base.rmdir("/a", opseq=seq())
+        assert base.stat("/").nlink == 2
+
+    def test_rmdir_of_file_is_enotdir(self, base, seq):
+        fd = base.open("/f", OpenFlags.CREAT, opseq=seq())
+        base.close(fd, opseq=seq())
+        with pytest.raises(FsError) as e:
+            base.rmdir("/f", opseq=seq())
+        assert e.value.errno == Errno.ENOTDIR
+
+    def test_unlink_of_dir_is_eisdir(self, base, seq):
+        base.mkdir("/a", opseq=seq())
+        with pytest.raises(FsError) as e:
+            base.unlink("/a", opseq=seq())
+        assert e.value.errno == Errno.EISDIR
+
+    def test_readdir_sorted_without_dots(self, base, seq):
+        for name in ("zeta", "alpha", "mid"):
+            base.mkdir(f"/{name}", opseq=seq())
+        assert base.readdir("/") == ["alpha", "mid", "zeta"]
+
+    def test_operations_on_root_rejected(self, base, seq):
+        for call in (lambda: base.mkdir("/", opseq=seq()), lambda: base.rmdir("/", opseq=seq()),
+                     lambda: base.unlink("/", opseq=seq())):
+            with pytest.raises(FsError) as e:
+                call()
+            assert e.value.errno == Errno.EINVAL
+
+    def test_many_entries_grow_directory(self, base, seq):
+        base.mkdir("/big", opseq=seq())
+        for i in range(600):
+            fd = base.open(f"/big/file-with-a-longish-name-{i:05d}", OpenFlags.CREAT, opseq=seq())
+            base.close(fd, opseq=seq())
+        assert base.stat("/big").size > BLOCK_SIZE
+        assert len(base.readdir("/big")) == 600
+
+
+class TestRename:
+    def test_simple_rename(self, base, seq):
+        base.mkdir("/a", opseq=seq())
+        fd = base.open("/a/f", OpenFlags.CREAT, opseq=seq())
+        base.close(fd, opseq=seq())
+        ino = base.stat("/a/f").ino
+        base.rename("/a/f", "/a/g", opseq=seq())
+        assert base.stat("/a/g").ino == ino
+        with pytest.raises(FsError):
+            base.stat("/a/f")
+
+    def test_cross_directory_rename_of_dir_updates_dotdot_and_nlinks(self, base, seq):
+        base.mkdir("/a", opseq=seq())
+        base.mkdir("/b", opseq=seq())
+        base.mkdir("/a/sub", opseq=seq())
+        a_nlink = base.stat("/a").nlink
+        b_nlink = base.stat("/b").nlink
+        base.rename("/a/sub", "/b/sub", opseq=seq())
+        assert base.stat("/a").nlink == a_nlink - 1
+        assert base.stat("/b").nlink == b_nlink + 1
+        # ".." now points at /b: rmdir /b/sub then /b works
+        base.rmdir("/b/sub", opseq=seq())
+        base.rmdir("/b", opseq=seq())
+
+    def test_rename_replaces_file(self, base, seq):
+        for name in ("src", "dst"):
+            fd = base.open(f"/{name}", OpenFlags.CREAT, opseq=seq())
+            base.write(fd, name.encode(), opseq=seq())
+            base.close(fd, opseq=seq())
+        base.rename("/src", "/dst", opseq=seq())
+        fd = base.open("/dst", opseq=seq())
+        assert base.read(fd, 10, opseq=seq()) == b"src"
+        base.close(fd, opseq=seq())
+        assert base.readdir("/") == ["dst"]
+
+    def test_rename_dir_onto_nonempty_dir_rejected(self, base, seq):
+        base.mkdir("/a", opseq=seq())
+        base.mkdir("/b", opseq=seq())
+        base.mkdir("/b/x", opseq=seq())
+        with pytest.raises(FsError) as e:
+            base.rename("/a", "/b", opseq=seq())
+        assert e.value.errno == Errno.ENOTEMPTY
+
+    def test_rename_dir_onto_empty_dir(self, base, seq):
+        base.mkdir("/a", opseq=seq())
+        base.mkdir("/b", opseq=seq())
+        base.rename("/a", "/b", opseq=seq())
+        assert base.readdir("/") == ["b"]
+
+    def test_rename_into_own_subtree_rejected(self, base, seq):
+        base.mkdir("/a", opseq=seq())
+        base.mkdir("/a/b", opseq=seq())
+        with pytest.raises(FsError) as e:
+            base.rename("/a", "/a/b/c", opseq=seq())
+        assert e.value.errno == Errno.EINVAL
+
+    def test_rename_same_file_is_noop(self, base, seq):
+        fd = base.open("/f", OpenFlags.CREAT, opseq=seq())
+        base.close(fd, opseq=seq())
+        base.link("/f", "/g", opseq=seq())
+        base.rename("/f", "/g", opseq=seq())  # same inode: POSIX no-op
+        assert base.readdir("/") == ["f", "g"]
+
+    def test_rename_type_mismatch(self, base, seq):
+        base.mkdir("/d", opseq=seq())
+        fd = base.open("/f", OpenFlags.CREAT, opseq=seq())
+        base.close(fd, opseq=seq())
+        with pytest.raises(FsError) as e:
+            base.rename("/d", "/f", opseq=seq())
+        assert e.value.errno == Errno.ENOTDIR
+        with pytest.raises(FsError) as e:
+            base.rename("/f", "/d", opseq=seq())
+        assert e.value.errno == Errno.EISDIR
+
+
+class TestLinksAndSymlinks:
+    def test_hard_link_shares_inode(self, base, seq):
+        fd = base.open("/f", OpenFlags.CREAT, opseq=seq())
+        base.write(fd, b"shared", opseq=seq())
+        base.close(fd, opseq=seq())
+        base.link("/f", "/g", opseq=seq())
+        assert base.stat("/f").ino == base.stat("/g").ino
+        assert base.stat("/f").nlink == 2
+        base.unlink("/f", opseq=seq())
+        fd = base.open("/g", opseq=seq())
+        assert base.read(fd, 10, opseq=seq()) == b"shared"
+        base.close(fd, opseq=seq())
+        assert base.stat("/g").nlink == 1
+
+    def test_link_to_directory_rejected(self, base, seq):
+        base.mkdir("/d", opseq=seq())
+        with pytest.raises(FsError) as e:
+            base.link("/d", "/d2", opseq=seq())
+        assert e.value.errno == Errno.EPERM
+
+    def test_symlink_resolution(self, base, seq):
+        base.mkdir("/real", opseq=seq())
+        base.symlink("/real", "/alias", opseq=seq())
+        fd = base.open("/alias/f", OpenFlags.CREAT, opseq=seq())
+        base.close(fd, opseq=seq())
+        assert base.readdir("/real") == ["f"]
+        assert base.readlink("/alias") == "/real"
+
+    def test_relative_symlink(self, base, seq):
+        base.mkdir("/a", opseq=seq())
+        base.mkdir("/a/target", opseq=seq())
+        base.symlink("target", "/a/rel", opseq=seq())
+        assert base.stat("/a/rel").ino == base.stat("/a/target").ino
+
+    def test_lstat_does_not_follow(self, base, seq):
+        base.mkdir("/d", opseq=seq())
+        base.symlink("/d", "/s", opseq=seq())
+        assert base.lstat("/s").ftype == FileType.SYMLINK
+        assert base.stat("/s").ftype == FileType.DIRECTORY
+
+    def test_symlink_loop_is_eloop(self, base, seq):
+        base.symlink("/b", "/a", opseq=seq())
+        base.symlink("/a", "/b", opseq=seq())
+        with pytest.raises(FsError) as e:
+            base.stat("/a")
+        assert e.value.errno == Errno.ELOOP
+
+    def test_dangling_symlink(self, base, seq):
+        base.symlink("/nowhere", "/s", opseq=seq())
+        with pytest.raises(FsError) as e:
+            base.stat("/s")
+        assert e.value.errno == Errno.ENOENT
+        # O_CREAT through the dangling link creates the target (POSIX).
+        fd = base.open("/s", OpenFlags.CREAT, opseq=seq())
+        base.close(fd, opseq=seq())
+        assert base.stat("/nowhere").ftype == FileType.REGULAR
+
+    def test_readlink_of_non_symlink(self, base, seq):
+        base.mkdir("/d", opseq=seq())
+        with pytest.raises(FsError) as e:
+            base.readlink("/d")
+        assert e.value.errno == Errno.EINVAL
+
+    def test_unlink_symlink_removes_link_only(self, base, seq):
+        base.mkdir("/d", opseq=seq())
+        base.symlink("/d", "/s", opseq=seq())
+        base.unlink("/s", opseq=seq())
+        assert base.stat("/d").ftype == FileType.DIRECTORY
+        with pytest.raises(FsError):
+            base.lstat("/s")
+
+
+class TestDataPath:
+    def test_write_read_roundtrip(self, base, seq):
+        fd = base.open("/f", OpenFlags.CREAT, opseq=seq())
+        payload = bytes(range(256)) * 100  # 25.6 KB across blocks
+        assert base.write(fd, payload, opseq=seq()) == len(payload)
+        base.lseek(fd, 0, 0, opseq=seq())
+        assert base.read(fd, len(payload), opseq=seq()) == payload
+        base.close(fd, opseq=seq())
+
+    def test_sparse_file_reads_zeros(self, base, seq):
+        fd = base.open("/f", OpenFlags.CREAT, opseq=seq())
+        base.lseek(fd, 3 * BLOCK_SIZE, 0, opseq=seq())
+        base.write(fd, b"end", opseq=seq())
+        base.lseek(fd, 0, 0, opseq=seq())
+        head = base.read(fd, BLOCK_SIZE, opseq=seq())
+        assert head == b"\x00" * BLOCK_SIZE
+        assert base.stat("/f").size == 3 * BLOCK_SIZE + 3
+        base.close(fd, opseq=seq())
+
+    def test_append_flag(self, base, seq):
+        fd = base.open("/log", OpenFlags.CREAT | OpenFlags.APPEND, opseq=seq())
+        base.write(fd, b"one", opseq=seq())
+        base.lseek(fd, 0, 0, opseq=seq())
+        base.write(fd, b"two", opseq=seq())  # APPEND ignores the seek
+        base.close(fd, opseq=seq())
+        fd = base.open("/log", opseq=seq())
+        assert base.read(fd, 10, opseq=seq()) == b"onetwo"
+        base.close(fd, opseq=seq())
+
+    def test_read_at_eof_empty(self, base, seq):
+        fd = base.open("/f", OpenFlags.CREAT, opseq=seq())
+        base.write(fd, b"xy", opseq=seq())
+        assert base.read(fd, 10, opseq=seq()) == b""  # offset at EOF
+        base.close(fd, opseq=seq())
+
+    def test_lseek_whence_variants(self, base, seq):
+        fd = base.open("/f", OpenFlags.CREAT, opseq=seq())
+        base.write(fd, b"0123456789", opseq=seq())
+        assert base.lseek(fd, 2, 0, opseq=seq()) == 2
+        assert base.lseek(fd, 3, 1, opseq=seq()) == 5
+        assert base.lseek(fd, -1, 2, opseq=seq()) == 9
+        with pytest.raises(FsError):
+            base.lseek(fd, -100, 0, opseq=seq())
+        with pytest.raises(FsError):
+            base.lseek(fd, 0, 9, opseq=seq())
+        base.close(fd, opseq=seq())
+
+    def test_open_trunc_clears(self, base, seq):
+        fd = base.open("/f", OpenFlags.CREAT, opseq=seq())
+        base.write(fd, b"content", opseq=seq())
+        base.close(fd, opseq=seq())
+        fd = base.open("/f", OpenFlags.TRUNC, opseq=seq())
+        assert base.stat("/f").size == 0
+        base.close(fd, opseq=seq())
+
+    def test_open_excl(self, base, seq):
+        fd = base.open("/f", OpenFlags.CREAT | OpenFlags.EXCL, opseq=seq())
+        base.close(fd, opseq=seq())
+        with pytest.raises(FsError) as e:
+            base.open("/f", OpenFlags.CREAT | OpenFlags.EXCL, opseq=seq())
+        assert e.value.errno == Errno.EEXIST
+
+    def test_open_excl_sees_dangling_symlink(self, base, seq):
+        base.symlink("/nowhere", "/s", opseq=seq())
+        with pytest.raises(FsError) as e:
+            base.open("/s", OpenFlags.CREAT | OpenFlags.EXCL, opseq=seq())
+        assert e.value.errno == Errno.EEXIST
+
+    def test_open_directory_is_eisdir(self, base, seq):
+        base.mkdir("/d", opseq=seq())
+        with pytest.raises(FsError) as e:
+            base.open("/d", opseq=seq())
+        assert e.value.errno == Errno.EISDIR
+
+    def test_bad_fd_is_ebadf(self, base, seq):
+        for call in (lambda: base.read(99, 1, opseq=seq()), lambda: base.write(99, b"x", opseq=seq()),
+                     lambda: base.close(99, opseq=seq()), lambda: base.fsync(99, opseq=seq())):
+            with pytest.raises(FsError) as e:
+                call()
+            assert e.value.errno == Errno.EBADF
+
+    def test_truncate_shrink_then_grow_zero_fills(self, base, seq):
+        fd = base.open("/f", OpenFlags.CREAT, opseq=seq())
+        base.write(fd, b"A" * 1000, opseq=seq())
+        base.close(fd, opseq=seq())
+        base.truncate("/f", 10, opseq=seq())
+        base.truncate("/f", 1000, opseq=seq())
+        fd = base.open("/f", opseq=seq())
+        data = base.read(fd, 1000, opseq=seq())
+        assert data[:10] == b"A" * 10 and data[10:] == b"\x00" * 990
+        base.close(fd, opseq=seq())
+
+    def test_truncate_frees_blocks(self, base, seq):
+        free_before = base.alloc.free_blocks
+        fd = base.open("/f", OpenFlags.CREAT, opseq=seq())
+        base.write(fd, b"B" * (20 * BLOCK_SIZE), opseq=seq())
+        base.fsync(fd, opseq=seq())
+        base.close(fd, opseq=seq())
+        base.truncate("/f", 0, opseq=seq())
+        base.commit()
+        assert base.alloc.free_blocks == free_before
+
+    def test_write_too_big_is_efbig(self, base, seq):
+        fd = base.open("/f", OpenFlags.CREAT, opseq=seq())
+        base.lseek(fd, MAX_FILE_SIZE - 1, 0, opseq=seq())
+        with pytest.raises(FsError) as e:
+            base.write(fd, b"xx", opseq=seq())
+        assert e.value.errno == Errno.EFBIG
+        base.close(fd, opseq=seq())
+
+    def test_unlinked_open_file_still_readable(self, base, seq):
+        fd = base.open("/f", OpenFlags.CREAT, opseq=seq())
+        base.write(fd, b"survivor", opseq=seq())
+        base.unlink("/f", opseq=seq())
+        base.lseek(fd, 0, 0, opseq=seq())
+        assert base.read(fd, 8, opseq=seq()) == b"survivor"
+        free_inodes = base.alloc.free_inodes
+        base.close(fd, opseq=seq())  # frees the orphan now
+        assert base.alloc.free_inodes == free_inodes + 1
+
+
+class TestDurability:
+    def test_remount_after_unmount_preserves_everything(self, device, seq):
+        fs = BaseFilesystem(device)
+        fs.mkdir("/d", opseq=seq())
+        fd = fs.open("/d/f", OpenFlags.CREAT, opseq=seq())
+        fs.write(fd, b"persist me", opseq=seq())
+        fs.close(fd, opseq=seq())
+        fs.unmount()
+        fs2 = BaseFilesystem(device)
+        fd = fs2.open("/d/f", opseq=seq())
+        assert fs2.read(fd, 100, opseq=seq()) == b"persist me"
+        fs2.close(fd, opseq=seq())
+        fs2.unmount()
+
+    def test_fsync_makes_durable_without_unmount(self, seq):
+        from tests.conftest import formatted_device
+
+        device = formatted_device(track_durability=True)
+        fs = BaseFilesystem(device)
+        fd = fs.open("/f", OpenFlags.CREAT, opseq=seq())
+        fs.write(fd, b"synced", opseq=seq())
+        fs.fsync(fd, opseq=seq())
+        fs.mkdir("/lost", opseq=seq())  # never committed
+        device.crash()
+        fs2 = BaseFilesystem(device)
+        fd = fs2.open("/f", opseq=seq())
+        assert fs2.read(fd, 10, opseq=seq()) == b"synced"
+        fs2.close(fd, opseq=seq())
+        with pytest.raises(FsError):
+            fs2.stat("/lost")
+        fs2.unmount()
+
+    def test_write_without_fsync_lost_on_crash(self, seq):
+        from tests.conftest import formatted_device
+
+        device = formatted_device(track_durability=True)
+        device.flush()
+        fs = BaseFilesystem(device)
+        fd = fs.open("/f", OpenFlags.CREAT, opseq=seq())
+        fs.write(fd, b"volatile", opseq=seq())
+        device.crash()
+        fs2 = BaseFilesystem(device)
+        with pytest.raises(FsError):
+            fs2.stat("/f")
+        fs2.unmount()
+
+    def test_commit_epoch_and_callbacks(self, base, seq):
+        epochs = []
+        base.on_commit.append(epochs.append)
+        fd = base.open("/f", OpenFlags.CREAT, opseq=seq())
+        base.fsync(fd, opseq=seq())
+        base.fsync(fd, opseq=seq())
+        base.close(fd, opseq=seq())
+        assert epochs == [1, 2]
+
+    def test_free_space_accounting_stable_across_remount(self, device, seq):
+        fs = BaseFilesystem(device)
+        fs.mkdir("/a", opseq=seq())
+        fd = fs.open("/a/f", OpenFlags.CREAT, opseq=seq())
+        fs.write(fd, b"y" * 50000, opseq=seq())
+        fs.close(fd, opseq=seq())
+        fs.unlink("/a/f", opseq=seq())
+        fs.unmount()
+        fs2 = BaseFilesystem(device)
+        assert fs2.alloc.free_blocks == fs2.sb.free_blocks
+        assert fs2.alloc.free_inodes == fs2.sb.free_inodes
+        fs2.unmount()
+
+
+class TestCachesInAction:
+    def test_dentry_cache_hits_on_repeat_lookup(self, base, seq):
+        base.mkdir("/a", opseq=seq())
+        base.stat("/a")
+        hits_before = base.dentry_cache.stats.hits
+        base.stat("/a")
+        assert base.dentry_cache.stats.hits > hits_before
+
+    def test_negative_dentry_after_miss(self, base, seq):
+        with pytest.raises(FsError):
+            base.stat("/ghost")
+        negative_before = base.dentry_cache.stats.negative_hits
+        with pytest.raises(FsError):
+            base.stat("/ghost")
+        assert base.dentry_cache.stats.negative_hits > negative_before
+
+    def test_readahead_populates_pages(self, base, seq):
+        fd = base.open("/f", OpenFlags.CREAT, opseq=seq())
+        base.write(fd, b"r" * (8 * BLOCK_SIZE), opseq=seq())
+        base.fsync(fd, opseq=seq())
+        base.close(fd, opseq=seq())
+        # Evict everything, then read sequentially.
+        base.page_cache.drop_all()
+        fd = base.open("/f", opseq=seq())
+        base.read(fd, BLOCK_SIZE, opseq=seq())
+        base.read(fd, BLOCK_SIZE, opseq=seq())
+        assert base.page_cache.stats.readahead_loads > 0
+        base.close(fd, opseq=seq())
+
+    def test_mount_replays_dirty_journal(self, seq):
+        from tests.conftest import formatted_device
+
+        device = formatted_device(track_durability=True)
+        device.flush()
+        fs = BaseFilesystem(device)
+        fs.mkdir("/committed", opseq=seq())
+        fs.commit()
+        device.crash()  # after commit: journal has the txn, home may lag
+        fs2 = BaseFilesystem(device)
+        assert fs2.stat("/committed").ftype == FileType.DIRECTORY
+        fs2.unmount()

@@ -1,0 +1,144 @@
+"""Large-file coverage: single- and double-indirect mapping paths on
+both implementations, partial truncation through the indirect trees,
+and fsck over the results.
+
+A double-indirect file needs > (12 + 1024) blocks = > 4,144 KiB, so
+these tests use a 64 MiB device and chunked writes.
+"""
+
+import pytest
+
+from repro.api import OpenFlags
+from repro.basefs.filesystem import BaseFilesystem
+from repro.fsck import Fsck
+from repro.ondisk.inode import N_DIRECT, PTRS_PER_BLOCK
+from repro.ondisk.layout import BLOCK_SIZE
+from repro.shadowfs.filesystem import ShadowFilesystem
+from tests.conftest import formatted_device
+
+DOUBLE_START = (N_DIRECT + PTRS_PER_BLOCK) * BLOCK_SIZE  # 4,243,456 bytes
+CHUNK = 64 * BLOCK_SIZE
+
+
+def write_big(fs, path, size, seq):
+    fd = fs.open(path, OpenFlags.CREAT, opseq=seq())
+    written = 0
+    pattern = bytes(range(256))
+    while written < size:
+        take = min(CHUNK, size - written)
+        data = (pattern * (take // 256 + 1))[:take]
+        fs.write(fd, data, opseq=seq())
+        written += take
+        if hasattr(fs, "commit"):
+            fs.commit()  # keep the dirty-page footprint bounded
+    return fd
+
+
+@pytest.fixture
+def big_device():
+    return formatted_device(block_count=16384)  # 64 MiB
+
+
+class TestBaseBigFiles:
+    def test_double_indirect_write_read(self, big_device, seq):
+        fs = BaseFilesystem(big_device)
+        size = DOUBLE_START + 5 * BLOCK_SIZE + 123
+        fd = write_big(fs, "/big", size, seq)
+        assert fs.stat("/big").size == size
+        slot = fs._iget(fs.stat("/big").ino)
+        assert slot.inode.indirect and slot.inode.double_indirect
+        # Read across the double-indirect boundary.
+        fs.lseek(fd, DOUBLE_START - 100, 0, opseq=seq())
+        data = fs.read(fd, 200, opseq=seq())
+        assert len(data) == 200
+        pattern = bytes(range(256))
+        fs.lseek(fd, 0, 0, opseq=seq())
+        head = fs.read(fd, 256, opseq=seq())
+        assert head == pattern
+        fs.close(fd, opseq=seq())
+        fs.unmount()
+        assert Fsck(big_device).run().clean
+
+    def test_truncate_into_single_indirect(self, big_device, seq):
+        fs = BaseFilesystem(big_device)
+        size = DOUBLE_START + 3 * BLOCK_SIZE
+        fd = write_big(fs, "/big", size, seq)
+        fs.close(fd, opseq=seq())
+        free_full = fs.alloc.free_blocks
+        new_size = (N_DIRECT + 50) * BLOCK_SIZE
+        fs.truncate("/big", new_size, opseq=seq())
+        fs.commit()
+        assert fs.alloc.free_blocks > free_full  # blocks returned
+        slot = fs._iget(fs.stat("/big").ino)
+        assert slot.inode.double_indirect == 0
+        assert slot.inode.indirect != 0
+        fs.unmount()
+        assert Fsck(big_device).run().clean
+
+    def test_truncate_mid_double_indirect(self, big_device, seq):
+        fs = BaseFilesystem(big_device)
+        size = DOUBLE_START + 600 * BLOCK_SIZE
+        fd = write_big(fs, "/big", size, seq)
+        fs.close(fd, opseq=seq())
+        keep = DOUBLE_START + 100 * BLOCK_SIZE
+        fs.truncate("/big", keep, opseq=seq())
+        fs.commit()
+        slot = fs._iget(fs.stat("/big").ino)
+        assert slot.inode.double_indirect != 0  # partially kept
+        fd = fs.open("/big", opseq=seq())
+        fs.lseek(fd, keep - 10, 0, opseq=seq())
+        assert len(fs.read(fd, 100, opseq=seq())) == 10  # clamped at size
+        fs.close(fd, opseq=seq())
+        fs.unmount()
+        assert Fsck(big_device).run().clean
+
+    def test_grow_after_shrink_reveals_zeros_across_boundary(self, big_device, seq):
+        fs = BaseFilesystem(big_device)
+        size = DOUBLE_START + BLOCK_SIZE
+        fd = write_big(fs, "/big", size, seq)
+        fs.truncate("/big", 100, opseq=seq())
+        fs.truncate("/big", size, opseq=seq())
+        fs.lseek(fd, DOUBLE_START, 0, opseq=seq())
+        assert fs.read(fd, 64, opseq=seq()) == b"\x00" * 64
+        fs.close(fd, opseq=seq())
+
+
+class TestShadowBigFiles:
+    def test_shadow_double_indirect(self, big_device, seq):
+        shadow = ShadowFilesystem(big_device)
+        size = DOUBLE_START + 2 * BLOCK_SIZE + 17
+        fd = shadow.open("/big", OpenFlags.CREAT, opseq=seq())
+        written = 0
+        while written < size:
+            take = min(CHUNK, size - written)
+            shadow.write(fd, b"S" * take, opseq=seq())
+            written += take
+        assert shadow.stat("/big").size == size
+        shadow.lseek(fd, DOUBLE_START, 0, opseq=seq())
+        assert shadow.read(fd, 4, opseq=seq()) == b"SSSS"
+        # shrink below the double-indirect region and verify accounting
+        free_before = shadow.sb.free_blocks
+        shadow.truncate("/big", BLOCK_SIZE, opseq=seq())
+        assert shadow.sb.free_blocks > free_before
+        shadow.close(fd, opseq=seq())
+
+    def test_base_and_shadow_agree_on_big_file(self, seq):
+        base = BaseFilesystem(formatted_device(16384))
+        shadow = ShadowFilesystem(formatted_device(16384))
+        size = DOUBLE_START + BLOCK_SIZE
+        for fs in (base, shadow):
+            fd = fs.open("/big", OpenFlags.CREAT, opseq=1)
+            written = 0
+            step = 0
+            while written < size:
+                take = min(CHUNK, size - written)
+                fs.write(fd, b"Z" * take, opseq=2 + step)
+                written += take
+                step += 1
+            fs.truncate("/big", size - 12345, opseq=100)
+            fs.close(fd, opseq=101)
+        assert base.stat("/big").size == shadow.stat("/big").size
+        from repro.spec import capture_state, states_equivalent
+
+        report = states_equivalent(capture_state(base), capture_state(shadow))
+        assert report.equivalent, str(report)

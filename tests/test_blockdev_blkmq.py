@@ -1,0 +1,128 @@
+"""Tests for repro.blockdev.blkmq."""
+
+import pytest
+
+from repro.blockdev.blkmq import BlockMQ, DeadlineScheduler, IoRequest, NoopScheduler
+from repro.blockdev.device import MemoryBlockDevice
+from repro.errors import DeviceError
+
+BS = 4096
+
+
+def make(nr_queues=4, scheduler=None) -> BlockMQ:
+    return BlockMQ(MemoryBlockDevice(block_count=64), nr_queues=nr_queues, scheduler=scheduler)
+
+
+def test_submit_does_not_touch_device():
+    mq = make()
+    mq.submit_write(5, b"a" * BS)
+    assert mq.device.read_block(5) == b"\x00" * BS
+    assert mq.depth == 1
+
+
+def test_pump_dispatches_and_completes():
+    mq = make()
+    req = mq.submit_write(5, b"a" * BS)
+    assert mq.pump() == 1
+    assert req.done and req.error is None
+    assert mq.device.read_block(5) == b"a" * BS
+
+
+def test_read_result_delivery():
+    mq = make()
+    mq.device.write_block(7, b"r" * BS)
+    req = mq.submit_read(7)
+    mq.pump()
+    assert req.result == b"r" * BS
+
+
+def test_completion_callback_fires():
+    mq = make()
+    seen = []
+    mq.submit_write(1, b"x" * BS, callback=lambda r: seen.append(r.block))
+    mq.pump()
+    assert seen == [1]
+
+
+def test_write_merge_same_block():
+    mq = make()
+    first = mq.submit_write(9, b"old" + b"\x00" * (BS - 3))
+    mq.submit_write(9, b"new" + b"\x00" * (BS - 3))
+    assert mq.stats.merged == 1
+    assert first.done  # superseded request completes immediately
+    mq.drain()
+    assert mq.device.read_block(9)[:3] == b"new"
+
+
+def test_queue_mapping_spreads_by_block():
+    mq = make(nr_queues=4)
+    assert mq.queue_for(0) != mq.queue_for(1)
+    assert mq.queue_for(0) == mq.queue_for(4)
+
+
+def test_pump_budget_limits_dispatch():
+    mq = make()
+    for block in range(10):
+        mq.submit_write(block, bytes([block]) * BS)
+    assert mq.pump(budget=3) == 3
+    assert mq.depth == 7
+    assert mq.drain() == 7
+
+
+def test_deadline_scheduler_orders_reads_first():
+    device = MemoryBlockDevice(block_count=64)
+    mq = BlockMQ(device, nr_queues=1, scheduler=DeadlineScheduler())
+    mq.submit_write(8, b"w" * BS)
+    mq.submit_read(4)
+    mq.pump()
+    done = [(r.op, r.block) for r in mq.reap()]
+    assert done == [("read", 4), ("write", 8)]
+
+
+def test_noop_scheduler_fifo():
+    device = MemoryBlockDevice(block_count=64)
+    mq = BlockMQ(device, nr_queues=1, scheduler=NoopScheduler())
+    mq.submit_write(8, b"w" * BS)
+    mq.submit_read(4)
+    mq.pump()
+    assert [(r.op, r.block) for r in mq.reap()] == [("write", 8), ("read", 4)]
+
+
+def test_device_error_captured_on_request():
+    mq = make()
+    req = mq.submit_read(9999) if False else mq.submit(IoRequest(op="read", block=63))
+    mq.device.close()
+    mq.pump()
+    assert req.done and isinstance(req.error, DeviceError)
+
+
+def test_wedged_layer_raises_on_submit():
+    mq = make()
+    mq.fail_submissions = True
+    with pytest.raises(DeviceError):
+        mq.submit_write(1, b"x" * BS)
+
+
+def test_submit_validates_requests():
+    mq = make()
+    with pytest.raises(ValueError):
+        mq.submit(IoRequest(op="scribble", block=0))
+    with pytest.raises(ValueError):
+        mq.submit(IoRequest(op="write", block=0, data=None))
+
+
+def test_flush_request():
+    mq = make()
+    req = mq.submit_flush()
+    mq.pump()
+    assert req.done and req.error is None
+
+
+def test_stats_track_depth_and_counts():
+    mq = make()
+    for block in range(6):
+        mq.submit_write(block, b"s" * BS)
+    assert mq.stats.submitted == 6
+    assert mq.stats.max_queue_depth >= 2
+    mq.drain()
+    assert mq.stats.dispatched == 6

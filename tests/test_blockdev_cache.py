@@ -1,0 +1,104 @@
+"""Tests for repro.blockdev.cache (buffer cache)."""
+
+import pytest
+
+from repro.blockdev.cache import BufferCache
+from repro.blockdev.device import CountingDevice, MemoryBlockDevice
+
+BS = 4096
+
+
+def make(capacity=4):
+    counting = CountingDevice(MemoryBlockDevice(block_count=64))
+    return BufferCache(counting, capacity=capacity), counting
+
+
+def test_read_caches():
+    cache, dev = make()
+    cache.read(3)
+    cache.read(3)
+    assert dev.reads == 1
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+
+def test_write_is_buffered():
+    cache, dev = make()
+    cache.write(3, b"d" * BS)
+    assert dev.writes == 0
+    assert cache.is_dirty(3)
+    assert cache.read(3) == b"d" * BS
+    assert dev.reads == 0  # served from cache
+
+
+def test_writeback_single():
+    cache, dev = make()
+    cache.write(3, b"d" * BS)
+    assert cache.writeback(3)
+    assert dev.writes == 1
+    assert not cache.is_dirty(3)
+    assert not cache.writeback(3)  # already clean
+
+
+def test_sync_flushes_all_dirty():
+    cache, dev = make(capacity=10)
+    for block in range(5):
+        cache.write(block, bytes([block]) * BS)
+    count = cache.sync()
+    assert count == 5
+    assert dev.writes == 5 and dev.flushes == 1
+    assert not cache.dirty_blocks
+
+
+def test_lru_evicts_clean_only():
+    cache, dev = make(capacity=2)
+    cache.write(0, b"a" * BS)  # dirty, pinned by dirtiness
+    cache.read(1)
+    cache.read(2)  # evicts block 1 (clean LRU), not dirty 0
+    assert cache.peek(0) is not None
+    assert cache.peek(1) is None
+    assert cache.stats.evictions == 1
+
+
+def test_all_dirty_forces_writeback_eviction():
+    cache, dev = make(capacity=2)
+    cache.write(0, b"a" * BS)
+    cache.write(1, b"b" * BS)
+    cache.write(2, b"c" * BS)  # over capacity, everything dirty
+    assert dev.writes == 1  # LRU dirty block force-written
+    assert cache.stats.writebacks == 1
+
+
+def test_invalidate_discards_dirty():
+    cache, dev = make()
+    cache.write(3, b"d" * BS)
+    cache.invalidate(3)
+    assert not cache.is_dirty(3)
+    assert cache.read(3) == b"\x00" * BS  # from device, not the lost write
+
+
+def test_drop_all():
+    cache, _ = make()
+    cache.write(1, b"x" * BS)
+    cache.read(2)
+    cache.drop_all()
+    assert len(cache) == 0
+    assert not cache.dirty_blocks
+
+
+def test_writeback_some_limits():
+    cache, dev = make(capacity=10)
+    for block in range(6):
+        cache.write(block, b"w" * BS)
+    assert cache.writeback_some(2) == 2
+    assert len(cache.dirty_blocks) == 4
+
+
+def test_rejects_bad_write_size():
+    cache, _ = make()
+    with pytest.raises(ValueError):
+        cache.write(0, b"small")
+
+
+def test_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        BufferCache(MemoryBlockDevice(block_count=4), capacity=0)

@@ -1,0 +1,141 @@
+"""Tests for repro.blockdev.device."""
+
+import os
+
+import pytest
+
+from repro.blockdev.device import (
+    CountingDevice,
+    FileBlockDevice,
+    MemoryBlockDevice,
+    WriteFencedDevice,
+)
+from repro.errors import DeviceError, ShadowWriteAttempt
+
+BS = 4096
+
+
+def test_memory_device_roundtrip():
+    dev = MemoryBlockDevice(block_count=8)
+    data = bytes(range(256)) * 16
+    dev.write_block(3, data)
+    assert dev.read_block(3) == data
+    assert dev.read_block(4) == b"\x00" * BS
+
+
+def test_memory_device_rejects_bad_geometry():
+    with pytest.raises(ValueError):
+        MemoryBlockDevice(block_size=1000)
+    with pytest.raises(ValueError):
+        MemoryBlockDevice(block_count=0)
+
+
+def test_memory_device_bounds():
+    dev = MemoryBlockDevice(block_count=4)
+    with pytest.raises(DeviceError):
+        dev.read_block(4)
+    with pytest.raises(DeviceError):
+        dev.write_block(-1, b"\x00" * BS)
+
+
+def test_memory_device_rejects_short_write():
+    dev = MemoryBlockDevice(block_count=4)
+    with pytest.raises(DeviceError):
+        dev.write_block(0, b"short")
+
+
+def test_memory_device_close_fences_io():
+    dev = MemoryBlockDevice(block_count=4)
+    dev.close()
+    with pytest.raises(DeviceError):
+        dev.read_block(0)
+    with pytest.raises(DeviceError):
+        dev.write_block(0, b"\x00" * BS)
+
+
+def test_durability_crash_discards_unflushed():
+    dev = MemoryBlockDevice(block_count=4, track_durability=True)
+    dev.write_block(1, b"a" * BS)
+    dev.flush()
+    dev.write_block(1, b"b" * BS)
+    dev.write_block(2, b"c" * BS)
+    dev.crash()
+    assert dev.read_block(1) == b"a" * BS
+    assert dev.read_block(2) == b"\x00" * BS
+
+
+def test_durability_crash_requires_tracking():
+    dev = MemoryBlockDevice(block_count=4)
+    with pytest.raises(DeviceError):
+        dev.crash()
+
+
+def test_snapshot_restore():
+    dev = MemoryBlockDevice(block_count=4)
+    dev.write_block(0, b"x" * BS)
+    image = dev.snapshot()
+    dev.write_block(0, b"y" * BS)
+    dev.restore(image)
+    assert dev.read_block(0) == b"x" * BS
+
+
+def test_restore_rejects_wrong_size():
+    dev = MemoryBlockDevice(block_count=4)
+    with pytest.raises(DeviceError):
+        dev.restore(b"tiny")
+
+
+def test_file_device_roundtrip(tmp_path):
+    path = tmp_path / "img"
+    dev = FileBlockDevice(path, block_count=8)
+    dev.write_block(5, b"z" * BS)
+    dev.flush()
+    dev.close()
+    dev2 = FileBlockDevice(path, block_count=8, readonly=True)
+    assert dev2.read_block(5) == b"z" * BS
+    dev2.close()
+
+
+def test_file_device_readonly_rejects_writes(tmp_path):
+    path = tmp_path / "img"
+    FileBlockDevice(path, block_count=4).close()
+    dev = FileBlockDevice(path, block_count=4, readonly=True)
+    with pytest.raises(DeviceError):
+        dev.write_block(0, b"\x00" * BS)
+    dev.flush()  # no-op on a read-only device
+    dev.close()
+
+
+def test_file_device_zero_fills_short_file(tmp_path):
+    path = tmp_path / "img"
+    path.write_bytes(b"abc")
+    dev = FileBlockDevice(path, block_count=4, readonly=True)
+    assert dev.read_block(0)[:3] == b"abc"
+    assert dev.read_block(3) == b"\x00" * BS
+    dev.close()
+
+
+def test_write_fence_blocks_all_mutation():
+    inner = MemoryBlockDevice(block_count=4)
+    inner.write_block(1, b"q" * BS)
+    fence = WriteFencedDevice(inner)
+    assert fence.read_block(1) == b"q" * BS
+    with pytest.raises(ShadowWriteAttempt):
+        fence.write_block(1, b"r" * BS)
+    with pytest.raises(ShadowWriteAttempt):
+        fence.flush()
+    assert inner.read_block(1) == b"q" * BS
+
+
+def test_counting_device_counts():
+    inner = MemoryBlockDevice(block_count=4)
+    dev = CountingDevice(inner)
+    dev.write_block(1, b"a" * BS)
+    dev.read_block(1)
+    dev.read_block(2)
+    dev.flush()
+    assert (dev.reads, dev.writes, dev.flushes) == (2, 1, 1)
+    assert dev.blocks_read == [1, 2]
+    assert dev.blocks_written == [1]
+    dev.reset_counts()
+    assert (dev.reads, dev.writes, dev.flushes) == (0, 0, 0)

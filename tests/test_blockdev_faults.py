@@ -1,0 +1,66 @@
+"""Tests for repro.blockdev.faults."""
+
+import pytest
+
+from repro.blockdev.device import MemoryBlockDevice
+from repro.blockdev.faults import DeviceFaultPlan, FaultyBlockDevice
+from repro.errors import DeviceError
+
+BS = 4096
+
+
+def make(plan: DeviceFaultPlan) -> FaultyBlockDevice:
+    inner = MemoryBlockDevice(block_count=8)
+    inner.write_block(2, b"\xaa" * BS)
+    return FaultyBlockDevice(inner, plan)
+
+
+def test_transient_read_error_then_recovers():
+    dev = make(DeviceFaultPlan().add_read_error(block=2, times=2))
+    for _ in range(2):
+        with pytest.raises(DeviceError) as excinfo:
+            dev.read_block(2)
+        assert excinfo.value.transient
+    assert dev.read_block(2) == b"\xaa" * BS
+    assert dev.faults_fired == 2
+
+
+def test_read_error_after_window():
+    dev = make(DeviceFaultPlan().add_read_error(block=2, times=1, after=1))
+    assert dev.read_block(2) == b"\xaa" * BS  # access 0 fine
+    with pytest.raises(DeviceError):
+        dev.read_block(2)  # access 1 fails
+    assert dev.read_block(2) == b"\xaa" * BS  # access 2 fine
+
+
+def test_other_blocks_unaffected():
+    dev = make(DeviceFaultPlan().add_read_error(block=2, times=99))
+    assert dev.read_block(3) == b"\x00" * BS
+
+
+def test_nonsticky_flip_corrupts_wire_only():
+    dev = make(DeviceFaultPlan().add_flip(block=2, offset=0, xor_byte=0xFF))
+    assert dev.read_block(2)[0] == 0x55  # 0xAA ^ 0xFF
+    # Underlying storage intact: remove the plan and read clean.
+    clean = FaultyBlockDevice(dev, DeviceFaultPlan())
+    # reading through the same faulty device still corrupts; check inner
+    assert dev._inner.read_block(2)[0] == 0xAA
+
+
+def test_sticky_flip_damages_storage():
+    dev = make(DeviceFaultPlan().add_flip(block=2, offset=1, xor_byte=0x0F, sticky=True))
+    first = dev.read_block(2)
+    assert first[1] == 0xAA ^ 0x0F
+    # Damage persisted: even the inner device now sees it.
+    assert dev._inner.read_block(2)[1] == 0xAA ^ 0x0F
+    assert dev.faults_fired == 1
+    # Subsequent reads see the same damage but do not re-fire.
+    assert dev.read_block(2)[1] == 0xAA ^ 0x0F
+    assert dev.faults_fired == 1
+
+
+def test_writes_pass_through():
+    dev = make(DeviceFaultPlan())
+    dev.write_block(4, b"\x11" * BS)
+    assert dev.read_block(4) == b"\x11" * BS
+    dev.flush()

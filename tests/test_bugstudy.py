@@ -1,0 +1,97 @@
+"""Tests for the bug study: classifiers, dataset, Table 1, Figure 1."""
+
+from repro.bugstudy import (
+    BugRecord,
+    PAPER_TABLE1,
+    PAPER_YEARS,
+    build_dataset,
+    build_figure1,
+    build_table1,
+    classify_consequence,
+    classify_determinism,
+)
+
+
+def record(**overrides) -> BugRecord:
+    fields = dict(
+        bug_id="b-1",
+        year=2020,
+        title="ext4: fix something",
+        message="plain message",
+        has_reproducer=True,
+        tags=frozenset(),
+    )
+    fields.update(overrides)
+    return BugRecord(**fields)
+
+
+class TestClassifiers:
+    def test_reproducer_means_deterministic(self):
+        assert classify_determinism(record(has_reproducer=True)) == "deterministic"
+
+    def test_no_reproducer_means_nondeterministic(self):
+        assert classify_determinism(record(has_reproducer=False)) == "nondeterministic"
+
+    def test_io_tags_mean_nondeterministic(self):
+        assert classify_determinism(record(tags=frozenset({"blk-mq"}))) == "nondeterministic"
+        assert classify_determinism(record(message="needs multiple inflight requests")) == "nondeterministic"
+
+    def test_threading_means_nondeterministic(self):
+        assert classify_determinism(record(tags=frozenset({"race"}))) == "nondeterministic"
+        assert classify_determinism(record(message="a race condition in unlink")) == "nondeterministic"
+
+    def test_no_information_is_unknown(self):
+        assert classify_determinism(record(has_reproducer=None)) == "unknown"
+
+    def test_crash_markers(self):
+        assert classify_consequence(record(message="NULL pointer dereference in foo")) == "crash"
+        assert classify_consequence(record(message="use-after-free when remounting")) == "crash"
+
+    def test_warn_beats_crash_language(self):
+        msg = "hits a WARN_ON before the oops can happen"
+        assert classify_consequence(record(message=msg)) == "warn"
+
+    def test_nocrash_markers(self):
+        assert classify_consequence(record(message="leads to data corruption")) == "nocrash"
+        assert classify_consequence(record(message="causes a deadlock under load")) == "nocrash"
+
+    def test_no_clues_is_unknown(self):
+        assert classify_consequence(record(message="clean up return codes")) == "unknown"
+
+
+class TestDataset:
+    def test_size_and_determinism(self):
+        records = build_dataset()
+        assert len(records) == 256
+        assert build_dataset() == records  # deterministic
+
+    def test_table1_reproduces_paper_exactly(self):
+        table = build_table1(build_dataset())
+        assert table.counts == PAPER_TABLE1
+        assert table.total == 256
+        assert table.row_total("deterministic") == 165
+        assert table.detected_deterministic == 89  # the headline number
+
+    def test_figure1_totals_and_trend(self):
+        figure = build_figure1(build_dataset())
+        assert figure.total == 165
+        assert {y: figure.year_total(y) for y in sorted(figure.by_year)} == PAPER_YEARS
+        # The paper's observation: "More bugs are fixed in recent years."
+        early = sum(PAPER_YEARS[y] for y in range(2013, 2018))
+        late = sum(PAPER_YEARS[y] for y in range(2019, 2024))
+        assert late > early
+
+    def test_renders(self):
+        records = build_dataset()
+        table_text = build_table1(records).render()
+        assert "Deterministic" in table_text and "165" in table_text
+        figure_text = build_figure1(records).render()
+        assert "2013" in figure_text and "2023" in figure_text
+
+    def test_unique_ids(self):
+        records = build_dataset()
+        assert len({r.bug_id for r in records}) == 256
+
+    def test_sources_follow_methodology(self):
+        # Every record carries the paper's filter criterion.
+        assert all(r.source in ("bugzilla", "reported-by") for r in build_dataset())

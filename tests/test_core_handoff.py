@@ -1,0 +1,119 @@
+"""Tests for the metadata-downloading interfaces and handoff module."""
+
+import pytest
+
+from repro.api import OpenFlags, op
+from repro.basefs.filesystem import BaseFilesystem
+from repro.core.handoff import download_metadata
+from repro.core.oplog import OpLog
+from repro.core.reboot import contained_reboot
+from repro.errors import InvariantViolation, RecoveryFailure
+from repro.ondisk.image import clone_to_memory
+from repro.shadowfs.filesystem import ShadowFilesystem
+from repro.shadowfs.output import MetadataUpdate
+from repro.shadowfs.replay import ReplayEngine
+from tests.conftest import formatted_device
+
+
+def build_update(seq):
+    """Run a window on a base, replay it in a shadow, return everything."""
+    device = formatted_device()
+    base = BaseFilesystem(device)
+    log = OpLog()
+    operations = [
+        op("mkdir", path="/h"),
+        op("open", path="/h/file", flags=int(OpenFlags.CREAT)),
+        op("write", fd=3, data=b"handoff me" * 200),
+    ]
+    for operation in operations:
+        s = seq()
+        log.record(s, operation, operation.apply(base, opseq=s))
+    shadow = ShadowFilesystem(clone_to_memory(device))
+    update = ReplayEngine(shadow).run(log.entries, {}, None)
+    return device, base, update
+
+
+class TestAbsorbInterfaces:
+    def test_full_download_roundtrip(self, seq):
+        device, old_base, update = build_update(seq)
+        reboot = contained_reboot(old_base, device)
+        fs = reboot.fs
+        download_metadata(fs, update)
+        # The namespace and data exist purely via absorbed (dirty) state.
+        assert fs.readdir("/h") == ["file"]
+        fd_nums = fs.fd_table.open_fds()
+        assert fd_nums == [3]
+        # ... and survive a commit + fsck.
+        fs.commit()
+        fs.unmount()
+        from repro.fsck import Fsck
+
+        assert Fsck(device).run().clean
+
+    def test_absorb_metadata_skips_superblock(self, seq):
+        device, old_base, update = build_update(seq)
+        fs = contained_reboot(old_base, device).fs
+        generation = fs.sb.write_generation
+        fs.absorb_metadata({0: b"\x00" * 4096, **update.metadata_blocks}, update.roles)
+        assert fs.sb.write_generation == generation  # block 0 ignored
+        assert fs.cache.peek(0) is None
+
+    def test_absorb_accounting_cross_checks(self, seq):
+        device, old_base, update = build_update(seq)
+        fs = contained_reboot(old_base, device).fs
+        fs.absorb_metadata(update.metadata_blocks, update.roles)
+        with pytest.raises(InvariantViolation, match="accounting mismatch"):
+            fs.absorb_accounting(update.free_blocks + 5, update.free_inodes)
+
+    def test_absorb_fd_table_requires_empty(self, seq):
+        device, old_base, update = build_update(seq)
+        fs = contained_reboot(old_base, device).fs
+        fs.absorb_metadata(update.metadata_blocks, update.roles)
+        fs.absorb_accounting(update.free_blocks, update.free_inodes)
+        fs.absorb_fd_table(update.fd_table)
+        with pytest.raises(InvariantViolation, match="fd table"):
+            fs.absorb_fd_table(update.fd_table)
+
+    def test_download_metadata_wraps_errors(self, seq):
+        device, old_base, update = build_update(seq)
+        fs = contained_reboot(old_base, device).fs
+        update.free_blocks += 1  # poison the accounting
+        with pytest.raises(RecoveryFailure) as e:
+            download_metadata(fs, update)
+        assert e.value.phase == "handoff"
+
+    def test_touched_inos_invalidate_stale_pages(self, seq):
+        device, old_base, update = build_update(seq)
+        fs = contained_reboot(old_base, device).fs
+        # Plant a stale page for an inode the shadow touched.
+        victim_ino = next(iter(update.touched_inos))
+        fs.page_cache.install(victim_ino, 0, b"\xba" * 4096, dirty=False)
+        download_metadata(fs, update)
+        page = fs.page_cache.lookup(victim_ino, 0)
+        # Either dropped, or replaced by the shadow's authoritative copy.
+        assert page is None or bytes(page.data) != b"\xba" * 4096
+
+
+class TestMetadataUpdateShape:
+    def test_roles_cover_all_blocks(self, seq):
+        _device, _base, update = build_update(seq)
+        assert set(update.roles) == set(update.metadata_blocks)
+        assert {"bitmap", "itable", "dir"} <= set(update.roles.values())
+
+    def test_data_separated_from_metadata(self, seq):
+        _device, _base, update = build_update(seq)
+        assert update.data_pages  # the write produced file data
+        assert update.total_blocks == len(update.metadata_blocks) + len(update.data_pages)
+        # data page content is the written bytes
+        first = min(update.data_pages)
+        assert update.data_pages[first][:10] == b"handoff me"
+
+    def test_summary_renders(self, seq):
+        _device, _base, update = build_update(seq)
+        text = update.summary()
+        assert "metadata blocks" in text and "fds" in text
+
+    def test_empty_update(self):
+        update = MetadataUpdate()
+        assert update.total_blocks == 0
+        assert "0 metadata blocks" in update.summary()

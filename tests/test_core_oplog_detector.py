@@ -1,0 +1,97 @@
+"""Tests for repro.core.oplog and repro.core.detector."""
+
+import pytest
+
+from repro.api import OpResult, OpenFlags, op
+from repro.basefs.vfs import FdState
+from repro.core.detector import Detector, ErrorKind, WarnPolicy
+from repro.core.oplog import OpLog
+from repro.errors import (
+    DeviceError,
+    Errno,
+    FsError,
+    InvariantViolation,
+    KernelBug,
+    KernelWarning,
+)
+
+
+class TestOpLog:
+    def test_record_and_len(self):
+        log = OpLog()
+        log.record(1, op("mkdir", path="/a"), OpResult())
+        log.record(2, op("stat", path="/a"), OpResult())
+        assert len(log) == 2
+        assert log.stats.recorded == 2
+
+    def test_truncate_clears_and_snapshots(self):
+        log = OpLog()
+        log.record(1, op("mkdir", path="/a"), OpResult())
+        fds = {3: FdState(fd=3, ino=7, flags=OpenFlags.NONE, offset=9)}
+        log.truncate(fds)
+        assert len(log) == 0
+        assert log.fd_snapshot[3].offset == 9
+        assert log.stats.truncations == 1
+
+    def test_truncate_snapshot_is_deep(self):
+        log = OpLog()
+        state = FdState(fd=3, ino=7, flags=OpenFlags.NONE)
+        log.truncate({3: state})
+        state.offset = 100
+        assert log.fd_snapshot[3].offset == 0
+
+    def test_max_entries_high_water(self):
+        log = OpLog()
+        for i in range(5):
+            log.record(i, op("mkdir", path=f"/d{i}"), OpResult())
+        log.truncate({})
+        log.record(9, op("mkdir", path="/z"), OpResult())
+        assert log.stats.max_entries == 5
+
+    def test_approximate_bytes_counts_payloads(self):
+        log = OpLog()
+        small = log.approximate_bytes()
+        log.record(1, op("write", fd=3, data=b"x" * 10_000), OpResult(value=10_000))
+        assert log.approximate_bytes() > small + 9_000
+
+    def test_record_describe(self):
+        log = OpLog()
+        record = log.record(4, op("rmdir", path="/a"), OpResult(errno=Errno.ENOENT))
+        assert "ENOENT" in record.describe()
+        ok = log.record(5, op("mkdir", path="/a"), OpResult())
+        assert ok.describe().endswith("ok")
+
+
+class TestDetector:
+    def test_classification(self):
+        detector = Detector()
+        cases = [
+            (KernelBug("x"), ErrorKind.BUG),
+            (KernelWarning("x"), ErrorKind.WARN),
+            (InvariantViolation("x"), ErrorKind.INVARIANT),
+            (DeviceError("x"), ErrorKind.DEVICE),
+            (RuntimeError("x"), ErrorKind.UNEXPECTED),
+        ]
+        for exc, expected in cases:
+            assert detector.classify(exc).kind == expected
+        assert detector.stats.total == 5
+        assert len(detector.history) == 5
+
+    def test_fserror_is_rejected(self):
+        detector = Detector()
+        with pytest.raises(AssertionError):
+            detector.classify(FsError(Errno.ENOENT))
+
+    def test_warn_policy(self):
+        recover = Detector(warn_policy=WarnPolicy.RECOVER)
+        ignore = Detector(warn_policy=WarnPolicy.IGNORE)
+        warn = KernelWarning("w")
+        assert recover.should_recover(recover.classify(warn))
+        assert not ignore.should_recover(ignore.classify(warn))
+        # Non-WARN errors always recover regardless of policy.
+        assert ignore.should_recover(ignore.classify(KernelBug("b")))
+
+    def test_describe_includes_context(self):
+        detector = Detector()
+        detected = detector.classify(KernelBug("boom"), seq=42, op_name="mkdir")
+        assert "op #42" in detected.describe() and "mkdir" in detected.describe()

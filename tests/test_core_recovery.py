@@ -1,0 +1,125 @@
+"""Tests for contained reboot, hand-off, and the recovery coordinator."""
+
+import pytest
+
+from repro.api import OpenFlags, op
+from repro.basefs.filesystem import BaseFilesystem
+from repro.core.oplog import OpLog
+from repro.core.reboot import contained_reboot
+from repro.core.recovery import run_recovery
+from repro.errors import FsError, KernelBug, RecoveryFailure
+from repro.fsck import Fsck
+from repro.ondisk.inode import FileType
+from tests.conftest import formatted_device
+
+
+class TestContainedReboot:
+    def test_reboot_discards_uncommitted_state(self, device, seq):
+        fs = BaseFilesystem(device)
+        fs.mkdir("/committed", opseq=seq())
+        fs.commit()
+        fs.mkdir("/volatile", opseq=seq())
+        result = contained_reboot(fs, device)
+        new_fs = result.fs
+        assert new_fs.stat("/committed").ftype == FileType.DIRECTORY
+        with pytest.raises(FsError):
+            new_fs.stat("/volatile")
+
+    def test_old_instance_is_fenced(self, device, seq):
+        fs = BaseFilesystem(device)
+        result = contained_reboot(fs, device)
+        from repro.errors import InvariantViolation
+
+        with pytest.raises(InvariantViolation):
+            fs.mkdir("/nope", opseq=seq())
+        result.fs.mkdir("/yes", opseq=seq())
+
+    def test_pages_preserved_as_clean(self, device, seq):
+        fs = BaseFilesystem(device)
+        fd = fs.open("/f", OpenFlags.CREAT, opseq=seq())
+        fs.write(fd, b"x" * 5000, opseq=seq())
+        result = contained_reboot(fs, device)
+        assert result.preserved_pages
+        assert all(not page.dirty for page in result.preserved_pages.values())
+
+    def test_hooks_survive(self, device, hooks, seq):
+        fired = []
+        hooks.register("mount", lambda point, ctx: fired.append(1))
+        fs = BaseFilesystem(device, hooks=hooks)
+        result = contained_reboot(fs, device)
+        assert result.fs.hooks is hooks
+        assert len(fired) == 2  # original mount + reboot mount
+
+    def test_journal_replayed_on_reboot(self, seq):
+        device = formatted_device(track_durability=True)
+        device.flush()
+        fs = BaseFilesystem(device)
+        fs.mkdir("/durable", opseq=seq())
+        fs.commit()
+        device.crash()
+        fs2 = BaseFilesystem(device)  # crash-remount replays
+        # replayed_txns can be 0 if home writes beat the crash; the state
+        # is what matters:
+        assert fs2.stat("/durable").ftype == FileType.DIRECTORY
+
+
+class TestRunRecovery:
+    def build_window(self, device, seq):
+        """A base with an uncommitted window and a populated oplog."""
+        fs = BaseFilesystem(device)
+        log = OpLog()
+        operations = [
+            op("mkdir", path="/w"),
+            op("open", path="/w/f", flags=int(OpenFlags.CREAT)),
+            op("write", fd=3, data=b"window data" * 100),
+        ]
+        for operation in operations:
+            s = seq()
+            outcome = operation.apply(fs, opseq=s)
+            log.record(s, operation, outcome)
+        return fs, log
+
+    def test_recovery_reconstructs_window(self, device, seq):
+        fs, log = self.build_window(device, seq)
+        outcome = run_recovery(fs, device, log, inflight=None)
+        new_fs = outcome.fs
+        assert new_fs.stat("/w/f").size == len(b"window data") * 100
+        assert 3 in new_fs.fd_table.open_fds()
+        assert outcome.report.clean
+        assert outcome.total_seconds > 0
+
+    def test_recovery_completes_inflight(self, device, seq):
+        fs, log = self.build_window(device, seq)
+        outcome = run_recovery(fs, device, log, inflight=(seq(), op("mkdir", path="/w/sub")))
+        assert outcome.update.inflight_result.ok
+        assert outcome.fs.stat("/w/sub").ftype == FileType.DIRECTORY
+
+    def test_recovered_state_commits_clean(self, device, seq):
+        fs, log = self.build_window(device, seq)
+        outcome = run_recovery(fs, device, log, inflight=None)
+        outcome.fs.commit()
+        outcome.fs.unmount()
+        assert Fsck(device).run().clean
+
+    def test_tampered_log_fails_recovery(self, device, seq):
+        fs, log = self.build_window(device, seq)
+        log.entries[2].outcome.value = 1  # falsified write length
+        with pytest.raises(RecoveryFailure):
+            run_recovery(fs, device, log, inflight=None)
+
+    def test_process_mode_requires_file_device(self, device, seq):
+        fs, log = self.build_window(device, seq)
+        with pytest.raises(RecoveryFailure, match="file-backed"):
+            run_recovery(fs, device, log, inflight=None, in_process=False)
+
+    def test_process_mode_with_file_device(self, tmp_path, seq):
+        from repro.blockdev.device import FileBlockDevice
+        from repro.ondisk.mkfs import mkfs as run_mkfs
+
+        device = FileBlockDevice(tmp_path / "img", block_count=4096)
+        run_mkfs(device)
+        fs, log = self.build_window(device, seq)
+        outcome = run_recovery(fs, device, log, inflight=(seq(), op("mkdir", path="/w/sub")), in_process=False)
+        assert outcome.update.inflight_result.ok
+        assert outcome.fs.stat("/w/sub").ftype == FileType.DIRECTORY
+        device.close()

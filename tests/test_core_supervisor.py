@@ -1,0 +1,203 @@
+"""Tests for RAEFilesystem: the supervisor facade."""
+
+import pytest
+
+from repro.api import OpenFlags
+from repro.basefs.hooks import HookPoints
+from repro.core.detector import WarnPolicy
+from repro.core.supervisor import RAEConfig, RAEFilesystem
+from repro.errors import Errno, FsError, KernelBug, KernelWarning, RecoveryFailure
+from repro.fsck import Fsck
+from repro.ondisk.inode import FileType
+from tests.conftest import formatted_device
+
+
+def crash_on_name(hooks: HookPoints, substring: str, point: str = "dir.insert") -> None:
+    def bug(point_name, ctx):
+        if substring in str(ctx.get("name", "")):
+            raise KernelBug(f"crash on {substring!r}", bug_id="test-bug")
+
+    hooks.register(point, bug)
+
+
+class TestCommonPath:
+    def test_plain_operations_pass_through(self, rae):
+        rae.mkdir("/a")
+        fd = rae.open("/a/f", OpenFlags.CREAT)
+        assert rae.write(fd, b"data") == 4
+        rae.lseek(fd, 0, 0)
+        assert rae.read(fd, 4) == b"data"
+        rae.close(fd)
+        assert rae.recovery_count == 0
+        assert rae.stats.ops == 6
+
+    def test_errnos_propagate_without_recovery(self, rae):
+        with pytest.raises(FsError) as e:
+            rae.rmdir("/missing")
+        assert e.value.errno == Errno.ENOENT
+        assert rae.recovery_count == 0
+
+    def test_oplog_truncated_on_commit(self, rae):
+        rae.mkdir("/a")
+        assert len(rae.oplog) == 1
+        fd = rae.open("/a/f", OpenFlags.CREAT)
+        rae.fsync(fd)
+        assert len(rae.oplog) == 1  # just the fsync record itself
+        assert 3 in rae.oplog.fd_snapshot
+        rae.close(fd)
+
+    def test_non_mutations_not_recorded(self, rae):
+        rae.mkdir("/a")
+        before = len(rae.oplog)
+        rae.stat("/a")
+        rae.readdir("/")
+        assert len(rae.oplog) == before
+
+    def test_writeback_ticks_commit_periodically(self, device, hooks):
+        from repro.basefs.writeback import WritebackPolicy
+
+        rae = RAEFilesystem(
+            device, RAEConfig(), hooks=hooks, writeback_policy=WritebackPolicy(commit_interval_ops=5)
+        )
+        for i in range(12):
+            rae.mkdir(f"/d{i}")
+        assert rae.base.stats.commits >= 2
+
+
+class TestRecoveryFlow:
+    def test_deterministic_bug_masked(self, device, hooks):
+        crash_on_name(hooks, "evil")
+        rae = RAEFilesystem(device, RAEConfig(), hooks=hooks)
+        rae.mkdir("/fine")
+        rae.mkdir("/evil-dir")  # crashes the base; RAE masks it
+        assert rae.recovery_count == 1
+        assert rae.stat("/evil-dir").ftype == FileType.DIRECTORY
+        assert rae.readdir("/") == ["evil-dir", "fine"]
+
+    def test_app_visible_result_from_autonomous_op(self, device, hooks):
+        crash_on_name(hooks, "evil")
+        rae = RAEFilesystem(device, RAEConfig(), hooks=hooks)
+        fd = rae.open("/evil.txt", OpenFlags.CREAT)  # open crashes on insert
+        assert isinstance(fd, int) and fd == 3
+        assert rae.write(fd, b"still works") == 11
+        rae.close(fd)
+        assert rae.recovery_count == 1
+
+    def test_repeated_bug_recovers_each_time(self, device, hooks):
+        crash_on_name(hooks, "evil")
+        rae = RAEFilesystem(device, RAEConfig(), hooks=hooks)
+        for i in range(3):
+            rae.mkdir(f"/evil{i}")
+        assert rae.recovery_count == 3
+        assert len(rae.readdir("/")) == 3
+
+    def test_open_fds_survive_recovery(self, device, hooks):
+        crash_on_name(hooks, "evil")
+        rae = RAEFilesystem(device, RAEConfig(), hooks=hooks)
+        fd = rae.open("/keep", OpenFlags.CREAT)
+        rae.write(fd, b"before crash")
+        rae.mkdir("/evil")  # recovery
+        assert rae.write(fd, b"+after") == 6
+        rae.lseek(fd, 0, 0)
+        assert rae.read(fd, 100) == b"before crash+after"
+        rae.close(fd)
+
+    def test_commit_after_recovery_truncates_log(self, device, hooks):
+        crash_on_name(hooks, "evil")
+        rae = RAEFilesystem(device, RAEConfig(commit_after_recovery=True), hooks=hooks)
+        rae.mkdir("/a")
+        rae.mkdir("/evil")
+        assert len(rae.oplog) == 0
+
+    def test_no_commit_after_recovery_keeps_window(self, device, hooks):
+        crash_on_name(hooks, "evil")
+        rae = RAEFilesystem(device, RAEConfig(commit_after_recovery=False), hooks=hooks)
+        rae.mkdir("/a")
+        rae.mkdir("/evil")
+        # window = mkdir /a + the shadow-completed mkdir /evil
+        assert len(rae.oplog) == 2
+        # and a second recovery still works off that window
+        rae.mkdir("/evil2")
+        assert rae.recovery_count == 2
+        assert rae.readdir("/") == ["a", "evil", "evil2"]
+
+    def test_recovery_event_bookkeeping(self, device, hooks):
+        crash_on_name(hooks, "evil")
+        rae = RAEFilesystem(device, RAEConfig(), hooks=hooks)
+        rae.mkdir("/evil")
+        event = rae.stats.events[0]
+        assert "test-bug" in event.detected or "crash" in event.detected
+        assert event.total_seconds > 0
+        assert rae.stats.recovery.successes == 1
+
+    def test_durable_after_recovery_and_unmount(self, device, hooks):
+        crash_on_name(hooks, "evil")
+        rae = RAEFilesystem(device, RAEConfig(), hooks=hooks)
+        rae.mkdir("/evil")
+        rae.unmount()
+        assert Fsck(device).run().clean
+        from repro.basefs.filesystem import BaseFilesystem
+
+        fs = BaseFilesystem(device)
+        assert fs.readdir("/") == ["evil"]
+        fs.unmount()
+
+    def test_commit_path_error_recovers_without_inflight(self, device, hooks):
+        fired = {"n": 0}
+
+        def commit_bug(point, ctx):
+            fired["n"] += 1
+            if fired["n"] == 2:
+                raise KernelBug("commit crash")
+
+        hooks.register("journal.commit", commit_bug)
+        rae = RAEFilesystem(device, RAEConfig(), hooks=hooks)
+        rae.mkdir("/a")
+        fd = rae.open("/a/f", OpenFlags.CREAT)
+        rae.fsync(fd)  # commit #1 fires hook once
+        rae.write(fd, b"x")
+        rae.fsync(fd)  # commit #2 crashes -> recovery
+        assert rae.recovery_count == 1
+        rae.close(fd)
+        assert rae.stat("/a/f").size == 1
+
+
+class TestWarnPolicy:
+    def arm_warn(self, hooks):
+        def warn(point, ctx):
+            if "warny" in str(ctx.get("name", "")):
+                raise KernelWarning("WARN_ON hit", bug_id="warn-bug")
+
+        hooks.register("dir.insert", warn)
+
+    def test_warn_recover_policy(self, device, hooks):
+        self.arm_warn(hooks)
+        rae = RAEFilesystem(device, RAEConfig(warn_policy=WarnPolicy.RECOVER), hooks=hooks)
+        rae.mkdir("/warny")
+        assert rae.recovery_count == 1
+        assert rae.stat("/warny").ftype == FileType.DIRECTORY
+
+    def test_warn_ignore_policy_surfaces_eio(self, device, hooks):
+        self.arm_warn(hooks)
+        rae = RAEFilesystem(device, RAEConfig(warn_policy=WarnPolicy.IGNORE), hooks=hooks)
+        with pytest.raises(FsError) as e:
+            rae.mkdir("/warny")
+        assert e.value.errno == Errno.EIO
+        assert rae.recovery_count == 0
+
+
+class TestValidateOnSync:
+    def test_silent_corruption_caught_at_commit(self, device, hooks):
+        from repro.faults import Injector, make_size_corruption_bug
+
+        injector = Injector(hooks)
+        injector.arm(make_size_corruption_bug(nth=2))
+        rae = RAEFilesystem(device, RAEConfig(), hooks=hooks)
+        injector.retarget(rae.base)
+        rae.on_reboot.append(injector.retarget)
+        rae.mkdir("/a")  # dirty #1 (parent) + #2 (child) -> corrupted
+        fd = rae.open("/a/f", OpenFlags.CREAT)
+        rae.fsync(fd)  # validate-on-sync catches the corrupt size
+        assert rae.recovery_count >= 1
+        rae.close(fd)
+        assert rae.stat("/a").size % 4096 == 0  # recovered, sane again

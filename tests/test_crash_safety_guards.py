@@ -1,0 +1,44 @@
+"""Guards on the base's crash-consistency assumptions.
+
+Ordered-mode journaling is only sound if dirty *metadata* never reaches
+the device outside a journal commit.  The one path that could violate it
+— buffer-cache eviction under memory pressure force-writing a dirty
+block — is tracked by ``forced_evictions``; these tests pin it at zero
+under the default write-back thresholds across heavy workloads, and
+demonstrate the counter actually fires when the thresholds are defeated.
+"""
+
+from repro.basefs.filesystem import BaseFilesystem
+from repro.errors import FsError
+from repro.workloads import WorkloadGenerator, fileserver_profile, metadata_profile
+from tests.conftest import formatted_device
+
+
+def test_no_forced_metadata_evictions_under_default_policy():
+    for profile_factory, seed in ((fileserver_profile, 61), (metadata_profile, 62)):
+        fs = BaseFilesystem(formatted_device(32768))
+        for index, operation in enumerate(WorkloadGenerator(profile_factory(), seed=seed).ops(500)):
+            try:
+                operation.apply(fs, opseq=index + 1)
+            except FsError:
+                pass
+            fs.writeback.tick()
+        fs.unmount()
+        assert fs.cache.stats.forced_evictions == 0, profile_factory().name
+
+
+def test_forced_eviction_counter_fires_when_provoked():
+    """Sanity-check the guard itself: a pathologically small buffer cache
+    with write-back disabled does force dirty evictions."""
+    from repro.basefs.writeback import WritebackPolicy
+
+    fs = BaseFilesystem(
+        formatted_device(),
+        buffer_cache_capacity=2,
+        writeback_policy=WritebackPolicy(
+            dirty_page_high_water=10_000, dirty_metadata_high_water=10_000, commit_interval_ops=10_000
+        ),
+    )
+    for index in range(30):
+        fs.mkdir(f"/d{index:03d}", opseq=index + 1)
+    assert fs.cache.stats.forced_evictions > 0

@@ -1,0 +1,108 @@
+"""ENOSPC behaviour on a nearly-full device: early detection under
+delayed allocation, base/shadow agreement, and recovery after frees."""
+
+import pytest
+
+from repro.api import OpenFlags
+from repro.basefs.filesystem import BaseFilesystem
+from repro.blockdev.device import MemoryBlockDevice
+from repro.errors import Errno, FsError
+from repro.fsck import Fsck
+from repro.ondisk.layout import BLOCK_SIZE
+from repro.ondisk.mkfs import mkfs
+from repro.shadowfs.filesystem import ShadowFilesystem
+
+
+def tiny_device() -> MemoryBlockDevice:
+    device = MemoryBlockDevice(block_count=1024)  # one group, ~4 MiB
+    mkfs(device)
+    return device
+
+
+class TestBaseEnospc:
+    def test_delalloc_reservation_rejects_overcommit(self, seq):
+        fs = BaseFilesystem(tiny_device())
+        fd = fs.open("/hog", OpenFlags.CREAT, opseq=seq())
+        free = fs.alloc.free_blocks
+        with pytest.raises(FsError) as e:
+            fs.write(fd, b"x" * ((free + 10) * BLOCK_SIZE), opseq=seq())
+        assert e.value.errno == Errno.ENOSPC
+        # The failed write reserved nothing permanently.
+        assert fs.alloc.reserved_blocks == 0
+        fs.close(fd, opseq=seq())
+
+    def test_commit_never_fails_after_accepted_writes(self, seq):
+        """The delalloc promise: any accepted write can be committed."""
+        fs = BaseFilesystem(tiny_device())
+        fd = fs.open("/f", OpenFlags.CREAT, opseq=seq())
+        written = 0
+        while True:
+            try:
+                fs.write(fd, b"y" * BLOCK_SIZE, opseq=seq())
+                written += 1
+            except FsError as err:
+                assert err.errno == Errno.ENOSPC
+                break
+        fs.commit()  # must not raise
+        assert fs.stat("/f").size == written * BLOCK_SIZE
+        fs.close(fd, opseq=seq())
+        fs.unmount()
+
+    def test_mkdir_enospc_when_full(self, seq):
+        fs = BaseFilesystem(tiny_device())
+        fd = fs.open("/hog", OpenFlags.CREAT, opseq=seq())
+        while True:
+            try:
+                fs.write(fd, b"z" * BLOCK_SIZE, opseq=seq())
+            except FsError:
+                break
+        with pytest.raises(FsError) as e:
+            fs.mkdir("/d", opseq=seq())
+        assert e.value.errno == Errno.ENOSPC
+        fs.close(fd, opseq=seq())
+
+    def test_space_recovered_after_unlink_and_commit(self, seq):
+        fs = BaseFilesystem(tiny_device())
+        free_start = fs.alloc.free_blocks
+        fd = fs.open("/hog", OpenFlags.CREAT, opseq=seq())
+        fs.write(fd, b"w" * (100 * BLOCK_SIZE), opseq=seq())
+        fs.close(fd, opseq=seq())
+        fs.commit()
+        fs.unlink("/hog", opseq=seq())
+        # Freed blocks are counted immediately...
+        assert fs.alloc.free_blocks == free_start
+        # ...but only reusable after the freeing transaction commits.
+        fs.commit()
+        fd = fs.open("/hog2", OpenFlags.CREAT, opseq=seq())
+        fs.write(fd, b"w" * (100 * BLOCK_SIZE), opseq=seq())
+        fs.close(fd, opseq=seq())
+        fs.commit()
+        fs.unmount()
+        device = fs.device
+        assert Fsck(device).run().clean
+
+
+class TestShadowEnospc:
+    def test_shadow_enospc_matches_base_threshold(self, seq):
+        """Fill both implementations identically; ENOSPC must land on the
+        same write (the accounting-equality analysis in DESIGN)."""
+        base = BaseFilesystem(tiny_device())
+        shadow = ShadowFilesystem(tiny_device())
+        base_fd = base.open("/f", OpenFlags.CREAT, opseq=1)
+        shadow_fd = shadow.open("/f", OpenFlags.CREAT, opseq=1)
+        step = 0
+        while True:
+            step += 1
+            base_err = shadow_err = None
+            try:
+                base.write(base_fd, b"q" * (4 * BLOCK_SIZE), opseq=step + 1)
+            except FsError as err:
+                base_err = err.errno
+            try:
+                shadow.write(shadow_fd, b"q" * (4 * BLOCK_SIZE), opseq=step + 1)
+            except FsError as err:
+                shadow_err = err.errno
+            assert base_err == shadow_err, f"step {step}: {base_err} vs {shadow_err}"
+            if base_err is not None:
+                break
+        assert base.stat("/f").size == shadow.stat("/f").size

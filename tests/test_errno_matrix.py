@@ -1,0 +1,105 @@
+"""The errno conformance matrix.
+
+One table of error scenarios, executed against base, shadow, and spec:
+all three must return the *same* errno for the same request — the API
+contract that makes constrained-mode cross-checking meaningful (§3.3:
+"the output at the API level ... must be equivalent").
+
+Each scenario is (setup ops, probe op, expected errno).  Setup ops are
+assumed to succeed.
+"""
+
+import pytest
+
+from repro.api import OpenFlags, op
+from repro.basefs.filesystem import BaseFilesystem
+from repro.errors import Errno
+from repro.shadowfs.filesystem import ShadowFilesystem
+from repro.spec.model import SpecFilesystem
+from tests.conftest import formatted_device
+
+CREAT = int(OpenFlags.CREAT)
+EXCL = int(OpenFlags.EXCL)
+
+#: (name, setup ops, probe, expected errno)
+MATRIX = [
+    ("mkdir-exists", [op("mkdir", path="/d")], op("mkdir", path="/d"), Errno.EEXIST),
+    ("mkdir-missing-parent", [], op("mkdir", path="/no/sub"), Errno.ENOENT),
+    ("mkdir-through-file", [op("open", path="/f", flags=CREAT), op("close", fd=3)],
+     op("mkdir", path="/f/sub"), Errno.ENOTDIR),
+    ("mkdir-on-root", [], op("mkdir", path="/"), Errno.EINVAL),
+    ("rmdir-missing", [], op("rmdir", path="/ghost"), Errno.ENOENT),
+    ("rmdir-nonempty", [op("mkdir", path="/d"), op("mkdir", path="/d/x")],
+     op("rmdir", path="/d"), Errno.ENOTEMPTY),
+    ("rmdir-of-file", [op("open", path="/f", flags=CREAT), op("close", fd=3)],
+     op("rmdir", path="/f"), Errno.ENOTDIR),
+    ("unlink-missing", [], op("unlink", path="/ghost"), Errno.ENOENT),
+    ("unlink-of-dir", [op("mkdir", path="/d")], op("unlink", path="/d"), Errno.EISDIR),
+    ("open-missing-nocreat", [], op("open", path="/ghost"), Errno.ENOENT),
+    ("open-excl-exists", [op("open", path="/f", flags=CREAT), op("close", fd=3)],
+     op("open", path="/f", flags=CREAT | EXCL), Errno.EEXIST),
+    ("open-excl-dangling-symlink", [op("symlink", target="/nowhere", path="/s")],
+     op("open", path="/s", flags=CREAT | EXCL), Errno.EEXIST),
+    ("open-directory", [op("mkdir", path="/d")], op("open", path="/d"), Errno.EISDIR),
+    ("open-symlink-loop", [op("symlink", target="/b", path="/a"), op("symlink", target="/a", path="/b")],
+     op("open", path="/a"), Errno.ELOOP),
+    ("stat-missing", [], op("stat", path="/ghost"), Errno.ENOENT),
+    ("stat-loop", [op("symlink", target="/b", path="/a"), op("symlink", target="/a", path="/b")],
+     op("stat", path="/a"), Errno.ELOOP),
+    ("stat-dangling", [op("symlink", target="/nowhere", path="/s")], op("stat", path="/s"), Errno.ENOENT),
+    ("readlink-of-file", [op("open", path="/f", flags=CREAT), op("close", fd=3)],
+     op("readlink", path="/f"), Errno.EINVAL),
+    ("readlink-of-dir", [op("mkdir", path="/d")], op("readlink", path="/d"), Errno.EINVAL),
+    ("readdir-of-file", [op("open", path="/f", flags=CREAT), op("close", fd=3)],
+     op("readdir", path="/f"), Errno.ENOTDIR),
+    ("link-to-dir", [op("mkdir", path="/d")], op("link", existing="/d", new="/d2"), Errno.EPERM),
+    ("link-exists", [op("open", path="/f", flags=CREAT), op("close", fd=3), op("mkdir", path="/d")],
+     op("link", existing="/f", new="/d"), Errno.EEXIST),
+    ("link-missing-source", [], op("link", existing="/ghost", new="/l"), Errno.ENOENT),
+    ("symlink-exists", [op("mkdir", path="/d")], op("symlink", target="/x", path="/d"), Errno.EEXIST),
+    ("symlink-empty-target", [], op("symlink", target="", path="/s"), Errno.EINVAL),
+    ("rename-missing-src", [], op("rename", src="/ghost", dst="/new"), Errno.ENOENT),
+    ("rename-dir-onto-file", [op("mkdir", path="/d"), op("open", path="/f", flags=CREAT), op("close", fd=3)],
+     op("rename", src="/d", dst="/f"), Errno.ENOTDIR),
+    ("rename-file-onto-dir", [op("mkdir", path="/d"), op("open", path="/f", flags=CREAT), op("close", fd=3)],
+     op("rename", src="/f", dst="/d"), Errno.EISDIR),
+    ("rename-onto-nonempty-dir", [op("mkdir", path="/a"), op("mkdir", path="/b"), op("mkdir", path="/b/x")],
+     op("rename", src="/a", dst="/b"), Errno.ENOTEMPTY),
+    ("rename-into-own-subtree", [op("mkdir", path="/a"), op("mkdir", path="/a/b")],
+     op("rename", src="/a", dst="/a/b/c"), Errno.EINVAL),
+    ("truncate-negative", [op("open", path="/f", flags=CREAT), op("close", fd=3)],
+     op("truncate", path="/f", size=-1), Errno.EINVAL),
+    ("truncate-of-dir", [op("mkdir", path="/d")], op("truncate", path="/d", size=0), Errno.EISDIR),
+    ("truncate-of-symlink", [op("mkdir", path="/d"), op("symlink", target="/d2", path="/s")],
+     op("truncate", path="/s", size=0), Errno.ENOENT),  # follows the dangling link
+    ("read-bad-fd", [], op("read", fd=9, length=1), Errno.EBADF),
+    ("write-bad-fd", [], op("write", fd=9, data=b"x"), Errno.EBADF),
+    ("close-bad-fd", [], op("close", fd=9), Errno.EBADF),
+    ("lseek-bad-whence", [op("open", path="/f", flags=CREAT)], op("lseek", fd=3, offset=0, whence=7), Errno.EINVAL),
+    ("lseek-negative", [op("open", path="/f", flags=CREAT)], op("lseek", fd=3, offset=-5, whence=0), Errno.EINVAL),
+    ("read-negative-length", [op("open", path="/f", flags=CREAT)], op("read", fd=3, length=-1), Errno.EINVAL),
+    ("relative-path", [], op("stat", path="relative"), Errno.EINVAL),
+    ("double-slash", [], op("mkdir", path="//a"), Errno.EINVAL),
+    ("dot-component", [], op("mkdir", path="/a/./b"), Errno.EINVAL),
+    ("name-too-long", [], op("mkdir", path="/" + "n" * 300), Errno.ENAMETOOLONG),
+]
+
+
+def implementations():
+    return [
+        ("base", BaseFilesystem(formatted_device())),
+        ("shadow", ShadowFilesystem(formatted_device())),
+        ("spec", SpecFilesystem()),
+    ]
+
+
+@pytest.mark.parametrize("name,setup,probe,expected", MATRIX, ids=[m[0] for m in MATRIX])
+def test_errno_matrix(name, setup, probe, expected):
+    for implementation_name, fs in implementations():
+        for index, operation in enumerate(setup):
+            result = operation.apply(fs, opseq=index + 1)
+            assert result.ok, f"{implementation_name}: setup {operation.describe()} failed: {result}"
+        result = probe.apply(fs, opseq=100)
+        assert result.errno == expected, (
+            f"{implementation_name}: {probe.describe()} -> {result.errno}, expected {expected.name}"
+        )

@@ -1,0 +1,58 @@
+"""Smoke-run every example script: the documentation must not rot.
+
+Each example runs in a subprocess (they print a lot and one of them
+forks); the assertions check the headline lines of their output.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples")
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "survived a kernel BUG; recoveries so far: 1" in out
+    assert "fsck after unmount: clean" in out
+
+
+def test_crafted_image_attack():
+    out = run_example("crafted_image_attack.py")
+    assert "CLEAN" in out
+    assert "KERNEL BUG" in out
+    assert "RAE: /share listed fine" in out
+    assert "image still clean after the whole episode: True" in out
+
+
+def test_webserver_survival():
+    out = run_example("webserver_survival.py")
+    assert "--- without RAE ---" in out and "--- with RAE ---" in out
+    assert "availability       : 100.0%" in out
+    assert "0 mismatches" in out
+    assert "fsck               : clean" in out
+
+
+def test_post_error_testing():
+    out = run_example("post_error_testing.py")
+    assert "per-op discrepancies : 0" in out  # the healthy campaign
+    assert "DISCREPANCY" in out  # the buggy one
+
+
+def test_process_isolation():
+    out = run_example("process_isolation.py")
+    assert out.count("recovered: 1 recovery") == 2
+    assert "parent survived" in out

@@ -1,0 +1,209 @@
+"""Tests for the fault package: catalog, injector, crafted images."""
+
+import pytest
+
+from repro.api import OpenFlags
+from repro.basefs.filesystem import BaseFilesystem
+from repro.basefs.hooks import HookPoints
+from repro.blockdev.device import MemoryBlockDevice
+from repro.errors import Errno, FsError, KernelBug, KernelWarning
+from repro.faults import (
+    BugSpec,
+    Consequence,
+    Determinism,
+    Injector,
+    make_alloc_accounting_bug,
+    make_close_use_after_free_bug,
+    make_dir_insert_crash_bug,
+    make_freeze_bug,
+    make_lockdep_warn_bug,
+    make_truncate_warn_bug,
+    standard_catalog,
+)
+from repro.faults.crafted import craft_deep_tree, craft_poisoned_name_image, craft_symlink_maze
+from repro.fsck import Fsck
+from repro.shadowfs.filesystem import ShadowFilesystem
+
+
+class TestBugSpec:
+    def test_nocrash_requires_payload(self):
+        with pytest.raises(ValueError, match="payload"):
+            BugSpec(
+                bug_id="x",
+                title="x",
+                hook="mount",
+                determinism=Determinism.DETERMINISTIC,
+                consequence=Consequence.NOCRASH,
+                trigger=lambda ctx: True,
+            )
+
+    def test_deterministic_cannot_be_probabilistic(self):
+        with pytest.raises(ValueError):
+            BugSpec(
+                bug_id="x",
+                title="x",
+                hook="mount",
+                determinism=Determinism.DETERMINISTIC,
+                consequence=Consequence.CRASH,
+                trigger=lambda ctx: True,
+                probability=0.5,
+            )
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            BugSpec(
+                bug_id="x",
+                title="x",
+                hook="mount",
+                determinism=Determinism.NONDETERMINISTIC,
+                consequence=Consequence.CRASH,
+                trigger=lambda ctx: True,
+                probability=0.0,
+            )
+
+    def test_standard_catalog_well_formed(self):
+        specs = standard_catalog()
+        assert len(specs) >= 5
+        assert len({s.bug_id for s in specs}) == len(specs)
+
+
+class TestInjector:
+    def test_crash_bug_fires_on_trigger(self, device, hooks, seq):
+        injector = Injector(hooks)
+        injector.arm(make_dir_insert_crash_bug(substring="bad"))
+        fs = BaseFilesystem(device, hooks=hooks)
+        injector.retarget(fs)
+        fs.mkdir("/good", opseq=seq())
+        with pytest.raises(KernelBug) as e:
+            fs.mkdir("/bad-dir", opseq=seq())
+        assert e.value.bug_id == "dirent-null-deref"
+        assert injector.stats.total_fires == 1
+
+    def test_nth_trigger_counts_invocations(self, device, hooks, seq):
+        injector = Injector(hooks)
+        injector.arm(make_close_use_after_free_bug(nth=2))
+        fs = BaseFilesystem(device, hooks=hooks)
+        injector.retarget(fs)
+        fd1 = fs.open("/a", OpenFlags.CREAT, opseq=seq())
+        fd2 = fs.open("/b", OpenFlags.CREAT, opseq=seq())
+        fs.close(fd1, opseq=seq())  # close #1: fine
+        with pytest.raises(KernelBug):
+            fs.close(fd2, opseq=seq())  # close #2: UAF
+
+    @pytest.mark.parametrize("warn_raises", (True, False))
+    def test_warn_raises_or_counts_by_policy(self, warn_raises, seq):
+        from tests.conftest import formatted_device
+
+        hooks = HookPoints()
+        injector = Injector(hooks, warn_raises=warn_raises)
+        armed = injector.arm(make_truncate_warn_bug(threshold=10))
+        fs = BaseFilesystem(formatted_device(), hooks=hooks)
+        injector.retarget(fs)
+        fd = fs.open("/f", OpenFlags.CREAT, opseq=seq())
+        fs.write(fd, b"z" * 1000, opseq=seq())
+        fs.close(fd, opseq=seq())
+        if warn_raises:
+            with pytest.raises(KernelWarning):
+                fs.truncate("/f", 0, opseq=seq())
+        else:
+            fs.truncate("/f", 0, opseq=seq())
+            assert armed.warn_logs == 1
+
+    def test_nondeterministic_probability_seeded(self, hooks):
+        injector_a = Injector(HookPoints(), seed=1)
+        injector_b = Injector(HookPoints(), seed=1)
+        spec = make_lockdep_warn_bug(probability=0.5)
+        armed_a = injector_a.arm(spec)
+        armed_b = injector_b.arm(make_lockdep_warn_bug(probability=0.5))
+        fires_a = fires_b = 0
+        for _ in range(200):
+            try:
+                injector_a.hooks.fire("lock.acquire", ino=1)
+            except KernelWarning:
+                fires_a += 1
+            try:
+                injector_b.hooks.fire("lock.acquire", ino=1)
+            except KernelWarning:
+                fires_b += 1
+        assert fires_a == fires_b  # same seed, same schedule
+        assert 50 < fires_a < 150  # roughly p=0.5
+
+    def test_max_fires_caps(self, hooks):
+        injector = Injector(hooks)
+        spec = make_dir_insert_crash_bug(substring="x")
+        spec.max_fires = 1
+        injector.arm(spec)
+        with pytest.raises(KernelBug):
+            hooks.fire("dir.insert", name="x1")
+        hooks.fire("dir.insert", name="x2")  # capped: no raise
+
+    def test_disarm(self, hooks):
+        injector = Injector(hooks)
+        injector.arm(make_dir_insert_crash_bug(substring="x"))
+        injector.disarm("dirent-null-deref")
+        hooks.fire("dir.insert", name="x1")  # no raise
+
+    def test_duplicate_arm_rejected(self, hooks):
+        injector = Injector(hooks)
+        injector.arm(make_dir_insert_crash_bug())
+        with pytest.raises(ValueError):
+            injector.arm(make_dir_insert_crash_bug())
+
+    def test_freeze_is_watchdog_bug(self, device, hooks, seq):
+        injector = Injector(hooks)
+        injector.arm(make_freeze_bug(substring="whatever"))
+        fs = BaseFilesystem(device, hooks=hooks)
+        injector.retarget(fs)
+        fs.mkdir("/a", opseq=seq())
+        with pytest.raises(KernelBug, match="watchdog"):
+            fs.commit()
+
+    def test_alloc_accounting_payload_corrupts(self, device, hooks, seq):
+        injector = Injector(hooks)
+        injector.arm(make_alloc_accounting_bug(nth=1))
+        fs = BaseFilesystem(device, hooks=hooks)
+        injector.retarget(fs)
+        fs.mkdir("/a", opseq=seq())  # first allocation fires the payload
+        from repro.errors import InvariantViolation
+
+        with pytest.raises(InvariantViolation, match="free_blocks"):
+            fs.commit()
+
+
+class TestCraftedImages:
+    def test_poisoned_image_passes_fsck_but_crashes_buggy_base(self, raw_device, seq):
+        traps = craft_poisoned_name_image(raw_device, trigger_substring=" evil")
+        assert Fsck(raw_device).run().clean  # bypasses FSCK (§2.1)
+        hooks = HookPoints()
+        injector = Injector(hooks)
+        injector.arm(make_dir_insert_crash_bug(substring=" evil"))
+        from repro.faults.catalog import make_lookup_crash_bug
+
+        injector.arm(make_lookup_crash_bug(substring=" evil"))
+        fs = BaseFilesystem(raw_device, hooks=hooks)
+        injector.retarget(fs)
+        with pytest.raises(KernelBug):
+            fs.stat(traps[0])
+
+    def test_poisoned_image_fine_on_shadow(self, raw_device):
+        traps = craft_poisoned_name_image(raw_device, trigger_substring=" evil")
+        shadow = ShadowFilesystem(raw_device)
+        st = shadow.stat(traps[0])
+        assert st.size > 0  # the shadow just... works
+
+    def test_symlink_maze(self, raw_device):
+        expectations = craft_symlink_maze(raw_device)
+        assert Fsck(raw_device).run().clean
+        shadow = ShadowFilesystem(raw_device)
+        fd = shadow.open("/maze/hop0")
+        assert shadow.read(fd, 100) == b"found it\n"
+        shadow.close(fd)
+        with pytest.raises(FsError) as e:
+            shadow.stat("/maze/loopA")
+        assert e.value.errno == Errno.ELOOP
+
+    def test_deep_tree(self, raw_device):
+        deepest = craft_deep_tree(raw_device, depth=24)
+        assert Fsck(raw_device).run().clean
+        shadow = ShadowFilesystem(raw_device)
+        assert shadow.stat(deepest).nlink == 2

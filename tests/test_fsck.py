@@ -1,0 +1,212 @@
+"""Tests for fsck: detection of each corruption class, and repair."""
+
+import pytest
+
+from repro.api import OpenFlags
+from repro.basefs.filesystem import BaseFilesystem
+from repro.fsck import Fsck, Severity, repair_image
+from repro.ondisk.bitmap import Bitmap
+from repro.ondisk.directory import DirBlock
+from repro.ondisk.image import read_inode, read_superblock, write_inode
+from repro.ondisk.inode import FileType
+from repro.ondisk.layout import BLOCK_SIZE, ROOT_INO, DiskLayout
+from tests.conftest import formatted_device
+
+
+def layout_of(device) -> DiskLayout:
+    return read_superblock(device).layout()
+
+
+def populated(seq):
+    device = formatted_device()
+    fs = BaseFilesystem(device)
+    fs.mkdir("/docs", opseq=seq())
+    fd = fs.open("/docs/a.txt", OpenFlags.CREAT, opseq=seq())
+    fs.write(fd, b"text" * 3000, opseq=seq())
+    fs.close(fd, opseq=seq())
+    fs.symlink("/docs/a.txt", "/link", opseq=seq())
+    fs.link("/docs/a.txt", "/docs/b.txt", opseq=seq())
+    fs.unmount()
+    return device
+
+
+def codes(report):
+    return {f.code for f in report.findings}
+
+
+class TestDetection:
+    def test_clean_image(self, seq):
+        device = populated(seq)
+        report = Fsck(device).run()
+        assert report.clean and not report.warnings
+        assert report.inodes_scanned == 4  # root, docs, a.txt, link
+
+    def test_garbage_superblock(self):
+        device = formatted_device()
+        device.write_block(0, b"\xde\xad" * 2048)
+        report = Fsck(device).run()
+        assert not report.clean and "sb-parse" in codes(report)
+
+    def test_wrong_free_counts(self, seq):
+        device = populated(seq)
+        sb = read_superblock(device)
+        sb.free_blocks -= 3
+        device.write_block(0, sb.pack())
+        report = Fsck(device).run()
+        assert "sb-counts" in codes(report)
+
+    def test_corrupt_inode_checksum(self, seq):
+        device = populated(seq)
+        layout = layout_of(device)
+        block, offset = layout.inode_location(ROOT_INO)
+        raw = bytearray(device.read_block(block))
+        raw[offset + 4] ^= 0x01
+        device.write_block(block, bytes(raw))
+        report = Fsck(device).run()
+        assert "inode-parse" in codes(report)
+
+    def test_inode_in_use_but_free_in_bitmap(self, seq):
+        device = populated(seq)
+        layout = layout_of(device)
+        bitmap_block = layout.inode_bitmap_block(0)
+        bitmap = Bitmap.from_block(layout.inodes_per_group, device.read_block(bitmap_block))
+        bitmap.clear(2)  # ino 3, the first allocated beyond root
+        device.write_block(bitmap_block, bitmap.to_block())
+        report = Fsck(device).run()
+        assert "inode-bitmap" in codes(report) or "sb-counts" in codes(report)
+
+    def test_block_double_reference(self, seq):
+        device = populated(seq)
+        layout = layout_of(device)
+        # Point the symlink inode's block at the root directory's block.
+        root = read_inode(device, layout, ROOT_INO)
+        for ino in range(1, layout.inode_count + 1):
+            inode = read_inode(device, layout, ino, verify=False)
+            if inode.is_symlink:
+                inode.direct[0] = root.direct[0]
+                write_inode(device, layout, ino, inode)
+                break
+        report = Fsck(device).run()
+        assert "block-shared" in codes(report)
+
+    def test_dangling_dirent(self, seq):
+        device = populated(seq)
+        layout = layout_of(device)
+        root = read_inode(device, layout, ROOT_INO)
+        block = root.direct[0]
+        dir_block = DirBlock(device.read_block(block))
+        dir_block.insert(900, "phantom", FileType.REGULAR)
+        device.write_block(block, dir_block.to_block())
+        report = Fsck(device).run()
+        assert "dir-ref" in codes(report)
+
+    def test_wrong_nlink(self, seq):
+        device = populated(seq)
+        layout = layout_of(device)
+        root = read_inode(device, layout, ROOT_INO)
+        root.nlink = 9
+        write_inode(device, layout, ROOT_INO, root)
+        report = Fsck(device).run()
+        assert "nlink" in codes(report)
+
+    def test_leaked_block_is_warning(self, seq):
+        device = populated(seq)
+        layout = layout_of(device)
+        bitmap_block = layout.block_bitmap_block(1)
+        bitmap = Bitmap.from_block(layout.blocks_per_group, device.read_block(bitmap_block))
+        free_bit = bitmap.find_free()
+        bitmap.set(free_bit)
+        device.write_block(bitmap_block, bitmap.to_block())
+        sb = read_superblock(device)
+        sb.free_blocks -= 1
+        device.write_block(0, sb.pack())
+        report = Fsck(device).run()
+        assert report.clean  # leak is WARN, not ERROR
+        assert "bitmap-leak" in codes(report)
+
+    def test_lost_block_is_error(self, seq):
+        device = populated(seq)
+        layout = layout_of(device)
+        # Clear the root directory block's bit.
+        root = read_inode(device, layout, ROOT_INO)
+        block = root.direct[0]
+        group = layout.group_of_block(block)
+        bitmap_block = layout.block_bitmap_block(group)
+        bitmap = Bitmap.from_block(layout.blocks_per_group, device.read_block(bitmap_block))
+        bitmap.clear(block - layout.group_start(group))
+        device.write_block(bitmap_block, bitmap.to_block())
+        sb = read_superblock(device)
+        sb.free_blocks += 1
+        device.write_block(0, sb.pack())
+        report = Fsck(device).run()
+        assert "bitmap-lost" in codes(report)
+
+    def test_dirty_image_checked_through_journal(self, seq):
+        device = formatted_device(track_durability=True)
+        device.flush()
+        fs = BaseFilesystem(device)
+        fs.mkdir("/x", opseq=seq())
+        fs.commit()
+        device.crash()
+        report = Fsck(device).run()
+        assert report.clean
+        assert "sb-dirty" in codes(report)
+
+
+class TestRepair:
+    def test_repair_releases_orphans(self, seq):
+        device = formatted_device()
+        fs = BaseFilesystem(device)
+        fd = fs.open("/doomed", OpenFlags.CREAT, opseq=seq())
+        fs.write(fd, b"x" * 9000, opseq=seq())
+        fs.unlink("/doomed", opseq=seq())
+        fs.unmount()  # fd never closed: orphan persists
+        assert any(f.code == "orphan" for f in Fsck(device).run().warnings)
+        actions = repair_image(device)
+        assert any("orphan" in a for a in actions)
+        report = Fsck(device).run()
+        assert report.clean and not report.warnings
+
+    def test_repair_fixes_nlink(self, seq):
+        device = populated(seq)
+        layout = layout_of(device)
+        root = read_inode(device, layout, ROOT_INO)
+        root.nlink = 9
+        write_inode(device, layout, ROOT_INO, root)
+        repair_image(device)
+        assert Fsck(device).run().clean
+        assert read_inode(device, layout, ROOT_INO).nlink == 3
+
+    def test_repair_rebuilds_counts(self, seq):
+        device = populated(seq)
+        sb = read_superblock(device)
+        sb.free_blocks += 17
+        device.write_block(0, sb.pack())
+        repair_image(device)
+        assert Fsck(device).run().clean
+
+    def test_repair_replays_dirty_journal(self, seq):
+        device = formatted_device(track_durability=True)
+        device.flush()
+        fs = BaseFilesystem(device)
+        fs.mkdir("/x", opseq=seq())
+        fs.commit()
+        device.crash()
+        actions = repair_image(device)
+        assert any("journal" in a for a in actions)
+        report = Fsck(device).run()
+        assert report.clean
+        fs2 = BaseFilesystem(device)
+        assert fs2.readdir("/") == ["x"]
+        fs2.unmount()
+
+    def test_repaired_image_mounts_everywhere(self, seq):
+        device = populated(seq)
+        repair_image(device)
+        from repro.shadowfs.filesystem import ShadowFilesystem
+
+        shadow = ShadowFilesystem(device)
+        assert shadow.readdir("/docs") == ["a.txt", "b.txt"]
+        fs = BaseFilesystem(device)
+        assert fs.readdir("/docs") == ["a.txt", "b.txt"]
+        fs.unmount()

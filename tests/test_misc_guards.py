@@ -1,0 +1,96 @@
+"""Assorted guard-path coverage: dump_tree bounds, verifier divergence
+plumbing, CLI error handling."""
+
+import pytest
+
+from repro.api import OpenFlags, op
+from repro.errors import Errno, FsError
+from repro.ondisk.image import dump_tree
+from repro.shadowfs.filesystem import ShadowFilesystem
+from repro.spec.verifier import BoundedVerifier, Divergence, fresh_shadow
+from repro.tools import main as tools_main
+from tests.conftest import formatted_device
+
+
+class TestDumpTreeGuards:
+    def test_max_entries_guard(self, device):
+        # Build 20 entries, then cap the walk below that.
+        from repro.basefs.filesystem import BaseFilesystem
+
+        fs = BaseFilesystem(device)
+        for i in range(20):
+            fs.mkdir(f"/d{i:02d}", opseq=i + 1)
+        fs.unmount()
+        with pytest.raises(ValueError, match="max_entries"):
+            dump_tree(device, max_entries=5)
+
+    def test_symlinks_listed_not_followed(self, device):
+        from repro.basefs.filesystem import BaseFilesystem
+
+        fs = BaseFilesystem(device)
+        fs.mkdir("/d", opseq=1)
+        fs.symlink("/d", "/s", opseq=2)
+        fs.unmount()
+        tree = dump_tree(device)
+        assert "/s" in tree and "/d" in tree
+        assert "/s/s" not in tree  # no recursion through the link
+
+
+class TestVerifierPlumbing:
+    def test_divergence_rendering(self):
+        divergence = Divergence(prefix=["mkdir(path='/d')"], problem="spec vs shadow mismatch")
+        text = str(divergence)
+        assert "mkdir" in text and "mismatch" in text
+
+    def test_broken_shadow_surfaces_in_bounded_run(self):
+        def broken_factory():
+            shadow = fresh_shadow()
+            original = shadow.mkdir
+
+            def flaky_mkdir(path, perms=0o755, opseq=0):
+                raise FsError(Errno.EEXIST, path)
+
+            shadow.mkdir = flaky_mkdir
+            return shadow
+
+        result = BoundedVerifier(max_depth=1, shadow_factory=broken_factory).run()
+        assert not result.ok
+        assert any("mkdir" in str(d) for d in result.divergences)
+        # Diverging prefixes are not extended, so depth-1 count holds.
+        assert result.sequences_checked == len(BoundedVerifier().alphabet)
+
+
+class TestCliErrors:
+    def test_cat_missing_file_is_clean_error(self, tmp_path, capsys):
+        image = str(tmp_path / "e.img")
+        tools_main(["mkfs", image, "--blocks", "4096"])
+        code = tools_main(["cat", image, "/nope"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_ls_missing_dir_is_clean_error(self, tmp_path, capsys):
+        image = str(tmp_path / "e.img")
+        tools_main(["mkfs", image, "--blocks", "4096"])
+        assert tools_main(["ls", image, "/missing"]) == 2
+
+
+class TestShadowMiscGuards:
+    def test_write_bytearray_accepted(self, shadow, seq):
+        fd = shadow.open("/f", OpenFlags.CREAT, opseq=seq())
+        assert shadow.write(fd, bytearray(b"abc"), opseq=seq()) == 3
+        shadow.close(fd, opseq=seq())
+
+    def test_empty_write_is_noop(self, shadow, seq):
+        fd = shadow.open("/f", OpenFlags.CREAT, opseq=seq())
+        mtime_before = shadow.stat("/f").mtime
+        assert shadow.write(fd, b"", opseq=seq()) == 0
+        assert shadow.stat("/f").mtime == mtime_before
+        shadow.close(fd, opseq=seq())
+
+    def test_read_zero_length(self, shadow, seq):
+        fd = shadow.open("/f", OpenFlags.CREAT, opseq=seq())
+        shadow.write(fd, b"xy", opseq=seq())
+        shadow.lseek(fd, 0, 0, opseq=seq())
+        assert shadow.read(fd, 0, opseq=seq()) == b""
+        assert shadow.read(fd, 2, opseq=seq()) == b"xy"  # offset unmoved by 0-read
+        shadow.close(fd, opseq=seq())

@@ -1,0 +1,40 @@
+"""Differential testing under interleaved multi-client workloads.
+
+Two identically seeded :class:`MultiClientWorkload` runs produce the
+same operation interleaving; executing one on the base and one on the
+shadow must yield equivalent final states — extending the §3.3
+equivalence contract to the concurrent access patterns the base's
+caches and lock manager see in practice.
+"""
+
+from repro.basefs.filesystem import BaseFilesystem
+from repro.shadowfs.filesystem import ShadowFilesystem
+from repro.spec import capture_state, states_equivalent
+from repro.workloads import fileserver_profile, metadata_profile
+from repro.workloads.multi import MultiClientWorkload
+from tests.conftest import formatted_device
+
+
+def test_multiclient_base_shadow_equivalence():
+    for profile_factory, seed in ((fileserver_profile, 71), (metadata_profile, 72)):
+        base = BaseFilesystem(formatted_device(32768))
+        shadow = ShadowFilesystem(formatted_device(32768))
+        base_run = MultiClientWorkload(base, profile_factory(), clients=3, seed=seed)
+        shadow_run = MultiClientWorkload(shadow, profile_factory(), clients=3, seed=seed)
+        base_run.run(250)
+        shadow_run.run(250)
+        assert base_run.runtime_failures == shadow_run.runtime_failures == 0
+        report = states_equivalent(capture_state(base), capture_state(shadow))
+        assert report.equivalent, f"{profile_factory().name}: {report}"
+
+
+def test_multiclient_errno_parity():
+    base = BaseFilesystem(formatted_device(32768))
+    shadow = ShadowFilesystem(formatted_device(32768))
+    base_run = MultiClientWorkload(base, metadata_profile(), clients=2, seed=73)
+    shadow_run = MultiClientWorkload(shadow, metadata_profile(), clients=2, seed=73)
+    base_results = base_run.run(200)
+    shadow_results = shadow_run.run(200)
+    assert len(base_results) == len(shadow_results)
+    for index, (a, b) in enumerate(zip(base_results, shadow_results)):
+        assert a.errno == b.errno, f"op {index}: {a.errno} vs {b.errno}"

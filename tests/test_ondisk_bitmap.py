@@ -1,0 +1,92 @@
+"""Tests for repro.ondisk.bitmap."""
+
+import pytest
+
+from repro.ondisk.bitmap import Bitmap
+from repro.ondisk.layout import BLOCK_SIZE
+
+
+def test_set_test_clear():
+    bm = Bitmap(64)
+    assert not bm.test(5)
+    bm.set(5)
+    assert bm.test(5)
+    bm.clear(5)
+    assert not bm.test(5)
+
+
+def test_bounds_checked():
+    bm = Bitmap(64)
+    with pytest.raises(ValueError):
+        bm.test(64)
+    with pytest.raises(ValueError):
+        bm.set(-1)
+    with pytest.raises(ValueError):
+        Bitmap(0)
+    with pytest.raises(ValueError):
+        Bitmap(BLOCK_SIZE * 8 + 1)
+
+
+def test_find_free_wraps():
+    bm = Bitmap(8)
+    for bit in (0, 1, 2):
+        bm.set(bit)
+    assert bm.find_free(start=6) == 6
+    bm = Bitmap(8)
+    for bit in range(3, 8):
+        bm.set(bit)
+    assert bm.find_free(start=5) == 0  # wrapped
+
+
+def test_find_free_full():
+    bm = Bitmap(4)
+    for bit in range(4):
+        bm.set(bit)
+    assert bm.find_free() is None
+
+
+def test_find_free_run():
+    bm = Bitmap(16)
+    bm.set(3)
+    assert bm.find_free_run(3) == 0
+    assert bm.find_free_run(4) == 4
+    assert bm.find_free_run(13) is None
+    with pytest.raises(ValueError):
+        bm.find_free_run(0)
+
+
+def test_counts():
+    bm = Bitmap(100)
+    for bit in range(0, 100, 3):
+        bm.set(bit)
+    assert bm.count_set() == 34
+    assert bm.count_free() == 66
+    assert bm.set_bits() == list(range(0, 100, 3))
+
+
+def test_serialization_roundtrip():
+    bm = Bitmap(777)
+    for bit in (0, 1, 776, 400):
+        bm.set(bit)
+    restored = Bitmap.from_block(777, bm.to_block())
+    assert restored == bm
+    assert restored.set_bits() == [0, 1, 400, 776]
+
+
+def test_block_size_enforced():
+    with pytest.raises(ValueError):
+        Bitmap(64, data=b"short")
+
+
+def test_copy_independent():
+    bm = Bitmap(8)
+    bm.set(1)
+    other = bm.copy()
+    other.set(2)
+    assert not bm.test(2)
+    assert other.test(1)
+
+
+def test_equality_requires_same_nbits():
+    a, b = Bitmap(8), Bitmap(9)
+    assert a != b

@@ -1,0 +1,128 @@
+"""Tests for repro.ondisk.directory."""
+
+import pytest
+
+from repro.ondisk.directory import MAX_NAME_LEN, DirBlock, DirEntry, entry_size
+from repro.ondisk.inode import FileType
+from repro.ondisk.layout import BLOCK_SIZE
+
+
+def test_fresh_block_is_empty():
+    block = DirBlock()
+    assert block.entries() == []
+    assert block.is_empty()
+    assert len(block.to_block()) == BLOCK_SIZE
+
+
+def test_insert_find_remove():
+    block = DirBlock()
+    assert block.insert(10, "hello", FileType.REGULAR)
+    entry = block.find("hello")
+    assert entry is not None and entry.ino == 10 and entry.ftype == FileType.REGULAR
+    assert block.remove("hello")
+    assert block.find("hello") is None
+    assert not block.remove("hello")
+
+
+def test_insert_many_until_full():
+    block = DirBlock()
+    count = 0
+    while block.insert(count + 1, f"file{count:04d}", FileType.REGULAR):
+        count += 1
+    # 8-byte header + 8-byte name rounded = 16 bytes per entry minimum,
+    # so a 4096-byte block fits a couple hundred of these.
+    assert count >= 200
+    assert len(block.entries()) == count
+
+
+def test_remove_first_entry_keeps_chain_valid():
+    block = DirBlock()
+    block.insert(1, "a", FileType.REGULAR)
+    block.insert(2, "b", FileType.REGULAR)
+    block.remove("a")
+    assert [e.name for e in block.entries()] == ["b"]
+    # space is reusable
+    assert block.insert(3, "c", FileType.REGULAR)
+
+
+def test_remove_middle_folds_into_previous():
+    block = DirBlock()
+    for i, name in enumerate(("x", "y", "z"), start=1):
+        block.insert(i, name, FileType.REGULAR)
+    block.remove("y")
+    assert [e.name for e in block.entries()] == ["x", "z"]
+    # the freed slack is reusable for a same-size name
+    assert block.insert(9, "w", FileType.REGULAR)
+    names = [e.name for e in block.entries()]
+    assert "w" in names
+
+
+def test_reinsert_after_remove_is_deterministic():
+    a, b = DirBlock(), DirBlock()
+    for block in (a, b):
+        block.insert(1, "one", FileType.REGULAR)
+        block.insert(2, "two", FileType.REGULAR)
+        block.remove("one")
+        block.insert(3, "three", FileType.DIRECTORY)
+    assert a.to_block() == b.to_block()
+
+
+def test_serialization_roundtrip():
+    block = DirBlock()
+    block.insert(5, "name-5", FileType.SYMLINK)
+    restored = DirBlock(block.to_block())
+    assert [e.ino for e in restored.entries()] == [5]
+
+
+def test_long_names():
+    block = DirBlock()
+    name = "n" * MAX_NAME_LEN
+    assert block.insert(1, name, FileType.REGULAR)
+    assert block.find(name).ino == 1
+    with pytest.raises(ValueError):
+        block.insert(2, "n" * (MAX_NAME_LEN + 1), FileType.REGULAR)
+
+
+def test_insert_validates_args():
+    block = DirBlock()
+    with pytest.raises(ValueError):
+        block.insert(0, "zero-ino", FileType.REGULAR)
+    with pytest.raises(ValueError):
+        block.insert(1, "", FileType.REGULAR)
+
+
+def test_malformed_block_detected():
+    raw = bytearray(DirBlock().to_block())
+    raw[4:6] = (3).to_bytes(2, "little")  # rec_len 3: under header size
+    with pytest.raises(ValueError):
+        DirBlock(bytes(raw)).entries()
+
+
+def test_overrun_rec_len_detected():
+    raw = bytearray(DirBlock().to_block())
+    raw[4:6] = (BLOCK_SIZE + 8).to_bytes(2, "little")
+    with pytest.raises(ValueError):
+        DirBlock(bytes(raw)).entries()
+
+
+def test_free_space_probe_is_non_mutating():
+    block = DirBlock()
+    before = block.to_block()
+    assert block.free_space_for("anything")
+    assert block.to_block() == before
+
+
+def test_entry_size_alignment():
+    assert entry_size(1) % 4 == 0
+    assert entry_size(4) == 12
+    assert entry_size(5) == 16
+
+
+def test_direntry_rejects_bad_names():
+    with pytest.raises(ValueError):
+        DirEntry(ino=1, name="", ftype=FileType.REGULAR)
+
+
+def test_wrong_block_size_rejected():
+    with pytest.raises(ValueError):
+        DirBlock(b"\x00" * 100)

@@ -1,0 +1,98 @@
+"""Tests for repro.ondisk.superblock."""
+
+import pytest
+
+from repro.ondisk.layout import BLOCK_SIZE, DiskLayout
+from repro.ondisk.superblock import (
+    STATE_CLEAN,
+    STATE_DIRTY,
+    SUPERBLOCK_MAGIC,
+    Superblock,
+)
+
+
+def make(**overrides) -> Superblock:
+    fields = dict(
+        block_size=BLOCK_SIZE,
+        block_count=4096,
+        blocks_per_group=1024,
+        inodes_per_group=256,
+        journal_blocks=64,
+        free_blocks=3000,
+        free_inodes=900,
+        root_ino=2,
+    )
+    fields.update(overrides)
+    return Superblock(**fields)
+
+
+def test_pack_unpack_roundtrip():
+    sb = make(mount_state=STATE_DIRTY, mount_count=7, write_generation=99)
+    restored = Superblock.unpack(sb.pack())
+    assert restored == sb
+    assert len(sb.pack()) == BLOCK_SIZE
+
+
+def test_bad_magic_rejected():
+    raw = bytearray(make().pack())
+    raw[0] ^= 0xFF
+    with pytest.raises(ValueError, match="magic|checksum"):
+        Superblock.unpack(bytes(raw))
+
+
+def test_checksum_detects_field_corruption():
+    raw = bytearray(make().pack())
+    raw[20] ^= 0x01  # somewhere in the middle of the fields
+    with pytest.raises(ValueError, match="checksum"):
+        Superblock.unpack(bytes(raw))
+
+
+def test_verify_false_skips_validation():
+    raw = bytearray(make().pack())
+    raw[20] ^= 0x01
+    Superblock.unpack(bytes(raw), verify=False)  # no raise
+
+
+def test_short_block_rejected():
+    with pytest.raises(ValueError):
+        Superblock.unpack(b"tiny")
+
+
+def test_layout_reconstruction():
+    sb = make()
+    layout = sb.layout()
+    assert isinstance(layout, DiskLayout)
+    assert layout.block_count == 4096
+    assert layout.journal_blocks == 64
+
+
+def test_group_count_derived():
+    assert make(block_count=2500).group_count == 3
+
+
+def test_validate_against_catches_mismatches():
+    sb = make(free_blocks=999999)
+    layout = DiskLayout(block_count=4096, journal_blocks=64)
+    problems = sb.validate_against(layout)
+    assert any("free_blocks" in p for p in problems)
+
+    sb2 = make(root_ino=0)
+    assert any("root_ino" in p for p in sb2.validate_against(layout))
+
+    assert make().validate_against(layout) == []
+    assert any(
+        "journal_blocks" in p
+        for p in make().validate_against(DiskLayout(block_count=4096, journal_blocks=128))
+    )
+
+
+def test_bad_mount_state_rejected():
+    sb = make()
+    sb.mount_state = 42
+    with pytest.raises(ValueError, match="mount_state"):
+        Superblock.unpack(sb.pack())
+
+
+def test_magic_value_stable():
+    assert SUPERBLOCK_MAGIC == 0x5AD0_F54E
+    assert make().mount_state == STATE_CLEAN

@@ -1,0 +1,78 @@
+"""Edge cases for the separate-process shadow runner."""
+
+import pytest
+
+from repro.api import OpenFlags, op
+from repro.basefs.filesystem import BaseFilesystem
+from repro.blockdev.device import FileBlockDevice
+from repro.core.oplog import OpLog
+from repro.core.procrunner import open_image_readonly, run_shadow_process
+from repro.errors import RecoveryFailure
+from repro.ondisk.mkfs import mkfs
+from repro.shadowfs.checks import CheckLevel
+
+
+@pytest.fixture
+def image(tmp_path):
+    path = str(tmp_path / "proc.img")
+    device = FileBlockDevice(path, block_count=4096)
+    mkfs(device)
+    device.flush()
+    device.close()
+    return path
+
+
+def build_log(path):
+    device = FileBlockDevice(path, block_count=4096)
+    base = BaseFilesystem(device)
+    log = OpLog()
+    operations = [
+        op("mkdir", path="/p"),
+        op("open", path="/p/f", flags=int(OpenFlags.CREAT)),
+        op("write", fd=3, data=b"process-mode data"),
+    ]
+    for index, operation in enumerate(operations):
+        log.record(index + 1, operation, operation.apply(base, opseq=index + 1))
+    # Leave the window un-committed: the image stays at S0 for the child,
+    # except the mount marked it dirty — flush so the child sees that.
+    device.flush()
+    device.close()
+    return log
+
+
+def test_open_image_readonly_sizes_from_superblock(image):
+    device = open_image_readonly(image)
+    assert device.block_count == 4096
+    assert device.readonly
+    device.close()
+
+
+def test_missing_image_is_recovery_failure():
+    with pytest.raises(RecoveryFailure, match="does not exist"):
+        run_shadow_process("/no/such/image.img", [], {}, None)
+
+
+def test_child_runs_constrained_and_autonomous(image):
+    log = build_log(image)
+    update, report = run_shadow_process(
+        image, log.entries, {}, inflight=(9, op("mkdir", path="/p/sub")), check_level=CheckLevel.FULL
+    )
+    assert report.constrained_ops == 3
+    assert report.autonomous_ops == 1
+    assert update.inflight_result.ok
+    assert update.metadata_blocks and update.data_pages
+
+
+def test_child_failure_is_contained(image):
+    log = build_log(image)
+    log.entries[2].outcome.value = 1  # falsified write length
+    with pytest.raises(RecoveryFailure, match="shadow process failed"):
+        run_shadow_process(image, log.entries, {}, None, strict=True)
+
+
+def test_child_nonstrict_reports_discrepancies(image):
+    log = build_log(image)
+    log.entries[2].outcome.value = 1
+    update, report = run_shadow_process(image, log.entries, {}, None, strict=False)
+    assert len(report.discrepancies) == 1
+    assert update.metadata_blocks

@@ -1,0 +1,210 @@
+"""Property-based tests (hypothesis) for the core invariants of DESIGN §5.
+
+1. Refinement: shadow == spec for any generated op sequence.
+2. Journal atomicity: crash at any point + replay = committed prefix.
+3. Recovery correctness: bug at any position, state equals bug-free run.
+4. DirBlock and Bitmap structural invariants under arbitrary op mixes.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.api import OpenFlags, op
+from repro.basefs.filesystem import BaseFilesystem
+from repro.basefs.hooks import HookPoints
+from repro.core.supervisor import RAEConfig, RAEFilesystem
+from repro.errors import FsError, KernelBug
+from repro.fsck import Fsck
+from repro.ondisk.bitmap import Bitmap
+from repro.ondisk.directory import DirBlock
+from repro.ondisk.inode import FileType
+from repro.spec import capture_state, check_refinement, states_equivalent
+from tests.conftest import formatted_device
+
+# ---------------------------------------------------------------------------
+# strategies
+
+NAMES = st.sampled_from(["a", "b", "dir1", "f.txt", "x" * 40])
+PATHS = st.builds(lambda parts: "/" + "/".join(parts), st.lists(NAMES, min_size=1, max_size=3))
+FDS = st.integers(min_value=3, max_value=6)
+SMALL_DATA = st.binary(min_size=0, max_size=5000)
+
+
+def ops_strategy():
+    return st.lists(
+        st.one_of(
+            st.builds(lambda p: op("mkdir", path=p), PATHS),
+            st.builds(lambda p: op("rmdir", path=p), PATHS),
+            st.builds(lambda p: op("unlink", path=p), PATHS),
+            st.builds(lambda p: op("open", path=p, flags=int(OpenFlags.CREAT)), PATHS),
+            st.builds(lambda p: op("open", path=p, flags=int(OpenFlags.CREAT | OpenFlags.APPEND)), PATHS),
+            st.builds(lambda f: op("close", fd=f), FDS),
+            st.builds(lambda f, d: op("write", fd=f, data=d), FDS, SMALL_DATA),
+            st.builds(lambda f, n: op("read", fd=f, length=n), FDS, st.integers(0, 8000)),
+            st.builds(lambda f, o: op("lseek", fd=f, offset=o, whence=0), FDS, st.integers(0, 10000)),
+            st.builds(lambda a, b: op("rename", src=a, dst=b), PATHS, PATHS),
+            st.builds(lambda a, b: op("link", existing=a, new=b), PATHS, PATHS),
+            st.builds(lambda t, p: op("symlink", target=t, path=p), PATHS, PATHS),
+            st.builds(lambda p: op("stat", path=p), PATHS),
+            st.builds(lambda p: op("readdir", path=p), PATHS),
+            st.builds(lambda p, s: op("truncate", path=p, size=s), PATHS, st.integers(0, 20000)),
+        ),
+        min_size=1,
+        max_size=25,
+    )
+
+
+# ---------------------------------------------------------------------------
+# 1. refinement
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(operations=ops_strategy())
+def test_shadow_refines_spec(operations):
+    problems = check_refinement(operations)
+    assert problems == [], problems[0] if problems else ""
+
+
+# ---------------------------------------------------------------------------
+# 2. journal atomicity
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    operations=ops_strategy(),
+    crash_after_flushes=st.integers(min_value=1, max_value=8),
+)
+def test_crash_replay_yields_consistent_prefix(operations, crash_after_flushes):
+    """Crash after the Nth device flush; the remounted filesystem must be
+    fsck-clean (metadata transactions are atomic)."""
+    device = formatted_device(track_durability=True)
+    device.flush()
+
+    flushes = {"n": 0}
+    original_flush = device.flush
+
+    class StopWorkload(Exception):
+        pass
+
+    def counting_flush():
+        original_flush()
+        flushes["n"] += 1
+        if flushes["n"] >= crash_after_flushes:
+            raise StopWorkload()
+
+    fs = BaseFilesystem(device)  # mount first: its flushes are not counted
+    device.flush = counting_flush
+    try:
+        for index, operation in enumerate(operations):
+            try:
+                operation.apply(fs, opseq=index + 1)
+            except FsError:
+                pass
+            fs.writeback.tick()
+        fs.commit()
+    except StopWorkload:
+        pass
+    device.flush = original_flush
+    device.crash()
+
+    report = Fsck(device).run()
+    hard_errors = [f for f in report.errors]
+    assert not hard_errors, f"crash at flush {flushes['n']}: {[str(f) for f in hard_errors[:3]]}"
+    # And it must remount.
+    fs2 = BaseFilesystem(device)
+    fs2.readdir("/")
+    fs2.unmount()
+
+
+# ---------------------------------------------------------------------------
+# 3. recovery correctness
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(operations=ops_strategy(), fire_at=st.integers(min_value=1, max_value=60))
+def test_recovery_matches_bugfree_execution(operations, fire_at):
+    reference_fs = RAEFilesystem(formatted_device(16384), RAEConfig())
+    for operation in operations:
+        try:
+            operation.apply(reference_fs)
+        except FsError:
+            pass
+    reference = capture_state(reference_fs)
+
+    hooks = HookPoints()
+    counter = {"n": 0}
+
+    def bug(point, ctx):
+        counter["n"] += 1
+        if counter["n"] == fire_at:
+            raise KernelBug("hypothesis bug")
+
+    for point in ("dir.insert", "page.write", "inode.dirty", "dir.remove"):
+        hooks.register(point, bug)
+    device = formatted_device(16384)
+    fs = RAEFilesystem(device, RAEConfig(), hooks=hooks)
+    for operation in operations:
+        try:
+            operation.apply(fs)
+        except FsError:
+            pass
+    state = capture_state(fs)
+    report = states_equivalent(reference, state)
+    assert report.equivalent, str(report)
+    assert sum(e.discrepancies for e in fs.stats.events) == 0
+    fs.unmount()
+    assert Fsck(device).run().clean
+
+
+# ---------------------------------------------------------------------------
+# 4. structural invariants
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    commands=st.lists(
+        st.tuples(st.sampled_from(["insert", "remove"]), st.sampled_from(["aa", "bb", "cc", "a-long-name", "z"])),
+        max_size=40,
+    )
+)
+def test_dirblock_chain_always_valid(commands):
+    block = DirBlock()
+    live: dict[str, int] = {}
+    ino = 10
+    for action, name in commands:
+        if action == "insert" and name not in live:
+            if block.insert(ino, name, FileType.REGULAR):
+                live[name] = ino
+                ino += 1
+        elif action == "remove":
+            removed = block.remove(name)
+            assert removed == (name in live)
+            live.pop(name, None)
+        # Invariant: the chain parses and live entries match the model.
+        reparsed = DirBlock(block.to_block())
+        assert {e.name: e.ino for e in reparsed.entries()} == live
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    bits=st.lists(st.integers(min_value=0, max_value=255), max_size=60),
+    nbits=st.integers(min_value=1, max_value=256),
+)
+def test_bitmap_counts_consistent(bits, nbits):
+    bitmap = Bitmap(nbits)
+    model: set[int] = set()
+    for bit in bits:
+        if bit < nbits:
+            if bit in model:
+                bitmap.clear(bit)
+                model.discard(bit)
+            else:
+                bitmap.set(bit)
+                model.add(bit)
+    assert bitmap.count_set() == len(model)
+    assert bitmap.set_bits() == sorted(model)
+    free = bitmap.find_free()
+    if len(model) == nbits:
+        assert free is None
+    else:
+        assert free is not None and free not in model

@@ -1,0 +1,67 @@
+"""Property: base and shadow are state-equivalent on arbitrary bug-free
+streams (DESIGN §5.2 — the §3.3 'core functionality' contract), and the
+base's durable state equals its in-memory logical state after commit.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.api import OpenFlags, op
+from repro.basefs.filesystem import BaseFilesystem
+from repro.errors import FsError
+from repro.shadowfs.filesystem import ShadowFilesystem
+from repro.spec import capture_state, states_equivalent
+from tests.conftest import formatted_device
+
+NAMES = st.sampled_from(["n1", "n2", "sub", "file.bin", "ln"])
+PATHS = st.builds(lambda parts: "/" + "/".join(parts), st.lists(NAMES, min_size=1, max_size=2))
+FDS = st.integers(min_value=3, max_value=5)
+
+
+def ops_strategy():
+    return st.lists(
+        st.one_of(
+            st.builds(lambda p: op("mkdir", path=p), PATHS),
+            st.builds(lambda p: op("open", path=p, flags=int(OpenFlags.CREAT)), PATHS),
+            st.builds(lambda f, d: op("write", fd=f, data=d), FDS, st.binary(max_size=9000)),
+            st.builds(lambda f: op("close", fd=f), FDS),
+            st.builds(lambda p: op("unlink", path=p), PATHS),
+            st.builds(lambda a, b: op("rename", src=a, dst=b), PATHS, PATHS),
+            st.builds(lambda a, b: op("link", existing=a, new=b), PATHS, PATHS),
+            st.builds(lambda t, p: op("symlink", target=t, path=p), PATHS, PATHS),
+            st.builds(lambda p, s: op("truncate", path=p, size=s), PATHS, st.integers(0, 30000)),
+            st.builds(lambda p: op("rmdir", path=p), PATHS),
+        ),
+        min_size=1,
+        max_size=20,
+    )
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(operations=ops_strategy())
+def test_base_equivalent_to_shadow(operations):
+    base = BaseFilesystem(formatted_device())
+    shadow = ShadowFilesystem(formatted_device())
+    for index, operation in enumerate(operations):
+        base_result = operation.apply(base, opseq=index + 1)
+        shadow_result = operation.apply(shadow, opseq=index + 1)
+        assert base_result.errno == shadow_result.errno, (
+            f"op {index} {operation.describe()}: {base_result.errno} vs {shadow_result.errno}"
+        )
+    report = states_equivalent(capture_state(base), capture_state(shadow))
+    assert report.equivalent, str(report)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(operations=ops_strategy())
+def test_commit_then_remount_preserves_logical_state(operations):
+    device = formatted_device()
+    fs = BaseFilesystem(device)
+    for index, operation in enumerate(operations):
+        operation.apply(fs, opseq=index + 1)
+    before = capture_state(fs)
+    fs.unmount()
+    fs2 = BaseFilesystem(device)
+    after = capture_state(fs2)
+    report = states_equivalent(before, after, compare_ino_numbers=True, compare_dir_sizes=True)
+    assert report.equivalent, str(report)
+    fs2.unmount()

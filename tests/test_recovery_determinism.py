@@ -1,0 +1,69 @@
+"""Recovery is a deterministic function of (image, op log).
+
+Replaying the same recorded window over the same starting image twice —
+in fresh shadows — must produce byte-identical hand-off payloads: same
+metadata blocks, same data pages, same fd table, same accounting.  This
+is what makes recovery auditable (and what the separate-process mode
+silently relies on: the child's answer must equal what an in-process
+shadow would have said).
+"""
+
+from repro.api import OpenFlags, op
+from repro.basefs.filesystem import BaseFilesystem
+from repro.core.oplog import OpLog
+from repro.ondisk.image import clone_to_memory
+from repro.shadowfs.filesystem import ShadowFilesystem
+from repro.shadowfs.replay import ReplayEngine
+from repro.workloads import WorkloadGenerator, fileserver_profile
+from tests.conftest import formatted_device
+
+
+def build_window(n_ops: int, seed: int):
+    device = formatted_device(16384)
+    image_s0 = clone_to_memory(device)
+    base = BaseFilesystem(device)
+    log = OpLog()
+    for index, operation in enumerate(WorkloadGenerator(fileserver_profile(), seed=seed).ops(n_ops)):
+        if operation.name == "fsync":
+            continue
+        outcome = operation.apply(base, opseq=index + 1)
+        if operation.is_mutation:
+            log.record(index + 1, operation, outcome)
+    return image_s0, log
+
+
+def replay_once(image_s0, log, inflight=None):
+    shadow = ShadowFilesystem(clone_to_memory(image_s0))
+    engine = ReplayEngine(shadow)
+    update = engine.run(log.entries, log.fd_snapshot, inflight)
+    return update, engine.report
+
+
+def test_handoff_payload_is_deterministic():
+    image_s0, log = build_window(150, seed=91)
+    inflight = (9999, op("mkdir", path="/inflight-dir"))
+    first, report_a = replay_once(image_s0, log, inflight)
+    second, report_b = replay_once(image_s0, log, inflight)
+
+    assert first.metadata_blocks == second.metadata_blocks
+    assert first.roles == second.roles
+    assert first.data_pages == second.data_pages
+    assert first.touched_inos == second.touched_inos
+    assert {fd: (s.ino, s.offset, int(s.flags)) for fd, s in first.fd_table.items()} == {
+        fd: (s.ino, s.offset, int(s.flags)) for fd, s in second.fd_table.items()
+    }
+    assert (first.free_blocks, first.free_inodes) == (second.free_blocks, second.free_inodes)
+    assert first.inflight_result.same_outcome_as(second.inflight_result)
+    assert report_a.constrained_ops == report_b.constrained_ops
+
+
+def test_replay_is_independent_of_prior_replays():
+    """A replay must not leak state into the image it reads: run one
+    replay, then a second over the *same* (not re-cloned) fenced image."""
+    image_s0, log = build_window(80, seed=92)
+    shadow_one = ShadowFilesystem(image_s0)
+    first = ReplayEngine(shadow_one).run(log.entries, log.fd_snapshot, None)
+    shadow_two = ShadowFilesystem(image_s0)  # same device object
+    second = ReplayEngine(shadow_two).run(log.entries, log.fd_snapshot, None)
+    assert first.metadata_blocks == second.metadata_blocks
+    assert first.data_pages == second.data_pages

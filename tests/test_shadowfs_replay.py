@@ -1,0 +1,179 @@
+"""Tests for the replay engine: constrained/autonomous modes,
+cross-checking, fd registry install, fsync skipping."""
+
+import pytest
+
+from repro.api import OpenFlags, op
+from repro.basefs.filesystem import BaseFilesystem
+from repro.basefs.vfs import FdState
+from repro.core.oplog import OpLog
+from repro.errors import CrossCheckMismatch, Errno, RecoveryFailure
+from repro.ondisk.image import clone_to_memory
+from repro.shadowfs.filesystem import ShadowFilesystem
+from repro.shadowfs.replay import ReplayEngine
+from tests.conftest import formatted_device
+
+
+def record_on_base(operations, device=None):
+    """Run ops on a fresh base over ``device`` (kept un-committed so the
+    image stays at S0), recording into an OpLog."""
+    device = device if device is not None else formatted_device()
+    image_s0 = clone_to_memory(device)
+    base = BaseFilesystem(device)
+    log = OpLog()
+    log.fd_snapshot = {}
+    for index, operation in enumerate(operations):
+        outcome = operation.apply(base, opseq=index + 1)
+        if operation.is_mutation:
+            log.record(index + 1, operation, outcome)
+    return base, log, image_s0
+
+
+def test_constrained_replay_reproduces_everything():
+    ops = [
+        op("mkdir", path="/a"),
+        op("open", path="/a/f", flags=int(OpenFlags.CREAT)),
+        op("write", fd=3, data=b"hello world" * 50),
+        op("lseek", fd=3, offset=0, whence=0),
+        op("read", fd=3, length=11),
+        op("symlink", target="/a", path="/s"),
+        op("close", fd=3),
+        op("rename", src="/a/f", dst="/a/g"),
+    ]
+    base, log, image_s0 = record_on_base(ops)
+    shadow = ShadowFilesystem(image_s0)
+    engine = ReplayEngine(shadow, strict=True)
+    update = engine.run(log.entries, {}, None)
+    assert engine.report.clean
+    assert engine.report.constrained_ops == len(log.entries)
+    assert shadow.readdir("/a") == ["g"]
+    # Constrained allocation: the shadow holds the base's inode numbers.
+    assert shadow.stat("/a").ino == base.stat("/a").ino
+    assert shadow.stat("/a/g").ino == base.stat("/a/g").ino
+    # fd table matches (fd 3 was closed).
+    assert update.fd_table == {}
+
+
+def test_open_fds_survive_into_update():
+    ops = [op("open", path="/f", flags=int(OpenFlags.CREAT)), op("write", fd=3, data=b"x" * 10)]
+    base, log, image_s0 = record_on_base(ops)
+    shadow = ShadowFilesystem(image_s0)
+    update = ReplayEngine(shadow).run(log.entries, {}, None)
+    assert 3 in update.fd_table
+    assert update.fd_table[3].offset == 10
+
+
+def test_error_outcomes_are_skipped():
+    ops = [op("mkdir", path="/a"), op("mkdir", path="/a"), op("rmdir", path="/missing")]
+    base, log, image_s0 = record_on_base(ops)
+    assert log.entries[1].outcome.errno == Errno.EEXIST
+    shadow = ShadowFilesystem(image_s0)
+    engine = ReplayEngine(shadow)
+    engine.run(log.entries, {}, None)
+    assert engine.report.skipped_errors == 2
+    assert engine.report.constrained_ops == 1
+
+
+def test_fsync_records_skipped():
+    ops = [op("open", path="/f", flags=int(OpenFlags.CREAT))]
+    base, log, image_s0 = record_on_base(ops)
+    log.record(99, op("fsync", fd=3), __import__("repro.api", fromlist=["OpResult"]).OpResult())
+    shadow = ShadowFilesystem(image_s0)
+    engine = ReplayEngine(shadow)
+    engine.run(log.entries, {}, None)
+    assert engine.report.skipped_fsyncs == 1
+
+
+def test_autonomous_mode_executes_inflight():
+    ops = [op("mkdir", path="/a")]
+    base, log, image_s0 = record_on_base(ops)
+    shadow = ShadowFilesystem(image_s0)
+    engine = ReplayEngine(shadow)
+    update = engine.run(log.entries, {}, inflight=(2, op("mkdir", path="/a/b")))
+    assert engine.report.autonomous_ops == 1
+    assert update.inflight_result is not None and update.inflight_result.ok
+    assert shadow.readdir("/a") == ["b"]
+
+
+def test_autonomous_inflight_fsync_is_delegated():
+    ops = [op("open", path="/f", flags=int(OpenFlags.CREAT))]
+    base, log, image_s0 = record_on_base(ops)
+    shadow = ShadowFilesystem(image_s0)
+    engine = ReplayEngine(shadow)
+    update = engine.run(log.entries, {}, inflight=(2, op("fsync", fd=3)))
+    assert update.inflight_result.value == "fsync-delegated"
+
+
+def test_autonomous_legitimate_error_reported():
+    base, log, image_s0 = record_on_base([])
+    shadow = ShadowFilesystem(image_s0)
+    update = ReplayEngine(shadow).run([], {}, inflight=(1, op("rmdir", path="/nope")))
+    assert update.inflight_result.errno == Errno.ENOENT
+
+
+def test_unusable_recorded_ino_aborts_recovery():
+    ops = [op("mkdir", path="/a")]
+    base, log, image_s0 = record_on_base(ops)
+    log.entries[0].outcome.ino = 2  # the root inode: not usable
+    shadow = ShadowFilesystem(image_s0)
+    with pytest.raises(RecoveryFailure):
+        ReplayEngine(shadow, strict=True).run(log.entries, {}, None)
+
+
+def test_strict_crosscheck_raises_on_tampered_value():
+    ops = [op("open", path="/f", flags=int(OpenFlags.CREAT)), op("write", fd=3, data=b"abc")]
+    base, log, image_s0 = record_on_base(ops)
+    log.entries[1].outcome.value = 2  # claim a short write
+    shadow = ShadowFilesystem(image_s0)
+    with pytest.raises(CrossCheckMismatch):
+        ReplayEngine(shadow, strict=True).run(log.entries, {}, None)
+
+
+def test_permissive_crosscheck_reports_and_continues():
+    ops = [op("mkdir", path="/a"), op("mkdir", path="/b")]
+    base, log, image_s0 = record_on_base(ops)
+    log.entries[0].op.args["path"] = "/a2"  # replay diverges from record
+    shadow = ShadowFilesystem(image_s0)
+    engine = ReplayEngine(shadow, strict=False)
+    engine.run(log.entries, {}, None)
+    # '/a2' was created; its recorded outcome (for '/a') still matches in
+    # value terms, so force a real mismatch instead: falsified read.
+    assert shadow.readdir("/") == ["a2", "b"]
+
+
+def test_permissive_mismatch_collected():
+    ops = [op("open", path="/f", flags=int(OpenFlags.CREAT)), op("write", fd=3, data=b"abc")]
+    base, log, image_s0 = record_on_base(ops)
+    log.entries[1].outcome.value = 2  # claim a short write
+    shadow = ShadowFilesystem(image_s0)
+    engine = ReplayEngine(shadow, strict=False)
+    engine.run(log.entries, {}, None)
+    assert len(engine.report.discrepancies) == 1
+    assert "write" in engine.report.discrepancies[0].op
+
+
+def test_fd_registry_installed_before_replay():
+    # Window: a write through a descriptor opened before the window.
+    device = formatted_device()
+    base = BaseFilesystem(device)
+    fd = base.open("/f", OpenFlags.CREAT, opseq=1)
+    base.write(fd, b"committed", opseq=2)
+    base.commit()  # durability point: fd registry snapshot would be taken
+    registry = base.fd_table.snapshot()
+    image = clone_to_memory(device)
+
+    window = [op("write", fd=fd, data=b"-tail")]
+    log_entries = []
+    for index, operation in enumerate(window):
+        outcome = operation.apply(base, opseq=10 + index)
+        from repro.core.oplog import OpRecord
+
+        log_entries.append(OpRecord(seq=10 + index, op=operation, outcome=outcome))
+
+    shadow = ShadowFilesystem(image)
+    engine = ReplayEngine(shadow)
+    update = engine.run(log_entries, registry, None)
+    assert engine.report.clean
+    # The shadow wrote at the registry offset, not at zero.
+    shadow2 = ShadowFilesystem(image)
+    assert update.fd_table[fd].offset == len(b"committed") + len(b"-tail")

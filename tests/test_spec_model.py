@@ -1,0 +1,92 @@
+"""Tests for the executable spec model — the semantics reference."""
+
+import pytest
+
+from repro.api import OpenFlags
+from repro.errors import Errno, FsError
+from repro.ondisk.inode import FileType
+
+
+class TestSpecNamespace:
+    def test_fresh_root(self, spec):
+        st = spec.stat("/")
+        assert st.ftype == FileType.DIRECTORY and st.nlink == 2
+        assert spec.readdir("/") == []
+
+    def test_mkdir_rmdir_cycle(self, spec, seq):
+        spec.mkdir("/a", opseq=seq())
+        assert spec.readdir("/") == ["a"]
+        spec.rmdir("/a", opseq=seq())
+        assert spec.readdir("/") == []
+
+    def test_nested_paths(self, spec, seq):
+        spec.mkdir("/a", opseq=seq())
+        spec.mkdir("/a/b", opseq=seq())
+        spec.mkdir("/a/b/c", opseq=seq())
+        assert spec.stat("/a/b/c").ftype == FileType.DIRECTORY
+        assert spec.stat("/a").nlink == 3
+
+    def test_errno_precedence_open_excl_on_symlink(self, spec, seq):
+        spec.symlink("/nowhere", "/s", opseq=seq())
+        with pytest.raises(FsError) as e:
+            spec.open("/s", OpenFlags.CREAT | OpenFlags.EXCL, opseq=seq())
+        assert e.value.errno == Errno.EEXIST
+
+    def test_rename_subtree_guard(self, spec, seq):
+        spec.mkdir("/a", opseq=seq())
+        spec.mkdir("/a/b", opseq=seq())
+        with pytest.raises(FsError) as e:
+            spec.rename("/a", "/a/b/under", opseq=seq())
+        assert e.value.errno == Errno.EINVAL
+
+
+class TestSpecData:
+    def test_write_read(self, spec, seq):
+        fd = spec.open("/f", OpenFlags.CREAT, opseq=seq())
+        assert spec.write(fd, b"hello", opseq=seq()) == 5
+        spec.lseek(fd, 0, 0, opseq=seq())
+        assert spec.read(fd, 5, opseq=seq()) == b"hello"
+        spec.close(fd, opseq=seq())
+
+    def test_sparse_write(self, spec, seq):
+        fd = spec.open("/f", OpenFlags.CREAT, opseq=seq())
+        spec.lseek(fd, 100, 0, opseq=seq())
+        spec.write(fd, b"end", opseq=seq())
+        spec.lseek(fd, 0, 0, opseq=seq())
+        assert spec.read(fd, 100, opseq=seq()) == b"\x00" * 100
+        spec.close(fd, opseq=seq())
+
+    def test_append_mode(self, spec, seq):
+        fd = spec.open("/f", OpenFlags.CREAT | OpenFlags.APPEND, opseq=seq())
+        spec.write(fd, b"a", opseq=seq())
+        spec.lseek(fd, 0, 0, opseq=seq())
+        spec.write(fd, b"b", opseq=seq())
+        spec.close(fd, opseq=seq())
+        assert bytes(spec._nodes[spec.stat("/f").ino].data) == b"ab"
+
+    def test_orphan_semantics(self, spec, seq):
+        fd = spec.open("/f", OpenFlags.CREAT, opseq=seq())
+        spec.write(fd, b"ghost", opseq=seq())
+        spec.unlink("/f", opseq=seq())
+        spec.lseek(fd, 0, 0, opseq=seq())
+        assert spec.read(fd, 5, opseq=seq()) == b"ghost"
+        ino = spec.fstat_ino(fd)
+        spec.close(fd, opseq=seq())
+        assert ino not in spec._nodes  # destroyed at last close
+
+    def test_fsync_is_noop_except_ebadf(self, spec, seq):
+        with pytest.raises(FsError):
+            spec.fsync(42, opseq=seq())
+
+    def test_fd_numbering_matches_contract(self, spec, seq):
+        a = spec.open("/a", OpenFlags.CREAT, opseq=seq())
+        b = spec.open("/b", OpenFlags.CREAT, opseq=seq())
+        assert (a, b) == (3, 4)
+        spec.close(a, opseq=seq())
+        c = spec.open("/c", OpenFlags.CREAT, opseq=seq())
+        assert c == 3
+
+    def test_ino_hint(self, spec, seq):
+        spec.ino_hint = 77
+        spec.mkdir("/d", opseq=seq())
+        assert spec.stat("/d").ino == 77

@@ -1,0 +1,167 @@
+"""Tests for the bounded verifier, equivalence helpers, and NVP executor."""
+
+import pytest
+
+from repro.api import OpResult, OpenFlags, op
+from repro.errors import Errno
+from repro.spec import (
+    BoundedVerifier,
+    NVPExecutor,
+    SpecFilesystem,
+    capture_state,
+    check_refinement,
+    outcomes_equivalent,
+    states_equivalent,
+)
+from repro.spec.verifier import fresh_shadow
+
+
+class TestEquivalence:
+    def build(self, fs, seq):
+        fs.mkdir("/d", opseq=seq())
+        fd = fs.open("/d/f", OpenFlags.CREAT, opseq=seq())
+        fs.write(fd, b"content", opseq=seq())
+        fs.close(fd, opseq=seq())
+        fs.symlink("/d/f", "/s", opseq=seq())
+        fs.link("/d/f", "/hard", opseq=seq())
+
+    def test_identical_histories_equivalent(self, shadow, spec, seq):
+        self.build(shadow, seq)
+        seq.value = 10
+        self.build(spec, seq)
+        report = states_equivalent(capture_state(spec), capture_state(shadow))
+        assert report.equivalent, str(report)
+
+    def test_content_divergence_detected(self, shadow, spec, seq):
+        self.build(shadow, seq)
+        seq.value = 10
+        self.build(spec, seq)
+        fd = shadow.open("/d/f", opseq=seq())
+        shadow.lseek(fd, 0, 0, opseq=seq())
+        shadow.write(fd, b"tampere", opseq=seq())
+        shadow.close(fd, opseq=seq())
+        report = states_equivalent(capture_state(spec), capture_state(shadow))
+        assert not report.equivalent
+        assert any("content differs" in p or "mtime" in p for p in report.problems)
+
+    def test_missing_path_detected(self, shadow, spec, seq):
+        self.build(shadow, seq)
+        seq.value = 10
+        self.build(spec, seq)
+        shadow.unlink("/s", opseq=99)
+        report = states_equivalent(capture_state(spec), capture_state(shadow))
+        assert any("only in A" in p for p in report.problems)
+
+    def test_hardlink_partition_checked(self, shadow, spec, seq):
+        # spec: /a and /b are the same file; shadow: distinct files.
+        fd = spec.open("/a", OpenFlags.CREAT, opseq=1)
+        spec.close(fd, opseq=2)
+        spec.link("/a", "/b", opseq=3)
+        fd = shadow.open("/a", OpenFlags.CREAT, opseq=1)
+        shadow.close(fd, opseq=2)
+        fd = shadow.open("/b", OpenFlags.CREAT, opseq=3)
+        shadow.close(fd, opseq=3)
+        report = states_equivalent(capture_state(spec), capture_state(shadow))
+        assert not report.equivalent
+
+    def test_outcome_equivalence_ino_bijection(self):
+        ino_map = {}
+        assert outcomes_equivalent(OpResult(value=None, ino=10), OpResult(value=None, ino=3), ino_map)
+        assert outcomes_equivalent(OpResult(value=None, ino=10), OpResult(value=None, ino=3), ino_map)
+        # A different reference ino may not map to an already-used target.
+        assert not outcomes_equivalent(OpResult(value=None, ino=11), OpResult(value=None, ino=3), ino_map)
+
+    def test_outcome_equivalence_errno(self):
+        assert outcomes_equivalent(OpResult(errno=Errno.ENOENT), OpResult(errno=Errno.ENOENT))
+        assert not outcomes_equivalent(OpResult(errno=Errno.ENOENT), OpResult(errno=Errno.EEXIST))
+        assert not outcomes_equivalent(OpResult(errno=Errno.ENOENT), OpResult(value=5))
+
+
+class TestBoundedVerifier:
+    def test_depth_one_clean(self):
+        result = BoundedVerifier(max_depth=1).run()
+        assert result.ok
+        assert result.sequences_checked == len(BoundedVerifier().alphabet)
+
+    def test_check_refinement_single_sequence(self):
+        problems = check_refinement(
+            [
+                op("mkdir", path="/d"),
+                op("open", path="/f", flags=int(OpenFlags.CREAT)),
+                op("write", fd=3, data=b"abc"),
+                op("close", fd=3),
+                op("rename", src="/f", dst="/d/f"),
+                op("stat", path="/d/f"),
+            ]
+        )
+        assert problems == []
+
+    def test_verifier_catches_a_broken_shadow(self):
+        class LyingShadow:
+            """A 'shadow' that misreports mkdir as EEXIST."""
+
+            def __getattr__(self, name):
+                real = fresh_shadow()
+                return getattr(real, name)
+
+        def broken_factory():
+            shadow = fresh_shadow()
+            original = shadow.mkdir
+
+            def lying_mkdir(path, perms=0o755, opseq=0):
+                from repro.errors import FsError
+
+                raise FsError(Errno.EEXIST, path)
+
+            shadow.mkdir = lying_mkdir
+            return shadow
+
+        problems = check_refinement([op("mkdir", path="/d")], shadow_factory=broken_factory)
+        assert problems
+
+
+class TestNVP:
+    def build_versions(self):
+        return [SpecFilesystem(), fresh_shadow(), fresh_shadow()]
+
+    def test_vote_agreement(self):
+        nvp = NVPExecutor(self.build_versions())
+        result = nvp.apply(op("mkdir", path="/d"), opseq=1)
+        assert result.votes == 3 and not result.dissenting_versions
+        assert nvp.stats.executions == 3
+
+    def test_masks_minority_fault(self):
+        versions = self.build_versions()
+        broken = versions[2]
+        original = broken.readdir
+        broken.readdir = lambda path: ["phantom"]
+        nvp = NVPExecutor(versions)
+        nvp.apply(op("mkdir", path="/d"), opseq=1)
+        result = nvp.apply(op("readdir", path="/"), opseq=2)
+        assert result.winning.value == ["d"]
+        assert result.dissenting_versions == [2]
+        assert nvp.stats.disagreements == 1
+
+    def test_crashed_member_is_retired(self):
+        versions = self.build_versions()
+
+        def crash(path, perms=0o755, opseq=0):
+            raise RuntimeError("member crash")
+
+        versions[1].mkdir = crash
+        nvp = NVPExecutor(versions)
+        nvp.apply(op("mkdir", path="/d"), opseq=1)
+        assert nvp.faulted == {1}
+        # Subsequent ops run on the two survivors only.
+        nvp.apply(op("readdir", path="/"), opseq=2)
+        assert nvp.stats.executions == 3 + 2
+
+    def test_requires_two_versions(self):
+        with pytest.raises(ValueError):
+            NVPExecutor([SpecFilesystem()])
+
+    def test_overhead_is_n_times(self):
+        nvp = NVPExecutor(self.build_versions())
+        for i in range(10):
+            nvp.apply(op("mkdir", path=f"/d{i}"), opseq=i + 1)
+        assert nvp.stats.executions == 30

@@ -1,0 +1,69 @@
+"""Admission control during recovery (§3.2: "During recovery, new
+application operations are not admitted") and supervisor bookkeeping."""
+
+import pytest
+
+from repro.api import OpenFlags
+from repro.basefs.hooks import HookPoints
+from repro.core.supervisor import RAEConfig, RAEFilesystem
+from repro.errors import KernelBug, RecoveryFailure
+from tests.conftest import formatted_device
+
+
+def test_operations_rejected_while_recovering(hooks):
+    """A re-entrant operation issued from inside the recovery span (here:
+    from a hook firing during the contained reboot's mount) is refused."""
+    device = formatted_device()
+    recorded = {}
+
+    def bug(point, ctx):
+        if ctx.get("name") == "trip":
+            raise KernelBug("admission test")
+
+    fs = RAEFilesystem(device, RAEConfig(), hooks=hooks)
+
+    def reentrant_probe(point, ctx):
+        # "mount" fires inside contained_reboot -> we are mid-recovery.
+        if fs._in_recovery and "attempt" not in recorded:
+            try:
+                fs.stat("/")
+            except RecoveryFailure as failure:
+                recorded["attempt"] = str(failure)
+
+    hooks.register("dir.insert", bug)
+    hooks.register("mount", reentrant_probe)
+    fs.mkdir("/ok")
+    fs.mkdir("/trip")
+    assert "not admitted" in recorded.get("attempt", "") or "during recovery" in recorded.get("attempt", "")
+    # ...and normal service resumed afterwards.
+    assert fs.readdir("/") == ["ok", "trip"]
+
+
+def test_event_fields_are_complete(hooks):
+    def bug(point, ctx):
+        if ctx.get("name") == "trip":
+            raise KernelBug("bookkeeping test", bug_id="bk-1")
+
+    hooks.register("dir.insert", bug)
+    fs = RAEFilesystem(formatted_device(), RAEConfig(), hooks=hooks)
+    fd = fs.open("/keep", OpenFlags.CREAT)
+    fs.write(fd, b"x" * 100)
+    fs.mkdir("/trip")
+    event = fs.stats.events[0]
+    assert event.seq is not None
+    assert "mkdir" in event.detected
+    assert event.replayed_ops >= 3  # open + write + autonomous mkdir
+    assert event.total_seconds > 0
+    assert event.discrepancies == 0
+    fs.close(fd)
+
+
+def test_stats_ops_counts_everything(hooks):
+    fs = RAEFilesystem(formatted_device(), RAEConfig(), hooks=hooks)
+    fs.mkdir("/a")
+    fs.stat("/a")
+    try:
+        fs.rmdir("/missing")
+    except Exception:  # noqa: BLE001 — FsError expected
+        pass
+    assert fs.stats.ops == 3

@@ -1,0 +1,78 @@
+"""Tests for the supervisor report and the CLI replay command."""
+
+import io
+
+from repro.api import OpenFlags
+from repro.basefs.hooks import HookPoints
+from repro.core.supervisor import RAEConfig, RAEFilesystem
+from repro.errors import KernelBug
+from repro.tools import main as tools_main
+from tests.conftest import formatted_device
+
+
+def test_supervisor_report_mentions_recoveries(hooks):
+    def bug(point, ctx):
+        if "boom" in str(ctx.get("name", "")):
+            raise KernelBug("report test bug")
+
+    hooks.register("dir.insert", bug)
+    fs = RAEFilesystem(formatted_device(), RAEConfig(), hooks=hooks)
+    fs.mkdir("/fine")
+    fs.mkdir("/boom")
+    text = fs.report()
+    assert "1 recoveries" in text or "recoveries" in text
+    assert "report test bug" in text
+    assert "detections by kind: bug=1" in text
+
+
+def test_supervisor_report_clean_run():
+    fs = RAEFilesystem(formatted_device(), RAEConfig())
+    fs.mkdir("/a")
+    text = fs.report()
+    assert "0 recoveries" in text
+
+
+def test_cli_replay_workflow(tmp_path, capsys, seq):
+    """Full §4.3 loop through the CLI: record on a base, write the trace
+    and image, replay via `repro.tools replay`, expect agreement; then
+    tamper and expect a reported discrepancy."""
+    from repro.api import op
+    from repro.basefs.filesystem import BaseFilesystem
+    from repro.blockdev.device import FileBlockDevice
+    from repro.core.oplog import OpLog
+    from repro.workloads.trace import dump_trace
+
+    image = str(tmp_path / "w.img")
+    tools_main(["mkfs", image, "--blocks", "4096"])
+    device = FileBlockDevice(image, block_count=4096)
+    base = BaseFilesystem(device)
+    log = OpLog()
+    operations = [
+        op("mkdir", path="/w"),
+        op("open", path="/w/f", flags=int(OpenFlags.CREAT)),
+        op("write", fd=3, data=b"traceable"),
+        op("close", fd=3),
+    ]
+    for operation in operations:
+        s = seq()
+        log.record(s, operation, operation.apply(base, opseq=s))
+    # The trace replays against the PRE-window image: unmount a clean
+    # copy is wrong here — instead, keep the image at mkfs state by not
+    # committing, and just close the device.
+    device.close()
+
+    trace_path = tmp_path / "window.jsonl"
+    with open(trace_path, "w") as stream:
+        dump_trace(log.entries, stream)
+
+    assert tools_main(["replay", image, str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "no discrepancies" in out
+
+    # Tamper with the recorded write length and replay again.
+    lines = trace_path.read_text().splitlines()
+    lines[2] = lines[2].replace('"value": 9', '"value": 5')
+    trace_path.write_text("\n".join(lines) + "\n")
+    assert tools_main(["replay", image, str(trace_path)]) == 1
+    out = capsys.readouterr().out
+    assert "DISCREPANCY" in out

@@ -1,0 +1,31 @@
+"""Tests for repro.util."""
+
+from repro.util import LogicalClock, checksum32, make_rng
+
+
+def test_checksum32_deterministic_and_sensitive():
+    a = checksum32(b"hello world")
+    assert a == checksum32(b"hello world")
+    assert a != checksum32(b"hello worle")
+
+
+def test_checksum32_range():
+    assert 0 <= checksum32(b"") <= 0xFFFFFFFF
+    assert 0 <= checksum32(b"\xff" * 4096) <= 0xFFFFFFFF
+
+
+def test_logical_clock_monotone():
+    clock = LogicalClock()
+    first = clock.now()
+    assert clock.tick() == first + 1
+    assert clock.tick() == first + 2
+    assert clock.now() == first + 2
+
+
+def test_logical_clock_custom_start():
+    assert LogicalClock(start=100).now() == 100
+
+
+def test_make_rng_reproducible():
+    assert make_rng(7).random() == make_rng(7).random()
+    assert make_rng(7).random() != make_rng(8).random()

@@ -1,0 +1,134 @@
+"""Tests for workload generation and the simulated application."""
+
+import pytest
+
+from repro.api import OP_SIGNATURES
+from repro.basefs.filesystem import BaseFilesystem
+from repro.core.supervisor import RAEConfig, RAEFilesystem
+from repro.errors import FsError, KernelBug
+from repro.shadowfs.filesystem import ShadowFilesystem
+from repro.spec.model import SpecFilesystem
+from repro.workloads import (
+    Profile,
+    SimulatedApplication,
+    WorkloadGenerator,
+    fileserver_profile,
+    metadata_profile,
+    varmail_profile,
+    webserver_profile,
+)
+from tests.conftest import formatted_device
+
+
+ALL_PROFILES = (fileserver_profile, varmail_profile, webserver_profile, metadata_profile)
+
+
+class TestProfiles:
+    def test_profiles_well_formed(self):
+        for factory in ALL_PROFILES:
+            profile = factory()
+            assert profile.weights
+            assert all(w >= 0 for w in profile.weights.values())
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            Profile(name="empty")
+        with pytest.raises(ValueError):
+            Profile(name="neg", weights={"read": -1})
+
+    def test_personalities_differ(self):
+        web = webserver_profile()
+        mail = varmail_profile()
+        assert web.weights["read"] > web.weights.get("write", 0)
+        assert mail.weights["fsync"] > web.weights.get("fsync", 0)
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        a = WorkloadGenerator(fileserver_profile(), seed=5).ops(100)
+        b = WorkloadGenerator(fileserver_profile(), seed=5).ops(100)
+        assert [op.describe() for op in a] == [op.describe() for op in b]
+        c = WorkloadGenerator(fileserver_profile(), seed=6).ops(100)
+        assert [op.describe() for op in a] != [op.describe() for op in c]
+
+    def test_only_known_ops(self):
+        for factory in ALL_PROFILES:
+            for operation in WorkloadGenerator(factory(), seed=1).ops(150):
+                assert operation.name in OP_SIGNATURES
+
+    @pytest.mark.parametrize("factory", ALL_PROFILES)
+    def test_streams_valid_on_all_implementations(self, factory, seq):
+        operations = WorkloadGenerator(factory(), seed=3).ops(200)
+        for make_fs in (lambda: BaseFilesystem(formatted_device(16384)),
+                        lambda: ShadowFilesystem(formatted_device(16384)),
+                        lambda: SpecFilesystem()):
+            fs = make_fs()
+            unexpected_errnos = 0
+            for index, operation in enumerate(operations):
+                if operation.name == "fsync" and isinstance(fs, ShadowFilesystem):
+                    continue
+                result = operation.apply(fs, opseq=index + 1)
+                # The generator's model keeps ops valid; only ENOTEMPTY
+                # noise from untracked symlinks under rmdir'd dirs is
+                # tolerated.
+                if result.errno is not None and result.errno.name != "ENOTEMPTY":
+                    unexpected_errnos += 1
+            assert unexpected_errnos == 0
+
+    def test_prepopulation_separate(self):
+        generator = WorkloadGenerator(webserver_profile(), seed=1)
+        setup = generator.prepopulate()
+        assert any(op.name == "open" for op in setup)
+        measured = generator.ops(50, include_prepopulation=False)
+        assert len(measured) == 50
+
+
+class TestSimulatedApplication:
+    def test_app_tracks_and_verifies(self):
+        fs = RAEFilesystem(formatted_device(16384), RAEConfig())
+        app = SimulatedApplication(fs, fileserver_profile(), seed=11)
+        stats = app.run(300)
+        assert stats.ops_attempted >= 300
+        assert stats.runtime_failures == 0
+        assert stats.corruption_detected == 0
+        assert app.verify_all() == 0
+        assert stats.availability == 1.0
+
+    def test_app_detects_real_corruption(self):
+        fs = RAEFilesystem(formatted_device(16384), RAEConfig())
+        app = SimulatedApplication(fs, varmail_profile(), seed=12)
+        app.run(100)
+        # Tamper with a tracked file behind the app's back.
+        path = next(p for p in sorted(app.expected) if len(app.expected[p]) > 0)
+        fd = fs.open(path)
+        fs.write(fd, b"\xde\xad\xbe\xef")
+        fs.close(fd)
+        assert app.verify_all() >= 1
+        assert app.stats.corruption_detected >= 1
+
+    def test_app_counts_runtime_failures(self, hooks):
+        def bug(point, ctx):
+            raise KernelBug("always")
+
+        hooks.register("journal.commit", bug)
+        fs = BaseFilesystem(formatted_device(16384), hooks=hooks)  # no RAE!
+        app = SimulatedApplication(fs, varmail_profile(), seed=13)
+        stats = app.run(200, stop_on_runtime_failure=True)
+        assert stats.runtime_failures == 1
+        assert stats.availability < 1.0
+
+    def test_app_survives_with_rae(self, hooks):
+        fired = {"n": 0}
+
+        def sometimes_bug(point, ctx):
+            fired["n"] += 1
+            if fired["n"] % 40 == 0:
+                raise KernelBug("periodic")
+
+        hooks.register("page.write", sometimes_bug)
+        fs = RAEFilesystem(formatted_device(16384), RAEConfig(), hooks=hooks)
+        app = SimulatedApplication(fs, varmail_profile(), seed=14)
+        stats = app.run(300)
+        assert stats.runtime_failures == 0
+        assert fs.recovery_count >= 1
+        assert app.verify_all() == 0  # recovery preserved the app's view

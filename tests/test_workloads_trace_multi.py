@@ -1,0 +1,174 @@
+"""Tests for trace serialization and multi-client interleaving."""
+
+import io
+
+import pytest
+
+from repro.api import OpResult, OpenFlags, StatResult, op
+from repro.basefs.filesystem import BaseFilesystem
+from repro.core.oplog import OpLog
+from repro.core.supervisor import RAEConfig, RAEFilesystem
+from repro.errors import Errno, KernelBug
+from repro.fsck import Fsck
+from repro.ondisk.inode import FileType
+from repro.shadowfs.filesystem import ShadowFilesystem
+from repro.spec import capture_state, states_equivalent
+from repro.workloads import WorkloadGenerator, fileserver_profile, metadata_profile
+from repro.workloads.multi import MultiClientWorkload
+from repro.workloads.trace import (
+    decode_record,
+    dump_trace,
+    encode_record,
+    load_trace,
+    replay_trace,
+)
+from tests.conftest import formatted_device
+
+
+class TestTraceFormat:
+    def test_roundtrip_plain_op(self):
+        original = op("mkdir", path="/a", perms=0o700)
+        seq, decoded, outcome = decode_record(encode_record(original, seq=5))
+        assert seq == 5 and outcome is None
+        assert decoded.name == "mkdir" and decoded.args == original.args
+
+    def test_roundtrip_bytes_payload(self):
+        payload = bytes(range(256))
+        original = op("write", fd=3, data=payload)
+        _seq, decoded, _outcome = decode_record(encode_record(original))
+        assert decoded.args["data"] == payload
+
+    def test_roundtrip_outcomes(self):
+        cases = [
+            OpResult(value=42, ino=7),
+            OpResult(errno=Errno.ENOENT),
+            OpResult(value=b"\x00\xff"),
+            OpResult(value=["a", "b"]),
+            OpResult(
+                value=StatResult(
+                    ino=3, ftype=FileType.REGULAR, size=9, nlink=1, perms=0o644,
+                    uid=0, gid=0, atime=1, mtime=2, ctime=3,
+                )
+            ),
+        ]
+        for outcome in cases:
+            _s, _o, decoded = decode_record(encode_record(op("stat", path="/x"), outcome=outcome))
+            assert decoded.errno == outcome.errno
+            assert decoded.value == outcome.value
+            assert decoded.ino == outcome.ino
+
+    def test_dump_and_load_stream(self):
+        operations = WorkloadGenerator(fileserver_profile(), seed=2).ops(60)
+        buffer = io.StringIO()
+        assert dump_trace(operations, buffer) == len(operations)
+        buffer.seek(0)
+        loaded = [entry[1] for entry in load_trace(buffer)]
+        assert [(o.name, o.args) for o in loaded] == [(o.name, o.args) for o in operations]
+
+    def test_dump_oprecords_with_outcomes(self, seq):
+        fs = BaseFilesystem(formatted_device())
+        log = OpLog()
+        for operation in (op("mkdir", path="/t"), op("rmdir", path="/missing")):
+            s = seq()
+            log.record(s, operation, operation.apply(fs, opseq=s))
+        buffer = io.StringIO()
+        dump_trace(log.entries, buffer)
+        buffer.seek(0)
+        entries = list(load_trace(buffer))
+        assert entries[0][2].ok
+        assert entries[1][2].errno == Errno.ENOENT
+
+    def test_comments_and_blanks_skipped(self):
+        buffer = io.StringIO("# header\n\n" + encode_record(op("stat", path="/")) + "\n")
+        assert len(list(load_trace(buffer))) == 1
+
+
+class TestTraceReplay:
+    def test_replay_reproduces_state(self):
+        """A trace captured from one run rebuilds the same state anywhere."""
+        operations = WorkloadGenerator(metadata_profile(), seed=4).ops(120)
+        buffer = io.StringIO()
+        dump_trace(operations, buffer)
+
+        first = BaseFilesystem(formatted_device())
+        buffer.seek(0)
+        replay_trace(first, buffer)
+
+        second = ShadowFilesystem(formatted_device())
+        buffer.seek(0)
+        replay_trace(second, buffer)
+
+        report = states_equivalent(capture_state(first), capture_state(second))
+        assert report.equivalent, str(report)
+
+    def test_replay_diffs_recorded_outcomes(self, seq):
+        """The §4.3 workflow: capture outcomes on the base, replay on the
+        shadow, diff — a falsified record shows up as a mismatch."""
+        fs = BaseFilesystem(formatted_device())
+        log = OpLog()
+        for operation in (op("mkdir", path="/d"), op("open", path="/d/f", flags=int(OpenFlags.CREAT))):
+            s = seq()
+            log.record(s, operation, operation.apply(fs, opseq=s))
+        log.entries[1].outcome.value = 99  # falsify the fd
+        buffer = io.StringIO()
+        dump_trace(log.entries, buffer)
+        buffer.seek(0)
+        shadow = ShadowFilesystem(formatted_device())
+        results = replay_trace(shadow, buffer)
+        mismatches = [
+            (index, actual, recorded)
+            for index, actual, recorded in results
+            if recorded is not None and not actual.same_outcome_as(recorded)
+        ]
+        assert len(mismatches) == 1 and mismatches[0][0] == 1
+
+
+class TestMultiClient:
+    def test_interleaved_clients_on_base(self):
+        fs = BaseFilesystem(formatted_device(32768))
+        workload = MultiClientWorkload(fs, fileserver_profile(), clients=4, seed=9)
+        workload.run(400)
+        assert workload.runtime_failures == 0
+        roots = fs.readdir("/")
+        assert roots == ["client0", "client1", "client2", "client3"]
+        # Clients really interleaved: everyone issued something.
+        assert all(client.ops_issued > 10 for client in workload.clients)
+        fs.unmount()
+        assert Fsck(fs.device).run().clean
+
+    def test_interleaving_exercises_lock_manager(self):
+        fs = BaseFilesystem(formatted_device(32768))
+        workload = MultiClientWorkload(fs, metadata_profile(), clients=3, seed=10)
+        workload.run(300)
+        assert fs.locks.stats.acquisitions > 100
+
+    def test_multiclient_under_rae_with_bugs(self, hooks):
+        counter = {"n": 0}
+
+        def sometimes(point, ctx):
+            counter["n"] += 1
+            if counter["n"] % 301 == 0:
+                raise KernelBug("interleaving bug")
+
+        hooks.register("vfs.lookup", sometimes)
+        fs = RAEFilesystem(formatted_device(32768), RAEConfig(), hooks=hooks)
+        workload = MultiClientWorkload(fs, fileserver_profile(), clients=3, seed=11)
+        workload.run(300)
+        assert workload.runtime_failures == 0
+        assert fs.recovery_count >= 1
+        fs.unmount()
+        assert Fsck(fs.device).run().clean
+
+    def test_fd_translation_is_consistent(self):
+        """Across interleavings, each client's writes land in its own
+        files: no cross-client fd leakage."""
+        fs = BaseFilesystem(formatted_device(32768))
+        workload = MultiClientWorkload(fs, fileserver_profile(), clients=2, seed=12)
+        workload.run(200)
+        for client in workload.clients:
+            for name in fs.readdir(client.root):
+                assert not name.startswith("client")  # no nested roots
+
+    def test_client_count_validation(self):
+        with pytest.raises(ValueError):
+            MultiClientWorkload(BaseFilesystem(formatted_device()), fileserver_profile(), clients=0)
