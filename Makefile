@@ -1,11 +1,21 @@
 # Convenience targets for the RAE reproduction.
 
 PYTHON ?= python
+PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test bench experiments examples verify clean
+.PHONY: all install lint lint-json test bench experiments examples verify clean
+
+# Default flow: static analysis first (fast), then the tier-1 suite.
+all: lint test
 
 install:
 	$(PYTHON) setup.py develop
+
+lint:
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.analysis src/repro --fail-on-findings
+
+lint-json:
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.analysis src/repro --fail-on-findings --format=json
 
 test:
 	$(PYTHON) -m pytest tests/

@@ -1,0 +1,62 @@
+"""Baseline (ratchet) support for raelint.
+
+A baseline is a checked-in list of *accepted* findings.  The CI gate
+fails only on findings that are not in the baseline, so a rule can be
+introduced against an imperfect tree and tightened over time: fix a
+violation, regenerate the baseline, and the ratchet only ever moves
+down.  Entries are keyed on ``(path, rule, message)`` — no line numbers,
+so unrelated edits do not invalidate the file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+
+BASELINE_FILENAME = "raelint.baseline.json"
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    entries: set[tuple[str, str, str]] = field(default_factory=set)
+    source: str | None = None
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.baseline_key() in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls(source=str(path))
+        payload = json.loads(path.read_text())
+        if payload.get("version") != _FORMAT_VERSION:
+            raise ValueError(f"unsupported baseline version in {path}: {payload.get('version')!r}")
+        entries = {
+            (entry["path"], entry["rule"], entry["message"])
+            for entry in payload.get("findings", [])
+        }
+        return cls(entries=entries, source=str(path))
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(entries={f.baseline_key() for f in findings})
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "findings": [
+                {"path": p, "rule": r, "message": m}
+                for p, r, m in sorted(self.entries)
+            ],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")

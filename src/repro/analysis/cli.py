@@ -1,0 +1,118 @@
+"""The raelint command line.
+
+    python -m repro.analysis [ROOT] [options]
+
+Analyzes ROOT (default ``src/repro``) with the full rule set, reports
+findings, and — with ``--fail-on-findings`` — exits nonzero when any
+finding is not covered by the baseline.  ``--write-baseline`` accepts
+the current findings as the new ratchet; ``--format=json`` emits a
+machine-readable report for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import BASELINE_FILENAME, Baseline
+from repro.analysis.engine import Analyzer
+from repro.analysis.rules import default_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="raelint",
+        description="AST-based static analysis enforcing RAE's structural invariants",
+    )
+    parser.add_argument(
+        "root",
+        nargs="?",
+        default="src/repro",
+        help="directory (or single file) to analyze [default: src/repro]",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file [default: ./{BASELINE_FILENAME} if present]",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline file and exit",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format [default: text]",
+    )
+    parser.add_argument(
+        "--fail-on-findings",
+        action="store_true",
+        help="exit 1 when findings not covered by the baseline exist",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the rule set and exit",
+    )
+    return parser
+
+
+def _resolve_baseline_path(args: argparse.Namespace, root: Path) -> Path:
+    if args.baseline:
+        return Path(args.baseline)
+    cwd_candidate = Path.cwd() / BASELINE_FILENAME
+    if cwd_candidate.exists():
+        return cwd_candidate
+    root_candidate = root / BASELINE_FILENAME
+    if root_candidate.exists():
+        return root_candidate
+    return cwd_candidate
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id:18} {rule.description}")
+        return 0
+
+    root = Path(args.root)
+    if not root.exists():
+        print(f"raelint: no such path: {root}", file=sys.stderr)
+        return 2
+
+    baseline_path = _resolve_baseline_path(args, root)
+    baseline = Baseline.load(baseline_path)
+    report = Analyzer(root, rules=rules, baseline=baseline).run()
+
+    if args.write_baseline:
+        Baseline.from_findings(report.findings).save(baseline_path)
+        print(f"raelint: wrote {len(report.findings)} finding(s) to {baseline_path}")
+        return 0
+
+    if args.format == "json":
+        payload = {
+            "files": report.files,
+            "findings": [f.to_json() for f in report.findings],
+            "new": [f.to_json() for f in report.new_findings],
+            "suppressed": report.suppressed,
+            "baselined": report.baselined,
+            "clean": report.clean,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        new = set(report.new_findings)
+        for finding in report.findings:
+            tag = "" if finding in new else " (baselined)"
+            print(finding.render() + tag)
+        print(report.summary())
+
+    if args.fail_on_findings and not report.clean:
+        return 1
+    return 0

@@ -1,0 +1,223 @@
+"""The raelint rule engine.
+
+The engine parses every ``.py`` file under an analysis root into a
+:class:`ParsedModule` (source, AST, parent links, inline suppressions),
+runs two kinds of rules over them, and folds the results through the
+inline-suppression and baseline filters:
+
+* :class:`FileRule` — examines one module at a time (purity, exception
+  discipline, lock pairing);
+* :class:`ProjectRule` — sees every module at once, for invariants that
+  span files (the oplog recording chain, the hook-name registry).
+
+Suppression syntax, modeled on the usual linter convention::
+
+    self.hooks.fire(name)  # raelint: disable=HOOK-REGISTRY — reason
+
+A directive on a comment-only line applies to the next line instead; the
+id ``all`` disables every rule for that line.  Suppressions silence a
+finding at its site; the baseline (:mod:`repro.analysis.baseline`)
+accepts findings centrally without touching the flagged code.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import Finding, Severity
+
+_SUPPRESS_RE = re.compile(r"#\s*raelint:\s*disable=([A-Za-z0-9_\-, ]+)")
+
+#: Rule id attached to files the engine cannot parse.
+PARSE_ERROR_RULE = "PARSE-ERROR"
+
+
+@dataclass
+class ParsedModule:
+    """One source file, parsed and indexed for rule visitors."""
+
+    path: str  # relative to the analysis root, '/'-separated
+    source: str
+    tree: ast.Module
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+    _parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "ParsedModule":
+        tree = ast.parse(source)
+        module = cls(path=path, source=source, tree=tree)
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                module._parents[child] = parent
+        module._index_suppressions()
+        return module
+
+    def _index_suppressions(self) -> None:
+        for lineno, text in enumerate(self.source.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(text)
+            if not match:
+                continue
+            ids = {part.strip() for part in re.split(r"[,\s]", match.group(1)) if part.strip()}
+            # A directive can name several ids; trailing prose after an
+            # em-dash or '#' is already excluded by the character class.
+            target = lineno + 1 if text.lstrip().startswith("#") else lineno
+            self.suppressions.setdefault(target, set()).update(ids)
+
+    def suppressed(self, line: int, rule_id: str) -> bool:
+        active = self.suppressions.get(line, ())
+        return rule_id in active or "all" in active
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk from ``node``'s parent up to the module root."""
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(node)
+
+
+class Rule:
+    """Base class: identity and metadata shared by both rule kinds."""
+
+    rule_id: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def finding(self, module: ParsedModule, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            rule_id=self.rule_id,
+            severity=self.severity,
+            message=message,
+        )
+
+
+class FileRule(Rule):
+    def check(self, module: ParsedModule) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    def check_project(self, modules: Sequence[ParsedModule]) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+@dataclass
+class Report:
+    """The outcome of one analysis run."""
+
+    files: int = 0
+    findings: list[Finding] = field(default_factory=list)  # post-suppression
+    new_findings: list[Finding] = field(default_factory=list)  # not in baseline
+    suppressed: int = 0
+    baselined: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.new_findings
+
+    def summary(self) -> str:
+        return (
+            f"raelint: {self.files} files analyzed, "
+            f"{len(self.findings)} findings "
+            f"({self.suppressed} suppressed inline, {self.baselined} baselined), "
+            f"{len(self.new_findings)} new"
+        )
+
+
+class Analyzer:
+    """Run a rule set over a source tree.
+
+    ``root`` may be a directory (analyzed recursively) or a single
+    ``.py`` file.  Finding paths are relative to the directory root so
+    the baseline is stable no matter where the tool is invoked from.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        rules: Sequence[Rule] | None = None,
+        baseline: Baseline | None = None,
+    ):
+        from repro.analysis.rules import default_rules
+
+        self.root = Path(root)
+        self.rules = list(rules) if rules is not None else default_rules()
+        self.baseline = baseline or Baseline()
+
+    def _source_files(self) -> list[Path]:
+        if self.root.is_file():
+            return [self.root]
+        return sorted(p for p in self.root.rglob("*.py") if "__pycache__" not in p.parts)
+
+    def _relpath(self, path: Path) -> str:
+        if self.root.is_file():
+            return path.name
+        return path.relative_to(self.root).as_posix()
+
+    def parse_all(self) -> tuple[list[ParsedModule], list[Finding]]:
+        modules: list[ParsedModule] = []
+        parse_errors: list[Finding] = []
+        for path in self._source_files():
+            relpath = self._relpath(path)
+            source = path.read_text()
+            try:
+                modules.append(ParsedModule.parse(relpath, source))
+            except SyntaxError as exc:
+                parse_errors.append(
+                    Finding(
+                        path=relpath,
+                        line=exc.lineno or 1,
+                        rule_id=PARSE_ERROR_RULE,
+                        severity=Severity.ERROR,
+                        message=f"file does not parse: {exc.msg}",
+                    )
+                )
+        return modules, parse_errors
+
+    def run(self) -> Report:
+        modules, parse_errors = self.parse_all()
+        raw: list[Finding] = list(parse_errors)
+        for rule in self.rules:
+            if isinstance(rule, ProjectRule):
+                raw.extend(rule.check_project(modules))
+            else:
+                for module in modules:
+                    raw.extend(rule.check(module))
+
+        report = Report(files=len(modules) + len(parse_errors))
+        by_module = {module.path: module for module in modules}
+        for finding in sorted(set(raw)):
+            module = by_module.get(finding.path)
+            if module is not None and module.suppressed(finding.line, finding.rule_id):
+                report.suppressed += 1
+                continue
+            report.findings.append(finding)
+            if finding in self.baseline:
+                report.baselined += 1
+            else:
+                report.new_findings.append(finding)
+        return report
+
+
+def analyze_tree(
+    root: str | Path,
+    baseline: str | Path | Baseline | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> Report:
+    """Library entry point: analyze ``root`` and return the report."""
+    if baseline is None:
+        resolved: Baseline | None = None
+    elif isinstance(baseline, Baseline):
+        resolved = baseline
+    else:
+        resolved = Baseline.load(baseline)
+    return Analyzer(root, rules=rules, baseline=resolved).run()

@@ -1,0 +1,38 @@
+"""The raelint rule set.
+
+Each rule enforces one structural invariant the paper states; see
+docs/STATIC_ANALYSIS.md for the rule-by-rule rationale.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import Rule
+from repro.analysis.rules.errno_discipline import ErrnoDisciplineRule
+from repro.analysis.rules.hook_registry import HookRegistryRule
+from repro.analysis.rules.lock_release import LockReleaseRule
+from repro.analysis.rules.oplog_coverage import OplogCoverageRule
+from repro.analysis.rules.shadow_purity import ShadowPurityRule
+
+RULE_CLASSES: tuple[type[Rule], ...] = (
+    ShadowPurityRule,
+    OplogCoverageRule,
+    LockReleaseRule,
+    ErrnoDisciplineRule,
+    HookRegistryRule,
+)
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of the full rule set."""
+    return [cls() for cls in RULE_CLASSES]
+
+
+__all__ = [
+    "RULE_CLASSES",
+    "default_rules",
+    "ShadowPurityRule",
+    "OplogCoverageRule",
+    "LockReleaseRule",
+    "ErrnoDisciplineRule",
+    "HookRegistryRule",
+]

@@ -1,0 +1,100 @@
+"""ERRNO-DISCIPLINE: all errors go through the errors.py catalog.
+
+The paper's taxonomy (errors.py) is what makes detection meaningful:
+``FsError`` is a legitimate outcome, the catalog classes are runtime
+errors the detector classifies, and anything else is an UNEXPECTED
+software fault.  That taxonomy only works if the code keeps it crisp:
+
+* no generic ``raise Exception(...)`` / ``RuntimeError`` — a deliberate
+  error must be a catalog class, otherwise the detector can only call
+  it "unexpected" and reporting loses the reason;
+* no broad ``except Exception:`` / bare ``except:`` — a broad catch
+  swallows KernelBug/InvariantViolation before the detector ever sees
+  them.  The handful of *sanctioned* boundaries (the supervisor's
+  detector boundary, which must observe the UNEXPECTED class by design)
+  carry explicit ``# raelint: disable=ERRNO-DISCIPLINE`` suppressions
+  with their justification;
+* ``FsError`` must be raised with an ``Errno`` member (or a propagated
+  ``*.errno`` value), never a bare integer or string — the oplog stores
+  the errno as the operation outcome and replay compares it exactly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import FileRule, ParsedModule
+from repro.analysis.findings import Finding
+
+#: Exception classes too generic to raise deliberately.
+GENERIC_RAISES = {"Exception", "BaseException", "RuntimeError", "SystemError"}
+
+#: Exception classes too broad to catch without a sanctioned suppression.
+BROAD_CATCHES = {"Exception", "BaseException"}
+
+
+def _exception_name(node: ast.expr | None) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _errno_like(node: ast.expr) -> bool:
+    """Accept ``Errno.ENOENT``, ``outcome.errno``, ``errno``-named vars,
+    and ``Errno(...)`` conversions; reject literals and anything else."""
+    text = ast.unparse(node)
+    return "Errno" in text or "errno" in text
+
+
+class ErrnoDisciplineRule(FileRule):
+    rule_id = "ERRNO-DISCIPLINE"
+    description = "no generic raises or broad excepts; FsError carries an Errno member"
+
+    def check(self, module: ParsedModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Raise):
+                yield from self._check_raise(module, node)
+            elif isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(module, node)
+
+    def _check_raise(self, module: ParsedModule, node: ast.Raise) -> Iterable[Finding]:
+        name = _exception_name(node.exc)
+        if name in GENERIC_RAISES:
+            yield self.finding(
+                module,
+                node,
+                f"raise of generic {name}: deliberate errors must use a class from the errors.py catalog",
+            )
+            return
+        if name == "FsError" and isinstance(node.exc, ast.Call):
+            call = node.exc
+            if not call.args:
+                yield self.finding(module, node, "FsError raised without an errno argument")
+            elif not _errno_like(call.args[0]):
+                yield self.finding(
+                    module,
+                    node,
+                    f"FsError raised with {ast.unparse(call.args[0])!r} instead of an Errno enum member",
+                )
+
+    def _check_handler(self, module: ParsedModule, node: ast.ExceptHandler) -> Iterable[Finding]:
+        if node.type is None:
+            yield self.finding(
+                module, node, "bare except: catches everything, including detector-bound runtime errors"
+            )
+            return
+        types = node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+        for exc_type in types:
+            name = _exception_name(exc_type)
+            if name in BROAD_CATCHES:
+                yield self.finding(
+                    module,
+                    node,
+                    f"broad 'except {name}:' hides runtime errors from the detector; "
+                    "catch catalog classes, or suppress with a justification if this is a sanctioned boundary",
+                )

@@ -1,0 +1,79 @@
+"""HOOK-REGISTRY: every fired hook name exists in the central registry.
+
+The fault injector only reaches the base through named hook points
+(basefs/hooks.py); a typo'd name at a fire site — ``"dir.isnert"`` —
+would compile, run, and silently never trigger any injected fault,
+quietly weakening every fault-injection experiment downstream.  This
+cross-module rule reads the ``HOOK_NAMES`` registry statically and
+verifies that every ``*.hooks.fire("name", ...)`` / ``*.hooks.register(
+"name", ...)`` call with a literal name uses a registered one.
+
+Dynamic names (variables) are skipped here — ``HookPoints`` validates
+those at runtime against the same frozen set, so the static and dynamic
+checks agree by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Sequence
+
+from repro.analysis.engine import ParsedModule, ProjectRule
+from repro.analysis.findings import Finding
+
+_HOOK_METHODS = {"fire", "register"}
+
+
+def _find_registry(modules: Sequence[ParsedModule]) -> set[str] | None:
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if "HOOK_NAMES" not in targets:
+                continue
+            if not isinstance(node.value, (ast.Tuple, ast.List, ast.Set)):
+                return None
+            names = {
+                elt.value
+                for elt in node.value.elts
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+            }
+            return names
+    return None
+
+
+def _hook_receiver(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return "hook" in node.id.lower()
+    if isinstance(node, ast.Attribute):
+        return "hook" in node.attr.lower()
+    return False
+
+
+class HookRegistryRule(ProjectRule):
+    rule_id = "HOOK-REGISTRY"
+    description = "hook names at fire/register sites must exist in the HOOK_NAMES registry"
+
+    def check_project(self, modules: Sequence[ParsedModule]) -> Iterable[Finding]:
+        registry = _find_registry(modules)
+        if registry is None:
+            return  # no registry in this tree; rule not applicable
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                    continue
+                if node.func.attr not in _HOOK_METHODS or not _hook_receiver(node.func.value):
+                    continue
+                if not node.args:
+                    continue
+                first = node.args[0]
+                if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+                    continue  # dynamic name; validated at runtime by HookPoints
+                if first.value not in registry:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"hook name {first.value!r} is not in the HOOK_NAMES registry "
+                        "(a typo'd hook site silently never triggers injected faults)",
+                    )

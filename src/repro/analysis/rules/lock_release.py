@@ -1,0 +1,82 @@
+"""LOCK-RELEASE: every lock acquisition has a guaranteed release.
+
+The base's locking discipline (basefs/locks.py) feeds recovery: a crashed
+operation's locks are part of the distrusted state, and the error path
+relies on ``release``/``release_all`` running in a ``finally`` block so
+that an injected KernelBug unwinding mid-operation cannot leave inode
+locks held into the next operation.  This rule flags any
+``*.locks.acquire(...)`` / ``*.locks.acquire_pair(...)`` call that is not
+lexically inside a ``try`` whose ``finally`` releases on the same lock
+manager.
+
+The matched receiver is anything whose final name contains ``lock``
+(``self.locks``, ``fs.locks``, a local ``locks``), which is the
+codebase's naming convention for :class:`LockManager` instances; the
+manager's own methods (``self.acquire`` inside ``LockManager``) do not
+match and are exempt by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import FileRule, ParsedModule
+from repro.analysis.findings import Finding
+
+_ACQUIRE_METHODS = {"acquire", "acquire_pair"}
+_RELEASE_METHODS = {"release", "release_all"}
+
+
+def _lock_receiver(node: ast.expr) -> bool:
+    """True when ``node`` names a lock manager (``locks``, ``self.locks``...)."""
+    if isinstance(node, ast.Name):
+        return "lock" in node.id.lower()
+    if isinstance(node, ast.Attribute):
+        return "lock" in node.attr.lower()
+    return False
+
+
+def _is_lock_call(node: ast.AST, methods: set[str]) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in methods
+        and _lock_receiver(node.func.value)
+    )
+
+
+def _contains(nodes: list[ast.stmt], target: ast.AST) -> bool:
+    return any(target is node or target in ast.walk(node) for node in nodes)
+
+
+class LockReleaseRule(FileRule):
+    rule_id = "LOCK-RELEASE"
+    description = "LockManager.acquire must have a release reachable via try/finally on all paths"
+
+    def check(self, module: ParsedModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not _is_lock_call(node, _ACQUIRE_METHODS):
+                continue
+            if self._guarded(module, node):
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"{ast.unparse(node.func)}() has no matching release in a finally block "
+                "(an error unwinding here would leak held locks)",
+            )
+
+    def _guarded(self, module: ParsedModule, call: ast.Call) -> bool:
+        for ancestor in module.ancestors(call):
+            if not isinstance(ancestor, (ast.Try,)):
+                continue
+            # The acquire must be in the protected body — an acquire in a
+            # handler or in the finally itself is not covered by it.
+            if not _contains(ancestor.body, call) and not _contains(ancestor.orelse, call):
+                continue
+            for stmt in ancestor.finalbody:
+                for inner in ast.walk(stmt):
+                    if _is_lock_call(inner, _RELEASE_METHODS):
+                        return True
+        return False

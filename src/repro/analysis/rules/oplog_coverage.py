@@ -1,0 +1,158 @@
+"""OPLOG-COVERAGE: every mutating operation is recorded before success.
+
+§3.2: "the base filesystem must record the operation sequence that
+tracks the gap between the applications' view and the on-disk state."
+In this codebase the recording chain is
+
+    BaseFilesystem.<op>  (the mutation itself, basefs/filesystem.py)
+      ← RAEFilesystem.<op> delegates via self._call("<op>", ...)
+          ← _call records mutations with self.oplog.record(...) on the
+            success path (the ``else`` of its try)
+
+and the set of mutating operations is the single source of truth
+``OP_SIGNATURES`` in api.py.  This cross-module rule statically verifies
+the whole chain: for every op marked mutating there,
+
+* ``BaseFilesystem`` defines the method (the operation exists);
+* ``RAEFilesystem`` defines the method and routes it through the
+  recording delegate (``self._call("<op>", ...)``) or records directly;
+* the delegate itself contains an ``*.oplog.record(...)`` call that is
+  not inside an exception handler (success path, not error path).
+
+A new mutating op added to the API without wiring it through recording
+is exactly the drift that would silently break recovery replay.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Sequence
+
+from repro.analysis.engine import ParsedModule, ProjectRule
+from repro.analysis.findings import Finding
+
+
+def _find_class(modules: Sequence[ParsedModule], name: str) -> tuple[ParsedModule, ast.ClassDef] | None:
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and node.name == name:
+                return module, node
+    return None
+
+
+def _find_op_signatures(modules: Sequence[ParsedModule]) -> dict[str, bool] | None:
+    """Extract ``{op_name: is_mutation}`` from an OP_SIGNATURES literal."""
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if "OP_SIGNATURES" not in targets:
+                continue
+            try:
+                literal = ast.literal_eval(node.value)
+            except ValueError:
+                return None
+            return {name: bool(spec[1]) for name, spec in literal.items()}
+    return None
+
+
+def _methods(cls: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    return {
+        item.name: item
+        for item in cls.body
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _is_oplog_record_call(node: ast.AST) -> bool:
+    """Matches ``<anything>.oplog.record(...)`` and ``oplog.record(...)``."""
+    if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+        return False
+    if node.func.attr != "record":
+        return False
+    value = node.func.value
+    if isinstance(value, ast.Attribute):
+        return value.attr == "oplog"
+    return isinstance(value, ast.Name) and value.id == "oplog"
+
+
+def _delegate_names(method: ast.FunctionDef, op_name: str) -> set[str]:
+    """Names of ``self.<delegate>("<op_name>", ...)`` calls in ``method``."""
+    names: set[str] = set()
+    for node in ast.walk(method):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        if not (isinstance(node.func.value, ast.Name) and node.func.value.id == "self"):
+            continue
+        if node.args and isinstance(node.args[0], ast.Constant) and node.args[0].value == op_name:
+            names.add(node.func.attr)
+    return names
+
+
+def _records_directly(method: ast.FunctionDef) -> bool:
+    return any(_is_oplog_record_call(node) for node in ast.walk(method))
+
+
+def _records_on_success_path(module: ParsedModule, method: ast.FunctionDef) -> bool:
+    for node in ast.walk(method):
+        if not _is_oplog_record_call(node):
+            continue
+        in_handler = any(isinstance(a, ast.ExceptHandler) for a in module.ancestors(node))
+        if not in_handler:
+            return True
+    return False
+
+
+class OplogCoverageRule(ProjectRule):
+    rule_id = "OPLOG-COVERAGE"
+    description = "every mutating API operation must reach oplog.record on its success path"
+
+    def check_project(self, modules: Sequence[ParsedModule]) -> Iterable[Finding]:
+        signatures = _find_op_signatures(modules)
+        if signatures is None:
+            return  # no API contract in this tree; rule not applicable
+        mutating = sorted(name for name, is_mutation in signatures.items() if is_mutation)
+        if not mutating:
+            return
+
+        base = _find_class(modules, "BaseFilesystem")
+        supervisor = _find_class(modules, "RAEFilesystem")
+
+        if base is not None:
+            base_module, base_cls = base
+            base_methods = _methods(base_cls)
+            for name in mutating:
+                if name not in base_methods:
+                    yield self.finding(
+                        base_module,
+                        base_cls,
+                        f"mutating operation {name!r} is in OP_SIGNATURES but BaseFilesystem does not implement it",
+                    )
+
+        if supervisor is None:
+            return
+        sup_module, sup_cls = supervisor
+        sup_methods = _methods(sup_cls)
+        for name in mutating:
+            method = sup_methods.get(name)
+            if method is None:
+                yield self.finding(
+                    sup_module,
+                    sup_cls,
+                    f"mutating operation {name!r} has no RAEFilesystem wrapper, so it is never recorded",
+                )
+                continue
+            if _records_directly(method):
+                continue
+            delegates = _delegate_names(method, name)
+            recording_delegates = [
+                d for d in delegates
+                if d in sup_methods and _records_on_success_path(sup_module, sup_methods[d])
+            ]
+            if not recording_delegates:
+                yield self.finding(
+                    sup_module,
+                    method,
+                    f"mutating operation {name!r} does not reach an oplog.record(...) call on its success path",
+                )

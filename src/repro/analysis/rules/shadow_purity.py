@@ -1,0 +1,91 @@
+"""SHADOW-PURITY: the shadow stays simple, sequential, and read-only.
+
+§3.2's defining restrictions on the shadow filesystem: it executes one
+operation at a time, keeps no caches, and never writes to the device.
+Any module under a ``shadowfs/`` directory therefore must not
+
+* import concurrency machinery (``threading``, ``concurrent``,
+  ``multiprocessing``, ``asyncio``, ...) — the shadow is sequential;
+* import the base's cache, writeback, journal, lock, or block-queue
+  layers — the shadow re-reads everything and has no deferred state;
+* import the hook layer or the fault injector — there is nothing to
+  inject into (the shadow's robustness budget goes to checks, not
+  hooks);
+* call a device write path (``write_block``, ``submit_write``,
+  ``flush``), implement durability (``fsync`` calls), or fire hooks.
+
+Definitions named ``fsync`` are allowed — the shadow implements the API
+method precisely so it can *refuse* with EINVAL; only calls are writes.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePosixPath
+from typing import Iterable
+
+from repro.analysis.engine import FileRule, ParsedModule
+from repro.analysis.findings import Finding
+
+#: module (or module prefix) -> why the shadow may not import it
+FORBIDDEN_IMPORTS: dict[str, str] = {
+    "threading": "the shadow is sequential (§3.2)",
+    "_thread": "the shadow is sequential (§3.2)",
+    "concurrent": "the shadow is sequential (§3.2)",
+    "multiprocessing": "the shadow is sequential (§3.2)",
+    "asyncio": "the shadow is sequential (§3.2)",
+    "queue": "the shadow is sequential (§3.2)",
+    "repro.basefs.page_cache": "the shadow is cache-free (§3.2)",
+    "repro.basefs.dentry_cache": "the shadow is cache-free (§3.2)",
+    "repro.basefs.inode_cache": "the shadow is cache-free (§3.2)",
+    "repro.blockdev.cache": "the shadow is cache-free (§3.2)",
+    "repro.basefs.writeback": "the shadow never writes to disk (§3.2)",
+    "repro.basefs.journal_mgr": "the shadow never writes to disk (§3.2)",
+    "repro.blockdev.blkmq": "the shadow issues device reads directly, no queues (§3.2)",
+    "repro.basefs.locks": "the shadow is sequential and takes no locks (§3.2)",
+    "repro.basefs.hooks": "the shadow has no injection hooks (§2.3)",
+    "repro.faults": "the shadow has no injection hooks (§2.3)",
+}
+
+#: attribute-call name -> why the shadow may not call it
+FORBIDDEN_CALLS: dict[str, str] = {
+    "write_block": "device write from the shadow (§3.2: the shadow never writes to disk)",
+    "submit_write": "device write from the shadow (§3.2: the shadow never writes to disk)",
+    "flush": "durability call from the shadow (§3.2: the shadow never writes to disk)",
+    "fsync": "durability call from the shadow (§3.3: the shadow omits the sync family)",
+    "fire": "hook firing from the shadow (§2.3: the shadow has no hooks)",
+}
+
+
+def _import_violation(name: str) -> str | None:
+    for prefix, reason in FORBIDDEN_IMPORTS.items():
+        if name == prefix or name.startswith(prefix + "."):
+            return reason
+    return None
+
+
+class ShadowPurityRule(FileRule):
+    rule_id = "SHADOW-PURITY"
+    description = "shadowfs modules must stay sequential, cache-free, and read-only"
+
+    def applies_to(self, module: ParsedModule) -> bool:
+        return "shadowfs" in PurePosixPath(module.path).parts
+
+    def check(self, module: ParsedModule) -> Iterable[Finding]:
+        if not self.applies_to(module):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    reason = _import_violation(alias.name)
+                    if reason:
+                        yield self.finding(module, node, f"import of {alias.name!r}: {reason}")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module:
+                    reason = _import_violation(node.module)
+                    if reason:
+                        yield self.finding(module, node, f"import from {node.module!r}: {reason}")
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                reason = FORBIDDEN_CALLS.get(node.func.attr)
+                if reason:
+                    yield self.finding(module, node, f"call to .{node.func.attr}(): {reason}")

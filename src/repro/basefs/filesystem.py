@@ -903,7 +903,7 @@ class BaseFilesystem(FilesystemAPI):
             if child_ino is None:
                 raise FsError(Errno.ENOENT, path)
             child = self._iget(child_ino)
-            self.locks.acquire(child.ino)
+            self.locks.acquire(child.ino, parent=parent.ino)
             if not child.inode.is_dir:
                 raise FsError(Errno.ENOTDIR, path)
             if not self._dir_is_empty(child):
@@ -928,7 +928,7 @@ class BaseFilesystem(FilesystemAPI):
             if child_ino is None:
                 raise FsError(Errno.ENOENT, path)
             child = self._iget(child_ino)
-            self.locks.acquire(child.ino)
+            self.locks.acquire(child.ino, parent=parent.ino)
             if child.inode.is_dir:
                 raise FsError(Errno.EISDIR, path)
             self._dir_remove(parent, name, opseq)

@@ -50,6 +50,13 @@ HOOK_NAMES = (
     "mount",  # ctx: (none)
 )
 
+#: The central hook-name registry.  Both enforcement layers agree on it:
+#: raelint's HOOK-REGISTRY rule checks literal names at fire/register
+#: sites statically, and :meth:`HookPoints.fire` validates dynamic names
+#: at runtime — a typo'd hook site fails loudly instead of silently
+#: never triggering injected faults.
+VALID_HOOK_NAMES: frozenset[str] = frozenset(HOOK_NAMES)
+
 
 class Hook(Protocol):
     def __call__(self, point: str, ctx: dict[str, Any]) -> None: ...
@@ -69,7 +76,7 @@ class HookPoints:
         self.enabled = True
 
     def register(self, point: str, handler: Hook) -> None:
-        if point not in HOOK_NAMES:
+        if point not in VALID_HOOK_NAMES:
             raise ValueError(f"unknown hook point {point!r}")
         self._handlers.setdefault(point, []).append(handler)
 
@@ -83,6 +90,8 @@ class HookPoints:
         armed KernelBug unwinds out of the base exactly as a real BUG()
         would unwind into the error path.
         """
+        if point not in VALID_HOOK_NAMES:
+            raise ValueError(f"unknown hook point {point!r}")
         if not self.enabled:
             return ctx
         handlers = self._handlers.get(point)

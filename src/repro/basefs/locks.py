@@ -43,16 +43,18 @@ class LockManager:
     held: list[int] = field(default_factory=list)
     stats: LockStats = field(default_factory=LockStats)
 
-    def acquire(self, ino: int) -> None:
+    def acquire(self, ino: int, parent: int | None = None) -> None:
         """Take the lock on ``ino``.
 
         Out-of-order acquisitions (a lower inode number while holding a
-        higher one, outside the sanctioned parent-then-child pattern) are
-        counted; with ``strict`` they raise the lockdep WARN.  ``strict``
-        is off by default because the base's hierarchy locking (parent
-        before child) legitimately acquires out of numeric order — the
-        injectable deadlock bugs flip it on through the ``lock.acquire``
-        hook to model a discipline violation being caught at runtime.
+        higher one) are counted; with ``strict`` they raise the lockdep
+        WARN.  The one sanctioned exception is hierarchy locking: a
+        child taken while its ``parent``'s lock is already held is safe
+        regardless of numeric order (the hierarchy imposes a global
+        order of its own), so callers declare the relationship and no
+        violation is recorded.  ``strict`` is off by default; the
+        injectable deadlock bugs use the ``lock.acquire`` hook to model
+        a discipline violation being caught at runtime.
         """
         self.hooks.fire("lock.acquire", ino=ino)
         self.stats.acquisitions += 1
@@ -60,12 +62,14 @@ class LockManager:
             self.stats.contentions += 1
             return
         if self.held and ino < self.held[-1]:
-            self.stats.order_violations += 1
-            if self.strict:
-                raise KernelWarning(
-                    f"lock order violation: acquiring inode {ino} while holding {self.held[-1]}",
-                    bug_id="lockdep",
-                )
+            sanctioned = parent is not None and parent in self.held
+            if not sanctioned:
+                self.stats.order_violations += 1
+                if self.strict:
+                    raise KernelWarning(
+                        f"lock order violation: acquiring inode {ino} while holding {self.held[-1]}",
+                        bug_id="lockdep",
+                    )
         self.held.append(ino)
 
     def acquire_pair(self, a: int, b: int) -> None:

@@ -221,7 +221,7 @@ class BlockMQ:
             else:
                 self.device.flush()
                 request.complete()
-        except Exception as exc:  # noqa: BLE001 — async completion carries the error
+        except Exception as exc:  # raelint: disable=ERRNO-DISCIPLINE — async-completion contract: the error must reach the reaper via request.error, never unwind the pump
             request.complete(error=exc)
         self.completed.append(request)
 

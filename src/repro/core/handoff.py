@@ -19,7 +19,7 @@ and truncating the op log.
 from __future__ import annotations
 
 from repro.basefs.filesystem import BaseFilesystem
-from repro.errors import RecoveryFailure
+from repro.errors import RECOVERY_BOUNDARY_ERRORS, RecoveryFailure
 from repro.shadowfs.output import MetadataUpdate
 
 
@@ -49,5 +49,5 @@ def download_metadata(fs: BaseFilesystem, update: MetadataUpdate) -> None:
         )
         fs.absorb_data_pages(update.data_pages)
         fs.absorb_fd_table(update.fd_table)
-    except Exception as exc:
+    except RECOVERY_BOUNDARY_ERRORS as exc:
         raise RecoveryFailure(f"metadata download failed: {exc}", phase="handoff") from exc

@@ -26,7 +26,7 @@ from repro.api import FsOp
 from repro.basefs.vfs import FdState
 from repro.blockdev.device import FileBlockDevice
 from repro.core.oplog import OpRecord
-from repro.errors import RecoveryFailure
+from repro.errors import RECOVERY_BOUNDARY_ERRORS, RecoveryFailure
 from repro.ondisk.layout import BLOCK_SIZE
 from repro.ondisk.superblock import Superblock
 from repro.shadowfs.checks import CheckLevel
@@ -62,7 +62,10 @@ def _shadow_child(job: _ShadowJob, pipe) -> None:
         engine = ReplayEngine(shadow, strict=job.strict)
         update = engine.run(job.records, job.fd_snapshot, job.inflight)
         pipe.send(("ok", update, engine.report))
-    except Exception as exc:  # noqa: BLE001 — everything crosses as data
+    except RECOVERY_BOUNDARY_ERRORS as exc:
+        # Catalog and decode failures cross the pipe as data; anything
+        # else (ShadowWriteAttempt, a reproduction bug) kills the child,
+        # which the parent reports as RecoveryFailure via the EOF path.
         pipe.send(("error", f"{type(exc).__name__}: {exc}", None))
     finally:
         pipe.close()

@@ -105,7 +105,7 @@ class RAEFilesystem(FilesystemAPI):
         error in the final commit triggers recovery, then one retry."""
         try:
             self.base.unmount()
-        except Exception as exc:  # noqa: BLE001 — runtime-error boundary
+        except Exception as exc:  # raelint: disable=ERRNO-DISCIPLINE — detector boundary: must see UNEXPECTED faults (§2.1)
             detected = self.detector.classify(exc, op_name="unmount")
             if not self.detector.should_recover(detected):
                 raise
@@ -126,7 +126,7 @@ class RAEFilesystem(FilesystemAPI):
         self.stats.ops += 1
         try:
             outcome = op.apply(self.base, opseq=seq)
-        except Exception as exc:  # noqa: BLE001 — runtime-error boundary
+        except Exception as exc:  # raelint: disable=ERRNO-DISCIPLINE — detector boundary: must see UNEXPECTED faults (§2.1)
             detected = self.detector.classify(exc, seq=seq, op_name=name)
             if not self.detector.should_recover(detected):
                 # Ignored WARN: the operation aborted midway; its partial
@@ -142,7 +142,7 @@ class RAEFilesystem(FilesystemAPI):
         if self.config.auto_writeback and not self._in_recovery:
             try:
                 self.base.writeback.tick()
-            except Exception as exc:  # noqa: BLE001 — commit-path errors
+            except Exception as exc:  # raelint: disable=ERRNO-DISCIPLINE — detector boundary: must see UNEXPECTED faults (§2.1)
                 detected = self.detector.classify(exc, seq=seq, op_name="writeback")
                 if self.detector.should_recover(detected):
                     self._recover(detected, inflight=None)
@@ -218,7 +218,7 @@ class RAEFilesystem(FilesystemAPI):
             # the on_commit callback) and perform any delegated fsync.
             try:
                 self.base.commit()
-            except Exception as exc:  # noqa: BLE001 — commit-path bug
+            except Exception as exc:  # raelint: disable=ERRNO-DISCIPLINE — detector boundary: must see UNEXPECTED faults (§2.1)
                 nested = self.detector.classify(exc, op_name="post-recovery-commit")
                 if depth >= 2 or not self.detector.should_recover(nested):
                     raise RecoveryFailure(

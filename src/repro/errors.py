@@ -144,3 +144,37 @@ class CrossCheckMismatch(RecoveryFailure):
     def __init__(self, message: str = "", op_index: int | None = None):
         super().__init__(message, phase="crosscheck")
         self.op_index = op_index
+
+
+#: Every exception class this catalog defines.  raelint's ERRNO-DISCIPLINE
+#: rule requires deliberate raises to use one of these (or a subclass), so
+#: the detector can always name what it caught.
+CATALOG_ERRORS: tuple[type[Exception], ...] = (
+    FsError,
+    KernelBug,
+    KernelWarning,
+    InvariantViolation,
+    DeviceError,
+    ShadowWriteAttempt,
+    RecoveryFailure,
+)
+
+#: What a *recovery-side* boundary (shadow child process, metadata
+#: hand-off) may catch and convert to :class:`RecoveryFailure`: the
+#: catalog minus :class:`ShadowWriteAttempt` — which is a bug in the
+#: reproduction itself and must never be absorbed by recovery code —
+#: plus the decode-failure surface (corrupted on-disk structures parse
+#: into ``ValueError``/``KeyError``/``IndexError`` before any catalog
+#: class gets a chance).  Anything outside this tuple escaping a
+#: recovery boundary is a reproduction bug and should crash loudly.
+RECOVERY_BOUNDARY_ERRORS: tuple[type[Exception], ...] = (
+    FsError,
+    KernelBug,
+    KernelWarning,
+    InvariantViolation,
+    DeviceError,
+    RecoveryFailure,
+    ValueError,
+    KeyError,
+    IndexError,
+)

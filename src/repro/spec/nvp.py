@@ -21,6 +21,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.api import FilesystemAPI, FsOp, OpResult, StatResult
+from repro.errors import RecoveryFailure
 
 
 def _normalize(result: OpResult):
@@ -79,11 +80,11 @@ class NVPExecutor:
             self.stats.executions += 1
             try:
                 outcomes[index] = operation.apply(version, opseq=opseq)
-            except Exception:  # noqa: BLE001 — a member crashed
+            except Exception:  # raelint: disable=ERRNO-DISCIPLINE — NVP's contract is masking *any* member fault
                 self.faulted.add(index)
 
         if not outcomes:
-            raise RuntimeError("every NVP version has faulted")
+            raise RecoveryFailure("every NVP version has faulted", phase="nvp")
 
         counter = Counter(_normalize(result) for result in outcomes.values())
         winner_key, votes = counter.most_common(1)[0]

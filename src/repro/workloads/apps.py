@@ -17,7 +17,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.api import FilesystemAPI, FsOp, OpenFlags
-from repro.errors import FsError, RecoveryFailure
+from repro.errors import FsError
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.profiles import Profile
 
@@ -71,7 +71,7 @@ class SimulatedApplication:
             except FsError as err:
                 self.stats.errnos[err.errno.name] = self.stats.errnos.get(err.errno.name, 0) + 1
                 self.stats.ops_completed += 1  # an errno is a completed op
-            except (RecoveryFailure, Exception) as exc:  # noqa: BLE001
+            except Exception:  # raelint: disable=ERRNO-DISCIPLINE — availability boundary: any runtime failure counts as downtime
                 self.stats.runtime_failures += 1
                 if stop_on_runtime_failure:
                     break
@@ -152,10 +152,10 @@ class SimulatedApplication:
     def _is_append(self, fd: int) -> bool:
         try:
             return bool(self.fs.fd_table.get(fd).flags & OpenFlags.APPEND)  # type: ignore[attr-defined]
-        except Exception:  # noqa: BLE001 — RAEFilesystem path
+        except (AttributeError, FsError):  # RAEFilesystem has no fd_table; retry on the wrapped base
             try:
                 return bool(self.fs.base.fd_table.get(fd).flags & OpenFlags.APPEND)  # type: ignore[attr-defined]
-            except Exception:  # noqa: BLE001
+            except (AttributeError, FsError):
                 return False
 
     def verify_all(self) -> int:

@@ -90,7 +90,7 @@ class MultiClientWorkload:
             client.ops_issued += 1
             try:
                 result = op.apply(self.fs, opseq=1000 + issued)
-            except Exception:  # noqa: BLE001 — lost availability
+            except Exception:  # raelint: disable=ERRNO-DISCIPLINE — availability boundary: any runtime failure counts as downtime
                 self.runtime_failures += 1
                 if stop_on_runtime_failure:
                     break

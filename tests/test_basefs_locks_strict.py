@@ -1,0 +1,101 @@
+"""LockManager ordering discipline, parametrized over strict mode.
+
+Covers the ascending/descending/recursive acquisition patterns and the
+hierarchy-locking exception: a child inode taken under its already-held
+parent is sanctioned regardless of numeric order (the parent-before-child
+convention imposes a global order of its own), while the same numeric
+pattern *without* the parent held is a lockdep event.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.basefs.hooks import HookPoints
+from repro.basefs.locks import LockManager
+from repro.errors import KernelWarning
+
+
+@pytest.fixture(params=[False, True], ids=["lenient", "strict"])
+def strict(request):
+    return request.param
+
+
+@pytest.fixture
+def locks(strict):
+    return LockManager(HookPoints(), strict=strict)
+
+
+class TestOrdering:
+    def test_ascending_is_always_clean(self, locks):
+        for ino in (2, 5, 9):
+            locks.acquire(ino)
+        assert locks.held == [2, 5, 9]
+        assert locks.stats.order_violations == 0
+
+    def test_descending_violates(self, locks, strict):
+        locks.acquire(9)
+        if strict:
+            with pytest.raises(KernelWarning) as excinfo:
+                locks.acquire(5)
+            assert excinfo.value.bug_id == "lockdep"
+        else:
+            locks.acquire(5)
+            assert locks.held == [9, 5]
+        assert locks.stats.order_violations == 1
+
+    def test_recursive_acquire_is_contention_not_violation(self, locks):
+        locks.acquire(5)
+        locks.acquire(5)
+        assert locks.held == [5]
+        assert locks.stats.contentions == 1
+        assert locks.stats.order_violations == 0
+
+    def test_acquire_pair_canonicalizes(self, locks):
+        locks.acquire_pair(9, 5)
+        assert locks.held == [5, 9]
+        assert locks.stats.order_violations == 0
+
+    def test_acquire_pair_same_inode_takes_once(self, locks):
+        locks.acquire_pair(7, 7)
+        assert locks.held == [7]
+        assert locks.stats.acquisitions == 1
+
+
+class TestHierarchyException:
+    def test_child_under_held_parent_is_sanctioned(self, locks):
+        # rmdir/unlink pattern: parent dir (high ino) locked first, then
+        # the child (lower ino) under it — safe even in strict mode.
+        locks.acquire(9)
+        locks.acquire(5, parent=9)
+        assert locks.held == [9, 5]
+        assert locks.stats.order_violations == 0
+
+    def test_parent_not_held_still_violates(self, locks, strict):
+        locks.acquire(9)
+        if strict:
+            with pytest.raises(KernelWarning):
+                locks.acquire(5, parent=42)
+        else:
+            locks.acquire(5, parent=42)
+        assert locks.stats.order_violations == 1
+
+    def test_sanction_requires_out_of_order_only(self, locks):
+        # In-order child acquisition never consults the sanction.
+        locks.acquire(2, parent=42)
+        locks.acquire(5, parent=2)
+        assert locks.held == [2, 5]
+        assert locks.stats.order_violations == 0
+
+
+class TestRelease:
+    def test_release_all_clears_everything(self, locks):
+        locks.acquire(2)
+        locks.acquire(5)
+        locks.release_all()
+        assert locks.held == []
+
+    def test_release_unheld_is_a_noop(self, locks):
+        locks.acquire(2)
+        locks.release(99)
+        assert locks.held == [2]

@@ -1,0 +1,473 @@
+"""raelint: rule unit tests (known-bad flagged, known-good passes),
+suppression and baseline mechanics, CLI modes, and the tree gate that
+keeps src/repro clean against the checked-in baseline."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Analyzer, Baseline, analyze_tree, default_rules
+from repro.analysis.cli import main as raelint_main
+from repro.analysis.engine import PARSE_ERROR_RULE
+from repro.analysis.findings import Severity
+from repro.analysis.rules import (
+    ErrnoDisciplineRule,
+    HookRegistryRule,
+    LockReleaseRule,
+    OplogCoverageRule,
+    ShadowPurityRule,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+BASELINE_PATH = REPO_ROOT / "raelint.baseline.json"
+
+
+def write_tree(tmp_path: Path, files: dict[str, str]) -> Path:
+    for relpath, source in files.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+    return tmp_path
+
+
+def rule_ids(report) -> list[str]:
+    return [finding.rule_id for finding in report.findings]
+
+
+# ---------------------------------------------------------------------------
+# SHADOW-PURITY
+
+
+class TestShadowPurity:
+    def test_flags_threading_import_and_device_write(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "shadowfs/bad.py": """
+                import threading
+                from repro.basefs.page_cache import PageCache
+
+                def persist(device, block, data):
+                    device.write_block(block, data)
+                    device.flush()
+            """,
+        })
+        report = analyze_tree(root, rules=[ShadowPurityRule()])
+        messages = [f.message for f in report.findings]
+        assert len(report.findings) == 4
+        assert any("threading" in m for m in messages)
+        assert any("page_cache" in m for m in messages)
+        assert any("write_block" in m for m in messages)
+        assert any("flush" in m for m in messages)
+
+    def test_good_shadow_module_passes(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "shadowfs/good.py": """
+                from repro.errors import FsError
+                from repro.blockdev.device import BlockDevice
+
+                def fsync(self, fd, opseq=0):
+                    raise FsError(Errno.EINVAL, "the shadow omits the sync family")
+
+                def read(device, block):
+                    return device.read_block(block)
+            """,
+        })
+        report = analyze_tree(root, rules=[ShadowPurityRule()])
+        assert report.findings == []
+
+    def test_rule_only_applies_under_shadowfs(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "basefs/ok.py": """
+                import threading
+
+                def persist(device, block, data):
+                    device.write_block(block, data)
+            """,
+        })
+        report = analyze_tree(root, rules=[ShadowPurityRule()])
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# OPLOG-COVERAGE
+
+GOOD_SUPERVISOR_TREE = {
+    "api.py": """
+        OP_SIGNATURES = {
+            "mkdir": (("path", "perms"), True),
+            "stat": (("path",), False),
+        }
+    """,
+    "basefs/filesystem.py": """
+        class BaseFilesystem:
+            def mkdir(self, path, perms=0o755, opseq=0):
+                pass
+
+            def stat(self, path):
+                pass
+    """,
+    "core/supervisor.py": """
+        class RAEFilesystem:
+            def _call(self, name, **args):
+                try:
+                    outcome = self._apply(name, args)
+                except KernelBug:
+                    outcome = self._recover()
+                else:
+                    self.oplog.record(self.seq, name, outcome)
+                return outcome
+
+            def mkdir(self, path, perms=0o755, opseq=0):
+                return self._call("mkdir", path=path, perms=perms)
+
+            def stat(self, path):
+                return self._call("stat", path=path)
+    """,
+}
+
+
+class TestOplogCoverage:
+    def test_good_chain_passes(self, tmp_path):
+        root = write_tree(tmp_path, GOOD_SUPERVISOR_TREE)
+        report = analyze_tree(root, rules=[OplogCoverageRule()])
+        assert report.findings == []
+
+    def test_unwrapped_mutation_is_flagged(self, tmp_path):
+        files = dict(GOOD_SUPERVISOR_TREE)
+        files["core/supervisor.py"] = """
+            class RAEFilesystem:
+                def _call(self, name, **args):
+                    outcome = self._apply(name, args)
+                    self.oplog.record(self.seq, name, outcome)
+                    return outcome
+
+                def mkdir(self, path, perms=0o755, opseq=0):
+                    return self.base.mkdir(path, perms)  # bypasses recording
+        """
+        root = write_tree(tmp_path, files)
+        report = analyze_tree(root, rules=[OplogCoverageRule()])
+        assert rule_ids(report) == ["OPLOG-COVERAGE"]
+        assert "mkdir" in report.findings[0].message
+
+    def test_recording_only_in_error_path_is_flagged(self, tmp_path):
+        files = dict(GOOD_SUPERVISOR_TREE)
+        files["core/supervisor.py"] = """
+            class RAEFilesystem:
+                def _call(self, name, **args):
+                    try:
+                        outcome = self._apply(name, args)
+                    except KernelBug:
+                        self.oplog.record(self.seq, name, None)  # error path only
+                        raise
+                    return outcome
+
+                def mkdir(self, path, perms=0o755, opseq=0):
+                    return self._call("mkdir", path=path, perms=perms)
+        """
+        root = write_tree(tmp_path, files)
+        report = analyze_tree(root, rules=[OplogCoverageRule()])
+        assert rule_ids(report) == ["OPLOG-COVERAGE"]
+
+    def test_missing_base_method_is_flagged(self, tmp_path):
+        files = dict(GOOD_SUPERVISOR_TREE)
+        files["basefs/filesystem.py"] = """
+            class BaseFilesystem:
+                def stat(self, path):
+                    pass
+        """
+        root = write_tree(tmp_path, files)
+        report = analyze_tree(root, rules=[OplogCoverageRule()])
+        assert rule_ids(report) == ["OPLOG-COVERAGE"]
+        assert "BaseFilesystem" in report.findings[0].message
+
+    def test_silent_without_op_signatures(self, tmp_path):
+        root = write_tree(tmp_path, {"x.py": "class RAEFilesystem:\n    pass\n"})
+        report = analyze_tree(root, rules=[OplogCoverageRule()])
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# LOCK-RELEASE
+
+
+class TestLockRelease:
+    def test_unguarded_acquire_is_flagged(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "fs.py": """
+                def mkdir(self, path):
+                    self.locks.acquire(2)
+                    self._insert(path)
+                    self.locks.release_all()
+            """,
+        })
+        report = analyze_tree(root, rules=[LockReleaseRule()])
+        assert rule_ids(report) == ["LOCK-RELEASE"]
+
+    def test_try_finally_release_passes(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "fs.py": """
+                def mkdir(self, path):
+                    try:
+                        self.locks.acquire(2)
+                        self.locks.acquire_pair(3, 4)
+                        self._insert(path)
+                    finally:
+                        self.locks.release_all()
+            """,
+        })
+        report = analyze_tree(root, rules=[LockReleaseRule()])
+        assert report.findings == []
+
+    def test_release_in_handler_does_not_count(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "fs.py": """
+                def mkdir(self, path):
+                    try:
+                        self.locks.acquire(2)
+                    except KernelBug:
+                        self.locks.release_all()
+            """,
+        })
+        report = analyze_tree(root, rules=[LockReleaseRule()])
+        assert rule_ids(report) == ["LOCK-RELEASE"]
+
+    def test_lock_manager_internals_are_exempt(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "locks.py": """
+                class LockManager:
+                    def acquire_pair(self, a, b):
+                        first, second = sorted((a, b))
+                        self.acquire(first)
+                        self.acquire(second)
+            """,
+        })
+        report = analyze_tree(root, rules=[LockReleaseRule()])
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# ERRNO-DISCIPLINE
+
+
+class TestErrnoDiscipline:
+    def test_generic_raise_and_broad_except_flagged(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "bad.py": """
+                def f():
+                    try:
+                        g()
+                    except Exception:
+                        raise RuntimeError("broke")
+
+                def h():
+                    try:
+                        g()
+                    except:
+                        pass
+            """,
+        })
+        report = analyze_tree(root, rules=[ErrnoDisciplineRule()])
+        assert sorted(rule_ids(report)) == ["ERRNO-DISCIPLINE"] * 3
+
+    def test_fs_error_without_errno_member_flagged(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "bad.py": """
+                def f(path):
+                    raise FsError(2, path)
+            """,
+            "good.py": """
+                def f(path, outcome):
+                    raise FsError(Errno.ENOENT, path)
+
+                def g(outcome):
+                    raise FsError(outcome.errno, "propagated")
+            """,
+        })
+        report = analyze_tree(root, rules=[ErrnoDisciplineRule()])
+        assert len(report.findings) == 1
+        assert report.findings[0].path == "bad.py"
+
+    def test_catalog_raises_pass(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "good.py": """
+                def f():
+                    try:
+                        g()
+                    except (KernelBug, InvariantViolation):
+                        raise RecoveryFailure("nested", phase="test")
+            """,
+        })
+        report = analyze_tree(root, rules=[ErrnoDisciplineRule()])
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# HOOK-REGISTRY
+
+HOOK_TREE_BASE = {
+    "basefs/hooks.py": """
+        HOOK_NAMES = (
+            "vfs.lookup",
+            "dir.insert",
+        )
+    """,
+}
+
+
+class TestHookRegistry:
+    def test_typod_hook_name_is_flagged(self, tmp_path):
+        files = dict(HOOK_TREE_BASE)
+        files["basefs/filesystem.py"] = """
+            def insert(self):
+                self.hooks.fire("dir.isnert", dir_ino=2)
+        """
+        root = write_tree(tmp_path, files)
+        report = analyze_tree(root, rules=[HookRegistryRule()])
+        assert rule_ids(report) == ["HOOK-REGISTRY"]
+        assert "dir.isnert" in report.findings[0].message
+
+    def test_registered_names_and_dynamic_names_pass(self, tmp_path):
+        files = dict(HOOK_TREE_BASE)
+        files["basefs/filesystem.py"] = """
+            def insert(self, point):
+                self.hooks.fire("dir.insert", dir_ino=2)
+                self.hooks.register("vfs.lookup", handler)
+                self.hooks.fire(point, dir_ino=2)  # dynamic: runtime-validated
+        """
+        root = write_tree(tmp_path, files)
+        report = analyze_tree(root, rules=[HookRegistryRule()])
+        assert report.findings == []
+
+    def test_silent_without_registry(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "x.py": 'def f(self):\n    self.hooks.fire("anything.goes")\n',
+        })
+        report = analyze_tree(root, rules=[HookRegistryRule()])
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# engine mechanics: suppression, baseline, parse errors
+
+
+class TestSuppressionAndBaseline:
+    BAD = """
+        def f():
+            try:
+                g()
+            except Exception:{suffix}
+                pass
+    """
+
+    def test_inline_suppression_silences_finding(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "bad.py": self.BAD.format(suffix="  # raelint: disable=ERRNO-DISCIPLINE — sanctioned boundary"),
+        })
+        report = analyze_tree(root, rules=[ErrnoDisciplineRule()])
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_comment_line_above_suppresses_next_line(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "bad.py": """
+                def f():
+                    try:
+                        g()
+                    # raelint: disable=ERRNO-DISCIPLINE
+                    except Exception:
+                        pass
+            """,
+        })
+        report = analyze_tree(root, rules=[ErrnoDisciplineRule()])
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_suppression_of_other_rule_does_not_apply(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "bad.py": self.BAD.format(suffix="  # raelint: disable=HOOK-REGISTRY"),
+        })
+        report = analyze_tree(root, rules=[ErrnoDisciplineRule()])
+        assert len(report.findings) == 1
+
+    def test_baseline_accepts_known_findings(self, tmp_path):
+        root = write_tree(tmp_path, {"bad.py": self.BAD.format(suffix="")})
+        first = analyze_tree(root, rules=[ErrnoDisciplineRule()])
+        assert len(first.new_findings) == 1
+
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.from_findings(first.findings).save(baseline_path)
+        second = analyze_tree(root, baseline=baseline_path, rules=[ErrnoDisciplineRule()])
+        assert second.findings and second.new_findings == []
+        assert second.baselined == 1
+        assert second.clean
+
+    def test_parse_error_is_a_finding(self, tmp_path):
+        root = write_tree(tmp_path, {"broken.py": "def f(:\n"})
+        report = analyze_tree(root, rules=default_rules())
+        assert rule_ids(report) == [PARSE_ERROR_RULE]
+        assert report.findings[0].severity is Severity.ERROR
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        root = write_tree(tmp_path, {"ok.py": "x = 1\n"})
+        assert raelint_main([str(root), "--fail-on-findings"]) == 0
+        assert "0 new" in capsys.readouterr().out
+
+    def test_fail_on_findings(self, tmp_path, capsys):
+        root = write_tree(tmp_path, {"bad.py": "try:\n    f()\nexcept Exception:\n    pass\n"})
+        assert raelint_main([str(root)]) == 0  # report-only by default
+        assert raelint_main([str(root), "--fail-on-findings"]) == 1
+
+    def test_json_format(self, tmp_path, capsys):
+        root = write_tree(tmp_path, {"bad.py": "try:\n    f()\nexcept Exception:\n    pass\n"})
+        raelint_main([str(root), "--format=json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        assert payload["new"][0]["rule"] == "ERRNO-DISCIPLINE"
+        assert payload["new"][0]["path"] == "bad.py"
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        root = write_tree(tmp_path, {"bad.py": "try:\n    f()\nexcept Exception:\n    pass\n"})
+        baseline = tmp_path / "baseline.json"
+        assert raelint_main([str(root), "--write-baseline", "--baseline", str(baseline)]) == 0
+        assert raelint_main([str(root), "--fail-on-findings", "--baseline", str(baseline)]) == 0
+
+    def test_list_rules(self, capsys):
+        assert raelint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("SHADOW-PURITY", "OPLOG-COVERAGE", "LOCK-RELEASE", "ERRNO-DISCIPLINE", "HOOK-REGISTRY"):
+            assert rule_id in out
+
+    def test_missing_root_exits_two(self, tmp_path):
+        assert raelint_main([str(tmp_path / "nope")]) == 2
+
+
+# ---------------------------------------------------------------------------
+# the gate: the real tree stays clean against the checked-in baseline
+
+
+class TestTreeGate:
+    def test_src_repro_is_clean_against_baseline(self):
+        report = Analyzer(SRC_ROOT, baseline=Baseline.load(BASELINE_PATH)).run()
+        assert report.clean, "raelint regressions:\n" + "\n".join(
+            finding.render() for finding in report.new_findings
+        )
+
+    def test_every_rule_ran_over_a_nontrivial_tree(self):
+        report = Analyzer(SRC_ROOT, baseline=Baseline.load(BASELINE_PATH)).run()
+        assert report.files > 50
+
+    def test_sanctioned_boundaries_are_suppressed_not_silent(self):
+        # The detector boundary in the supervisor (and the other sanctioned
+        # broad catches) must be visible as suppressions, not invisible.
+        report = Analyzer(SRC_ROOT, baseline=Baseline.load(BASELINE_PATH)).run()
+        assert report.suppressed >= 6
