@@ -43,6 +43,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="accept all current findings into the baseline file and exit",
     )
     parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="regenerate the baseline from current findings, dropping entries "
+        "that no longer fire (the ratchet only moves down)",
+    )
+    parser.add_argument(
         "--format",
         choices=("text", "json"),
         default="text",
@@ -91,9 +97,20 @@ def main(argv: list[str] | None = None) -> int:
     baseline = Baseline.load(baseline_path)
     report = Analyzer(root, rules=rules, baseline=baseline).run()
 
-    if args.write_baseline:
-        Baseline.from_findings(report.findings).save(baseline_path)
-        print(f"raelint: wrote {len(report.findings)} finding(s) to {baseline_path}")
+    if args.write_baseline or args.update_baseline:
+        updated = Baseline.from_findings(report.findings)
+        if args.update_baseline:
+            added = len(updated.entries - baseline.entries)
+            dropped = len(baseline.entries - updated.entries)
+            updated.save(baseline_path)
+            print(
+                f"raelint: baseline updated at {baseline_path}: "
+                f"{len(updated)} entr{'y' if len(updated) == 1 else 'ies'} "
+                f"(+{added} new, -{dropped} no longer firing)"
+            )
+        else:
+            updated.save(baseline_path)
+            print(f"raelint: wrote {len(report.findings)} finding(s) to {baseline_path}")
         return 0
 
     if args.format == "json":

@@ -195,7 +195,12 @@ class Analyzer:
 
         report = Report(files=len(modules) + len(parse_errors))
         by_module = {module.path: module for module in modules}
-        for finding in sorted(set(raw)):
+        # Explicit sort key: Severity is not orderable, and the report
+        # order must be stable for CI diffs and baseline regeneration.
+        for finding in sorted(
+            set(raw),
+            key=lambda f: (f.path, f.line, f.rule_id, f.severity.value, f.message),
+        ):
             module = by_module.get(finding.path)
             if module is not None and module.suppressed(finding.line, finding.rule_id):
                 report.suppressed += 1

@@ -1,0 +1,299 @@
+"""Intraprocedural control-flow graphs for raelint's flow rules.
+
+:func:`build_cfg` turns one ``ast.FunctionDef`` into a :class:`CFG`: one
+node per *statement* (plus synthetic entry/exit and join nodes), edges
+for every way control can move between them.  Two properties matter for
+the rules built on top:
+
+* **Exceptional edges are first-class.**  Every statement node gets an
+  edge to the innermost exception continuation — the enclosing ``try``'s
+  handler dispatch, its ``finally``, or the function EXIT (an uncaught
+  exception unwinds the frame).  This is deliberately conservative (any
+  statement *may* raise: hooks fire mid-call, checksum parses throw), and
+  it is exactly what makes the LOCK-RELEASE must-analysis honest: a
+  release that only happens on the fall-through path does not dominate
+  the exceptional exits, so it does not count.
+* **Compound headers, not bodies, live in the node.**  A node for an
+  ``if``/``while``/``for``/``with`` statement carries only its header
+  expressions in :attr:`CFGNode.payload` (the test, the iterable, the
+  context managers); the nested statements get their own nodes.  Transfer
+  functions can therefore ``ast.walk`` a node's payload without ever
+  seeing another node's code.  Nested ``def``/``class`` bodies are opaque
+  — they execute at call time, in their own CFG.
+
+``finally`` is modeled as a single block whose exits fan out to every
+continuation the protected code can reach (fall-through, the enclosing
+exception target, and the break/continue/return targets actually present
+in the protected region).  That merges paths a duplicating builder would
+keep separate — an over-approximation, which for the must-analyses built
+here errs toward reporting, never toward silence.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CFGNode:
+    """One CFG vertex.
+
+    ``stmt`` is the owning statement (``None`` for synthetic nodes) and
+    is what findings anchor their line numbers to.  ``payload`` holds the
+    AST fragments that execute *at* this node.
+    """
+
+    index: int
+    kind: str  # "entry" | "exit" | "stmt" | "branch" | "loop" | "dispatch" | "join" | "with"
+    stmt: ast.stmt | None = None
+    payload: tuple[ast.AST, ...] = ()
+    succ: set[int] = field(default_factory=set)
+    pred: set[int] = field(default_factory=set)
+
+    @property
+    def line(self) -> int:
+        return getattr(self.stmt, "lineno", 0)
+
+
+class CFG:
+    """The graph for one function body."""
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef):
+        self.func = func
+        self.nodes: list[CFGNode] = []
+        self.entry = self._new("entry")
+        self.exit = self._new("exit")
+        self._stmt_node: dict[int, int] = {}  # id(stmt) -> node index
+
+    def _new(self, kind: str, stmt: ast.stmt | None = None, payload: tuple[ast.AST, ...] = ()) -> int:
+        node = CFGNode(index=len(self.nodes), kind=kind, stmt=stmt, payload=payload)
+        self.nodes.append(node)
+        if stmt is not None:
+            self._stmt_node[id(stmt)] = node.index
+        return node.index
+
+    def _edge(self, src: int, dst: int) -> None:
+        self.nodes[src].succ.add(dst)
+        self.nodes[dst].pred.add(src)
+
+    def node_of(self, stmt: ast.stmt) -> CFGNode | None:
+        """The node that owns ``stmt``, if ``stmt`` is a direct statement
+        of this function (not of a nested def)."""
+        index = self._stmt_node.get(id(stmt))
+        return self.nodes[index] if index is not None else None
+
+    # -- queries used by rules and tests --------------------------------
+
+    def reachable_from(self, start: int) -> set[int]:
+        seen = {start}
+        stack = [start]
+        while stack:
+            for succ in self.nodes[stack.pop()].succ:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+    def has_path(self, src: int, dst: int) -> bool:
+        return dst in self.reachable_from(src)
+
+
+@dataclass(frozen=True)
+class _Ctx:
+    """Where abrupt completions go, at the current nesting depth."""
+
+    exc: int  # exception continuation
+    ret: int  # `return` continuation (EXIT, or the enclosing finally)
+    brk: int | None = None  # `break` continuation
+    cont: int | None = None  # `continue` continuation
+
+
+def _abrupt_kinds(stmts: list[ast.stmt]) -> set[str]:
+    """Which abrupt completions appear in ``stmts`` (not entering nested
+    function/class bodies — their control flow is their own)."""
+    found: set[str] = set()
+    stack: list[ast.AST] = list(stmts)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Return):
+            found.add("return")
+        elif isinstance(node, ast.Break):
+            found.add("break")
+        elif isinstance(node, ast.Continue):
+            found.add("continue")
+        stack.extend(ast.iter_child_nodes(node))
+    return found
+
+
+class _Builder:
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+
+    def build(self) -> None:
+        ctx = _Ctx(exc=self.cfg.exit, ret=self.cfg.exit)
+        first = self._stmts(self.cfg.func.body, follow=self.cfg.exit, ctx=ctx)
+        self.cfg._edge(self.cfg.entry, first)
+
+    # ------------------------------------------------------------------
+
+    def _stmts(self, stmts: list[ast.stmt], follow: int, ctx: _Ctx) -> int:
+        """Wire a statement list; returns the entry node of the first
+        statement (or ``follow`` for an empty list)."""
+        entry = follow
+        for stmt in reversed(stmts):
+            entry = self._stmt(stmt, entry, ctx)
+        return entry
+
+    def _stmt(self, stmt: ast.stmt, follow: int, ctx: _Ctx) -> int:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, follow, ctx)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, follow, ctx)
+        if isinstance(stmt, ast.Try) or (hasattr(ast, "TryStar") and isinstance(stmt, ast.TryStar)):
+            return self._try(stmt, follow, ctx)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, follow, ctx)
+        if isinstance(stmt, ast.Return):
+            node = self.cfg._new("stmt", stmt, payload=(stmt,))
+            self.cfg._edge(node, ctx.ret)
+            self.cfg._edge(node, ctx.exc)  # evaluating the value may raise
+            return node
+        if isinstance(stmt, ast.Raise):
+            node = self.cfg._new("stmt", stmt, payload=(stmt,))
+            self.cfg._edge(node, ctx.exc)
+            return node
+        if isinstance(stmt, ast.Break):
+            node = self.cfg._new("stmt", stmt, payload=())
+            self.cfg._edge(node, ctx.brk if ctx.brk is not None else self.cfg.exit)
+            return node
+        if isinstance(stmt, ast.Continue):
+            node = self.cfg._new("stmt", stmt, payload=())
+            self.cfg._edge(node, ctx.cont if ctx.cont is not None else self.cfg.exit)
+            return node
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            # The nested body runs at call time, in its own CFG; only the
+            # decorators and defaults execute here.
+            payload = tuple(stmt.decorator_list)
+            node = self.cfg._new("stmt", stmt, payload=payload)
+            self.cfg._edge(node, follow)
+            self.cfg._edge(node, ctx.exc)
+            return node
+        if hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+            return self._match(stmt, follow, ctx)
+        # Simple statement: assignments, expressions, imports, asserts...
+        node = self.cfg._new("stmt", stmt, payload=(stmt,))
+        self.cfg._edge(node, follow)
+        self.cfg._edge(node, ctx.exc)
+        return node
+
+    def _if(self, stmt: ast.If, follow: int, ctx: _Ctx) -> int:
+        node = self.cfg._new("branch", stmt, payload=(stmt.test,))
+        body = self._stmts(stmt.body, follow, ctx)
+        self.cfg._edge(node, body)
+        orelse = self._stmts(stmt.orelse, follow, ctx) if stmt.orelse else follow
+        self.cfg._edge(node, orelse)
+        self.cfg._edge(node, ctx.exc)
+        return node
+
+    def _loop(self, stmt: ast.While | ast.For | ast.AsyncFor, follow: int, ctx: _Ctx) -> int:
+        header: tuple[ast.AST, ...]
+        if isinstance(stmt, ast.While):
+            header = (stmt.test,)
+        else:
+            header = (stmt.iter, stmt.target)
+        head = self.cfg._new("loop", stmt, payload=header)
+        # `break` skips the else clause; normal exhaustion runs it.
+        normal_exit = self._stmts(stmt.orelse, follow, ctx) if stmt.orelse else follow
+        body_ctx = _Ctx(exc=ctx.exc, ret=ctx.ret, brk=follow, cont=head)
+        body = self._stmts(stmt.body, head, body_ctx)
+        self.cfg._edge(head, body)
+        self.cfg._edge(head, normal_exit)
+        self.cfg._edge(head, ctx.exc)
+        return head
+
+    def _with(self, stmt: ast.With | ast.AsyncWith, follow: int, ctx: _Ctx) -> int:
+        payload = tuple(item.context_expr for item in stmt.items) + tuple(
+            item.optional_vars for item in stmt.items if item.optional_vars is not None
+        )
+        node = self.cfg._new("with", stmt, payload=payload)
+        body = self._stmts(stmt.body, follow, ctx)
+        self.cfg._edge(node, body)
+        self.cfg._edge(node, ctx.exc)
+        return node
+
+    def _match(self, stmt: ast.AST, follow: int, ctx: _Ctx) -> int:
+        node = self.cfg._new("branch", stmt, payload=(stmt.subject,))
+        for case in stmt.cases:
+            self.cfg._edge(node, self._stmts(case.body, follow, ctx))
+        self.cfg._edge(node, follow)  # no case may match
+        self.cfg._edge(node, ctx.exc)
+        return node
+
+    def _try(self, stmt: ast.Try, follow: int, ctx: _Ctx) -> int:
+        protected = stmt.body + [h for handler in stmt.handlers for h in handler.body] + stmt.orelse
+        abrupt = _abrupt_kinds(protected)
+
+        fin_entry: int | None = None
+        if stmt.finalbody:
+            # One finally block; its exits fan out to every continuation
+            # the protected region can complete to.
+            join = self.cfg._new("join", stmt)
+            self.cfg._edge(join, follow)
+            self.cfg._edge(join, ctx.exc)  # re-raise after finally
+            if "return" in abrupt:
+                self.cfg._edge(join, ctx.ret)
+            if "break" in abrupt and ctx.brk is not None:
+                self.cfg._edge(join, ctx.brk)
+            if "continue" in abrupt and ctx.cont is not None:
+                self.cfg._edge(join, ctx.cont)
+            fin_entry = self._stmts(stmt.finalbody, join, ctx)
+
+        after_protected = fin_entry if fin_entry is not None else follow
+        escape = fin_entry if fin_entry is not None else ctx.exc
+
+        if stmt.handlers:
+            dispatch = self.cfg._new("dispatch", stmt)
+            handler_ctx = _Ctx(
+                exc=escape,
+                ret=fin_entry if fin_entry is not None else ctx.ret,
+                brk=fin_entry if fin_entry is not None and ctx.brk is not None else ctx.brk,
+                cont=fin_entry if fin_entry is not None and ctx.cont is not None else ctx.cont,
+            )
+            for handler in stmt.handlers:
+                self.cfg._edge(dispatch, self._stmts(handler.body, after_protected, handler_ctx))
+            self.cfg._edge(dispatch, escape)  # no handler matched
+            body_exc = dispatch
+        else:
+            body_exc = escape
+
+        body_ctx = _Ctx(
+            exc=body_exc,
+            ret=fin_entry if fin_entry is not None else ctx.ret,
+            brk=fin_entry if fin_entry is not None and ctx.brk is not None else ctx.brk,
+            cont=fin_entry if fin_entry is not None and ctx.cont is not None else ctx.cont,
+        )
+        # else-clause exceptions are NOT caught by this try's handlers.
+        orelse_ctx = _Ctx(exc=escape, ret=body_ctx.ret, brk=body_ctx.brk, cont=body_ctx.cont)
+        orelse_entry = (
+            self._stmts(stmt.orelse, after_protected, orelse_ctx) if stmt.orelse else after_protected
+        )
+        return self._stmts(stmt.body, orelse_entry, body_ctx)
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the CFG for one function definition."""
+    cfg = CFG(func)
+    _Builder(cfg).build()
+    return cfg
+
+
+def function_defs(tree: ast.AST) -> list[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every function definition in ``tree``, nested ones included."""
+    return [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]

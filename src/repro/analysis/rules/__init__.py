@@ -9,14 +9,22 @@ from __future__ import annotations
 from repro.analysis.engine import Rule
 from repro.analysis.rules.errno_discipline import ErrnoDisciplineRule
 from repro.analysis.rules.hook_registry import HookRegistryRule
+from repro.analysis.rules.journal_before_write import JournalBeforeWriteRule
+from repro.analysis.rules.lock_order import LockOrderRule
 from repro.analysis.rules.lock_release import LockReleaseRule
 from repro.analysis.rules.oplog_coverage import OplogCoverageRule
+from repro.analysis.rules.replay_determinism import ReplayDeterminismRule
 from repro.analysis.rules.shadow_purity import ShadowPurityRule
+from repro.analysis.rules.shadow_reach import ShadowReachRule
 
 RULE_CLASSES: tuple[type[Rule], ...] = (
     ShadowPurityRule,
+    ShadowReachRule,
     OplogCoverageRule,
     LockReleaseRule,
+    LockOrderRule,
+    JournalBeforeWriteRule,
+    ReplayDeterminismRule,
     ErrnoDisciplineRule,
     HookRegistryRule,
 )
@@ -31,8 +39,12 @@ __all__ = [
     "RULE_CLASSES",
     "default_rules",
     "ShadowPurityRule",
+    "ShadowReachRule",
     "OplogCoverageRule",
     "LockReleaseRule",
+    "LockOrderRule",
+    "JournalBeforeWriteRule",
+    "ReplayDeterminismRule",
     "ErrnoDisciplineRule",
     "HookRegistryRule",
 ]

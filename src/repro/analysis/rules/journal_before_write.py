@@ -1,0 +1,91 @@
+"""JOURNAL-BEFORE-WRITE: the journal stays ahead of data writeback.
+
+RAE's trust base is the on-disk journal: recovery (both the base's
+mount-time replay and the shadow's virtual replay) reconstructs state
+from committed transactions, so a metadata home-location write that is
+not covered by a prior journal entry is unrecoverable by construction —
+exactly the write-ordering class SquirrelFS checks with typestate and B3
+only finds after the crash.
+
+This rule runs a forward must-analysis
+(:class:`~repro.analysis.flow.dataflow.CallMarkerAnalysis`) over each
+function CFG in ``basefs/``: every path from function entry to a raw
+write site (``.write_block(...)``, ``.submit_write(...)``, or a cache
+``.writeback*(...)`` home-location flush) must first pass a journal
+marker — a ``.commit(...)`` call (the filesystem's or the journal
+manager's single durability path) or a journal-writer ``.append(...)``.
+"May reach the device unjournaled on some path" is the report condition;
+joins use logical AND, so one uncovered path is enough.
+
+The analysis is intraprocedural and the codebase has exactly one layer
+that is *sanctioned* to write around it (the mount-state stamp, and
+ordered-mode data writes that must precede the metadata commit); those
+sites carry inline suppressions whose comments state the argument.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePosixPath
+from typing import Iterable
+
+from repro.analysis.engine import FileRule, ParsedModule
+from repro.analysis.findings import Finding
+from repro.analysis.flow.cfg import build_cfg, function_defs
+from repro.analysis.flow.dataflow import CallMarkerAnalysis, ordered_calls, solve
+
+#: attribute names that put bytes on the device or flush cache to it
+WRITE_METHODS = frozenset({"write_block", "submit_write", "writeback", "writeback_some"})
+
+
+def _is_write(call: ast.Call) -> bool:
+    return isinstance(call.func, ast.Attribute) and call.func.attr in WRITE_METHODS
+
+
+def _is_marker(call: ast.Call) -> bool:
+    """A journal-entry call: ``*.commit(...)``, or ``append`` on a
+    journal/writer-named receiver."""
+    if not isinstance(call.func, ast.Attribute):
+        return False
+    if call.func.attr == "commit":
+        return True
+    if call.func.attr != "append":
+        return False
+    value = call.func.value
+    name = value.id if isinstance(value, ast.Name) else getattr(value, "attr", "")
+    return "journal" in name.lower() or "writer" in name.lower()
+
+
+class JournalBeforeWriteRule(FileRule):
+    rule_id = "JOURNAL-BEFORE-WRITE"
+    description = "basefs/ device writes must be dominated by a journal commit/append on every path"
+
+    def applies_to(self, module: ParsedModule) -> bool:
+        return "basefs" in PurePosixPath(module.path).parts
+
+    def check(self, module: ParsedModule) -> Iterable[Finding]:
+        if not self.applies_to(module):
+            return
+        for func in function_defs(module.tree):
+            cfg = build_cfg(func)
+            values = None
+            for node in cfg.nodes:
+                calls = ordered_calls(node.payload)
+                if not any(_is_write(call) for call in calls):
+                    continue
+                if values is None:
+                    values = solve(cfg, CallMarkerAnalysis(_is_marker))
+                # Replay this node's calls in source order so a marker and
+                # a write inside one statement are sequenced correctly.
+                journaled = values[node.index].before
+                for call in calls:
+                    if _is_write(call) and not journaled:
+                        yield self.finding(
+                            module,
+                            call,
+                            f"{ast.unparse(call.func)}() in {func.name}() is reachable without "
+                            "a prior journal commit/append on some path (the journal must "
+                            "always be ahead of home-location writes)",
+                        )
+                    if _is_marker(call):
+                        journaled = True

@@ -1,0 +1,83 @@
+"""LOCK-ORDER: nested inode-lock acquisition must be deadlock-free.
+
+``LockManager.acquire`` (basefs/locks.py) enforces a global order at
+runtime: a thread holding inode lock *j* may only take *i < j* when it
+declares the hierarchy sanction (``acquire(child, parent=held)``), and
+``acquire_pair`` sorts its two inodes internally.  The runtime check only
+fires on the interleavings a test happens to execute; this rule makes the
+discipline static.
+
+Using the forward may-held lockset analysis
+(:class:`~repro.analysis.flow.dataflow.LocksetAnalysis`) over each
+function's CFG, the rule flags any acquire site in ``basefs/`` that can
+execute while another lock is already held, unless the site is
+sanctioned:
+
+* ``acquire(..., parent=...)`` — the declared hierarchy edge, PR 1's
+  sanction: parent directories outrank children regardless of inode
+  numbers, so the declared pair is exempt from the numeric order;
+* a first acquire (statically empty lockset) is always clean.
+
+``acquire_pair`` orders its own two inodes but makes no promise relative
+to locks *already* held, so a pair acquire under a non-empty lockset is
+flagged like a plain nested acquire.  Lock identity is the unparsed
+acquire-argument expression: the analysis cannot compare runtime inode
+numbers, so *any* unsanctioned nested acquire is reported as an ordering
+hazard — the fix is to declare ``parent=`` or use ``acquire_pair``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePosixPath
+from typing import Iterable
+
+from repro.analysis.engine import FileRule, ParsedModule
+from repro.analysis.findings import Finding
+from repro.analysis.flow.cfg import build_cfg, function_defs
+from repro.analysis.flow.dataflow import (
+    ACQUIRE_METHODS,
+    LocksetAnalysis,
+    apply_lock_call,
+    lock_call,
+    ordered_calls,
+    solve,
+)
+
+
+class LockOrderRule(FileRule):
+    rule_id = "LOCK-ORDER"
+    description = "nested LockManager acquires in basefs/ must declare parent= or use acquire_pair"
+
+    def applies_to(self, module: ParsedModule) -> bool:
+        return "basefs" in PurePosixPath(module.path).parts
+
+    def check(self, module: ParsedModule) -> Iterable[Finding]:
+        if not self.applies_to(module):
+            return
+        for func in function_defs(module.tree):
+            cfg = build_cfg(func)
+            values = None
+            for node in cfg.nodes:
+                calls = ordered_calls(node.payload)
+                if not any(lock_call(call, ACQUIRE_METHODS) for call in calls):
+                    continue
+                if values is None:
+                    values = solve(cfg, LocksetAnalysis())
+                # Replay the node's calls in source order so a second
+                # acquire in the same statement sees the first one held.
+                held = values[node.index].before
+                for call in calls:
+                    if lock_call(call, ACQUIRE_METHODS) and held:
+                        is_pair = call.func.attr == "acquire_pair"  # type: ignore[union-attr]
+                        sanctioned = any(kw.arg == "parent" for kw in call.keywords)
+                        if not sanctioned:
+                            what = "acquire_pair" if is_pair else "acquire"
+                            yield self.finding(
+                                module,
+                                call,
+                                f"{what}({', '.join(ast.unparse(a) for a in call.args)}) while "
+                                f"holding {{{', '.join(sorted(held))}}} has no parent= sanction "
+                                "and may invert the inode-number lock order",
+                            )
+                    held = apply_lock_call(held, call)

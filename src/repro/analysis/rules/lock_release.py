@@ -1,19 +1,33 @@
-"""LOCK-RELEASE: every lock acquisition has a guaranteed release.
+"""LOCK-RELEASE: every lock acquisition has a release on every path.
 
 The base's locking discipline (basefs/locks.py) feeds recovery: a crashed
 operation's locks are part of the distrusted state, and the error path
-relies on ``release``/``release_all`` running in a ``finally`` block so
-that an injected KernelBug unwinding mid-operation cannot leave inode
-locks held into the next operation.  This rule flags any
-``*.locks.acquire(...)`` / ``*.locks.acquire_pair(...)`` call that is not
-lexically inside a ``try`` whose ``finally`` releases on the same lock
-manager.
+relies on ``release``/``release_all`` running before the frame unwinds so
+that an injected KernelBug mid-operation cannot leak inode locks into the
+next operation.
+
+PR 1 checked this syntactically (acquire lexically inside a ``try`` whose
+``finally`` releases).  This version asks the real question on the CFG
+from :mod:`repro.analysis.flow.cfg`: **from the acquire site, does every
+path to function exit — including the exceptional edges every statement
+carries — pass a release call on a lock manager?**  That is the backward
+must-analysis :class:`ReleaseOnAllPathsAnalysis`.  Consequences of the
+upgrade:
+
+* a release only on the fall-through path (or only in an ``except``
+  handler) no longer counts — the unwinding path misses it;
+* ``with lock_mgr.acquire(...):`` is now recognized: the context-manager
+  protocol guarantees ``__exit__`` runs on every path, so a ``with``-item
+  acquire is guarded by construction (PR 1 flagged this form);
+* placement stops mattering — any shape that releases on all paths
+  passes, whether or not it spells ``try/finally``.
 
 The matched receiver is anything whose final name contains ``lock``
-(``self.locks``, ``fs.locks``, a local ``locks``), which is the
-codebase's naming convention for :class:`LockManager` instances; the
-manager's own methods (``self.acquire`` inside ``LockManager``) do not
-match and are exempt by construction.
+(``self.locks``, ``fs.locks``, a local ``lock_mgr``), the codebase's
+naming convention for :class:`LockManager` instances; the manager's own
+methods (``self.acquire`` inside ``LockManager``) do not match and are
+exempt by construction.  Acquires at module level (outside any function)
+fall back to the PR 1 try/finally check, since they have no function CFG.
 """
 
 from __future__ import annotations
@@ -23,27 +37,14 @@ from typing import Iterable
 
 from repro.analysis.engine import FileRule, ParsedModule
 from repro.analysis.findings import Finding
-
-_ACQUIRE_METHODS = {"acquire", "acquire_pair"}
-_RELEASE_METHODS = {"release", "release_all"}
-
-
-def _lock_receiver(node: ast.expr) -> bool:
-    """True when ``node`` names a lock manager (``locks``, ``self.locks``...)."""
-    if isinstance(node, ast.Name):
-        return "lock" in node.id.lower()
-    if isinstance(node, ast.Attribute):
-        return "lock" in node.attr.lower()
-    return False
-
-
-def _is_lock_call(node: ast.AST, methods: set[str]) -> bool:
-    return (
-        isinstance(node, ast.Call)
-        and isinstance(node.func, ast.Attribute)
-        and node.func.attr in methods
-        and _lock_receiver(node.func.value)
-    )
+from repro.analysis.flow.cfg import build_cfg, function_defs
+from repro.analysis.flow.dataflow import (
+    ACQUIRE_METHODS,
+    RELEASE_METHODS,
+    ReleaseOnAllPathsAnalysis,
+    lock_call,
+    solve,
+)
 
 
 def _contains(nodes: list[ast.stmt], target: ast.AST) -> bool:
@@ -52,31 +53,65 @@ def _contains(nodes: list[ast.stmt], target: ast.AST) -> bool:
 
 class LockReleaseRule(FileRule):
     rule_id = "LOCK-RELEASE"
-    description = "LockManager.acquire must have a release reachable via try/finally on all paths"
+    description = "LockManager.acquire must be followed by a release on every path, exceptional edges included"
 
     def check(self, module: ParsedModule) -> Iterable[Finding]:
-        for node in ast.walk(module.tree):
-            if not _is_lock_call(node, _ACQUIRE_METHODS):
+        seen: set[int] = set()
+        for func in function_defs(module.tree):
+            cfg = build_cfg(func)
+            values = None
+            for node in cfg.nodes:
+                acquires = [
+                    call
+                    for part in node.payload
+                    for call in ast.walk(part)
+                    if lock_call(call, ACQUIRE_METHODS)
+                ]
+                if not acquires:
+                    continue
+                for call in acquires:
+                    seen.add(id(call))
+                    if self._with_managed(module, call):
+                        continue
+                    if values is None:
+                        values = solve(cfg, ReleaseOnAllPathsAnalysis())
+                    # Backward "before" = joined over successors: does every
+                    # path *leaving* this node pass a release?
+                    if values[node.index].before:
+                        continue
+                    yield self.finding(
+                        module,
+                        call,
+                        f"{ast.unparse(call.func)}() is not released on every path out of "
+                        f"{func.name}() (an error unwinding here would leak held locks)",
+                    )
+        # Module-level acquires have no function CFG; keep the syntactic check.
+        for call in ast.walk(module.tree):
+            if id(call) in seen or not lock_call(call, ACQUIRE_METHODS):
                 continue
-            if self._guarded(module, node):
+            if self._with_managed(module, call) or self._try_finally_guarded(module, call):
                 continue
             yield self.finding(
                 module,
-                node,
-                f"{ast.unparse(node.func)}() has no matching release in a finally block "
-                "(an error unwinding here would leak held locks)",
+                call,
+                f"{ast.unparse(call.func)}() at module level has no matching release in a "
+                "finally block (an error unwinding here would leak held locks)",
             )
 
-    def _guarded(self, module: ParsedModule, call: ast.Call) -> bool:
+    @staticmethod
+    def _with_managed(module: ParsedModule, call: ast.Call) -> bool:
+        """``with lock_mgr.acquire(...):`` — __exit__ releases on every path."""
+        parent = module.parent(call)
+        return isinstance(parent, ast.withitem) and parent.context_expr is call
+
+    @staticmethod
+    def _try_finally_guarded(module: ParsedModule, call: ast.Call) -> bool:
         for ancestor in module.ancestors(call):
-            if not isinstance(ancestor, (ast.Try,)):
+            if not isinstance(ancestor, ast.Try):
                 continue
-            # The acquire must be in the protected body — an acquire in a
-            # handler or in the finally itself is not covered by it.
             if not _contains(ancestor.body, call) and not _contains(ancestor.orelse, call):
                 continue
             for stmt in ancestor.finalbody:
-                for inner in ast.walk(stmt):
-                    if _is_lock_call(inner, _RELEASE_METHODS):
-                        return True
+                if any(lock_call(inner, RELEASE_METHODS) for inner in ast.walk(stmt)):
+                    return True
         return False

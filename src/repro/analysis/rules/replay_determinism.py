@@ -1,0 +1,194 @@
+"""REPLAY-DETERMINISM: replay-reachable code must be reproducible.
+
+Constrained-mode recovery (§3.2) re-executes the recorded operations and
+cross-checks every outcome against what the base produced; the strict
+policy aborts on the first mismatch.  That cross-check is only meaningful
+if re-execution is a pure function of the records and the disk image —
+a replay that consults the clock, draws randomness, or iterates a hash
+set in memory-address order can disagree with the base (or with its own
+previous run) without any filesystem being wrong.
+
+The rule computes the call-graph closure of the replay entry points —
+``Replayer``/``ReplayEngine.run`` in ``shadowfs/replay.py``, plus every
+``ShadowFilesystem`` method (constrained replay dispatches operations
+into the shadow through ``FsOp.apply``'s dynamic table, which no static
+call graph resolves) — and flags, inside any reached definition:
+
+* calls into nondeterministic stdlib modules: ``time``, ``random``,
+  ``uuid``, ``secrets``, ``threading``/``_thread``, and ``os.urandom``,
+  whether via module attribute or ``from``-import binding;
+* iteration over an unordered ``set``: a ``set``/``frozenset`` literal or
+  constructor, a local built as one, or an attribute annotated as one.
+  Wrapping the set in ``sorted(...)`` is the sanctioned fix and is not
+  flagged (the iterable is then the ``sorted`` call).
+
+Each finding carries the witness chain from the replay entry point so
+the reviewer can see *why* the definition is replay-relevant.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePosixPath
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.engine import ParsedModule, ProjectRule
+from repro.analysis.findings import Finding
+from repro.analysis.flow.callgraph import CallGraph, render_chain
+from repro.analysis.rules.shadow_reach import graph_for
+
+NONDET_MODULES = frozenset({"time", "random", "uuid", "secrets", "threading", "_thread"})
+_REPLAY_CLASSES = frozenset({"Replayer", "ReplayEngine"})
+_SET_TYPE_NAMES = frozenset({"set", "frozenset", "Set", "MutableSet", "AbstractSet"})
+
+
+def _own_nodes(func: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """The def's own AST, without nested function/class bodies (those are
+    their own call-graph nodes and are scanned when reached)."""
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _nondet_bindings(module: ParsedModule) -> tuple[dict[str, str], set[str]]:
+    """``(module_aliases, from_names)``: names bound in ``module`` that
+    denote nondeterministic modules / their members (incl. os.urandom)."""
+    aliases: dict[str, str] = {}
+    from_names: set[str] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in NONDET_MODULES or root == "os":
+                    aliases[alias.asname or root] = root
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            root = node.module.split(".")[0]
+            for alias in node.names:
+                if root in NONDET_MODULES or (root == "os" and alias.name == "urandom"):
+                    from_names.add(alias.asname or alias.name)
+    return aliases, from_names
+
+
+def _set_typed_attrs(module: ParsedModule) -> set[str]:
+    """Attribute names annotated as sets anywhere in the module
+    (dataclass fields, class-body annotations, ``self.x: set[int]``)."""
+    attrs: set[str] = set()
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.AnnAssign):
+            continue
+        ann = node.annotation
+        if isinstance(ann, ast.Subscript):
+            ann = ann.value
+        name = ann.id if isinstance(ann, ast.Name) else getattr(ann, "attr", "")
+        if name not in _SET_TYPE_NAMES:
+            continue
+        if isinstance(node.target, ast.Name):
+            attrs.add(node.target.id)
+        elif isinstance(node.target, ast.Attribute):
+            attrs.add(node.target.attr)
+    return attrs
+
+
+def _is_set_expr(expr: ast.expr, set_locals: set[str], set_attrs: set[str]) -> bool:
+    if isinstance(expr, ast.Set):
+        return True
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name) and expr.func.id in {"set", "frozenset"}:
+        return True
+    if isinstance(expr, ast.Name):
+        return expr.id in set_locals
+    if isinstance(expr, ast.Attribute):
+        return expr.attr in set_attrs
+    return False
+
+
+class ReplayDeterminismRule(ProjectRule):
+    rule_id = "REPLAY-DETERMINISM"
+    description = "code reachable from shadow replay must not use time/random/uuid/threading or unordered-set iteration"
+
+    def check_project(self, modules: Sequence[ParsedModule]) -> Iterable[Finding]:
+        graph = graph_for(modules)
+        by_path = {module.path: module for module in modules}
+
+        roots = []
+        for key, info in graph.defs.items():
+            if "shadowfs" not in PurePosixPath(info.path).parts:
+                continue
+            first = info.qualname.split(".")[0]
+            if first in _REPLAY_CLASSES:
+                if info.name == "run":
+                    roots.append(key)
+            elif first == "ShadowFilesystem":
+                roots.append(key)
+        parents = graph.reachable(sorted(roots))
+
+        for key in sorted(parents):
+            info = graph.defs[key]
+            module = by_path.get(info.path)
+            if module is None:
+                continue
+            chain = render_chain(graph, graph.chain(parents, key))
+            yield from self._scan(module, info.node, chain)
+
+    def _scan(
+        self, module: ParsedModule, func: ast.FunctionDef | ast.AsyncFunctionDef, chain: str
+    ) -> Iterator[Finding]:
+        aliases, from_names = _nondet_bindings(module)
+        set_attrs = _set_typed_attrs(module)
+        set_locals = {
+            node.targets[0].id
+            for node in _own_nodes(func)
+            if isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and _is_set_expr(node.value, set(), set_attrs)
+        }
+
+        for node in _own_nodes(func):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node, aliases, from_names, chain)
+            iters: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if _is_set_expr(it, set_locals, set_attrs):
+                    yield self.finding(
+                        module,
+                        it,
+                        f"iteration over unordered set {ast.unparse(it)!r} in {func.name}() "
+                        f"(replay-reachable via {chain}); iterate sorted(...) so re-execution "
+                        "is bit-identical",
+                    )
+
+    def _check_call(
+        self,
+        module: ParsedModule,
+        call: ast.Call,
+        aliases: dict[str, str],
+        from_names: set[str],
+        chain: str,
+    ) -> Iterator[Finding]:
+        func = call.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            target = aliases.get(func.value.id)
+            if target in NONDET_MODULES or (target == "os" and func.attr == "urandom"):
+                yield self.finding(
+                    module,
+                    call,
+                    f"call to {ast.unparse(func)}() is nondeterministic "
+                    f"(replay-reachable via {chain}); constrained-mode cross-checks "
+                    "require bit-identical re-execution",
+                )
+        elif isinstance(func, ast.Name) and func.id in from_names:
+            yield self.finding(
+                module,
+                call,
+                f"call to {func.id}() (nondeterministic import) "
+                f"(replay-reachable via {chain}); constrained-mode cross-checks "
+                "require bit-identical re-execution",
+            )

@@ -1,0 +1,136 @@
+"""SHADOW-REACH: shadow/spec purity is transitive over the call graph.
+
+SHADOW-PURITY (PR 1) polices what ``shadowfs/`` modules import and call
+*directly*; nothing stopped shadow or spec code from calling an innocent
+helper that, two hops later, mutates a cache or writes the device.  §3.2
+is transitive by nature — the shadow "keeps no caches and never writes"
+through *any* chain — so this rule checks reachability on the project
+call graph (:mod:`repro.analysis.flow.callgraph`).
+
+Protected code: every definition in a module under ``shadowfs/`` or
+``spec/`` (the spec model and verifier are the trusted oracle; if they
+reach base machinery, cross-checking stops being independent).  Sinks:
+
+* device write paths — ``write_block``/``submit_write``/``flush``
+  definitions in ``blockdev/`` or ``basefs/``;
+* the basefs hook layer (``basefs/hooks.py``) — nothing to inject into;
+* writeback machinery (``basefs/writeback.py``, ``writeback*`` methods);
+* cache mutation — mutating methods of the page/dentry/inode/buffer
+  caches.
+
+A finding is reported at the **escape call site**: the call edge whose
+caller is protected and whose callee (outside ``shadowfs``/``spec``) can
+reach a sink, with the witness chain in the message.  Anchoring at the
+escape edge keeps the finding — and any sanctioned suppression, such as
+the shadow's read-only ``replay_journal(..., apply=False)`` scan — in
+the protected file where a reviewer will look for it.
+"""
+
+from __future__ import annotations
+
+from pathlib import PurePosixPath
+from typing import Iterable, Sequence
+
+from repro.analysis.engine import ParsedModule, ProjectRule
+from repro.analysis.findings import Finding
+from repro.analysis.flow.callgraph import CallGraph, DefInfo, render_chain
+
+PROTECTED_PARTS = frozenset({"shadowfs", "spec"})
+
+_DEVICE_WRITE_NAMES = frozenset({"write_block", "submit_write", "flush"})
+_CACHE_MODULES = frozenset({"page_cache.py", "dentry_cache.py", "inode_cache.py", "cache.py"})
+_CACHE_MUTATORS = frozenset({
+    "insert", "insert_negative", "install", "write", "attach", "detach",
+    "invalidate", "invalidate_dir", "invalidate_ino", "mark_dirty",
+    "mark_clean", "clean", "drop_ino", "drop_all", "evict", "_evict_excess",
+})
+
+# One CallGraph per module set, shared across the flow rules in a run.
+# Keyed by identity of the sequence the engine passes to check_project;
+# holding a strong reference keeps the id stable for the cache lifetime.
+_GRAPH_CACHE: list[tuple[Sequence[ParsedModule], CallGraph]] = []
+
+
+def graph_for(modules: Sequence[ParsedModule]) -> CallGraph:
+    for cached_modules, graph in _GRAPH_CACHE:
+        if cached_modules is modules:
+            return graph
+    graph = CallGraph(modules)
+    _GRAPH_CACHE.append((modules, graph))
+    del _GRAPH_CACHE[:-2]
+    return graph
+
+
+def is_protected(path: str) -> bool:
+    return bool(PROTECTED_PARTS & set(PurePosixPath(path).parts))
+
+
+def sink_reason(info: DefInfo) -> str | None:
+    """Why ``info`` is forbidden territory for shadow/spec code."""
+    parts = set(PurePosixPath(info.path).parts)
+    if not parts & {"blockdev", "basefs"}:
+        return None
+    basename = PurePosixPath(info.path).name
+    if info.name in _DEVICE_WRITE_NAMES:
+        return "a device write path (§3.2: the shadow never writes to disk)"
+    if basename == "hooks.py":
+        return "the basefs hook layer (§2.3: the shadow has no injection hooks)"
+    if basename == "writeback.py" or info.name.startswith("writeback"):
+        return "writeback machinery (§3.2: the shadow has no deferred state)"
+    if basename in _CACHE_MODULES and info.name in _CACHE_MUTATORS:
+        return "cache mutation (§3.2: the shadow is cache-free)"
+    return None
+
+
+class ShadowReachRule(ProjectRule):
+    rule_id = "SHADOW-REACH"
+    description = "shadowfs/spec code must not reach caches, device writes, hooks, or writeback through any call chain"
+
+    def check_project(self, modules: Sequence[ParsedModule]) -> Iterable[Finding]:
+        graph = graph_for(modules)
+        by_path = {module.path: module for module in modules}
+
+        sinks = {key: reason for key, info in graph.defs.items() if (reason := sink_reason(info))}
+        if not sinks:
+            return
+
+        # Which defs can reach a sink: BFS over reversed edges from sinks.
+        reverse: dict[str, set[str]] = {}
+        for caller, callees in graph.edges.items():
+            for callee in callees:
+                reverse.setdefault(callee, set()).add(caller)
+        tainted: set[str] = set(sinks)
+        queue = sorted(sinks)
+        while queue:
+            current = queue.pop(0)
+            for caller in sorted(reverse.get(current, ())):
+                if caller not in tainted:
+                    tainted.add(caller)
+                    queue.append(caller)
+
+        for caller in sorted(graph.edges):
+            info = graph.defs[caller]
+            if not is_protected(info.path):
+                continue
+            module = by_path.get(info.path)
+            if module is None:
+                continue
+            for callee in sorted(graph.edges[caller]):
+                target = graph.defs[callee]
+                if is_protected(target.path) or callee not in tainted:
+                    continue
+                site = graph.call_sites[(caller, callee)]
+                chain, reason = self._witness(graph, callee, sinks)
+                yield self.finding(
+                    module,
+                    site,
+                    f"{info.qualname}() escapes the shadow/spec boundary: "
+                    f"{render_chain(graph, [caller, *chain])} reaches {reason}",
+                )
+
+    @staticmethod
+    def _witness(graph: CallGraph, start: str, sinks: dict[str, str]) -> tuple[list[str], str]:
+        """Deterministic shortest witness chain from ``start`` to a sink."""
+        parents = graph.reachable([start])
+        target = min(key for key in parents if key in sinks)
+        return graph.chain(parents, target), sinks[target]

@@ -123,7 +123,10 @@ class BaseFilesystem(FilesystemAPI):
 
         sb.mount_state = STATE_DIRTY
         sb.mount_count += 1
-        device.write_block(0, sb.pack())
+        # The mount stamp is deliberately outside the journal: flipping the
+        # superblock to DIRTY is what makes the journal authoritative in the
+        # first place, and replay is idempotent with respect to it.
+        device.write_block(0, sb.pack())  # raelint: disable=JOURNAL-BEFORE-WRITE
         device.flush()
         self.sb = sb
 
@@ -677,7 +680,11 @@ class BaseFilesystem(FilesystemAPI):
                 if charge:
                     self._reserved_pages.discard((page.ino, page.logical))
                 self._map_block(slot, page.logical, physical, charge_reservation=True)
-            self.blkmq.submit_write(physical, bytes(page.data))
+            # Ordered mode: data pages are written *before* the metadata
+            # commit on purpose, so the journaled metadata never references
+            # unwritten data.  Data blocks are not journal-covered (§JBD2
+            # ordered); the commit that follows in phase 4 seals them.
+            self.blkmq.submit_write(physical, bytes(page.data))  # raelint: disable=JOURNAL-BEFORE-WRITE
             self.hooks.fire("blkmq.submit", op="write", block=physical)
             self.stats.data_writes += 1
             self.page_cache.mark_clean(page.ino, page.logical)

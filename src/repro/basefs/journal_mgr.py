@@ -132,9 +132,11 @@ class JournalManager:
         self.stats.commits += 1
 
         # Home writes: the journaled copy is durable, so the home locations
-        # may now be updated in any order.
+        # may now be updated in any order.  The append loop above ran at
+        # least once (`if not txn: return` guards the empty case), but that
+        # loop bound is invisible to the intraprocedural must-analysis.
         for block in blocks:
-            cache.writeback(block)
+            cache.writeback(block)  # raelint: disable=JOURNAL-BEFORE-WRITE
         self.device.flush()
         # The journal region is reclaimed lazily: the next commit that does
         # not fit triggers a reset, which is safe because home writes always

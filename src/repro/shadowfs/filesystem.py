@@ -124,7 +124,10 @@ class ShadowFilesystem(FilesystemAPI):
         if sb.mount_state == STATE_DIRTY:
             # The image was in use; absorb its committed journal into the
             # overlay (the shadow cannot write, so replay is virtual).
-            for txn in replay_journal(self.device, self.layout, apply=False):
+            # replay_journal *can* write (apply=True at base mount), but the
+            # shadow calls it apply=False — a read-only scan; and the device
+            # here is the WriteFencedDevice, which raises on any write.
+            for txn in replay_journal(self.device, self.layout, apply=False):  # raelint: disable=SHADOW-REACH
                 for block, data in txn.writes.items():
                     self.overlay.write(block, data, role="replay")
             sb = Superblock.unpack(self._read_block(0))

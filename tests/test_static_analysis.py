@@ -441,10 +441,46 @@ class TestCli:
         assert raelint_main([str(root), "--write-baseline", "--baseline", str(baseline)]) == 0
         assert raelint_main([str(root), "--fail-on-findings", "--baseline", str(baseline)]) == 0
 
+    def test_update_baseline_drops_stale_entries(self, tmp_path, capsys):
+        bad = "try:\n    f()\nexcept Exception:\n    pass\n"
+        root = write_tree(tmp_path, {"bad.py": bad, "worse.py": bad})
+        baseline = tmp_path / "baseline.json"
+        assert raelint_main([str(root), "--write-baseline", "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+
+        # Fix one file; --update-baseline regenerates and reports the delta.
+        (root / "worse.py").write_text("x = 1\n")
+        assert raelint_main([str(root), "--update-baseline", "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "-1 no longer firing" in out
+        assert "+0 new" in out
+        entries = json.loads(baseline.read_text())["findings"]
+        assert [e["path"] for e in entries] == ["bad.py"]
+        assert raelint_main([str(root), "--fail-on-findings", "--baseline", str(baseline)]) == 0
+
+    def test_output_is_sorted_by_path_line_rule(self, tmp_path, capsys):
+        bad = "try:\n    f()\nexcept Exception:\n    pass\n\ntry:\n    g()\nexcept Exception:\n    pass\n"
+        root = write_tree(tmp_path, {"b.py": bad, "a.py": bad})
+        raelint_main([str(root), "--format=json"])
+        payload = json.loads(capsys.readouterr().out)
+        keys = [(f["path"], f["line"], f["rule"]) for f in payload["findings"]]
+        assert keys == sorted(keys)
+        assert len(keys) == 4  # both files, both lines, stable order
+
     def test_list_rules(self, capsys):
         assert raelint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("SHADOW-PURITY", "OPLOG-COVERAGE", "LOCK-RELEASE", "ERRNO-DISCIPLINE", "HOOK-REGISTRY"):
+        for rule_id in (
+            "SHADOW-PURITY",
+            "SHADOW-REACH",
+            "OPLOG-COVERAGE",
+            "LOCK-RELEASE",
+            "LOCK-ORDER",
+            "JOURNAL-BEFORE-WRITE",
+            "REPLAY-DETERMINISM",
+            "ERRNO-DISCIPLINE",
+            "HOOK-REGISTRY",
+        ):
             assert rule_id in out
 
     def test_missing_root_exits_two(self, tmp_path):
