@@ -11,6 +11,9 @@ Any module under a ``shadowfs/`` directory therefore must not
 * import the hook layer or the fault injector — there is nothing to
   inject into (the shadow's robustness budget goes to checks, not
   hooks);
+* import the observability layer (``repro.obs``) — instrumentation
+  means clocks, and clocks in the replay closure break determinism;
+  the supervisor wraps replay with spans from *outside*;
 * call a device write path (``write_block``, ``submit_write``,
   ``flush``), implement durability (``fsync`` calls), or fire hooks.
 
@@ -45,6 +48,9 @@ FORBIDDEN_IMPORTS: dict[str, str] = {
     "repro.basefs.locks": "the shadow is sequential and takes no locks (§3.2)",
     "repro.basefs.hooks": "the shadow has no injection hooks (§2.3)",
     "repro.faults": "the shadow has no injection hooks (§2.3)",
+    "repro.obs": "the shadow is instrumentation-free — clocks and metrics "
+    "break replay determinism (§3.2); the supervisor wraps replay with "
+    "spans from outside",
 }
 
 #: attribute-call name -> why the shadow may not call it

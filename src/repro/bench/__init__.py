@@ -1,11 +1,12 @@
 """Benchmark harness helpers shared by ``benchmarks/``.
 
 Keeps benchmark files declarative: construction of filesystems over
-sized devices, workload execution with timing, and paper-style table
-rendering live here.
+sized devices, workload execution with timing, paper-style table
+rendering, and the ``BENCH_obs.json`` observability emitter live here.
 """
 
 from repro.bench.harness import (
+    emit_obs_section,
     make_base,
     make_device,
     make_rae,
@@ -14,6 +15,7 @@ from repro.bench.harness import (
     time_ops,
 )
 from repro.bench.reporting import format_table, print_banner
+from repro.obs import flush_bench_obs
 
 __all__ = [
     "make_device",
@@ -24,4 +26,6 @@ __all__ = [
     "time_ops",
     "format_table",
     "print_banner",
+    "emit_obs_section",
+    "flush_bench_obs",
 ]

@@ -25,8 +25,24 @@ from __future__ import annotations
 
 import os
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 
 from repro.errors import DeviceError, ShadowWriteAttempt
+
+
+@dataclass
+class DeviceIOStats:
+    """Lifetime IO tallies kept by every concrete device.
+
+    Plain integers bumped inline — no ``repro.obs`` import, so devices
+    stay usable inside the shadow's replay closure; the supervisor's
+    registry *pulls* these at snapshot time.  (:class:`CountingDevice`
+    remains the heavier wrapper that also records block numbers.)
+    """
+
+    reads: int = 0
+    writes: int = 0
+    flushes: int = 0
 
 
 class BlockDevice(ABC):
@@ -46,6 +62,7 @@ class BlockDevice(ABC):
             raise ValueError(f"block_count must be positive, got {block_count}")
         self.block_size = block_size
         self.block_count = block_count
+        self.io_stats = DeviceIOStats()
 
     @property
     def size_bytes(self) -> int:
@@ -103,6 +120,7 @@ class MemoryBlockDevice(BlockDevice):
         if self._closed:
             raise DeviceError("device is closed", block=block)
         self.check_block(block)
+        self.io_stats.reads += 1
         off = block * self.block_size
         return bytes(self._data[off : off + self.block_size])
 
@@ -110,6 +128,7 @@ class MemoryBlockDevice(BlockDevice):
         if self._closed:
             raise DeviceError("device is closed", block=block)
         self._check_write(block, data)
+        self.io_stats.writes += 1
         off = block * self.block_size
         self._data[off : off + self.block_size] = data
         if self._track_durability:
@@ -118,6 +137,7 @@ class MemoryBlockDevice(BlockDevice):
     def flush(self) -> None:
         if self._closed:
             raise DeviceError("device is closed")
+        self.io_stats.flushes += 1
         if self._track_durability:
             assert self._durable is not None
             for block in self._dirty_since_flush:
@@ -180,6 +200,7 @@ class FileBlockDevice(BlockDevice):
         if self._closed:
             raise DeviceError("device is closed", block=block)
         self.check_block(block)
+        self.io_stats.reads += 1
         self._file.seek(block * self.block_size)
         data = self._file.read(self.block_size)
         if len(data) < self.block_size:
@@ -192,12 +213,14 @@ class FileBlockDevice(BlockDevice):
         if self.readonly:
             raise DeviceError(f"write to read-only device {self.path}", block=block)
         self._check_write(block, data)
+        self.io_stats.writes += 1
         self._file.seek(block * self.block_size)
         self._file.write(data)
 
     def flush(self) -> None:
         if self._closed:
             raise DeviceError("device is closed")
+        self.io_stats.flushes += 1
         if not self.readonly:
             self._file.flush()
             os.fsync(self._file.fileno())

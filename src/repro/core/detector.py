@@ -25,6 +25,7 @@ supervisor acts.
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.errors import DeviceError, FsError, InvariantViolation, KernelBug, KernelWarning
@@ -67,11 +68,21 @@ class DetectorStats:
         return sum(self.detections.values())
 
 
+#: Default bound on the detection history ring; cumulative counts live in
+#: :class:`DetectorStats` and are never dropped.
+DEFAULT_HISTORY_LIMIT = 256
+
+
 class Detector:
-    def __init__(self, warn_policy: WarnPolicy = WarnPolicy.RECOVER):
+    def __init__(self, warn_policy: WarnPolicy = WarnPolicy.RECOVER, history_limit: int = DEFAULT_HISTORY_LIMIT):
+        if history_limit <= 0:
+            raise ValueError(f"history_limit must be positive, got {history_limit}")
         self.warn_policy = warn_policy
         self.stats = DetectorStats()
-        self.history: list[DetectedError] = []
+        # Bounded: a supervisor lives for millions of ops, and each
+        # DetectedError pins its exception (and traceback) alive.
+        self.history: deque[DetectedError] = deque(maxlen=history_limit)
+        self.history_limit = history_limit
 
     def classify(self, exc: BaseException, seq: int | None = None, op_name: str | None = None) -> DetectedError:
         """Classify an escaped exception.  ``FsError`` is a caller bug —

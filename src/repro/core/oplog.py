@@ -56,15 +56,35 @@ class OpLogStats:
     max_bytes: int = 0
 
 
+_FD_SLOT_BYTES = 64
+_RECORD_BASE_BYTES = 96
+
+
+def _record_bytes(record: OpRecord) -> int:
+    """Approximate footprint of one record (payloads + fixed overhead)."""
+    total = _RECORD_BASE_BYTES
+    for value in record.op.args.values():
+        if isinstance(value, (bytes, bytearray, str)):
+            total += len(value)
+    value = record.outcome.value
+    if isinstance(value, (bytes, bytearray, str)):
+        total += len(value)
+    elif isinstance(value, list):
+        total += sum(len(str(item)) for item in value)
+    return total
+
+
 @dataclass
 class OpLog:
     entries: list[OpRecord] = field(default_factory=list)
     fd_snapshot: dict[int, FdState] = field(default_factory=dict)
     stats: OpLogStats = field(default_factory=OpLogStats)
+    _entry_bytes: int = 0
 
     def record(self, seq: int, op: FsOp, outcome: OpResult) -> OpRecord:
         record = OpRecord(seq=seq, op=op, outcome=outcome)
         self.entries.append(record)
+        self._entry_bytes += _record_bytes(record)
         self.stats.recorded += 1
         self.stats.max_entries = max(self.stats.max_entries, len(self.entries))
         self.stats.max_bytes = max(self.stats.max_bytes, self.approximate_bytes())
@@ -73,6 +93,7 @@ class OpLog:
     def truncate(self, fd_snapshot: dict[int, FdState]) -> None:
         """Durability point reached: drop entries, refresh the registry."""
         self.entries.clear()
+        self._entry_bytes = 0
         self.fd_snapshot = {fd: st.snapshot() for fd, st in fd_snapshot.items()}
         self.stats.truncations += 1
 
@@ -80,16 +101,18 @@ class OpLog:
         return len(self.entries)
 
     def approximate_bytes(self) -> int:
-        """Rough memory footprint, for the op-log ablation benchmark."""
-        total = 64 * len(self.fd_snapshot)
+        """Rough memory footprint, for the op-log ablation benchmark.
+
+        O(1): a running byte counter is maintained on ``record`` and
+        reset on ``truncate`` — ``record`` calls this per append, so a
+        full rescan here would make the commit window O(n²).
+        """
+        return _FD_SLOT_BYTES * len(self.fd_snapshot) + self._entry_bytes
+
+    def recount_bytes(self) -> int:
+        """Full-rescan footprint — the pre-optimization definition, kept
+        as the oracle for the O(1) counter's regression test."""
+        total = _FD_SLOT_BYTES * len(self.fd_snapshot)
         for record in self.entries:
-            total += 96
-            for value in record.op.args.values():
-                if isinstance(value, (bytes, bytearray, str)):
-                    total += len(value)
-            value = record.outcome.value
-            if isinstance(value, (bytes, bytearray, str)):
-                total += len(value)
-            elif isinstance(value, list):
-                total += sum(len(str(item)) for item in value)
+            total += _record_bytes(record)
         return total

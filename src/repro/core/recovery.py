@@ -18,6 +18,7 @@ file-backed device it runs as a separate OS process via
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.api import FsOp
@@ -46,12 +47,35 @@ class RecoveryStats:
     replay_seconds: list[float] = field(default_factory=list)
     handoff_seconds: list[float] = field(default_factory=list)
     total_seconds: list[float] = field(default_factory=list)
+    failure_phases: list[str] = field(default_factory=list)
 
     def note(self, reboot_s: float, replay_s: float, handoff_s: float) -> None:
         self.reboot_seconds.append(reboot_s)
         self.replay_seconds.append(replay_s)
         self.handoff_seconds.append(handoff_s)
         self.total_seconds.append(reboot_s + replay_s + handoff_s)
+
+    def note_failure(self, phase: str, phase_seconds: dict[str, float]) -> None:
+        """Failed recoveries spend real time too — without this, the
+        per-phase averages only ever see successes and understate the
+        response-time impact §4.3 cares about."""
+        self.failure_phases.append(phase)
+        reboot_s = float(phase_seconds.get("reboot", 0.0))
+        replay_s = float(phase_seconds.get("replay", 0.0))
+        handoff_s = float(phase_seconds.get("handoff", 0.0))
+        self.note(reboot_s, replay_s, handoff_s)
+
+    def mean_seconds(self) -> dict[str, float]:
+        """Mean per-phase timings over every attempt that got timed."""
+        def mean(values: list[float]) -> float:
+            return sum(values) / len(values) if values else 0.0
+
+        return {
+            "reboot": mean(self.reboot_seconds),
+            "replay": mean(self.replay_seconds),
+            "handoff": mean(self.handoff_seconds),
+            "total": mean(self.total_seconds),
+        }
 
 
 @dataclass
@@ -68,6 +92,27 @@ class RecoveryOutcome:
         return self.reboot_seconds + self.replay_seconds + self.handoff_seconds
 
 
+def _span(tracer, name: str, **attrs):
+    """A tracer span, or a no-op context when no tracer was injected.
+
+    The tracer is always passed in from *outside* the replay closure —
+    the shadow itself stays instrumentation-free; these spans time the
+    phases around it.
+    """
+    return tracer.span(name, **attrs) if tracer is not None else nullcontext()
+
+
+def _phase_seconds(t0: float, t1: float | None, t2: float | None, now: float) -> dict[str, float]:
+    """Per-phase durations when the procedure stopped at time ``now``;
+    the phase that raised gets its partial duration, later phases 0."""
+    timings = {"reboot": (t1 if t1 is not None else now) - t0, "replay": 0.0, "handoff": 0.0}
+    if t1 is not None:
+        timings["replay"] = (t2 if t2 is not None else now) - t1
+    if t2 is not None:
+        timings["handoff"] = now - t2
+    return timings
+
+
 def run_recovery(
     old_fs: BaseFilesystem,
     device: BlockDevice,
@@ -76,42 +121,53 @@ def run_recovery(
     check_level: CheckLevel = CheckLevel.FULL,
     strict_crosscheck: bool = True,
     in_process: bool = True,
+    tracer=None,
 ) -> RecoveryOutcome:
     """Execute one recovery.  Raises :class:`RecoveryFailure` if the
-    shadow cannot produce trustworthy state."""
+    shadow cannot produce trustworthy state; the failure carries a
+    ``phase_seconds`` dict so even failed attempts contribute timings."""
     t0 = time.perf_counter()
-    reboot = contained_reboot(old_fs, device)
-    new_fs = reboot.fs
-    t1 = time.perf_counter()
+    t1: float | None = None
+    t2: float | None = None
+    try:
+        with _span(tracer, "recovery.reboot"):
+            reboot = contained_reboot(old_fs, device)
+            new_fs = reboot.fs
+        t1 = time.perf_counter()
 
-    # The preserved data pages stay with the rebooted base (read cache);
-    # they are NOT given to the shadow's replay: a page reflects the state
-    # at crash time, while replay needs the state at each op's position —
-    # the recorded write payloads regenerate that exactly.  (The paper
-    # shares pages because it does not record payloads; see DESIGN.md.)
-    if in_process:
-        shadow = ShadowFilesystem(device, check_level=check_level)
-        engine = ReplayEngine(shadow, strict=strict_crosscheck)
-        update = engine.run(oplog.entries, oplog.fd_snapshot, inflight)
-        report = engine.report
-    else:
-        if not isinstance(device, FileBlockDevice):
-            raise RecoveryFailure(
-                "separate-process shadow requires a file-backed device", phase="shadow-process"
-            )
-        device.flush()
-        update, report = run_shadow_process(
-            device.path,
-            oplog.entries,
-            oplog.fd_snapshot,
-            inflight,
-            check_level=check_level,
-            strict=strict_crosscheck,
-        )
-    t2 = time.perf_counter()
+        # The preserved data pages stay with the rebooted base (read cache);
+        # they are NOT given to the shadow's replay: a page reflects the state
+        # at crash time, while replay needs the state at each op's position —
+        # the recorded write payloads regenerate that exactly.  (The paper
+        # shares pages because it does not record payloads; see DESIGN.md.)
+        with _span(tracer, "recovery.replay", ops=len(oplog.entries), inflight=inflight is not None):
+            if in_process:
+                shadow = ShadowFilesystem(device, check_level=check_level)
+                engine = ReplayEngine(shadow, strict=strict_crosscheck)
+                update = engine.run(oplog.entries, oplog.fd_snapshot, inflight)
+                report = engine.report
+            else:
+                if not isinstance(device, FileBlockDevice):
+                    raise RecoveryFailure(
+                        "separate-process shadow requires a file-backed device", phase="shadow-process"
+                    )
+                device.flush()
+                update, report = run_shadow_process(
+                    device.path,
+                    oplog.entries,
+                    oplog.fd_snapshot,
+                    inflight,
+                    check_level=check_level,
+                    strict=strict_crosscheck,
+                )
+        t2 = time.perf_counter()
 
-    download_metadata(new_fs, update)
-    t3 = time.perf_counter()
+        with _span(tracer, "recovery.handoff"):
+            download_metadata(new_fs, update)
+        t3 = time.perf_counter()
+    except RecoveryFailure as exc:
+        exc.phase_seconds = _phase_seconds(t0, t1, t2, time.perf_counter())
+        raise
 
     return RecoveryOutcome(
         fs=new_fs,

@@ -21,7 +21,8 @@ The availability benchmark compares exactly these two worlds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import asdict, dataclass, field
 
 from repro.api import FilesystemAPI, FsOp, OpenFlags, OpResult, StatResult
 from repro.basefs.filesystem import BaseFilesystem
@@ -32,6 +33,7 @@ from repro.core.detector import DetectedError, Detector, WarnPolicy
 from repro.core.oplog import OpLog
 from repro.core.recovery import RecoveryStats, run_recovery
 from repro.errors import Errno, FsError, RecoveryFailure
+from repro.obs import Registry
 from repro.shadowfs.checks import CheckLevel
 
 
@@ -45,6 +47,13 @@ class RAEConfig:
     shadow_in_process: bool = True
     commit_after_recovery: bool = True
     auto_writeback: bool = True
+    # Observability: per-op latency/errno instruments plus the recovery
+    # span timeline.  Disabled costs one boolean test per operation.
+    metrics: bool = True
+    # Ring-buffer caps for supervisor-lifetime histories (cumulative
+    # counts are kept separately and never dropped).
+    event_history_limit: int = 256
+    detector_history_limit: int = 256
 
 
 @dataclass
@@ -63,7 +72,20 @@ class RAEStats:
     ops: int = 0
     recoveries: int = 0
     recovery: RecoveryStats = field(default_factory=RecoveryStats)
-    events: list[RAEEvent] = field(default_factory=list)
+    # Bounded ring (deque with maxlen); recoveries above keeps the
+    # lifetime total when old events have been evicted.
+    events: deque[RAEEvent] = field(default_factory=deque)
+
+
+def _stats_dict(stats, **extra) -> dict:
+    """A stats dataclass as a flat snapshot dict, plus any derived
+    values (``hit_rate`` properties, caller-supplied extras)."""
+    data = asdict(stats)
+    rate = getattr(stats, "hit_rate", None)
+    if rate is not None:
+        data["hit_rate"] = rate
+    data.update(extra)
+    return data
 
 
 class RAEFilesystem(FilesystemAPI):
@@ -73,6 +95,7 @@ class RAEFilesystem(FilesystemAPI):
         config: RAEConfig | None = None,
         hooks: HookPoints | None = None,
         writeback_policy: WritebackPolicy | None = None,
+        obs: Registry | None = None,
         **base_kwargs,
     ):
         self.device = device
@@ -81,15 +104,23 @@ class RAEFilesystem(FilesystemAPI):
             device, hooks=hooks, writeback_policy=writeback_policy, **base_kwargs
         )
         self.oplog = OpLog()
-        self.detector = Detector(warn_policy=self.config.warn_policy)
-        self.stats = RAEStats()
+        self.detector = Detector(
+            warn_policy=self.config.warn_policy,
+            history_limit=self.config.detector_history_limit,
+        )
+        self.stats = RAEStats(events=deque(maxlen=self.config.event_history_limit))
         self.seq = 0
         self._in_recovery = False
+        self.obs = obs if obs is not None else Registry(enabled=self.config.metrics)
+        # Hot-path guard: a single attribute test keeps the disabled
+        # configuration within the <5% overhead budget.
+        self._obs_on = self.obs.enabled
         # Called with the new base after every contained reboot; the fault
         # injector registers its retarget() here so payload bugs keep
         # pointing at live state.
         self.on_reboot: list = []
         self._wire_base()
+        self._register_collectors()
 
     def _wire_base(self) -> None:
         self.base.on_commit.append(self._on_commit)
@@ -97,6 +128,51 @@ class RAEFilesystem(FilesystemAPI):
     def _on_commit(self, _epoch: int) -> None:
         """Durability point: discard the replayable window (§3.2)."""
         self.oplog.truncate(self.base.fd_table.snapshot())
+
+    def _register_collectors(self) -> None:
+        """Pull-based observability: every subsystem keeps its existing
+        stats dataclass and stays free of ``repro.obs`` imports; the
+        registry reads them on demand at snapshot time.  The lambdas
+        close over ``self`` (not ``self.base``) so a contained reboot's
+        base swap is picked up automatically."""
+        reg = self.obs.register_collector
+        reg("op", lambda: {
+            "total": self.stats.ops,
+            "recoveries": self.stats.recoveries,
+            "window_entries": len(self.oplog),
+            "window_bytes": self.oplog.approximate_bytes(),
+            "since_reboot": sum(self.base.stats.ops.values()),
+        })
+        reg("oplog", lambda: _stats_dict(self.oplog.stats))
+        reg("cache.page", lambda: _stats_dict(self.base.page_cache.stats))
+        reg("cache.inode", lambda: _stats_dict(self.base.inode_cache.stats))
+        reg("cache.dentry", lambda: _stats_dict(self.base.dentry_cache.stats))
+        reg("cache.buffer", lambda: _stats_dict(self.base.cache.stats))
+        reg("journal", lambda: _stats_dict(self.base.journal.stats))
+        reg("writeback", lambda: _stats_dict(
+            self.base.writeback.stats,
+            dirty_pages=self.base.dirty_page_count(),
+            dirty_metadata=self.base.dirty_metadata_count(),
+            commits_total=self.base.stats.commits,
+        ))
+        reg("device", lambda: _stats_dict(self.device.io_stats))
+        reg("blkmq", lambda: _stats_dict(self.base.blkmq.stats, depth=self.base.blkmq.depth))
+        reg("detector", lambda: {
+            "total": self.detector.stats.total,
+            "history_kept": len(self.detector.history),
+            "history_limit": self.detector.history_limit,
+            **{f"kind.{kind}": count
+               for kind, count in sorted(self.detector.stats.detections.items())},
+        })
+        reg("recovery", lambda: {
+            "attempts": self.stats.recovery.attempts,
+            "successes": self.stats.recovery.successes,
+            "failures": self.stats.recovery.failures,
+            "ops_replayed": self.stats.recovery.ops_replayed,
+            "failure_phases": list(self.stats.recovery.failure_phases),
+            **{f"phase.{phase}.mean_seconds": seconds
+               for phase, seconds in self.stats.recovery.mean_seconds().items()},
+        })
 
     # ------------------------------------------------------------------
 
@@ -124,20 +200,39 @@ class RAEFilesystem(FilesystemAPI):
         self.seq += 1
         seq = self.seq
         self.stats.ops += 1
+        obs_on = self._obs_on
+        start = self.obs.clock() if obs_on else 0.0
         try:
             outcome = op.apply(self.base, opseq=seq)
         except Exception as exc:  # raelint: disable=ERRNO-DISCIPLINE — detector boundary: must see UNEXPECTED faults (§2.1)
             detected = self.detector.classify(exc, seq=seq, op_name=name)
             if not self.detector.should_recover(detected):
                 # Ignored WARN: the operation aborted midway; its partial
-                # effects stay (as after a real WARN_ON that taints state).
-                # We surface EIO, the kernel's catch-all for "it broke".
+                # effects stay in base state (as after a real WARN_ON that
+                # taints state) and EIO — the kernel's catch-all for "it
+                # broke" — is surfaced.  The tainted state must not leak
+                # into a later replay window: record the op with its EIO
+                # outcome (replay skips errno records, so the shadow never
+                # re-executes it) and immediately commit, anchoring the
+                # next window *after* the partial effects.  Without this,
+                # a later recovery would replay a window whose recorded
+                # reads saw the partial effects against a disk state that
+                # never had them — a cross-check divergence.
                 outcome = OpResult(errno=Errno.EIO)
+                if op.is_mutation:
+                    self.oplog.record(seq, op, outcome)
+                    self._scrub_commit(seq)
             else:
                 outcome = self._recover(detected, inflight=(seq, op))
         else:
             if op.is_mutation:
                 self.oplog.record(seq, op, outcome)
+
+        if obs_on:
+            self.obs.histogram(f"op.latency.{name}").observe(self.obs.clock() - start)
+            self.obs.counter(f"op.count.{name}").inc()
+            if outcome.errno is not None:
+                self.obs.counter(f"op.errno.{outcome.errno.name}").inc()
 
         if self.config.auto_writeback and not self._in_recovery:
             try:
@@ -151,6 +246,23 @@ class RAEFilesystem(FilesystemAPI):
             raise FsError(outcome.errno, f"{name} failed")
         return outcome.value
 
+    def _scrub_commit(self, seq: int) -> None:
+        """Persist base state right after an ignored WARN.
+
+        The commit truncates the op log and re-snapshots the fd table,
+        so the partial effects become part of the durable baseline that
+        future replays start from instead of un-replayable window
+        history.  If the tainted state makes the commit itself blow up,
+        that error goes through the normal detect-and-recover path — and
+        because the aborted op was recorded first (with its EIO
+        outcome), the replay window is complete."""
+        try:
+            self.base.commit()
+        except Exception as exc:  # raelint: disable=ERRNO-DISCIPLINE — detector boundary: must see UNEXPECTED faults (§2.1)
+            detected = self.detector.classify(exc, seq=seq, op_name="warn-scrub-commit")
+            if self.detector.should_recover(detected):
+                self._recover(detected, inflight=None)
+
     def _recover(self, detected: DetectedError, inflight: tuple[int, FsOp] | None, depth: int = 0) -> OpResult:
         """Run the full recovery procedure; returns the in-flight op's
         outcome (empty success result when there was none).
@@ -160,75 +272,84 @@ class RAEFilesystem(FilesystemAPI):
         state is safely replayable because the in-flight op is recorded
         before the commit is attempted); three consecutive failures give
         up, surfacing RecoveryFailure."""
-        self._in_recovery = True
-        self.stats.recovery.attempts += 1
-        try:
-            outcome = run_recovery(
-                self.base,
-                self.device,
-                self.oplog,
-                inflight,
-                check_level=self.config.check_level,
-                strict_crosscheck=self.config.strict_crosscheck,
-                in_process=self.config.shadow_in_process,
-            )
-        except RecoveryFailure:
-            self.stats.recovery.failures += 1
-            raise
-        finally:
-            self._in_recovery = False
-
-        self.base = outcome.fs
-        self._wire_base()
-        for callback in self.on_reboot:
-            callback(self.base)
-        replayed = outcome.report.constrained_ops + outcome.report.autonomous_ops
-        self.stats.recovery.successes += 1
-        self.stats.recovery.ops_replayed += replayed
-        self.stats.recovery.note(
-            outcome.reboot_seconds, outcome.replay_seconds, outcome.handoff_seconds
-        )
-        self.stats.recoveries += 1
-        self.stats.events.append(
-            RAEEvent(
-                seq=detected.seq,
-                detected=detected.describe(),
-                replayed_ops=replayed,
-                total_seconds=outcome.total_seconds,
-                discrepancies=len(outcome.report.discrepancies),
-            )
-        )
-
-        result = outcome.update.inflight_result
-        delegated_fsync = result is not None and result.value == "fsync-delegated"
-        if (
-            inflight is not None
-            and result is not None
-            and result.errno is None
-            and not delegated_fsync
+        tracer = self.obs.tracer
+        with tracer.span(
+            "recovery", kind=detected.kind.value, seq=detected.seq, nesting=depth
         ):
-            # The in-flight op is now a completed op of the replayable
-            # window.  Record it BEFORE any commit attempt: if that commit
-            # itself fails and triggers a nested recovery, the op's effects
-            # must be reconstructible from the log.
-            self.oplog.record(inflight[0], inflight[1], result)
-
-        if self.config.commit_after_recovery or delegated_fsync:
-            # Persist the recovered state (this truncates the op log via
-            # the on_commit callback) and perform any delegated fsync.
+            self._in_recovery = True
+            self.stats.recovery.attempts += 1
             try:
-                self.base.commit()
-            except Exception as exc:  # raelint: disable=ERRNO-DISCIPLINE — detector boundary: must see UNEXPECTED faults (§2.1)
-                nested = self.detector.classify(exc, op_name="post-recovery-commit")
-                if depth >= 2 or not self.detector.should_recover(nested):
-                    raise RecoveryFailure(
-                        f"post-recovery commit failed: {exc}", phase="post-commit"
-                    ) from exc
-                self._recover(nested, inflight=None, depth=depth + 1)
+                outcome = run_recovery(
+                    self.base,
+                    self.device,
+                    self.oplog,
+                    inflight,
+                    check_level=self.config.check_level,
+                    strict_crosscheck=self.config.strict_crosscheck,
+                    in_process=self.config.shadow_in_process,
+                    tracer=tracer,
+                )
+            except RecoveryFailure as failure:
+                self.stats.recovery.failures += 1
+                self.stats.recovery.note_failure(
+                    failure.phase or "unknown", failure.phase_seconds
+                )
+                raise
+            finally:
+                self._in_recovery = False
 
-        if result is None or delegated_fsync:
-            return OpResult()
-        return result
+            self.base = outcome.fs
+            self._wire_base()
+            for callback in self.on_reboot:
+                callback(self.base)
+            replayed = outcome.report.constrained_ops + outcome.report.autonomous_ops
+            self.stats.recovery.successes += 1
+            self.stats.recovery.ops_replayed += replayed
+            self.stats.recovery.note(
+                outcome.reboot_seconds, outcome.replay_seconds, outcome.handoff_seconds
+            )
+            self.stats.recoveries += 1
+            self.stats.events.append(
+                RAEEvent(
+                    seq=detected.seq,
+                    detected=detected.describe(),
+                    replayed_ops=replayed,
+                    total_seconds=outcome.total_seconds,
+                    discrepancies=len(outcome.report.discrepancies),
+                )
+            )
+
+            result = outcome.update.inflight_result
+            delegated_fsync = result is not None and result.value == "fsync-delegated"
+            if (
+                inflight is not None
+                and result is not None
+                and result.errno is None
+                and not delegated_fsync
+            ):
+                # The in-flight op is now a completed op of the replayable
+                # window.  Record it BEFORE any commit attempt: if that commit
+                # itself fails and triggers a nested recovery, the op's effects
+                # must be reconstructible from the log.
+                self.oplog.record(inflight[0], inflight[1], result)
+
+            if self.config.commit_after_recovery or delegated_fsync:
+                # Persist the recovered state (this truncates the op log via
+                # the on_commit callback) and perform any delegated fsync.
+                with tracer.span("recovery.post-commit"):
+                    try:
+                        self.base.commit()
+                    except Exception as exc:  # raelint: disable=ERRNO-DISCIPLINE — detector boundary: must see UNEXPECTED faults (§2.1)
+                        nested = self.detector.classify(exc, op_name="post-recovery-commit")
+                        if depth >= 2 or not self.detector.should_recover(nested):
+                            raise RecoveryFailure(
+                                f"post-recovery commit failed: {exc}", phase="post-commit"
+                            ) from exc
+                        self._recover(nested, inflight=None, depth=depth + 1)
+
+            if result is None or delegated_fsync:
+                return OpResult()
+            return result
 
     # ==================================================================
     # FilesystemAPI — thin recording wrappers
@@ -302,6 +423,17 @@ class RAEFilesystem(FilesystemAPI):
                 f"  - {event.detected}: replayed {event.replayed_ops} ops in "
                 f"{event.total_seconds * 1000:.1f} ms"
                 + (f", {event.discrepancies} discrepancies" if event.discrepancies else "")
+            )
+        lines.append(
+            f"  history: keeping {len(self.stats.events)}/"
+            f"{self.stats.events.maxlen} recovery events, "
+            f"{len(self.detector.history)}/{self.detector.history_limit} detections "
+            f"(cumulative counts are unbounded)"
+        )
+        if self.stats.recovery.failure_phases:
+            lines.append(
+                "  failed recoveries by phase: "
+                + ", ".join(sorted(set(self.stats.recovery.failure_phases)))
             )
         detections = self.detector.stats.detections
         if detections:

@@ -129,6 +129,9 @@ class RecoveryFailure(Exception):
 
     def __init__(self, message: str = "", phase: str | None = None):
         self.phase = phase
+        # Filled in by run_recovery: how long each phase ran before the
+        # failure, so failed attempts still contribute timings.
+        self.phase_seconds: dict[str, float] = {}
         super().__init__(message or "recovery failure")
 
 

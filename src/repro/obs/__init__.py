@@ -1,0 +1,24 @@
+"""Observability for the RAE stack: metrics, spans, JSON export.
+
+The supervisor owns a :class:`Registry`; everything else is pulled from
+existing per-subsystem stats at snapshot time.  Nothing in the replay
+closure (``repro.shadowfs``, ``repro.spec``) may import this package —
+the shadow stays instrumentation-free (REPLAY-DETERMINISM, §3.2) — and
+SHADOW-PURITY plus a dedicated test enforce that.
+"""
+
+from repro.obs.export import flush_bench_obs, record_section, write_snapshot
+from repro.obs.metrics import Counter, Gauge, Histogram, Registry
+from repro.obs.trace import SpanEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "SpanEvent",
+    "Tracer",
+    "write_snapshot",
+    "record_section",
+    "flush_bench_obs",
+]

@@ -1,0 +1,51 @@
+"""JSON export: registry snapshots and the ``BENCH_obs.json`` artifact.
+
+Two consumers:
+
+* ``python -m repro.tools report --json PATH`` dumps one registry
+  snapshot (see :meth:`repro.obs.metrics.Registry.snapshot` for the
+  schema);
+* the tier-2 benchmark suite accumulates named sections with
+  :func:`record_section` and writes them all with :func:`flush_bench_obs`
+  — CI uploads the resulting ``BENCH_obs.json`` as an artifact, seeding
+  the perf trajectory with real numbers per run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.obs.metrics import Registry
+
+BENCH_OBS_ENV = "BENCH_OBS_PATH"
+BENCH_OBS_DEFAULT = "BENCH_obs.json"
+BENCH_OBS_SCHEMA = 1
+
+_sections: dict[str, dict] = {}
+
+
+def write_snapshot(path: str, registry: Registry, meta: dict | None = None) -> str:
+    """Write one registry snapshot (plus optional metadata) as JSON."""
+    payload = {"meta": meta or {}, "snapshot": registry.snapshot()}
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
+
+
+def record_section(name: str, registry: Registry, extra: dict | None = None) -> None:
+    """Stage one benchmark's observability section for the next flush."""
+    _sections[name] = {"extra": extra or {}, "snapshot": registry.snapshot()}
+
+
+def flush_bench_obs(path: str | None = None) -> str:
+    """Write all staged sections to ``BENCH_obs.json`` (or ``path`` /
+    ``$BENCH_OBS_PATH``) and clear the staging area."""
+    target = path or os.environ.get(BENCH_OBS_ENV) or BENCH_OBS_DEFAULT
+    payload = {"schema": BENCH_OBS_SCHEMA, "sections": dict(sorted(_sections.items()))}
+    with open(target, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    _sections.clear()
+    return target

@@ -1,0 +1,105 @@
+"""Span-based tracing for the recovery timeline.
+
+A :class:`Tracer` keeps a stack of open spans and a bounded deque of
+completed-or-open :class:`SpanEvent` records.  The supervisor opens a
+``recovery`` span around each :meth:`_recover` call and the recovery
+coordinator opens child spans for each phase (reboot → replay →
+handoff), with ``recovery.post-commit`` wrapping the hand-off commit —
+so a nested recovery (a bug during that commit) shows up as a deeper
+``recovery`` span *inside* its parent's ``post-commit``, which is
+exactly the structure ``timeline()`` renders.
+
+Spans are appended on *enter* (end filled in on exit) so a timeline is
+meaningful even if a phase raises: the failing span is present, its
+``error`` attribute names the exception type, and its ``end`` is still
+stamped by the ``finally``.
+
+The tracer never runs inside the shadow: replay is instrumented from
+outside, by the code that calls it (REPLAY-DETERMINISM bans ``time.*``
+in the replay closure).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+Clock = Callable[[], float]
+
+
+@dataclass
+class SpanEvent:
+    """One span: a named, timed, attributed interval at a nesting depth."""
+
+    name: str
+    start: float
+    depth: int
+    end: float | None = None
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float | None:
+        return None if self.end is None else self.end - self.start
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "depth": self.depth,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Tracer:
+    def __init__(self, clock: Clock = time.perf_counter, enabled: bool = True, limit: int = 4096):
+        if limit <= 0:
+            raise ValueError(f"span limit must be positive, got {limit}")
+        self.clock: Clock = clock
+        self.enabled = enabled
+        self.limit = limit
+        self.events: deque[SpanEvent] = deque(maxlen=limit)
+        self._stack: list[SpanEvent] = []
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[SpanEvent | None]:
+        """Open a span for the duration of the ``with`` body.
+
+        Disabled tracers yield ``None`` and record nothing.  If the body
+        raises, the span is kept, stamped with its end time, and tagged
+        ``error=<exception type name>``.
+        """
+        if not self.enabled:
+            yield None
+            return
+        event = SpanEvent(name=name, start=self.clock(), depth=len(self._stack), attrs=attrs)
+        self.events.append(event)
+        self._stack.append(event)
+        try:
+            yield event
+        except BaseException as exc:  # raelint: disable=ERRNO-DISCIPLINE — span bookkeeping only: the exception is re-raised untouched for the detector
+            event.attrs.setdefault("error", type(exc).__name__)
+            raise
+        finally:
+            event.end = self.clock()
+            self._stack.pop()
+
+    def reset(self) -> None:
+        """Drop recorded events (open spans on the stack are kept)."""
+        self.events.clear()
+
+    def timeline(self) -> str:
+        """Indented human-readable rendering of the recorded spans."""
+        lines = []
+        for event in self.events:
+            duration = event.duration
+            timing = f"{duration * 1000:.3f} ms" if duration is not None else "(open)"
+            detail = "".join(
+                f" {key}={value}" for key, value in event.attrs.items() if value is not None
+            )
+            lines.append(f"{'  ' * event.depth}{event.name}  {timing}{detail}")
+        return "\n".join(lines)

@@ -11,7 +11,11 @@ Operates on image files (the :class:`FileBlockDevice` format):
 * ``bugstudy`` — print Table 1 and Figure 1 from the study dataset;
 * ``verify [--depth N]`` — run the bounded-exhaustive shadow-vs-spec
   refinement check;
-* ``trustbase`` — the §4.3 trusted-code-size report.
+* ``trustbase`` — the §4.3 trusted-code-size report;
+* ``report`` (also installed as ``rae-report``) — run a seeded workload
+  with fault injection under the supervisor and print the observability
+  report: metrics snapshot plus the recovery span timeline
+  (docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -177,6 +181,67 @@ def cmd_scrub(args) -> int:
     return 1 if findings else 0
 
 
+def cmd_report(args) -> int:
+    """rae-report: run a seeded workload under the supervisor (with a
+    deterministic injected BUG every ``--fault-every`` directory inserts)
+    and print the full observability report — supervisor summary, metric
+    snapshot, recovery span timeline — optionally exporting JSON."""
+    from repro.basefs.hooks import HookPoints
+    from repro.bench.harness import make_device
+    from repro.core.supervisor import RAEConfig, RAEFilesystem
+    from repro.errors import KernelBug, RecoveryFailure
+    from repro.obs import write_snapshot
+    from repro.workloads import WorkloadGenerator, varmail_profile
+
+    hooks = HookPoints()
+    if args.fault_every > 0:
+        fired = {"count": 0}
+
+        def inject(point, ctx):
+            fired["count"] += 1
+            if fired["count"] % args.fault_every == 0:
+                raise KernelBug(f"injected dir.insert bug #{fired['count']}", bug_id="report-demo")
+
+        hooks.register("dir.insert", inject)
+
+    fs = RAEFilesystem(make_device(16384), RAEConfig(), hooks=hooks)
+    operations = WorkloadGenerator(varmail_profile(), seed=args.seed).ops(args.ops)
+    failed = 0
+    for index, operation in enumerate(operations):
+        try:
+            operation.apply(fs, opseq=index + 1)
+        except RecoveryFailure as exc:
+            print(f"recovery failed at op {index}: {exc}", file=sys.stderr)
+            failed += 1
+            break
+    fs.unmount()
+
+    print(fs.report())
+    snapshot = fs.obs.snapshot()
+    print()
+    print("metrics snapshot")
+    for section in ("counters", "gauges", "collected"):
+        for name, value in snapshot[section].items():
+            if isinstance(value, float):
+                value = f"{value:.6g}"
+            print(f"  {name} = {value}")
+    for name, hist in snapshot["histograms"].items():
+        mean = hist["sum"] / hist["count"] if hist["count"] else 0.0
+        print(
+            f"  {name}: count={hist['count']} mean={mean * 1e6:.1f}us "
+            f"min={(hist['min'] or 0) * 1e6:.1f}us max={(hist['max'] or 0) * 1e6:.1f}us"
+        )
+    timeline = fs.obs.tracer.timeline()
+    if timeline:
+        print()
+        print("recovery timeline")
+        print(timeline)
+    if args.json:
+        path = write_snapshot(args.json, fs.obs, meta={"ops": args.ops, "seed": args.seed})
+        print(f"\nwrote {path}")
+    return 1 if failed else 0
+
+
 def cmd_experiments(args) -> int:
     """Regenerate every paper table/figure and ablation in one command
     (wraps the pytest benchmark suite with output unbuffered)."""
@@ -239,6 +304,18 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--full", action="store_true", help="cross-structure checks too")
     p.set_defaults(func=cmd_scrub)
 
+    p = sub.add_parser("report", help="run a workload under RAE, print the observability report")
+    p.add_argument("--ops", type=int, default=300, help="workload length (default 300)")
+    p.add_argument("--seed", type=int, default=7, help="workload seed (default 7)")
+    p.add_argument(
+        "--fault-every",
+        type=int,
+        default=40,
+        help="inject a KernelBug every Nth directory insert (0 disables; default 40)",
+    )
+    p.add_argument("--json", metavar="PATH", help="also export the snapshot as JSON")
+    p.set_defaults(func=cmd_report)
+
     p = sub.add_parser("experiments", help="regenerate all tables/figures/ablations")
     p.set_defaults(func=cmd_experiments)
 
@@ -248,6 +325,11 @@ def main(argv: list[str] | None = None) -> int:
     except FsError as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
+
+
+def rae_report_main() -> int:
+    """Console-script entry: ``rae-report [args]`` ≡ ``repro.tools report [args]``."""
+    return main(["report", *sys.argv[1:]])
 
 
 if __name__ == "__main__":

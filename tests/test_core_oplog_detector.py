@@ -95,3 +95,67 @@ class TestDetector:
         detector = Detector()
         detected = detector.classify(KernelBug("boom"), seq=42, op_name="mkdir")
         assert "op #42" in detected.describe() and "mkdir" in detected.describe()
+
+
+class TestOpLogByteCounter:
+    """The running byte counter must match the old full scan — and
+    record() must be O(1), never re-walking the entries."""
+
+    def test_counter_matches_full_rescan(self):
+        log = OpLog()
+        for seq in range(1, 200):
+            if seq % 3 == 0:
+                log.record(seq, op("write", fd=3, data=b"y" * (seq % 50)), OpResult(value=seq % 50))
+            elif seq % 3 == 1:
+                log.record(seq, op("mkdir", path=f"/dir{seq}"), OpResult())
+            else:
+                log.record(seq, op("readdir", path="/"), OpResult(value=[f"n{i}" for i in range(seq % 7)]))
+            assert log.approximate_bytes() == log.recount_bytes()
+        fds = {3: FdState(fd=3, ino=7, flags=OpenFlags.NONE, offset=9)}
+        log.truncate(fds)
+        assert log.approximate_bytes() == log.recount_bytes()
+        log.record(1, op("unlink", path="/dir1"), OpResult())
+        assert log.approximate_bytes() == log.recount_bytes()
+
+    def test_record_does_not_iterate_entries(self):
+        class IterationCountingList(list):
+            iterations = 0
+
+            def __iter__(self):
+                IterationCountingList.iterations += 1
+                return super().__iter__()
+
+        log = OpLog()
+        log.entries = IterationCountingList()
+        for seq in range(1, 501):
+            log.record(seq, op("write", fd=3, data=b"z" * 100), OpResult(value=100))
+        # The old implementation re-walked all entries per record (O(n²)
+        # per commit window); the counter must not touch them at all.
+        assert IterationCountingList.iterations == 0
+        assert log.stats.max_bytes == log.recount_bytes()
+
+    def test_large_window_sanity_bound(self):
+        log = OpLog()
+        payload = b"p" * 1000
+        for seq in range(1, 5001):
+            log.record(seq, op("write", fd=1, data=payload), OpResult(value=1000))
+        approx = log.approximate_bytes()
+        assert approx == log.recount_bytes()
+        # 5000 records x (96 overhead + 1000 payload) — the counter must
+        # scale linearly with what was recorded, nothing more.
+        assert approx == 5000 * (96 + 1000)
+
+
+class TestDetectorHistoryRing:
+    def test_history_is_bounded_but_counts_are_not(self):
+        detector = Detector(history_limit=3)
+        for index in range(10):
+            detector.classify(KernelBug(f"b{index}"))
+        assert len(detector.history) == 3
+        assert detector.stats.total == 10
+        # The ring keeps the most recent detections.
+        assert [str(d.exception) for d in detector.history] == ["b7", "b8", "b9"]
+
+    def test_history_limit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Detector(history_limit=0)

@@ -201,3 +201,148 @@ class TestValidateOnSync:
         assert rae.recovery_count >= 1
         rae.close(fd)
         assert rae.stat("/a").size % 4096 == 0  # recovered, sane again
+
+
+class TestIgnoredWarnScrub:
+    """Regression: an ignored WARN leaves partial effects in base state.
+    The supervisor must record the aborted op (EIO outcome) and commit at
+    the WARN point, so a later recovery's replay window starts *after*
+    the tainted state instead of silently missing it."""
+
+    def arm_page_warn(self, hooks):
+        armed = {"on": False}
+
+        def warn(point, ctx):
+            if armed["on"] and ctx.get("logical") == 1:
+                raise KernelWarning("WARN_ON mid write", bug_id="warn-midwrite")
+
+        hooks.register("page.write", warn)
+        return armed
+
+    def test_ignored_warn_then_bug_state_matches_base_view(self, device, hooks):
+        armed = self.arm_page_warn(hooks)
+        crash_on_name(hooks, "boom")
+        rae = RAEFilesystem(device, RAEConfig(warn_policy=WarnPolicy.IGNORE), hooks=hooks)
+        fd = rae.open("/f", OpenFlags.CREAT)
+        rae.write(fd, b"a" * 8192)
+        rae.fsync(fd)
+        rae.lseek(fd, 0, 0)
+
+        armed["on"] = True
+        with pytest.raises(FsError) as e:
+            rae.write(fd, b"b" * 8192)  # aborts midway: pages tainted
+        assert e.value.errno == Errno.EIO
+        armed["on"] = False
+        assert rae.recovery_count == 0
+
+        view = rae.read(fd, 8192)  # the application's view of the tainted state
+        rae.lseek(fd, 0, 0)
+
+        rae.mkdir("/boom")  # BUG mid-window -> full recovery, replaying the reads
+        assert rae.recovery_count == 1
+        assert rae.read(fd, 8192) == view  # post-recovery state matches the view
+        rae.close(fd)
+        rae.unmount()
+
+        from repro.basefs.filesystem import BaseFilesystem
+
+        base = BaseFilesystem(device)  # fresh mount: the view is durable too
+        fd2 = base.open("/f", OpenFlags.NONE)
+        assert base.read(fd2, 8192) == view
+        base.unmount()
+
+    def test_ignored_warn_commits_and_anchors_window(self, device, hooks):
+        armed = self.arm_page_warn(hooks)
+        rae = RAEFilesystem(device, RAEConfig(warn_policy=WarnPolicy.IGNORE), hooks=hooks)
+        fd = rae.open("/f", OpenFlags.CREAT)
+        rae.write(fd, b"a" * 8192)
+        rae.lseek(fd, 0, 0)
+        commits = rae.base.stats.commits
+        recorded = rae.oplog.stats.recorded
+
+        armed["on"] = True
+        with pytest.raises(FsError):
+            rae.write(fd, b"b" * 8192)
+        armed["on"] = False
+
+        # The aborted op was recorded (EIO outcome), then the scrub commit
+        # re-anchored the window after the partial effects.
+        assert rae.oplog.stats.recorded == recorded + 1
+        assert rae.base.stats.commits == commits + 1
+        assert len(rae.oplog) == 0
+        rae.close(fd)
+
+
+class TestRecoveryFailureTimings:
+    """Regression: failed recoveries used to contribute attempts but no
+    timings, skewing the §4.3 per-phase averages toward successes."""
+
+    def test_note_failure_records_phase_and_partials(self):
+        from repro.core.recovery import RecoveryStats
+
+        stats = RecoveryStats()
+        stats.note_failure("replay", {"reboot": 0.25, "replay": 0.5})
+        assert stats.failure_phases == ["replay"]
+        assert stats.reboot_seconds == [0.25]
+        assert stats.replay_seconds == [0.5]
+        assert stats.handoff_seconds == [0.0]
+        assert stats.total_seconds == [pytest.approx(0.75)]
+        assert stats.mean_seconds()["total"] == pytest.approx(0.75)
+
+    def test_failed_recovery_contributes_timings(self, device, hooks, monkeypatch):
+        crash_on_name(hooks, "evil")
+        rae = RAEFilesystem(device, RAEConfig(), hooks=hooks)
+
+        def failing_run_recovery(*args, **kwargs):
+            exc = RecoveryFailure("shadow died", phase="replay")
+            exc.phase_seconds = {"reboot": 0.01, "replay": 0.02}
+            raise exc
+
+        monkeypatch.setattr("repro.core.supervisor.run_recovery", failing_run_recovery)
+        with pytest.raises(RecoveryFailure):
+            rae.mkdir("/evil-dir")
+        stats = rae.stats.recovery
+        assert stats.attempts == 1
+        assert stats.failures == 1
+        assert stats.successes == 0
+        assert stats.failure_phases == ["replay"]
+        assert stats.reboot_seconds == [0.01]
+        assert stats.replay_seconds == [0.02]
+        assert stats.total_seconds == [pytest.approx(0.03)]
+        assert "failed recoveries by phase: replay" in rae.report()
+
+    def test_genuine_failure_carries_phase_seconds(self, device):
+        """A real cross-check failure: the recorded outcome cannot match
+        replay, and the raised failure carries partial phase timings."""
+        from repro.api import OpResult, op
+        from repro.basefs.filesystem import BaseFilesystem
+        from repro.core.oplog import OpLog
+        from repro.core.recovery import run_recovery
+
+        base = BaseFilesystem(device)
+        log = OpLog()
+        log.truncate(base.fd_table.snapshot())
+        log.record(1, op("readdir", path="/"), OpResult(value=["ghost"]))
+        with pytest.raises(RecoveryFailure) as e:
+            run_recovery(base, device, log, None)
+        assert e.value.phase_seconds["reboot"] > 0
+        assert e.value.phase_seconds["replay"] > 0
+        assert e.value.phase_seconds["handoff"] == 0.0
+
+
+class TestBoundedEventHistory:
+    def test_event_ring_bounded_counts_cumulative(self, device, hooks):
+        crash_on_name(hooks, "evil")
+        rae = RAEFilesystem(device, RAEConfig(event_history_limit=2), hooks=hooks)
+        for index in range(4):
+            rae.mkdir(f"/evil{index}")
+        assert rae.recovery_count == 4  # cumulative count survives eviction
+        assert len(rae.stats.events) == 2
+        assert rae.stats.events.maxlen == 2
+        report = rae.report()
+        assert "keeping 2/2 recovery events" in report
+
+    def test_detector_cap_flows_from_config(self, device, hooks):
+        rae = RAEFilesystem(device, RAEConfig(detector_history_limit=5), hooks=hooks)
+        assert rae.detector.history.maxlen == 5
+        assert "5 detections" in rae.report()
