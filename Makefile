@@ -3,7 +3,9 @@
 PYTHON ?= python
 PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: all install lint lint-json test bench experiments examples verify clean
+.PHONY: all install lint lint-json lint-contracts test bench experiments examples verify clean
+
+CONTRACT_RULES = ERRNO-PARITY,EFFECT-CONTRACT,API-PARITY,STATE-PROTOCOL
 
 # Default flow: static analysis first (fast), then the tier-1 suite.
 all: lint test
@@ -16,6 +18,12 @@ lint:
 
 lint-json:
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.analysis src/repro --fail-on-findings --format=json
+
+# The contract rules alone, with the ratchet check: fails on any finding
+# not in raelint.baseline.json AND on baseline entries that no longer
+# fire (the baseline may only shrink).
+lint-contracts:
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.analysis src/repro --select $(CONTRACT_RULES) --check-baseline --fail-on-findings
 
 test:
 	$(PYTHON) -m pytest tests/

@@ -7,12 +7,21 @@ findings, and — with ``--fail-on-findings`` — exits nonzero when any
 finding is not covered by the baseline.  ``--write-baseline`` accepts
 the current findings as the new ratchet; ``--format=json`` emits a
 machine-readable report for CI.
+
+``--changed-only`` narrows *reporting* to files touched in the working
+tree (``git diff HEAD`` plus untracked files): project rules still
+analyze every module — cross-file invariants need the full set — but
+only findings in changed files are reported, which keeps pre-commit
+runs fast and focused.  ``--select`` narrows the rule set by id, and
+``--check-baseline`` verifies the ratchet: every baseline entry must
+still fire, so the baseline can only shrink, never quietly pad.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
 
@@ -64,7 +73,72 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list the rule set and exit",
     )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="report findings only for files changed in git (diff against "
+        "HEAD plus untracked); project rules still see the whole tree",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULE[,RULE...]",
+        help="run only the named rule ids (comma-separated)",
+    )
+    parser.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help="fail if any baseline entry no longer fires (the ratchet "
+        "must only move down)",
+    )
     return parser
+
+
+def _changed_paths(root: Path) -> set[str] | None:
+    """Root-relative paths of files changed in the enclosing git
+    checkout (tracked changes against HEAD, plus untracked files), or
+    ``None`` when git is unavailable or ``root`` is not in a checkout."""
+    try:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            cwd=root if root.is_dir() else root.parent,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", "HEAD"],
+            cwd=top,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            cwd=top,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return None
+
+    resolved_root = root.resolve()
+    changed: set[str] = set()
+    for line in (diff + untracked).splitlines():
+        if not line.strip() or not line.endswith(".py"):
+            continue
+        candidate = (Path(top) / line).resolve()
+        if resolved_root.is_file():
+            if candidate == resolved_root:
+                changed.add(resolved_root.name)  # matches Analyzer._relpath
+            continue
+        try:
+            rel = candidate.relative_to(resolved_root)
+        except ValueError:
+            continue  # changed, but outside the analyzed tree
+        changed.add(rel.as_posix())
+    return changed
 
 
 def _resolve_baseline_path(args: argparse.Namespace, root: Path) -> Path:
@@ -88,14 +162,33 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{rule.rule_id:18} {rule.description}")
         return 0
 
+    if args.select:
+        wanted = {part.strip() for part in args.select.split(",") if part.strip()}
+        known = {rule.rule_id for rule in rules}
+        unknown = sorted(wanted - known)
+        if unknown:
+            print(f"raelint: unknown rule id(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        rules = [rule for rule in rules if rule.rule_id in wanted]
+
     root = Path(args.root)
     if not root.exists():
         print(f"raelint: no such path: {root}", file=sys.stderr)
         return 2
 
+    only_paths: set[str] | None = None
+    if args.changed_only:
+        only_paths = _changed_paths(root)
+        if only_paths is None:
+            print("raelint: --changed-only requires a git checkout", file=sys.stderr)
+            return 2
+        if not only_paths:
+            print("raelint: no changed files under the analyzed root")
+            return 0
+
     baseline_path = _resolve_baseline_path(args, root)
     baseline = Baseline.load(baseline_path)
-    report = Analyzer(root, rules=rules, baseline=baseline).run()
+    report = Analyzer(root, rules=rules, baseline=baseline, only_paths=only_paths).run()
 
     if args.write_baseline or args.update_baseline:
         updated = Baseline.from_findings(report.findings)
@@ -112,6 +205,29 @@ def main(argv: list[str] | None = None) -> int:
             updated.save(baseline_path)
             print(f"raelint: wrote {len(report.findings)} finding(s) to {baseline_path}")
         return 0
+
+    if args.check_baseline:
+        fired = {finding.baseline_key() for finding in report.findings}
+        selected_rules = {rule.rule_id for rule in rules}
+        stale = sorted(
+            entry
+            for entry in baseline.entries
+            # Only judge entries this run could have reproduced: a
+            # --select/--changed-only run must not call out-of-scope
+            # entries stale.
+            if entry[1] in selected_rules
+            and (only_paths is None or entry[0] in only_paths)
+            and entry not in fired
+        )
+        if stale:
+            for path, rule_id, message in stale:
+                print(f"raelint: stale baseline entry: {path} [{rule_id}] {message}")
+            print(
+                f"raelint: {len(stale)} baseline entr"
+                f"{'y' if len(stale) == 1 else 'ies'} no longer fire(s); "
+                f"run --update-baseline to ratchet down"
+            )
+            return 1
 
     if args.format == "json":
         payload = {

@@ -1,0 +1,84 @@
+"""Interprocedural contract inference for raelint.
+
+This subpackage is the static analogue of the paper's constrained-mode
+cross-checking: instead of comparing base and shadow *outcomes* at
+runtime during a recovery, it computes, per function, what each
+implementation *could* do — which :class:`~repro.errors.Errno` values it
+can raise via ``FsError`` and which effects (device writes, journal
+transitions, cache dirtying, lock traffic, fd-table mutation) it can
+have — and compares those summaries against the declared per-op contract
+table in ``spec/contracts.py``.
+
+* :mod:`repro.analysis.contracts.summaries` — bottom-up summaries over
+  the project call graph, iterated to a fixpoint so recursion and call
+  cycles converge.
+* :mod:`repro.analysis.contracts.declared` — extraction of the declared
+  ``OP_CONTRACTS`` table and the base/shadow implementation classes from
+  the analyzed tree (parsed, not imported, so the rules work on fixture
+  trees exactly like OPLOG-COVERAGE does with ``OP_SIGNATURES``).
+
+The consuming rules are ERRNO-PARITY, EFFECT-CONTRACT, API-PARITY, and
+STATE-PROTOCOL in :mod:`repro.analysis.rules`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.contracts.declared import (
+    DeclaredOp,
+    declared_contracts,
+    implementation_classes,
+)
+from repro.analysis.contracts.summaries import (
+    EFFECT_CACHE_DIRTY,
+    EFFECT_DEVICE_FLUSH,
+    EFFECT_DEVICE_WRITE,
+    EFFECT_FD_TABLE,
+    EFFECT_JOURNAL_ABORT,
+    EFFECT_JOURNAL_BEGIN,
+    EFFECT_JOURNAL_COMMIT,
+    EFFECT_LOCK_ACQUIRE,
+    EFFECT_LOCK_RELEASE,
+    EFFECT_NAMES,
+    UNKNOWN_ERRNO,
+    Summary,
+    SummaryEngine,
+)
+from repro.analysis.engine import ParsedModule
+from repro.analysis.rules.shadow_reach import graph_for
+
+# One SummaryEngine per module set, sharing the CallGraph cache keyed the
+# same way (identity of the sequence the engine passes to check_project).
+_ENGINE_CACHE: list[tuple[Sequence[ParsedModule], SummaryEngine]] = []
+
+
+def summaries_for(modules: Sequence[ParsedModule]) -> SummaryEngine:
+    for cached_modules, engine in _ENGINE_CACHE:
+        if cached_modules is modules:
+            return engine
+    engine = SummaryEngine(graph_for(modules))
+    _ENGINE_CACHE.append((modules, engine))
+    del _ENGINE_CACHE[:-2]
+    return engine
+
+
+__all__ = [
+    "DeclaredOp",
+    "Summary",
+    "SummaryEngine",
+    "declared_contracts",
+    "implementation_classes",
+    "summaries_for",
+    "EFFECT_NAMES",
+    "EFFECT_DEVICE_WRITE",
+    "EFFECT_DEVICE_FLUSH",
+    "EFFECT_JOURNAL_BEGIN",
+    "EFFECT_JOURNAL_COMMIT",
+    "EFFECT_JOURNAL_ABORT",
+    "EFFECT_CACHE_DIRTY",
+    "EFFECT_LOCK_ACQUIRE",
+    "EFFECT_LOCK_RELEASE",
+    "EFFECT_FD_TABLE",
+    "UNKNOWN_ERRNO",
+]

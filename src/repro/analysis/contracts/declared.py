@@ -1,0 +1,144 @@
+"""Extraction of the declared contract table and the implementation
+classes from the analyzed tree.
+
+The rules *parse* the table out of ``spec/contracts.py`` rather than
+importing :mod:`repro.spec.contracts`, for the same reason OPLOG-COVERAGE
+parses ``OP_SIGNATURES`` out of ``api.py``: the rules must work on any
+analyzed tree, including the synthetic fixture trees the test suite
+builds under ``tmp_path``.  When no contract table is present in the
+tree, the contract rules are silently not applicable.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import PurePosixPath
+from typing import Sequence
+
+from repro.analysis.engine import ParsedModule
+from repro.analysis.flow.callgraph import CallGraph, ClassInfo
+
+#: The class every filesystem implementation derives from.
+API_CLASS_NAME = "FilesystemAPI"
+
+
+@dataclass(frozen=True)
+class DeclaredOp:
+    """One operation's declared contract.
+
+    ``errnos`` is what the *base* implementation may raise; the shadow
+    may raise ``errnos | shadow_extra`` — ``shadow_extra`` names the
+    sanctioned §3.3 divergences (e.g. the shadow's stubbed ``fsync``).
+    ``effects``/``shadow_effects`` bound each implementation's footprint
+    in the :data:`~repro.analysis.contracts.summaries.EFFECT_NAMES`
+    vocabulary, and ``read_only`` marks ops that must not dirty caches
+    or take locks in the base.
+    """
+
+    name: str
+    line: int
+    errnos: frozenset[str]
+    shadow_extra: frozenset[str]
+    effects: frozenset[str]
+    shadow_effects: frozenset[str]
+    read_only: bool
+
+
+def _contract_module(modules: Sequence[ParsedModule]) -> ParsedModule | None:
+    for module in modules:
+        path = PurePosixPath(module.path)
+        if path.name == "contracts.py" and "spec" in path.parts:
+            return module
+    return None
+
+
+def declared_contracts(
+    modules: Sequence[ParsedModule],
+) -> tuple[ParsedModule, dict[str, DeclaredOp]] | None:
+    """The ``OP_CONTRACTS`` table from ``spec/contracts.py``, or ``None``
+    when the analyzed tree declares no contracts."""
+    module = _contract_module(modules)
+    if module is None:
+        return None
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if "OP_CONTRACTS" not in targets:
+            continue
+        if not isinstance(node.value, ast.Dict):
+            return None
+        contracts: dict[str, DeclaredOp] = {}
+        for key_node, value_node in zip(node.value.keys, node.value.values):
+            try:
+                name = ast.literal_eval(key_node) if key_node is not None else None
+                spec = ast.literal_eval(value_node)
+            except ValueError:
+                return None
+            if not isinstance(name, str) or not isinstance(spec, dict):
+                return None
+            contracts[name] = DeclaredOp(
+                name=name,
+                line=getattr(key_node, "lineno", node.lineno),
+                errnos=frozenset(spec.get("errnos", ())),
+                shadow_extra=frozenset(spec.get("shadow_extra", ())),
+                effects=frozenset(spec.get("effects", ())),
+                shadow_effects=frozenset(spec.get("shadow_effects", ())),
+                read_only=bool(spec.get("read_only", False)),
+            )
+        return module, contracts
+    return None
+
+
+def _derives_from_api(graph: CallGraph, info: ClassInfo) -> bool:
+    """Does ``info`` transitively subclass the API class?  Falls back to
+    base *names* so fixture trees without an ``api.py`` still match."""
+    seen: set[str] = set()
+    stack = [info]
+    while stack:
+        current = stack.pop()
+        if current.key in seen:
+            continue
+        seen.add(current.key)
+        if any(base.split("[")[0].split(".")[-1] == API_CLASS_NAME for base in current.base_names):
+            return True
+        for base_key in current.base_keys:
+            base_info = graph.classes.get(base_key)
+            if base_info is not None:
+                stack.append(base_info)
+    return False
+
+
+def derives_from_api(graph: CallGraph, info: ClassInfo) -> bool:
+    """Public alias: API-PARITY checks every implementation, not just the
+    base/shadow pair."""
+    return _derives_from_api(graph, info)
+
+
+def implementation_classes(graph: CallGraph) -> list[tuple[str, ClassInfo]]:
+    """The filesystem implementations under contract, as ``(role, class)``
+    pairs — role ``"base"`` for classes under ``basefs/`` and
+    ``"shadow"`` for classes under ``shadowfs/``.  Other implementations
+    (the supervisor's recording wrappers, the spec model oracle) are
+    checked by API-PARITY but not by the errno/effect rules."""
+    roles: list[tuple[str, ClassInfo]] = []
+    for key in sorted(graph.classes):
+        info = graph.classes[key]
+        parts = set(PurePosixPath(info.path).parts)
+        if not _derives_from_api(graph, info):
+            continue
+        if "basefs" in parts:
+            roles.append(("base", info))
+        elif "shadowfs" in parts:
+            roles.append(("shadow", info))
+    return roles
+
+
+def api_class(modules: Sequence[ParsedModule]) -> tuple[ParsedModule, ast.ClassDef] | None:
+    """The abstract API class definition, wherever it lives in the tree."""
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and node.name == API_CLASS_NAME:
+                return module, node
+    return None

@@ -1,0 +1,310 @@
+"""Bottom-up interprocedural errno/effect summaries.
+
+For every definition in the project call graph this module computes a
+:class:`Summary`:
+
+* ``errnos`` — the names of the :class:`~repro.errors.Errno` members the
+  function can raise via ``FsError``, directly or through any callee.  A
+  raise whose errno is not a literal ``Errno.X`` (``FsError(err.errno)``)
+  contributes the :data:`UNKNOWN_ERRNO` token instead of a name.
+* ``effects`` — which of the :data:`EFFECT_NAMES` footprints the
+  function can have, directly or through any callee.
+
+Local facts are purely syntactic (the same receiver-naming conventions
+the flow rules already rely on); propagation follows the PR-2 call graph
+and is iterated to a fixpoint, so mutually recursive helpers converge —
+the lattice is finite (subsets of errno names / effect tags) and the
+transfer is monotone union, so termination is guaranteed.
+
+Errno propagation is *masked* at call sites that are lexically inside a
+``try`` body whose handlers catch ``FsError`` (or a broader class): the
+callee may raise, but the caller absorbs it.  A handler that contains a
+bare ``raise`` re-raises what it caught, so it does not mask.  Effects
+are never masked — catching an exception does not undo a device write.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.analysis.flow.callgraph import CallGraph
+
+#: Token for an ``FsError`` raise whose errno is not a literal member.
+UNKNOWN_ERRNO = "?"
+
+EFFECT_DEVICE_WRITE = "device-write"
+EFFECT_DEVICE_FLUSH = "device-flush"
+EFFECT_JOURNAL_BEGIN = "journal-begin"
+EFFECT_JOURNAL_COMMIT = "journal-commit"
+EFFECT_JOURNAL_ABORT = "journal-abort"
+EFFECT_CACHE_DIRTY = "cache-dirty"
+EFFECT_LOCK_ACQUIRE = "lock-acquire"
+EFFECT_LOCK_RELEASE = "lock-release"
+EFFECT_FD_TABLE = "fd-table"
+
+#: The full effect vocabulary; ``spec/contracts.py`` declares footprints
+#: in these terms and the regression tests pin the two in sync.
+EFFECT_NAMES: frozenset[str] = frozenset({
+    EFFECT_DEVICE_WRITE,
+    EFFECT_DEVICE_FLUSH,
+    EFFECT_JOURNAL_BEGIN,
+    EFFECT_JOURNAL_COMMIT,
+    EFFECT_JOURNAL_ABORT,
+    EFFECT_CACHE_DIRTY,
+    EFFECT_LOCK_ACQUIRE,
+    EFFECT_LOCK_RELEASE,
+    EFFECT_FD_TABLE,
+})
+
+_DEVICE_WRITE_METHODS = frozenset({"write_block", "submit_write"})
+_DEVICE_RECEIVERS = frozenset({"device", "dev", "disk", "blkmq"})
+_JOURNAL_METHODS = {
+    "begin": EFFECT_JOURNAL_BEGIN,
+    "commit": EFFECT_JOURNAL_COMMIT,
+    "abort": EFFECT_JOURNAL_ABORT,
+    "append": EFFECT_JOURNAL_COMMIT,
+}
+_LOCK_ACQUIRE_METHODS = frozenset({"acquire", "acquire_pair"})
+_LOCK_RELEASE_METHODS = frozenset({"release", "release_all"})
+_FD_TABLE_RECEIVERS = frozenset({"fd_table", "fds"})
+_FD_TABLE_MUTATORS = frozenset({"allocate", "release", "install", "remove"})
+_MASKING_EXCEPTIONS = frozenset({"FsError", "Exception", "BaseException"})
+
+
+@dataclass(frozen=True)
+class Summary:
+    """What one function can do, transitively."""
+
+    errnos: frozenset[str]
+    effects: frozenset[str]
+
+    def union(self, other: "Summary") -> "Summary":
+        if not other.errnos and not other.effects:
+            return self
+        return Summary(self.errnos | other.errnos, self.effects | other.effects)
+
+
+def _receiver_name(expr: ast.expr) -> str:
+    """The final name component of a call receiver (``self.journal`` →
+    ``journal``; ``device`` → ``device``)."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return ""
+
+
+def _errno_of(expr: ast.expr | None) -> str | None:
+    """``Errno.ENOENT`` → ``"ENOENT"``; anything else → ``None``."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "Errno"
+    ):
+        return expr.attr
+    return None
+
+
+def _is_fs_error_call(expr: ast.expr) -> bool:
+    if not isinstance(expr, ast.Call):
+        return False
+    func = expr.func
+    if isinstance(func, ast.Name):
+        return func.id == "FsError"
+    return isinstance(func, ast.Attribute) and func.attr == "FsError"
+
+
+def _own_statements(func: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Every node in ``func``'s own body, not descending into nested
+    function/class definitions (those carry their own summaries)."""
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _handler_masks(handler: ast.ExceptHandler) -> bool:
+    """Does ``handler`` absorb an ``FsError`` raised in the try body?"""
+    names: list[str] = []
+    if handler.type is None:
+        names.append("BaseException")
+    elif isinstance(handler.type, ast.Tuple):
+        names.extend(_exc_name(e) for e in handler.type.elts)
+    else:
+        names.append(_exc_name(handler.type))
+    if not any(name in _MASKING_EXCEPTIONS for name in names):
+        return False
+    # A bare `raise` inside the handler re-raises the caught FsError.
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise) and node.exc is None:
+            return False
+    return True
+
+
+def _exc_name(expr: ast.expr) -> str:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return ""
+
+
+def masked_calls(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[int]:
+    """``id()`` of every call expression in ``func``'s own body whose
+    ``FsError`` propagation is absorbed by an enclosing handler.
+
+    Only ``try`` *bodies* are guarded: handlers, ``orelse``, and
+    ``finally`` run outside the handlers' protection.
+    """
+    masked: set[int] = set()
+
+    def visit(stmts: list[ast.stmt], guarded: bool) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+                body_guarded = guarded or any(_handler_masks(h) for h in stmt.handlers)
+                visit(stmt.body, body_guarded)
+                for handler in stmt.handlers:
+                    visit(handler.body, guarded)
+                visit(stmt.orelse, guarded)
+                visit(stmt.finalbody, guarded)
+                continue
+            if guarded:
+                # Everything lexically inside a masked try body is
+                # absorbed, including calls in nested compounds.  Extra
+                # ids (nested defs) are harmless: the engine only looks
+                # up calls from the def's own body.
+                for node in ast.walk(stmt):
+                    if isinstance(node, ast.Call):
+                        masked.add(id(node))
+            for field_name in ("body", "orelse", "finalbody"):
+                sub = getattr(stmt, field_name, None)
+                if isinstance(sub, list) and sub and isinstance(sub[0], ast.stmt):
+                    visit(sub, guarded)
+
+    visit(func.body, False)
+    return masked
+
+
+def local_summary(func: ast.FunctionDef | ast.AsyncFunctionDef) -> Summary:
+    """The intraprocedural facts: raises and effects in ``func``'s own
+    body, ignoring callees."""
+    errnos: set[str] = set()
+    effects: set[str] = set()
+    for node in _own_statements(func):
+        if isinstance(node, ast.Raise) and node.exc is not None and _is_fs_error_call(node.exc):
+            call = node.exc
+            arg: ast.expr | None = call.args[0] if call.args else None
+            for kw in call.keywords:
+                if kw.arg == "errno":
+                    arg = kw.value
+            name = _errno_of(arg)
+            errnos.add(name if name is not None else UNKNOWN_ERRNO)
+        elif isinstance(node, ast.Call):
+            effects.update(_call_effects(node))
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Attribute) and target.attr == "dirty":
+                    value = getattr(node, "value", None)
+                    if isinstance(value, ast.Constant) and value.value is True:
+                        effects.add(EFFECT_CACHE_DIRTY)
+    return Summary(frozenset(errnos), frozenset(effects))
+
+
+def _call_effects(call: ast.Call) -> set[str]:
+    effects: set[str] = set()
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        method = func.attr
+        receiver = _receiver_name(func.value)
+        if method in _DEVICE_WRITE_METHODS:
+            effects.add(EFFECT_DEVICE_WRITE)
+        if method == "flush" and receiver in _DEVICE_RECEIVERS:
+            effects.add(EFFECT_DEVICE_FLUSH)
+        if "journal" in receiver.lower() and method in _JOURNAL_METHODS:
+            effects.add(_JOURNAL_METHODS[method])
+        if "lock" in receiver.lower():
+            if method in _LOCK_ACQUIRE_METHODS:
+                effects.add(EFFECT_LOCK_ACQUIRE)
+            elif method in _LOCK_RELEASE_METHODS:
+                effects.add(EFFECT_LOCK_RELEASE)
+        if receiver in _FD_TABLE_RECEIVERS and method in _FD_TABLE_MUTATORS:
+            effects.add(EFFECT_FD_TABLE)
+        if method == "mark_dirty":
+            effects.add(EFFECT_CACHE_DIRTY)
+    for kw in call.keywords:
+        if kw.arg == "dirty" and isinstance(kw.value, ast.Constant) and kw.value.value is True:
+            effects.add(EFFECT_CACHE_DIRTY)
+    return effects
+
+
+class SummaryEngine:
+    """Fixpoint summaries for every def in a :class:`CallGraph`.
+
+    ``summaries[key]`` is the transitive :class:`Summary` for the def
+    with that call-graph key.  Results are deterministic: the worklist is
+    seeded in sorted key order and the lattice values are frozensets, so
+    iteration order cannot leak into the result.
+    """
+
+    def __init__(self, graph: CallGraph):
+        self.graph = graph
+        self._local: dict[str, Summary] = {}
+        # key -> [(masked, callee_keys)] per call site.
+        self._sites: dict[str, list[tuple[bool, tuple[str, ...]]]] = {}
+        callers_of: dict[str, set[str]] = {}
+        for key in sorted(graph.defs):
+            info = graph.defs[key]
+            self._local[key] = local_summary(info.node)
+            masked = masked_calls(info.node)
+            sites = []
+            for call, callees in graph.call_edges(key):
+                sites.append((id(call) in masked, tuple(callees)))
+                for callee in callees:
+                    callers_of.setdefault(callee, set()).add(key)
+            self._sites[key] = sites
+        self.summaries: dict[str, Summary] = dict(self._local)
+        self.iterations = self._fixpoint(callers_of)
+
+    def local(self, key: str) -> Summary:
+        """The intraprocedural summary (no callee propagation) — rules
+        use it to identify the def that *originates* an effect when
+        rendering witness chains."""
+        return self._local[key]
+
+    def _evaluate(self, key: str) -> Summary:
+        value = self._local[key]
+        for masked, callees in self._sites[key]:
+            for callee in callees:
+                callee_summary = self.summaries.get(callee)
+                if callee_summary is None:
+                    continue
+                if masked:
+                    value = value.union(Summary(frozenset(), callee_summary.effects))
+                else:
+                    value = value.union(callee_summary)
+        return value
+
+    def _fixpoint(self, callers_of: dict[str, set[str]]) -> int:
+        worklist = sorted(self._local)
+        queued = set(worklist)
+        iterations = 0
+        while worklist:
+            key = worklist.pop(0)
+            queued.discard(key)
+            iterations += 1
+            updated = self._evaluate(key)
+            if updated != self.summaries[key]:
+                self.summaries[key] = updated
+                for caller in sorted(callers_of.get(key, ())):
+                    if caller not in queued:
+                        worklist.append(caller)
+                        queued.add(caller)
+        return iterations

@@ -58,14 +58,26 @@ class ParsedModule:
         return module
 
     def _index_suppressions(self) -> None:
-        for lineno, text in enumerate(self.source.splitlines(), start=1):
+        lines = self.source.splitlines()
+        for lineno, text in enumerate(lines, start=1):
             match = _SUPPRESS_RE.search(text)
             if not match:
                 continue
             ids = {part.strip() for part in re.split(r"[,\s]", match.group(1)) if part.strip()}
             # A directive can name several ids; trailing prose after an
             # em-dash or '#' is already excluded by the character class.
-            target = lineno + 1 if text.lstrip().startswith("#") else lineno
+            if text.lstrip().startswith("#"):
+                # A comment-only directive governs the next line of *code*:
+                # skip past blank lines and other comments (including further
+                # directives, which stack onto the same code line).
+                target = lineno + 1
+                while target <= len(lines) and (
+                    not lines[target - 1].strip()
+                    or lines[target - 1].lstrip().startswith("#")
+                ):
+                    target += 1
+            else:
+                target = lineno
             self.suppressions.setdefault(target, set()).update(ids)
 
     def suppressed(self, line: int, rule_id: str) -> bool:
@@ -146,12 +158,19 @@ class Analyzer:
         root: str | Path,
         rules: Sequence[Rule] | None = None,
         baseline: Baseline | None = None,
+        only_paths: Iterable[str] | None = None,
     ):
         from repro.analysis.rules import default_rules
 
         self.root = Path(root)
         self.rules = list(rules) if rules is not None else default_rules()
         self.baseline = baseline or Baseline()
+        # Restrict *reporting* to these root-relative paths (None = all).
+        # Project rules still parse and analyze the whole tree — cross-file
+        # invariants are only meaningful over the full module set — but
+        # file rules skip unselected modules and findings outside the
+        # selection are dropped.
+        self.only_paths = set(only_paths) if only_paths is not None else None
 
     def _source_files(self) -> list[Path]:
         if self.root.is_file():
@@ -183,15 +202,19 @@ class Analyzer:
                 )
         return modules, parse_errors
 
+    def _selected(self, path: str) -> bool:
+        return self.only_paths is None or path in self.only_paths
+
     def run(self) -> Report:
         modules, parse_errors = self.parse_all()
-        raw: list[Finding] = list(parse_errors)
+        raw: list[Finding] = [f for f in parse_errors if self._selected(f.path)]
         for rule in self.rules:
             if isinstance(rule, ProjectRule):
-                raw.extend(rule.check_project(modules))
+                raw.extend(f for f in rule.check_project(modules) if self._selected(f.path))
             else:
                 for module in modules:
-                    raw.extend(rule.check(module))
+                    if self._selected(module.path):
+                        raw.extend(rule.check(module))
 
         report = Report(files=len(modules) + len(parse_errors))
         by_module = {module.path: module for module in modules}

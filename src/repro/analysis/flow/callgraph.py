@@ -106,6 +106,7 @@ class CallGraph:
         self._methods_by_name: dict[str, list[str]] = {}
         self._paths = {m.path for m in self.modules}
         self._index()
+        self._bind_imports()
         self._link_bases()
         self._infer_attr_types()
         self._build_edges()
@@ -168,31 +169,44 @@ class CallGraph:
                 if not prefix:
                     scope.setdefault(stmt.name, ("class", key))
                 self._index_body(path, stmt.body, prefix=qualname + ".", class_key=key, scope=scope)
-            elif isinstance(stmt, ast.Import):
-                for alias in stmt.names:
-                    target = self._module_for_dotted(alias.name)
-                    if target is not None:
-                        scope[alias.asname or alias.name.split(".")[0]] = ("module", target)
-            elif isinstance(stmt, ast.ImportFrom):
-                if stmt.module is None:
-                    continue
-                target = self._module_for_dotted(stmt.module)
-                if target is None:
-                    continue
-                for alias in stmt.names:
-                    bound = alias.asname or alias.name
-                    resolved = self._lookup_in_module(target, alias.name)
-                    if resolved is not None:
-                        scope[bound] = resolved
-                    else:
-                        submodule = self._module_for_dotted(f"{stmt.module}.{alias.name}")
-                        if submodule is not None:
-                            scope[bound] = ("module", submodule)
-            elif isinstance(stmt, (ast.If, ast.Try)):
-                # Imports guarded by TYPE_CHECKING / fallbacks still bind.
-                for sub in ast.walk(stmt):
-                    if isinstance(sub, (ast.Import, ast.ImportFrom)):
-                        self._index_body(path, [sub], prefix, class_key, scope)
+            # Imports are bound in a separate pass (_bind_imports) once
+            # every module's defs and classes are indexed; resolving them
+            # here would make the graph depend on module indexing order.
+
+    def _bind_imports(self) -> None:
+        """Pass 1b: bind imports into each module's scope.
+
+        Runs after :meth:`_index` has seen *every* module, so a
+        ``from repro.basefs.vfs import FdTable`` in a module that sorts
+        before ``basefs/vfs.py`` still resolves — resolving during the
+        indexing walk made bindings (and therefore typed edges) depend
+        on the alphabetical indexing order.  Imports anywhere in the
+        file bind the module scope, including ones nested under
+        ``if TYPE_CHECKING:`` or ``try`` fallbacks.
+        """
+        for module in self.modules:
+            scope = self._scope[module.path]
+            for stmt in ast.walk(module.tree):
+                if isinstance(stmt, ast.Import):
+                    for alias in stmt.names:
+                        target = self._module_for_dotted(alias.name)
+                        if target is not None:
+                            scope[alias.asname or alias.name.split(".")[0]] = ("module", target)
+                elif isinstance(stmt, ast.ImportFrom):
+                    if stmt.module is None:
+                        continue
+                    target = self._module_for_dotted(stmt.module)
+                    if target is None:
+                        continue
+                    for alias in stmt.names:
+                        bound = alias.asname or alias.name
+                        resolved = self._lookup_in_module(target, alias.name)
+                        if resolved is not None:
+                            scope[bound] = resolved
+                        else:
+                            submodule = self._module_for_dotted(f"{stmt.module}.{alias.name}")
+                            if submodule is not None:
+                                scope[bound] = ("module", submodule)
 
     def _lookup_in_module(self, path: str, name: str) -> tuple[str, str] | None:
         for kind, store in (("def", self.defs), ("class", self.classes)):
@@ -475,6 +489,26 @@ class CallGraph:
 
     def defs_where(self, predicate: Callable[[DefInfo], bool]) -> list[DefInfo]:
         return [info for info in self.defs.values() if predicate(info)]
+
+    def resolve_method(self, class_key: str, name: str) -> str | None:
+        """Public method lookup through a class and its bases."""
+        return self._method_in_class(class_key, name)
+
+    def call_edges(self, key: str) -> list[tuple[ast.Call, list[str]]]:
+        """Per-call-site resolution for ``key``: every call expression in
+        the def's own body together with the callee keys it resolves to
+        (empty-resolution calls are omitted).  Unlike :attr:`edges`, this
+        keeps call sites distinct, which interprocedural summaries need —
+        the same callee can be reached from differently-guarded sites."""
+        info = self.defs[key]
+        locals_types = self._local_types(info)
+        sites: list[tuple[ast.Call, list[str]]] = []
+        for call in self._own_calls(info.node):
+            callees = self._resolve_call(info, call, locals_types)
+            if callees:
+                sites.append((call, sorted(callees)))
+        sites.sort(key=lambda item: (getattr(item[0], "lineno", 0), getattr(item[0], "col_offset", 0)))
+        return sites
 
     def reachable(self, roots: Iterable[str]) -> dict[str, str | None]:
         """BFS over call edges; returns ``{reached_key: parent_key}``

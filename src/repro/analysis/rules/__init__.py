@@ -7,7 +7,10 @@ docs/STATIC_ANALYSIS.md for the rule-by-rule rationale.
 from __future__ import annotations
 
 from repro.analysis.engine import Rule
+from repro.analysis.rules.api_parity import ApiParityRule
+from repro.analysis.rules.effect_contract import EffectContractRule
 from repro.analysis.rules.errno_discipline import ErrnoDisciplineRule
+from repro.analysis.rules.errno_parity import ErrnoParityRule
 from repro.analysis.rules.hook_registry import HookRegistryRule
 from repro.analysis.rules.journal_before_write import JournalBeforeWriteRule
 from repro.analysis.rules.lock_order import LockOrderRule
@@ -16,6 +19,7 @@ from repro.analysis.rules.oplog_coverage import OplogCoverageRule
 from repro.analysis.rules.replay_determinism import ReplayDeterminismRule
 from repro.analysis.rules.shadow_purity import ShadowPurityRule
 from repro.analysis.rules.shadow_reach import ShadowReachRule
+from repro.analysis.rules.state_protocol import StateProtocolRule
 
 RULE_CLASSES: tuple[type[Rule], ...] = (
     ShadowPurityRule,
@@ -27,6 +31,10 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     ReplayDeterminismRule,
     ErrnoDisciplineRule,
     HookRegistryRule,
+    ErrnoParityRule,
+    EffectContractRule,
+    ApiParityRule,
+    StateProtocolRule,
 )
 
 
@@ -47,4 +55,8 @@ __all__ = [
     "ReplayDeterminismRule",
     "ErrnoDisciplineRule",
     "HookRegistryRule",
+    "ErrnoParityRule",
+    "EffectContractRule",
+    "ApiParityRule",
+    "StateProtocolRule",
 ]

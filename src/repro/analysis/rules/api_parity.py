@@ -1,0 +1,118 @@
+"""API-PARITY: overrides match the abstract API signature exactly.
+
+Four classes implement ``FilesystemAPI`` (base, shadow, the
+supervisor's recording facade, the spec model), and the oplog replays
+recorded calls against whichever one is active.  A drifted override —
+renamed parameter, reordered arguments, changed default — replays
+cleanly against one implementation and breaks (or silently changes
+meaning: a different ``perms`` default) against another, which is
+precisely the divergence the paper's replay machinery cannot tolerate.
+
+The rule compares every override of an ``@abstractmethod`` of
+``FilesystemAPI`` against the abstract signature: parameter names and
+order (positional-only, positional, ``*args``, keyword-only,
+``**kwargs``) and every default value.  Annotations are deliberately
+not compared — they do not affect replay semantics and drift in them is
+visible to a type checker, not a lint rule.
+
+Silent on trees with no ``FilesystemAPI`` class (fixture trees).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Sequence
+
+from repro.analysis.contracts.declared import API_CLASS_NAME, derives_from_api
+from repro.analysis.engine import ParsedModule, ProjectRule
+from repro.analysis.findings import Finding
+from repro.analysis.rules.shadow_reach import graph_for
+
+
+def _is_abstract(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for deco in node.decorator_list:
+        name = deco.attr if isinstance(deco, ast.Attribute) else getattr(deco, "id", "")
+        if name in {"abstractmethod", "abstractproperty"}:
+            return True
+    return False
+
+
+def _signature(node: ast.FunctionDef | ast.AsyncFunctionDef) -> tuple:
+    """The comparable shape of one signature: names, order, defaults.
+
+    Defaults compare by ``ast.dump`` so ``0o755`` and ``493`` are equal
+    (same constant) while ``0o755`` and ``0o644`` are not.
+    """
+    args = node.args
+    return (
+        tuple(a.arg for a in args.posonlyargs),
+        tuple(a.arg for a in args.args),
+        args.vararg.arg if args.vararg else None,
+        tuple(a.arg for a in args.kwonlyargs),
+        args.kwarg.arg if args.kwarg else None,
+        tuple(ast.dump(d) for d in args.defaults),
+        tuple(ast.dump(d) if d is not None else None for d in args.kw_defaults),
+    )
+
+
+def _render(node: ast.FunctionDef | ast.AsyncFunctionDef) -> str:
+    """``(self, path, perms=0o755, opseq=0)`` — names and defaults only."""
+    args = node.args
+    parts: list[str] = []
+    positional = list(args.posonlyargs) + list(args.args)
+    defaults: list[ast.expr | None] = [None] * (len(positional) - len(args.defaults)) + list(args.defaults)
+    for arg, default in zip(positional, defaults):
+        parts.append(arg.arg if default is None else f"{arg.arg}={ast.unparse(default)}")
+    if args.vararg:
+        parts.append(f"*{args.vararg.arg}")
+    elif args.kwonlyargs:
+        parts.append("*")
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        parts.append(arg.arg if default is None else f"{arg.arg}={ast.unparse(default)}")
+    if args.kwarg:
+        parts.append(f"**{args.kwarg.arg}")
+    return "(" + ", ".join(parts) + ")"
+
+
+class ApiParityRule(ProjectRule):
+    rule_id = "API-PARITY"
+    description = "overrides of FilesystemAPI abstract methods must keep its exact parameter names, order, and defaults"
+
+    def check_project(self, modules: Sequence[ParsedModule]) -> Iterable[Finding]:
+        graph = graph_for(modules)
+        by_path = {module.path: module for module in modules}
+
+        api_info = None
+        for key in sorted(graph.classes):
+            if graph.classes[key].qualname.split(".")[-1] == API_CLASS_NAME:
+                api_info = graph.classes[key]
+                break
+        if api_info is None:
+            return
+
+        abstract: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+        for stmt in api_info.node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)) and _is_abstract(stmt):
+                abstract[stmt.name] = stmt
+
+        for key in sorted(graph.classes):
+            info = graph.classes[key]
+            if info is api_info or not derives_from_api(graph, info):
+                continue
+            module = by_path.get(info.path)
+            if module is None:
+                continue
+            for name in sorted(abstract):
+                method_key = info.methods.get(name)
+                if method_key is None:
+                    continue  # not overridden here (inherited is fine)
+                override = graph.defs[method_key].node
+                spec = abstract[name]
+                if _signature(override) != _signature(spec):
+                    yield self.finding(
+                        module,
+                        override,
+                        f"{info.qualname}.{name}{_render(override)} drifts from "
+                        f"{API_CLASS_NAME}.{name}{_render(spec)}: replayed oplog calls "
+                        f"bind differently across implementations",
+                    )

@@ -1,0 +1,119 @@
+"""EFFECT-CONTRACT: implementations stay inside their declared footprint.
+
+The contract table in ``spec/contracts.py`` bounds what each operation
+may *do* — device writes and flushes, journal transitions, cache
+dirtying, lock traffic, fd-table mutation — separately for the base and
+the shadow.  This rule compares those bounds against the transitive
+effect summaries from :mod:`repro.analysis.contracts.summaries`.
+
+Three checks, in decreasing order of severity:
+
+* **Shadow device purity** (unconditional): no shadow operation may
+  reach ``device-write`` or ``device-flush`` through any chain,
+  regardless of what the table says (§3.2 — the shadow never writes).
+  SHADOW-REACH polices named sink *definitions*; this check closes the
+  gap for effects inferred from receiver conventions the sink list does
+  not know about.  The finding carries the witness call chain.
+* **Footprint containment**: every inferred effect of an op must be
+  declared (``effects`` for base, ``shadow_effects`` for shadow).  A new
+  journal transition or lock acquisition inside ``readdir`` is either a
+  bug or a contract amendment — both belong in review.
+* **Read-only discipline**: ops declared ``read_only`` must not dirty
+  caches or acquire locks in the base.  (They may still carry
+  ``device-write``: buffer-cache eviction writes back dirty buffers even
+  on read paths — the table documents that explicitly.)
+
+Silent when the analyzed tree declares no contract table.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.contracts import (
+    EFFECT_CACHE_DIRTY,
+    EFFECT_DEVICE_FLUSH,
+    EFFECT_DEVICE_WRITE,
+    EFFECT_LOCK_ACQUIRE,
+    declared_contracts,
+    implementation_classes,
+    summaries_for,
+)
+from repro.analysis.engine import ParsedModule, ProjectRule
+from repro.analysis.findings import Finding
+from repro.analysis.flow.callgraph import CallGraph, render_chain
+from repro.analysis.rules.shadow_reach import graph_for
+
+_DEVICE_EFFECTS = frozenset({EFFECT_DEVICE_WRITE, EFFECT_DEVICE_FLUSH})
+_READ_ONLY_FORBIDDEN = frozenset({EFFECT_CACHE_DIRTY, EFFECT_LOCK_ACQUIRE})
+
+
+class EffectContractRule(ProjectRule):
+    rule_id = "EFFECT-CONTRACT"
+    description = "base/shadow operations must stay inside the effect footprint declared in spec/contracts.py"
+
+    def check_project(self, modules: Sequence[ParsedModule]) -> Iterable[Finding]:
+        declared = declared_contracts(modules)
+        if declared is None:
+            return
+        _, contracts = declared
+        graph = graph_for(modules)
+        engine = summaries_for(modules)
+        by_path = {module.path: module for module in modules}
+
+        for role, info in implementation_classes(graph):
+            module = by_path.get(info.path)
+            if module is None:
+                continue
+            for op_name in sorted(contracts):
+                contract = contracts[op_name]
+                key = info.methods.get(op_name)
+                if key is None:
+                    continue
+                inferred = engine.summaries[key].effects
+                node = graph.defs[key].node
+
+                if role == "shadow":
+                    for effect in sorted(inferred & _DEVICE_EFFECTS):
+                        yield self.finding(
+                            module,
+                            node,
+                            f"{info.qualname}.{op_name}() reaches {effect} "
+                            f"(§3.2: the shadow never touches the device): "
+                            f"{self._witness(graph, engine, key, effect)}",
+                        )
+
+                allowed = contract.shadow_effects if role == "shadow" else contract.effects
+                # Device effects on the shadow were already reported with
+                # a witness; don't restate them as mere containment.
+                skip = _DEVICE_EFFECTS if role == "shadow" else frozenset()
+                undeclared = sorted(inferred - allowed - skip)
+                if undeclared:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{info.qualname}.{op_name}() has effects not declared for "
+                        f"op '{op_name}': {', '.join(undeclared)} "
+                        f"({role} allows: {', '.join(sorted(allowed)) or 'none'})",
+                    )
+
+                if contract.read_only and role == "base":
+                    for effect in sorted(inferred & _READ_ONLY_FORBIDDEN):
+                        yield self.finding(
+                            module,
+                            node,
+                            f"{info.qualname}.{op_name}() is declared read-only but "
+                            f"reaches {effect}: "
+                            f"{self._witness(graph, engine, key, effect)}",
+                        )
+
+    @staticmethod
+    def _witness(graph: CallGraph, engine, start: str, effect: str) -> str:
+        """Deterministic shortest chain from ``start`` to a def whose own
+        body originates ``effect``."""
+        parents = graph.reachable([start])
+        origins = [key for key in parents if effect in engine.local(key).effects]
+        if not origins:
+            return "(origin inside the operation body itself)"
+        target = min(origins)
+        return render_chain(graph, graph.chain(parents, target))

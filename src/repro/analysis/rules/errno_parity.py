@@ -1,0 +1,82 @@
+"""ERRNO-PARITY: implementations raise only their declared errnos.
+
+The paper's constrained mode (§3.3) cross-checks base and shadow
+*outcomes* — op by op, at runtime, during a recovery.  This rule is the
+static half of that bargain: the interprocedural summary engine
+(:mod:`repro.analysis.contracts.summaries`) computes every ``Errno`` a
+base or shadow operation can raise through any call chain, and compares
+it against the declared contract table in ``spec/contracts.py``.
+
+* a **base** implementation may raise only the op's declared ``errnos``;
+* a **shadow** implementation may raise ``errnos | shadow_extra`` — the
+  ``shadow_extra`` entries are the sanctioned divergences, argued inline
+  in the table (the shadow's stubbed ``fsync``, its raw-block path
+  resolution).  Everything shadow-reachable beyond that set is exactly
+  the class of bug constrained mode would only catch *during a failure*;
+  here it fails the lint run instead.
+
+An ``FsError`` raised with a non-literal errno (``FsError(err.errno)``)
+cannot be checked and is reported as such: the parity argument depends
+on the raise sites being enumerable.
+
+Findings anchor at the operation's ``def`` line in the implementation —
+that is where the undeclared raise is reachable *from*, and where a
+sanctioned suppression belongs.  The rule is silent on trees that
+declare no contract table (fixture trees), like OPLOG-COVERAGE without
+``OP_SIGNATURES``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.contracts import UNKNOWN_ERRNO, declared_contracts, implementation_classes, summaries_for
+from repro.analysis.engine import ParsedModule, ProjectRule
+from repro.analysis.findings import Finding
+from repro.analysis.rules.shadow_reach import graph_for
+
+
+class ErrnoParityRule(ProjectRule):
+    rule_id = "ERRNO-PARITY"
+    description = "base/shadow operations may raise only the errnos declared for them in spec/contracts.py"
+
+    def check_project(self, modules: Sequence[ParsedModule]) -> Iterable[Finding]:
+        declared = declared_contracts(modules)
+        if declared is None:
+            return
+        _, contracts = declared
+        graph = graph_for(modules)
+        engine = summaries_for(modules)
+        by_path = {module.path: module for module in modules}
+
+        for role, info in implementation_classes(graph):
+            module = by_path.get(info.path)
+            if module is None:
+                continue
+            for op_name in sorted(contracts):
+                contract = contracts[op_name]
+                key = info.methods.get(op_name)
+                if key is None:
+                    continue  # inherited or absent; API-PARITY owns presence
+                summary = engine.summaries[key]
+                allowed = contract.errnos
+                if role == "shadow":
+                    allowed = allowed | contract.shadow_extra
+                node = graph.defs[key].node
+                undeclared = sorted(summary.errnos - allowed - {UNKNOWN_ERRNO})
+                if undeclared:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{info.qualname}.{op_name}() can raise "
+                        f"{', '.join('Errno.' + e for e in undeclared)} — not declared for "
+                        f"op '{op_name}' ({role} allows: {', '.join(sorted(allowed)) or 'none'})",
+                    )
+                if UNKNOWN_ERRNO in summary.errnos:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{info.qualname}.{op_name}() reaches an FsError raise whose errno is "
+                        f"not a literal Errno member; parity with the declared contract "
+                        f"cannot be verified",
+                    )

@@ -1,0 +1,254 @@
+"""STATE-PROTOCOL: typestate over the CFG, SquirrelFS-style.
+
+SquirrelFS (SOSP '24) encodes filesystem state machines in the type
+system so an operation that skips a protocol step fails to compile.
+raelint cannot lean on a type checker, but the same two protocols this
+codebase depends on are checkable as dataflow typestate over the PR-2
+CFG (:mod:`repro.analysis.flow.cfg`), whose exceptional edges are
+first-class — so "on all paths" includes the path where a hook-injected
+fault unwinds the frame:
+
+* **Journal transactions**: ``journal.begin()`` must be matched by a
+  ``commit()`` or ``abort()`` on *every* CFG path to the function exit.
+  Forward may-analysis: a begin fact that can reach EXIT means some path
+  — usually the exceptional edge of a statement between begin and commit
+  — leaks an open transaction, which the next mount would replay or
+  discard unpredictably.  ``with journal.begin():`` is exempt: the
+  context manager's ``__exit__`` is the close.
+* **File descriptors**: an fd bound from an ``open()`` call must be
+  closed, or handed off, on *some* path.  Forward must-analysis: a fact
+  that survives to EXIT on every path is an fd that no path closes.
+  Handing the fd off — returning it, yielding it, storing it, aliasing
+  it, passing it to a plain function — ends this function's custody and
+  kills the fact; passing it to method calls (``fs.read(fd, ...)``) is
+  a use, not a hand-off.
+
+Both checks are intraprocedural by design: the protocols are local
+idioms (begin/commit in one function body, open/close in one helper),
+and the paper's recovery machinery depends on them holding locally so
+replay can cut in at any op boundary.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import FileRule, ParsedModule
+from repro.analysis.findings import Finding
+from repro.analysis.flow.cfg import CFG, CFGNode, build_cfg, function_defs
+from repro.analysis.flow.dataflow import GenKillAnalysis, ordered_calls, solve
+
+_JOURNAL_OPEN = frozenset({"begin"})
+_JOURNAL_CLOSE = frozenset({"commit", "abort"})
+_FD_CLOSE = frozenset({"close", "release"})
+
+
+def _receiver_name(expr: ast.expr) -> str:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return ""
+
+
+def _journal_call(call: ast.Call, methods: frozenset[str]) -> bool:
+    return (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr in methods
+        and "journal" in _receiver_name(call.func.value).lower()
+    )
+
+
+class _JournalAnalysis(GenKillAnalysis):
+    """Forward may-analysis: which begin sites can be open here.
+
+    Facts are ``"line:col"`` of the begin call.  ``transfer`` walks the
+    node's calls in source order so ``commit(); begin()`` on one line
+    still ends with an open transaction.
+    """
+
+    may = True
+
+    def __init__(self) -> None:
+        self.begin_nodes: dict[str, int] = {}  # fact -> CFG node index
+        self.begin_calls: dict[str, ast.Call] = {}
+
+    def transfer(self, node: CFGNode, value: frozenset) -> frozenset:
+        if node.kind == "with":
+            # `with journal.begin():` — the context manager closes it.
+            return value
+        for call in ordered_calls(node.payload):
+            if _journal_call(call, _JOURNAL_CLOSE):
+                value = frozenset()
+            if _journal_call(call, _JOURNAL_OPEN):
+                fact = f"{call.lineno}:{call.col_offset}"
+                self.begin_nodes[fact] = node.index
+                self.begin_calls[fact] = call
+                value = value | {fact}
+        return value
+
+
+class _FdAnalysis(GenKillAnalysis):
+    """Forward must-analysis: which opened fds have been neither closed
+    nor handed off on *every* path reaching this point."""
+
+    may = False
+
+    def __init__(self, facts: frozenset[str], gen_at: dict[int, frozenset[str]], kill_at: dict[int, frozenset[str]]):
+        self._facts = facts
+        self._gen = gen_at
+        self._kill = kill_at
+
+    def universe(self) -> frozenset:
+        return self._facts
+
+    def gen(self, node: CFGNode) -> frozenset:
+        return self._gen.get(node.index, frozenset())
+
+    def kill(self, node: CFGNode) -> frozenset:
+        return self._kill.get(node.index, frozenset())
+
+
+def _fd_open_assign(stmt: ast.stmt) -> tuple[str, ast.Call] | None:
+    """``name = <recv>.open(...)`` → ``(name, call)``."""
+    if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+        return None
+    target = stmt.targets[0]
+    if not isinstance(target, ast.Name):
+        return None
+    value = stmt.value
+    if (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Attribute)
+        and value.func.attr == "open"
+    ):
+        return target.id, value
+    return None
+
+
+def _names_outside_calls(node: ast.AST) -> set[str]:
+    """Names in ``node`` excluding call subtrees: in ``x = fs.read(fd)``
+    the ``fd`` is a *use* (argument), not an alias of the result."""
+    names: set[str] = set()
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, ast.Call):
+            continue
+        if isinstance(current, ast.Name):
+            names.add(current.id)
+        stack.extend(ast.iter_child_nodes(current))
+    return names
+
+
+def _fd_releases(node: CFGNode, var: str) -> bool:
+    """Does this node close ``var`` or take over its custody?"""
+    for part in node.payload:
+        for inner in ast.walk(part):
+            if isinstance(inner, ast.Call):
+                func = inner.func
+                arg_names = set()
+                for arg in list(inner.args) + [kw.value for kw in inner.keywords]:
+                    if isinstance(arg, ast.Name):
+                        arg_names.add(arg.id)
+                if var in arg_names:
+                    if isinstance(func, ast.Attribute) and func.attr in _FD_CLOSE:
+                        return True  # fs.close(fd)
+                    if isinstance(func, ast.Name):
+                        return True  # helper(fd): custody handed off
+            elif isinstance(inner, (ast.Return, ast.Yield, ast.YieldFrom)):
+                value = getattr(inner, "value", None)
+                if value is not None and var in _names_outside_calls(value):
+                    return True  # escapes to the caller
+            elif isinstance(inner, ast.Assign):
+                # fd stored or aliased: self._fd = fd / other = fd /
+                # pair = (fd, path).  An fd used inside a call on the
+                # RHS (res = fs.read(fd, ...)) is a use, not a hand-off.
+                if var in _names_outside_calls(inner.value):
+                    return True
+    return False
+
+
+class StateProtocolRule(FileRule):
+    rule_id = "STATE-PROTOCOL"
+    description = "journal begin must commit/abort on every CFG path; opened fds must be closed or handed off on some path"
+
+    def check(self, module: ParsedModule) -> Iterable[Finding]:
+        for func in function_defs(module.tree):
+            yield from self._check_journal(module, func)
+            yield from self._check_fds(module, func)
+
+    # -- journal: begin -> commit | abort on all paths -------------------
+
+    def _check_journal(self, module: ParsedModule, func: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterable[Finding]:
+        if not any(
+            _journal_call(call, _JOURNAL_OPEN)
+            for call in ast.walk(func)
+            if isinstance(call, ast.Call)
+        ):
+            return
+        cfg = build_cfg(func)
+        analysis = _JournalAnalysis()
+        values = solve(cfg, analysis)
+        exit_node = cfg.nodes[cfg.exit]
+        leaked: set[str] = set()
+        for pred in exit_node.pred:
+            for fact in values[pred].after:
+                begin_index = analysis.begin_nodes.get(fact)
+                if begin_index is None:
+                    continue
+                # The begin node's own edge to EXIT models `begin()`
+                # itself raising — no transaction was opened on that
+                # path.  (When begin is the last statement, EXIT is also
+                # its only fall-through successor, so it does count.)
+                if pred == begin_index and len(cfg.nodes[begin_index].succ) > 1:
+                    continue
+                leaked.add(fact)
+        for fact in sorted(leaked, key=lambda f: tuple(int(p) for p in f.split(":"))):
+            call = analysis.begin_calls[fact]
+            yield self.finding(
+                module,
+                call,
+                f"journal transaction begun at line {call.lineno} in {func.name}() can reach "
+                f"the function exit without commit() or abort() — an exceptional or "
+                f"early-return path leaks an open transaction",
+            )
+
+    # -- fds: open -> ... -> close | hand-off on some path ---------------
+
+    def _check_fds(self, module: ParsedModule, func: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterable[Finding]:
+        cfg = build_cfg(func)
+        gen_at: dict[int, frozenset[str]] = {}
+        opens: dict[str, tuple[str, ast.Call]] = {}  # fact -> (var, open call)
+        for node in cfg.nodes:
+            if node.stmt is None or node.kind != "stmt":
+                continue
+            bound = _fd_open_assign(node.stmt)
+            if bound is None:
+                continue
+            var, call = bound
+            fact = f"{var}@{call.lineno}"
+            opens[fact] = (var, call)
+            gen_at[node.index] = frozenset({fact})
+        if not opens:
+            return
+
+        kill_at: dict[int, frozenset[str]] = {}
+        for node in cfg.nodes:
+            killed = frozenset(
+                fact for fact, (var, _) in opens.items() if _fd_releases(node, var)
+            )
+            if killed:
+                kill_at[node.index] = killed
+
+        values = solve(cfg, _FdAnalysis(frozenset(opens), gen_at, kill_at))
+        surviving = values[cfg.exit].before
+        for fact in sorted(surviving, key=lambda f: opens[f][1].lineno):
+            var, call = opens[fact]
+            yield self.finding(
+                module,
+                call,
+                f"fd '{var}' opened at line {call.lineno} in {func.name}() is never closed "
+                f"(and never handed off) on any path to the function exit",
+            )

@@ -1,0 +1,255 @@
+"""The declared per-operation contract table.
+
+Every :class:`~repro.api.FilesystemAPI` operation is assigned the set of
+:class:`~repro.errors.Errno` values its implementations are allowed to
+raise via ``FsError`` and the effect footprint each implementation is
+allowed to have.  raelint's contract rules (ERRNO-PARITY and
+EFFECT-CONTRACT, see ``docs/STATIC_ANALYSIS.md``) compare these
+declarations against *inferred* interprocedural summaries of the actual
+``basefs``/``shadowfs`` code: an implementation that can raise an errno
+or reach an effect not declared here is a finding.  The table is the
+static analogue of the paper's constrained-mode outcome cross-checking
+(§3.3): base and shadow must agree on the observable error surface, and
+every sanctioned divergence is written down, argued, and reviewable.
+
+Conventions:
+
+* ``errnos`` — what the **base** implementation may raise.  The shadow
+  may raise ``errnos | shadow_extra``; ``shadow_extra`` therefore *is*
+  the sanctioned §3.3 divergence list, not a loophole.  Keep it short
+  and keep the argument next to it.
+* ``effects`` / ``shadow_effects`` — the allowed transitive footprint,
+  in raelint's effect vocabulary (``device-write``, ``device-flush``,
+  ``journal-begin``/``journal-commit``/``journal-abort``,
+  ``cache-dirty``, ``lock-acquire``/``lock-release``, ``fd-table``).
+  The shadow may never have ``device-write`` or ``device-flush``
+  regardless of what this table says — that check is unconditional.
+* ``read_only`` — the op must not dirty caches or take locks in the
+  base.  Note that read-only ops may still carry ``device-write``: a
+  metadata *read* can evict a dirty buffer from the buffer cache, whose
+  writeback is a device write (see ``BufferCache._evict_one``), and a
+  data read pumps the block multi-queue, dispatching queued writes.
+  That is writeback piggybacking, not a mutation of the namespace.
+
+The table is a pure literal: raelint extracts it from this file's AST
+(``ast.literal_eval``), so it must stay free of computed values.
+
+This module is also importable at runtime; :func:`contract_for` returns
+typed :class:`OpContract` views, and ``tests/test_spec_contracts.py``
+pins the table against :class:`~repro.errors.Errno` so adding an errno
+without a contract decision fails a test, not a recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import Errno
+
+# Path resolution can surface EINVAL/ELOOP/ENAMETOOLONG/ENOENT/ENOTDIR on
+# any op that takes a path: bad or overlong names, symlink cycles,
+# missing components, non-directories mid-walk.  The table repeats the
+# five inline because it must stay a pure literal (see module docstring).
+OP_CONTRACTS = {
+    "mkdir": {
+        # EFBIG: inserting into a directory that has hit the per-file
+        # block-map limit surfaces the _map_block guard.
+        "errnos": ("EEXIST", "EFBIG", "EINVAL", "ELOOP", "ENAMETOOLONG", "ENOENT", "ENOSPC", "ENOTDIR"),
+        "shadow_extra": (),
+        "effects": ("cache-dirty", "device-write", "lock-acquire", "lock-release"),
+        "shadow_effects": (),
+        "read_only": False,
+    },
+    "rmdir": {
+        "errnos": ("EINVAL", "ELOOP", "ENAMETOOLONG", "ENOENT", "ENOTDIR", "ENOTEMPTY"),
+        # EFBIG: the shadow resolves paths by walking raw directory
+        # blocks through the bounded block map (it has no dentry cache),
+        # so a corrupted directory inode can trip the EFBIG guard during
+        # resolution.  The base's cached lookups never reach it.  During
+        # recovery, failing loudly on a corrupt image is the point.
+        "shadow_extra": ("EFBIG",),
+        "effects": ("cache-dirty", "device-write", "lock-acquire", "lock-release"),
+        "shadow_effects": (),
+        "read_only": False,
+    },
+    "unlink": {
+        "errnos": ("EINVAL", "EISDIR", "ELOOP", "ENAMETOOLONG", "ENOENT", "ENOTDIR"),
+        "shadow_extra": ("EFBIG",),  # raw-block resolution; see rmdir
+        "effects": ("cache-dirty", "device-write", "lock-acquire", "lock-release"),
+        "shadow_effects": (),
+        "read_only": False,
+    },
+    "rename": {
+        "errnos": ("EFBIG", "EINVAL", "EISDIR", "ELOOP", "ENAMETOOLONG", "ENOENT", "ENOSPC", "ENOTDIR", "ENOTEMPTY"),
+        "shadow_extra": (),
+        "effects": ("cache-dirty", "device-write", "lock-acquire", "lock-release"),
+        "shadow_effects": (),
+        "read_only": False,
+    },
+    "link": {
+        # EPERM: hard links to directories are refused.
+        "errnos": ("EEXIST", "EFBIG", "EINVAL", "ELOOP", "ENAMETOOLONG", "ENOENT", "ENOSPC", "ENOTDIR", "EPERM"),
+        "shadow_extra": (),
+        "effects": ("cache-dirty", "device-write", "lock-acquire", "lock-release"),
+        "shadow_effects": (),
+        "read_only": False,
+    },
+    "symlink": {
+        "errnos": ("EEXIST", "EFBIG", "EINVAL", "ELOOP", "ENAMETOOLONG", "ENOENT", "ENOSPC", "ENOTDIR"),
+        "shadow_extra": (),
+        "effects": ("cache-dirty", "device-write", "lock-acquire", "lock-release"),
+        "shadow_effects": (),
+        "read_only": False,
+    },
+    "readlink": {
+        "errnos": ("EINVAL", "ELOOP", "ENAMETOOLONG", "ENOENT", "ENOTDIR"),
+        "shadow_extra": ("EFBIG",),  # raw-block resolution; see rmdir
+        "effects": ("device-write",),  # buffer-cache eviction writeback
+        "shadow_effects": (),
+        "read_only": True,
+    },
+    "readdir": {
+        "errnos": ("EINVAL", "ELOOP", "ENAMETOOLONG", "ENOENT", "ENOTDIR"),
+        "shadow_extra": ("EFBIG",),  # raw-block resolution; see rmdir
+        "effects": ("device-write",),  # buffer-cache eviction writeback
+        "shadow_effects": (),
+        "read_only": True,
+    },
+    "stat": {
+        "errnos": ("EINVAL", "ELOOP", "ENAMETOOLONG", "ENOENT", "ENOTDIR"),
+        "shadow_extra": ("EFBIG",),  # raw-block resolution; see rmdir
+        "effects": ("device-write",),  # buffer-cache eviction writeback
+        "shadow_effects": (),
+        "read_only": True,
+    },
+    "lstat": {
+        "errnos": ("EINVAL", "ELOOP", "ENAMETOOLONG", "ENOENT", "ENOTDIR"),
+        "shadow_extra": ("EFBIG",),  # raw-block resolution; see rmdir
+        "effects": ("device-write",),  # buffer-cache eviction writeback
+        "shadow_effects": (),
+        "read_only": True,
+    },
+    "truncate": {
+        "errnos": ("EFBIG", "EINVAL", "EISDIR", "ELOOP", "ENAMETOOLONG", "ENOENT", "ENOTDIR"),
+        "shadow_extra": (),
+        "effects": ("cache-dirty", "device-flush", "device-write"),
+        "shadow_effects": (),
+        "read_only": False,
+    },
+    "open": {
+        "errnos": ("EEXIST", "EFBIG", "EINVAL", "EISDIR", "ELOOP", "ENAMETOOLONG", "ENOENT", "ENOSPC", "ENOTDIR"),
+        "shadow_extra": (),
+        "effects": ("cache-dirty", "device-flush", "device-write", "fd-table", "lock-acquire", "lock-release"),
+        "shadow_effects": ("fd-table",),
+        "read_only": False,
+    },
+    "close": {
+        "errnos": ("EBADF",),
+        "shadow_extra": (),
+        # Closing the last fd of an orphaned (unlinked-while-open) inode
+        # frees its blocks: bitmap and inode dirtying plus writeback.
+        "effects": ("cache-dirty", "device-write", "fd-table"),
+        "shadow_effects": ("fd-table",),
+        "read_only": False,
+    },
+    "read": {
+        "errnos": ("EBADF", "EINVAL", "EISDIR"),
+        "shadow_extra": ("EFBIG",),  # bounded block-map walk; see rmdir
+        "effects": ("device-flush", "device-write"),  # blkmq pump dispatch
+        "shadow_effects": (),
+        "read_only": True,
+    },
+    "write": {
+        "errnos": ("EBADF", "EFBIG", "EINVAL", "EISDIR", "ENOSPC"),
+        "shadow_extra": (),
+        "effects": ("cache-dirty", "device-flush", "device-write"),
+        "shadow_effects": (),
+        "read_only": False,
+    },
+    "lseek": {
+        "errnos": ("EBADF", "EINVAL"),
+        "shadow_extra": (),
+        "effects": ("device-write",),  # buffer-cache eviction writeback
+        "shadow_effects": (),
+        "read_only": True,
+    },
+    "fsync": {
+        # The base's fsync commits: delayed allocation happens here, so
+        # ENOSPC/EFBIG surface at sync time, not write time.
+        "errnos": ("EBADF", "EFBIG", "ENOSPC"),
+        # EINVAL: §3.3 — the shadow omits the sync family entirely and
+        # rejects fsync; constrained-mode replay skips sync ops, so the
+        # divergence is never observable during recovery.
+        "shadow_extra": ("EINVAL",),
+        "effects": ("cache-dirty", "device-flush", "device-write", "journal-commit"),
+        "shadow_effects": (),
+        "read_only": False,
+    },
+    "fstat_ino": {
+        "errnos": ("EBADF",),
+        "shadow_extra": (),
+        "effects": (),
+        "shadow_effects": (),
+        "read_only": True,
+    },
+}
+
+#: Errnos deliberately assigned to no operation.  The regression test
+#: requires every :class:`Errno` member to appear either in a contract
+#: or here, with the reason recorded.
+UNASSIGNED_ERRNOS = {
+    # Device-level IO failure is modeled as DeviceError and escalates to
+    # the detector/recovery machinery; it is never surfaced to the
+    # application as an FsError in this reproduction.
+    "EIO": "device faults engage RAE, they are not POSIX results",
+    # No read-only remount path exists in the reproduction.
+    "EROFS": "read-only mounts are not modeled",
+}
+
+#: The effect vocabulary this table may use; mirrors
+#: ``repro.analysis.contracts.summaries.EFFECT_NAMES`` (the analyzer
+#: cannot be imported from product code, so the regression test pins the
+#: two tuples against each other).
+EFFECT_NAMES = (
+    "cache-dirty",
+    "device-flush",
+    "device-write",
+    "fd-table",
+    "journal-abort",
+    "journal-begin",
+    "journal-commit",
+    "lock-acquire",
+    "lock-release",
+)
+
+
+@dataclass(frozen=True)
+class OpContract:
+    """A typed view of one operation's declared contract."""
+
+    name: str
+    errnos: frozenset[Errno]
+    shadow_extra: frozenset[Errno]
+    effects: frozenset[str]
+    shadow_effects: frozenset[str]
+    read_only: bool
+
+    @property
+    def shadow_errnos(self) -> frozenset[Errno]:
+        return self.errnos | self.shadow_extra
+
+
+def contract_for(name: str) -> OpContract:
+    spec = OP_CONTRACTS[name]
+    return OpContract(
+        name=name,
+        errnos=frozenset(Errno[e] for e in spec["errnos"]),
+        shadow_extra=frozenset(Errno[e] for e in spec["shadow_extra"]),
+        effects=frozenset(spec["effects"]),
+        shadow_effects=frozenset(spec["shadow_effects"]),
+        read_only=bool(spec["read_only"]),
+    )
+
+
+def all_contracts() -> dict[str, OpContract]:
+    return {name: contract_for(name) for name in OP_CONTRACTS}

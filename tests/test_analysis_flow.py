@@ -8,7 +8,7 @@ import textwrap
 import pytest
 
 from repro.analysis.engine import ParsedModule
-from repro.analysis.flow.callgraph import CallGraph
+from repro.analysis.flow.callgraph import FALLBACK_CAP, CallGraph
 from repro.analysis.flow.cfg import build_cfg, function_defs
 from repro.analysis.flow.dataflow import (
     BACKWARD,
@@ -389,6 +389,111 @@ class TestCallGraph:
         })
         graph = CallGraph(modules)
         assert graph.edges["user.py::f"] == set()
+
+    def test_import_binding_is_independent_of_file_order(self):
+        # Attribute types must resolve even when the importing module
+        # sorts (and so parses) before the module defining the class;
+        # import binding is a second pass over the full module set.
+        modules = parse_modules({
+            "basefs/aaa_user.py": """
+                from basefs.zzz_table.fdtable import FdTable
+
+                class Owner:
+                    def __init__(self):
+                        self.fd_table = FdTable()
+
+                    def grab(self):
+                        self.fd_table.allocate(3)
+            """,
+            "basefs/zzz_table/fdtable.py": """
+                class FdTable:
+                    def allocate(self, ino):
+                        pass
+            """,
+        })
+        graph = CallGraph(modules)
+        assert (
+            "basefs/zzz_table/fdtable.py::FdTable.allocate"
+            in graph.edges["basefs/aaa_user.py::Owner.grab"]
+        )
+
+
+class TestFallbackCap:
+    @staticmethod
+    def _tree_with_candidates(count: int) -> dict[str, str]:
+        files = {
+            f"impl_{index}.py": f"""
+                class Impl{index}:
+                    def spin(self):
+                        pass
+            """
+            for index in range(count)
+        }
+        files["caller.py"] = """
+            def drive(obj):
+                obj.spin()
+        """
+        return files
+
+    def test_at_cap_links_every_candidate(self):
+        graph = CallGraph(parse_modules(self._tree_with_candidates(FALLBACK_CAP)))
+        assert graph.edges["caller.py::drive"] == {
+            f"impl_{index}.py::Impl{index}.spin" for index in range(FALLBACK_CAP)
+        }
+
+    def test_over_cap_links_nothing(self):
+        graph = CallGraph(parse_modules(self._tree_with_candidates(FALLBACK_CAP + 1)))
+        assert graph.edges.get("caller.py::drive", set()) == set()
+
+    def test_single_candidate_links(self):
+        graph = CallGraph(parse_modules(self._tree_with_candidates(1)))
+        assert graph.edges["caller.py::drive"] == {"impl_0.py::Impl0.spin"}
+
+    def test_builtin_method_names_never_fallback_even_with_one_candidate(self):
+        modules = parse_modules({
+            "cachey.py": """
+                class Journal:
+                    def append(self, rec):
+                        pass
+
+                    def insert(self, index, rec):
+                        pass
+            """,
+            "user.py": """
+                def f(items, rec):
+                    items.append(rec)
+                    items.insert(0, rec)
+            """,
+        })
+        graph = CallGraph(modules)
+        assert graph.edges.get("user.py::f", set()) == set()
+
+    def test_witness_chain_through_fallback_edge(self):
+        modules = parse_modules({
+            "impl.py": """
+                class Engine:
+                    def spin(self, device):
+                        device.write_block(0, b"")
+            """,
+            "blockdev/device.py": """
+                class Device:
+                    def write_block(self, block, data):
+                        pass
+            """,
+            "caller.py": """
+                def drive(obj, device):
+                    obj.spin(device)
+            """,
+        })
+        graph = CallGraph(modules)
+        parents = graph.reachable(["caller.py::drive"])
+        target = "blockdev/device.py::Device.write_block"
+        assert target in parents
+        assert graph.chain(parents, target) == [
+            "caller.py::drive",
+            "impl.py::Engine.spin",
+            target,
+        ]
 
 
 # ---------------------------------------------------------------------------

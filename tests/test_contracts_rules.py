@@ -1,0 +1,453 @@
+"""The four contract rules on seeded synthetic trees: each acceptance
+violation is flagged, the clean twin passes, suppression works, and the
+contract-table rules stay silent on trees that declare no contracts."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import analyze_tree
+from repro.analysis.rules import (
+    ApiParityRule,
+    EffectContractRule,
+    ErrnoParityRule,
+    StateProtocolRule,
+)
+
+#: A minimal declared-contract module for fixture trees.
+CONTRACTS = """
+    OP_CONTRACTS = {
+        "unlink": {
+            "errnos": ("ENOENT",),
+            "shadow_extra": (),
+            "effects": ("cache-dirty", "device-write"),
+            "shadow_effects": (),
+            "read_only": False,
+        },
+        "stat": {
+            "errnos": ("ENOENT",),
+            "shadow_extra": ("EFBIG",),
+            "effects": (),
+            "shadow_effects": (),
+            "read_only": True,
+        },
+    }
+"""
+
+
+def write_tree(tmp_path: Path, files: dict[str, str]) -> Path:
+    for relpath, source in files.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+    return tmp_path
+
+
+def rule_ids(report) -> list[str]:
+    return [finding.rule_id for finding in report.findings]
+
+
+# ---------------------------------------------------------------------------
+# ERRNO-PARITY
+
+
+class TestErrnoParity:
+    def test_shadow_raising_undeclared_errno_is_flagged(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "spec/contracts.py": CONTRACTS,
+            "shadowfs/filesystem.py": """
+                class ShadowFilesystem(FilesystemAPI):
+                    def unlink(self, path, opseq=0):
+                        self._deny(path)
+
+                    def _deny(self, path):
+                        raise FsError(Errno.EPERM, path)
+            """,
+        })
+        report = analyze_tree(root, rules=[ErrnoParityRule()])
+        assert rule_ids(report) == ["ERRNO-PARITY"]
+        finding = report.findings[0]
+        assert "Errno.EPERM" in finding.message
+        assert finding.path == "shadowfs/filesystem.py"
+        assert finding.line == 3  # anchored at the op's def
+
+    def test_shadow_extra_is_sanctioned_for_shadow_but_not_base(self, tmp_path):
+        files = {
+            "spec/contracts.py": CONTRACTS,
+            "shadowfs/filesystem.py": """
+                class ShadowFilesystem(FilesystemAPI):
+                    def stat(self, path):
+                        raise FsError(Errno.EFBIG, path)
+            """,
+        }
+        assert rule_ids(analyze_tree(write_tree(tmp_path / "shadow", files), rules=[ErrnoParityRule()])) == []
+
+        base_files = {
+            "spec/contracts.py": CONTRACTS,
+            "basefs/filesystem.py": """
+                class BaseFilesystem(FilesystemAPI):
+                    def stat(self, path):
+                        raise FsError(Errno.EFBIG, path)
+            """,
+        }
+        report = analyze_tree(write_tree(tmp_path / "base", base_files), rules=[ErrnoParityRule()])
+        assert rule_ids(report) == ["ERRNO-PARITY"]
+        assert "Errno.EFBIG" in report.findings[0].message
+
+    def test_masked_callee_errno_is_not_charged_to_the_op(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "spec/contracts.py": CONTRACTS,
+            "basefs/filesystem.py": """
+                class BaseFilesystem(FilesystemAPI):
+                    def unlink(self, path, opseq=0):
+                        try:
+                            self._probe(path)
+                        except FsError:
+                            pass
+                        raise FsError(Errno.ENOENT, path)
+
+                    def _probe(self, path):
+                        raise FsError(Errno.EIO, path)
+            """,
+        })
+        assert rule_ids(analyze_tree(root, rules=[ErrnoParityRule()])) == []
+
+    def test_dynamic_errno_in_op_is_reported_as_unverifiable(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "spec/contracts.py": CONTRACTS,
+            "basefs/filesystem.py": """
+                class BaseFilesystem(FilesystemAPI):
+                    def unlink(self, path, opseq=0):
+                        raise FsError(self._pick(path), path)
+            """,
+        })
+        report = analyze_tree(root, rules=[ErrnoParityRule()])
+        assert rule_ids(report) == ["ERRNO-PARITY"]
+        assert "not a literal" in report.findings[0].message
+
+    def test_silent_without_contract_table(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "shadowfs/filesystem.py": """
+                class ShadowFilesystem(FilesystemAPI):
+                    def unlink(self, path, opseq=0):
+                        raise FsError(Errno.EPERM, path)
+            """,
+        })
+        assert rule_ids(analyze_tree(root, rules=[ErrnoParityRule()])) == []
+
+    def test_inline_suppression_silences_the_op(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "spec/contracts.py": CONTRACTS,
+            "shadowfs/filesystem.py": """
+                class ShadowFilesystem(FilesystemAPI):
+                    def unlink(self, path, opseq=0):  # raelint: disable=ERRNO-PARITY
+                        raise FsError(Errno.EPERM, path)
+            """,
+        })
+        report = analyze_tree(root, rules=[ErrnoParityRule()])
+        assert rule_ids(report) == []
+        assert report.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# EFFECT-CONTRACT
+
+
+class TestEffectContract:
+    def test_shadow_reaching_device_write_is_flagged_with_witness(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "spec/contracts.py": CONTRACTS,
+            "shadowfs/filesystem.py": """
+                class ShadowFilesystem(FilesystemAPI):
+                    def stat(self, path):
+                        return self._peek(path)
+
+                    def _peek(self, path):
+                        self.device.write_block(0, b"")
+            """,
+        })
+        report = analyze_tree(root, rules=[EffectContractRule()])
+        assert rule_ids(report) == ["EFFECT-CONTRACT"]
+        message = report.findings[0].message
+        assert "device-write" in message
+        assert "ShadowFilesystem.stat -> ShadowFilesystem._peek" in message
+
+    def test_base_undeclared_effect_is_flagged(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "spec/contracts.py": CONTRACTS,
+            "basefs/filesystem.py": """
+                class BaseFilesystem(FilesystemAPI):
+                    def unlink(self, path, opseq=0):
+                        self.journal.begin()
+            """,
+        })
+        report = analyze_tree(root, rules=[EffectContractRule()])
+        assert rule_ids(report) == ["EFFECT-CONTRACT"]
+        assert "journal-begin" in report.findings[0].message
+
+    def test_read_only_op_dirtying_cache_is_flagged(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "spec/contracts.py": CONTRACTS,
+            "basefs/filesystem.py": """
+                class BaseFilesystem(FilesystemAPI):
+                    def stat(self, path):
+                        self.page_cache.mark_dirty(0)
+            """,
+        })
+        report = analyze_tree(root, rules=[EffectContractRule()])
+        messages = [f.message for f in report.findings]
+        assert any("read-only" in m and "cache-dirty" in m for m in messages)
+
+    def test_declared_footprint_passes(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "spec/contracts.py": CONTRACTS,
+            "basefs/filesystem.py": """
+                class BaseFilesystem(FilesystemAPI):
+                    def unlink(self, path, opseq=0):
+                        self.page_cache.mark_dirty(0)
+                        self.device.write_block(0, b"")
+            """,
+        })
+        assert rule_ids(analyze_tree(root, rules=[EffectContractRule()])) == []
+
+
+# ---------------------------------------------------------------------------
+# API-PARITY
+
+
+class TestApiParity:
+    API = """
+        from abc import ABC, abstractmethod
+
+        class FilesystemAPI(ABC):
+            @abstractmethod
+            def mkdir(self, path, perms=0o755, opseq=0):
+                ...
+
+            @abstractmethod
+            def stat(self, path):
+                ...
+    """
+
+    def test_renamed_parameter_is_flagged(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "api.py": self.API,
+            "basefs/filesystem.py": """
+                from api import FilesystemAPI
+
+                class BaseFilesystem(FilesystemAPI):
+                    def mkdir(self, path, mode=0o755, opseq=0):
+                        ...
+            """,
+        })
+        report = analyze_tree(root, rules=[ApiParityRule()])
+        assert rule_ids(report) == ["API-PARITY"]
+        message = report.findings[0].message
+        assert "(self, path, mode=493, opseq=0)" in message
+        assert "(self, path, perms=493, opseq=0)" in message
+
+    def test_changed_default_is_flagged(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "api.py": self.API,
+            "shadowfs/filesystem.py": """
+                from api import FilesystemAPI
+
+                class ShadowFilesystem(FilesystemAPI):
+                    def mkdir(self, path, perms=0o700, opseq=0):
+                        ...
+            """,
+        })
+        assert rule_ids(analyze_tree(root, rules=[ApiParityRule()])) == ["API-PARITY"]
+
+    def test_added_trailing_parameter_is_flagged(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "api.py": self.API,
+            "shadowfs/filesystem.py": """
+                from api import FilesystemAPI
+
+                class ShadowFilesystem(FilesystemAPI):
+                    def stat(self, path, follow=True):
+                        ...
+            """,
+        })
+        assert rule_ids(analyze_tree(root, rules=[ApiParityRule()])) == ["API-PARITY"]
+
+    def test_exact_override_and_non_api_methods_pass(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "api.py": self.API,
+            "basefs/filesystem.py": """
+                from api import FilesystemAPI
+
+                class BaseFilesystem(FilesystemAPI):
+                    def mkdir(self, path, perms=0o755, opseq=0):
+                        ...
+
+                    def stat(self, path):
+                        ...
+
+                    def _lookup(self, path, depth):
+                        ...
+            """,
+        })
+        assert rule_ids(analyze_tree(root, rules=[ApiParityRule()])) == []
+
+    def test_silent_without_api_class(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "basefs/filesystem.py": """
+                class BaseFilesystem:
+                    def mkdir(self, path, anything_goes):
+                        ...
+            """,
+        })
+        assert rule_ids(analyze_tree(root, rules=[ApiParityRule()])) == []
+
+
+# ---------------------------------------------------------------------------
+# STATE-PROTOCOL
+
+
+class TestStateProtocol:
+    def test_begin_without_commit_on_exceptional_path_is_flagged(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "core/txn.py": """
+                def apply(journal, device, rec):
+                    journal.begin()
+                    device.write_block(rec.block, rec.data)
+                    journal.commit()
+            """,
+        })
+        report = analyze_tree(root, rules=[StateProtocolRule()])
+        assert rule_ids(report) == ["STATE-PROTOCOL"]
+        finding = report.findings[0]
+        assert finding.line == 3
+        assert "without commit() or abort()" in finding.message
+
+    def test_begin_with_unconditional_finally_close_passes(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "core/txn.py": """
+                def apply(journal, device, rec):
+                    journal.begin()
+                    try:
+                        device.write_block(rec.block, rec.data)
+                    finally:
+                        journal.commit()
+            """,
+        })
+        assert rule_ids(analyze_tree(root, rules=[StateProtocolRule()])) == []
+
+    def test_context_manager_begin_is_exempt(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "core/txn.py": """
+                def apply(journal, device, rec):
+                    with journal.begin():
+                        device.write_block(rec.block, rec.data)
+            """,
+        })
+        assert rule_ids(analyze_tree(root, rules=[StateProtocolRule()])) == []
+
+    def test_early_return_between_begin_and_commit_is_flagged(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "core/txn.py": """
+                def apply(journal, rec):
+                    journal.begin()
+                    if rec is None:
+                        return False
+                    journal.commit()
+                    return True
+            """,
+        })
+        assert rule_ids(analyze_tree(root, rules=[StateProtocolRule()])) == ["STATE-PROTOCOL"]
+
+    def test_fd_never_closed_is_flagged(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "core/io.py": """
+                def copy_prefix(fs, path):
+                    fd = fs.open(path)
+                    return_value = fs.read(fd, 0, 4096)
+            """,
+        })
+        report = analyze_tree(root, rules=[StateProtocolRule()])
+        assert rule_ids(report) == ["STATE-PROTOCOL"]
+        assert "fd 'fd'" in report.findings[0].message
+        assert report.findings[0].line == 3
+
+    def test_fd_closed_in_finally_passes(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "core/io.py": """
+                def copy_prefix(fs, path):
+                    fd = fs.open(path)
+                    try:
+                        return fs.read(fd, 0, 4096)
+                    finally:
+                        fs.close(fd)
+            """,
+        })
+        assert rule_ids(analyze_tree(root, rules=[StateProtocolRule()])) == []
+
+    def test_fd_handed_off_by_return_passes(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "core/io.py": """
+                def open_for_caller(fs, path):
+                    fd = fs.open(path)
+                    return fd
+            """,
+        })
+        assert rule_ids(analyze_tree(root, rules=[StateProtocolRule()])) == []
+
+    def test_fd_stored_on_self_passes(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "core/io.py": """
+                def attach(self, fs, path):
+                    fd = fs.open(path)
+                    self._fd = fd
+            """,
+        })
+        assert rule_ids(analyze_tree(root, rules=[StateProtocolRule()])) == []
+
+    def test_fd_closed_on_one_path_is_not_flagged(self, tmp_path):
+        # Must-analysis by design: "leaked on some path" is LOCK-RELEASE
+        # style noise for fds (workloads close conditionally); only an fd
+        # no path ever closes is a protocol violation.
+        root = write_tree(tmp_path, {
+            "core/io.py": """
+                def maybe(fs, path, flag):
+                    fd = fs.open(path)
+                    if flag:
+                        fs.close(fd)
+            """,
+        })
+        assert rule_ids(analyze_tree(root, rules=[StateProtocolRule()])) == []
+
+
+# ---------------------------------------------------------------------------
+# the four rules together on one seeded tree
+
+
+class TestAllFourTogether:
+    def test_each_rule_reports_on_a_combined_bad_tree(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "spec/contracts.py": CONTRACTS,
+            "api.py": TestApiParity.API,
+            "shadowfs/filesystem.py": """
+                from api import FilesystemAPI
+
+                class ShadowFilesystem(FilesystemAPI):
+                    def stat(self, path, follow=True):
+                        self.device.write_block(0, b"")
+                        raise FsError(Errno.EPERM, path)
+            """,
+            "core/txn.py": """
+                def apply(journal, fs, rec, path):
+                    journal.begin()
+                    fd = fs.open(path)
+                    fs.write(fd, rec.data)
+                    journal.commit()
+            """,
+        })
+        report = analyze_tree(
+            root,
+            rules=[ErrnoParityRule(), EffectContractRule(), ApiParityRule(), StateProtocolRule()],
+        )
+        ids = set(rule_ids(report))
+        assert ids == {"ERRNO-PARITY", "EFFECT-CONTRACT", "API-PARITY", "STATE-PROTOCOL"}

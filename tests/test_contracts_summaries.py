@@ -1,0 +1,234 @@
+"""Unit tests for the interprocedural summary engine: local fact
+extraction, errno masking, effect vocabulary, fixpoint convergence on
+recursion, and run-to-run determinism."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis.contracts.summaries import (
+    EFFECT_CACHE_DIRTY,
+    EFFECT_DEVICE_FLUSH,
+    EFFECT_DEVICE_WRITE,
+    EFFECT_FD_TABLE,
+    EFFECT_JOURNAL_BEGIN,
+    EFFECT_JOURNAL_COMMIT,
+    EFFECT_LOCK_ACQUIRE,
+    EFFECT_LOCK_RELEASE,
+    UNKNOWN_ERRNO,
+    SummaryEngine,
+    local_summary,
+    masked_calls,
+)
+from repro.analysis.engine import ParsedModule
+from repro.analysis.flow.callgraph import CallGraph
+
+
+def modules_from(sources: dict[str, str]) -> list[ParsedModule]:
+    return [ParsedModule.parse(path, textwrap.dedent(src)) for path, src in sources.items()]
+
+
+def first_func(module: ParsedModule) -> ast.FunctionDef:
+    return next(n for n in ast.walk(module.tree) if isinstance(n, ast.FunctionDef))
+
+
+def engine_for(sources: dict[str, str]) -> SummaryEngine:
+    return SummaryEngine(CallGraph(modules_from(sources)))
+
+
+class TestLocalSummary:
+    def test_literal_errno_positional_and_keyword(self):
+        [module] = modules_from({"m.py": """
+            def f(path, cond):
+                if cond:
+                    raise FsError(Errno.ENOENT, path)
+                raise FsError(errno=Errno.EISDIR)
+        """})
+        summary = local_summary(first_func(module))
+        assert summary.errnos == {"ENOENT", "EISDIR"}
+
+    def test_dynamic_errno_is_unknown_token(self):
+        [module] = modules_from({"m.py": """
+            def f(outcome):
+                raise FsError(outcome.errno, outcome.path)
+        """})
+        assert local_summary(first_func(module)).errnos == {UNKNOWN_ERRNO}
+
+    def test_non_fserror_raises_are_ignored(self):
+        [module] = modules_from({"m.py": """
+            def f():
+                raise ValueError("not an fs outcome")
+        """})
+        assert local_summary(first_func(module)).errnos == frozenset()
+
+    def test_effect_vocabulary(self):
+        [module] = modules_from({"m.py": """
+            def f(self, device, buf):
+                self.locks.acquire(1)
+                self.journal.begin()
+                device.write_block(0, b"x")
+                device.flush()
+                buf.dirty = True
+                self.page_cache.mark_dirty(0)
+                self.fd_table.allocate(7)
+                self.journal.commit()
+                self.locks.release(1)
+        """})
+        summary = local_summary(first_func(module))
+        assert summary.effects == {
+            EFFECT_LOCK_ACQUIRE,
+            EFFECT_JOURNAL_BEGIN,
+            EFFECT_DEVICE_WRITE,
+            EFFECT_DEVICE_FLUSH,
+            EFFECT_CACHE_DIRTY,
+            EFFECT_FD_TABLE,
+            EFFECT_JOURNAL_COMMIT,
+            EFFECT_LOCK_RELEASE,
+        }
+
+    def test_nested_defs_do_not_leak_into_enclosing_summary(self):
+        [module] = modules_from({"m.py": """
+            def f(device):
+                def inner():
+                    device.write_block(0, b"x")
+                return inner
+        """})
+        assert local_summary(first_func(module)).effects == frozenset()
+
+
+class TestMasking:
+    def test_handler_catching_fserror_masks_try_body_calls(self):
+        [module] = modules_from({"m.py": """
+            def f(helper):
+                try:
+                    helper()
+                except FsError:
+                    return None
+        """})
+        func = first_func(module)
+        calls = [n for n in ast.walk(func) if isinstance(n, ast.Call)]
+        assert {id(c) for c in calls} == masked_calls(func)
+
+    def test_bare_reraise_does_not_mask(self):
+        [module] = modules_from({"m.py": """
+            def f(helper):
+                try:
+                    helper()
+                except FsError:
+                    raise
+        """})
+        assert masked_calls(first_func(module)) == set()
+
+    def test_unrelated_handler_does_not_mask(self):
+        [module] = modules_from({"m.py": """
+            def f(helper):
+                try:
+                    helper()
+                except ValueError:
+                    return None
+        """})
+        assert masked_calls(first_func(module)) == set()
+
+    def test_handler_body_calls_are_not_masked(self):
+        [module] = modules_from({"m.py": """
+            def f(helper, fallback):
+                try:
+                    helper()
+                except FsError:
+                    fallback()
+        """})
+        func = first_func(module)
+        masked = masked_calls(func)
+        calls = {c.func.id: c for c in ast.walk(func) if isinstance(c, ast.Call)}
+        assert id(calls["helper"]) in masked
+        assert id(calls["fallback"]) not in masked
+
+
+class TestEnginePropagation:
+    def test_errnos_and_effects_flow_through_call_chain(self):
+        engine = engine_for({"m.py": """
+            def outer(device, path):
+                middle(device, path)
+
+            def middle(device, path):
+                inner(device, path)
+
+            def inner(device, path):
+                device.write_block(0, b"x")
+                raise FsError(Errno.ENOSPC, path)
+        """})
+        summary = engine.summaries["m.py::outer"]
+        assert summary.errnos == {"ENOSPC"}
+        assert summary.effects == {EFFECT_DEVICE_WRITE}
+
+    def test_masked_site_drops_errnos_but_keeps_effects(self):
+        engine = engine_for({"m.py": """
+            def outer(device, path):
+                try:
+                    inner(device, path)
+                except FsError:
+                    return None
+
+            def inner(device, path):
+                device.write_block(0, b"x")
+                raise FsError(Errno.ENOSPC, path)
+        """})
+        summary = engine.summaries["m.py::outer"]
+        assert summary.errnos == frozenset()
+        assert summary.effects == {EFFECT_DEVICE_WRITE}
+
+    def test_mutual_recursion_converges(self):
+        engine = engine_for({"m.py": """
+            def even(n, path):
+                if n == 0:
+                    raise FsError(Errno.EINVAL, path)
+                return odd(n - 1, path)
+
+            def odd(n, path):
+                if n == 0:
+                    return False
+                return even(n - 1, path)
+        """})
+        assert engine.summaries["m.py::even"].errnos == {"EINVAL"}
+        assert engine.summaries["m.py::odd"].errnos == {"EINVAL"}
+        assert engine.iterations < 100
+
+    def test_self_recursion_converges(self):
+        engine = engine_for({"m.py": """
+            def walk(node, device):
+                device.write_block(node.block, node.data)
+                for child in node.children:
+                    walk(child, device)
+        """})
+        assert engine.summaries["m.py::walk"].effects == {EFFECT_DEVICE_WRITE}
+
+    def test_method_resolution_through_self(self):
+        engine = engine_for({"shadowfs/fs.py": """
+            class ShadowFilesystem:
+                def stat(self, path):
+                    return self._resolve(path)
+
+                def _resolve(self, path):
+                    raise FsError(Errno.EFBIG, path)
+        """})
+        summary = engine.summaries["shadowfs/fs.py::ShadowFilesystem.stat"]
+        assert summary.errnos == {"EFBIG"}
+
+    def test_deterministic_across_runs(self):
+        sources = {"m.py": """
+            def a(device, path):
+                b(device, path)
+                c(device, path)
+
+            def b(device, path):
+                c(device, path)
+                raise FsError(Errno.ENOENT, path)
+
+            def c(device, path):
+                device.flush()
+                a(device, path)
+        """}
+        first = engine_for(sources)
+        second = engine_for(sources)
+        assert first.summaries == second.summaries

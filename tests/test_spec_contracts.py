@@ -1,0 +1,138 @@
+"""Regression pins for the declared contract table.
+
+``spec/contracts.py`` is the reviewable record of what every operation
+may raise and do; these tests make the table impossible to drift
+silently: a new ``Errno`` member, a new API op, or a renamed effect must
+come with a contract decision or this file fails — long before the
+static rules or a recovery would notice.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+
+import pytest
+
+from repro.analysis.contracts.summaries import EFFECT_NAMES as ANALYSIS_EFFECT_NAMES
+from repro.api import OP_SIGNATURES, FilesystemAPI
+from repro.errors import Errno
+from repro.spec import contracts
+from repro.spec.contracts import (
+    EFFECT_NAMES,
+    OP_CONTRACTS,
+    UNASSIGNED_ERRNOS,
+    all_contracts,
+    contract_for,
+)
+
+
+class TestErrnoCoverage:
+    def test_every_errno_is_assigned_or_argued_unassigned(self):
+        assigned = {
+            name
+            for spec in OP_CONTRACTS.values()
+            for name in (*spec["errnos"], *spec["shadow_extra"])
+        }
+        covered = assigned | set(UNASSIGNED_ERRNOS)
+        missing = {member.name for member in Errno} - covered
+        assert not missing, f"Errno members with no contract decision: {sorted(missing)}"
+
+    def test_unassigned_errnos_are_real_members_and_truly_unassigned(self):
+        assigned = {
+            name
+            for spec in OP_CONTRACTS.values()
+            for name in (*spec["errnos"], *spec["shadow_extra"])
+        }
+        for name, reason in UNASSIGNED_ERRNOS.items():
+            assert name in Errno.__members__
+            assert reason.strip()
+            assert name not in assigned, f"{name} is both assigned and 'unassigned'"
+
+    def test_every_declared_errno_is_a_real_member(self):
+        # contract_for raises KeyError on a typo'd errno name.
+        table = all_contracts()
+        assert set(table) == set(OP_CONTRACTS)
+        for contract in table.values():
+            assert contract.errnos <= set(Errno)
+            assert contract.shadow_extra <= set(Errno)
+
+    def test_shadow_extra_is_disjoint_from_base_errnos(self):
+        for name, spec in OP_CONTRACTS.items():
+            overlap = set(spec["errnos"]) & set(spec["shadow_extra"])
+            assert not overlap, f"{name}: {sorted(overlap)} declared both base and shadow-extra"
+
+
+class TestEffectVocabulary:
+    def test_spec_vocabulary_matches_the_analyzer(self):
+        assert set(EFFECT_NAMES) == set(ANALYSIS_EFFECT_NAMES)
+
+    def test_all_declared_effects_are_in_vocabulary(self):
+        for name, spec in OP_CONTRACTS.items():
+            for field in ("effects", "shadow_effects"):
+                unknown = set(spec[field]) - set(EFFECT_NAMES)
+                assert not unknown, f"{name}.{field}: unknown effects {sorted(unknown)}"
+
+    def test_shadow_never_declares_device_effects(self):
+        for name, spec in OP_CONTRACTS.items():
+            assert not set(spec["shadow_effects"]) & {"device-write", "device-flush"}, (
+                f"{name}: the shadow may never touch the device (§3.2)"
+            )
+
+
+class TestOpCoverage:
+    def test_every_recorded_op_has_a_contract(self):
+        missing = set(OP_SIGNATURES) - set(OP_CONTRACTS)
+        assert not missing, f"oplog-recorded ops with no contract: {sorted(missing)}"
+
+    def test_every_contract_names_an_abstract_api_method(self):
+        api_ops = set(FilesystemAPI.__abstractmethods__)
+        unknown = set(OP_CONTRACTS) - api_ops
+        assert not unknown, f"contracts for nonexistent ops: {sorted(unknown)}"
+
+    def test_every_abstract_api_method_has_a_contract(self):
+        missing = set(FilesystemAPI.__abstractmethods__) - set(OP_CONTRACTS)
+        assert not missing, f"API ops with no contract: {sorted(missing)}"
+
+    def test_non_mutating_ops_are_declared_read_only(self):
+        for name, (_args, mutates) in OP_SIGNATURES.items():
+            if not mutates:
+                assert OP_CONTRACTS[name]["read_only"], (
+                    f"{name} is non-mutating in OP_SIGNATURES but not read_only in its contract"
+                )
+
+    def test_read_only_ops_declare_no_cache_or_lock_effects(self):
+        for name, spec in OP_CONTRACTS.items():
+            if spec["read_only"]:
+                forbidden = set(spec["effects"]) & {"cache-dirty", "lock-acquire"}
+                assert not forbidden, f"read-only {name} declares {sorted(forbidden)}"
+
+
+class TestTableShape:
+    def test_table_is_a_pure_literal(self):
+        # raelint extracts the table via ast.literal_eval; a computed
+        # value would silently disable every contract rule.
+        source = inspect.getsource(contracts)
+        tree = ast.parse(source)
+        assign = next(
+            node
+            for node in ast.walk(tree)
+            if isinstance(node, ast.Assign)
+            and any(isinstance(t, ast.Name) and t.id == "OP_CONTRACTS" for t in node.targets)
+        )
+        assert ast.literal_eval(assign.value) == OP_CONTRACTS
+
+    def test_every_entry_has_exactly_the_contract_fields(self):
+        fields = {"errnos", "shadow_extra", "effects", "shadow_effects", "read_only"}
+        for name, spec in OP_CONTRACTS.items():
+            assert set(spec) == fields, f"{name}: fields {sorted(set(spec))}"
+
+    def test_contract_for_shadow_errnos_is_the_union(self):
+        fsync = contract_for("fsync")
+        assert Errno.EINVAL in fsync.shadow_errnos
+        assert Errno.EINVAL not in fsync.errnos
+        assert fsync.shadow_errnos == fsync.errnos | fsync.shadow_extra
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(KeyError):
+            contract_for("mount")

@@ -386,6 +386,56 @@ class TestSuppressionAndBaseline:
         assert report.findings == []
         assert report.suppressed == 1
 
+    def test_comment_directive_skips_blank_lines_to_next_code_line(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "bad.py": """
+                def f():
+                    try:
+                        g()
+                    # raelint: disable=ERRNO-DISCIPLINE
+
+                    except Exception:
+                        pass
+            """,
+        })
+        report = analyze_tree(root, rules=[ErrnoDisciplineRule()])
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_comment_directive_skips_interleaved_comments(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "bad.py": """
+                def f():
+                    try:
+                        g()
+                    # raelint: disable=ERRNO-DISCIPLINE
+                    # sanctioned: the workload shield is a catch-all by design
+                    except Exception:
+                        pass
+            """,
+        })
+        report = analyze_tree(root, rules=[ErrnoDisciplineRule()])
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_stacked_comment_directives_land_on_the_same_code_line(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "bad.py": """
+                import threading
+
+                def persist(device, block, data):
+                    # raelint: disable=SHADOW-PURITY
+                    # raelint: disable=ERRNO-DISCIPLINE
+                    device.write_block(block, data)
+            """,
+        })
+        # Both directives must target the write_block line (line 7), not
+        # each other.
+        from repro.analysis.engine import ParsedModule
+
+        parsed = ParsedModule.parse("bad.py", (root / "bad.py").read_text())
+        assert parsed.suppressions.get(7) == {"SHADOW-PURITY", "ERRNO-DISCIPLINE"}
+
     def test_suppression_of_other_rule_does_not_apply(self, tmp_path):
         root = write_tree(tmp_path, {
             "bad.py": self.BAD.format(suffix="  # raelint: disable=HOOK-REGISTRY"),
@@ -480,11 +530,87 @@ class TestCli:
             "REPLAY-DETERMINISM",
             "ERRNO-DISCIPLINE",
             "HOOK-REGISTRY",
+            "ERRNO-PARITY",
+            "EFFECT-CONTRACT",
+            "API-PARITY",
+            "STATE-PROTOCOL",
         ):
             assert rule_id in out
 
     def test_missing_root_exits_two(self, tmp_path):
         assert raelint_main([str(tmp_path / "nope")]) == 2
+
+    def test_select_runs_only_named_rules(self, tmp_path, capsys):
+        # The tree violates ERRNO-DISCIPLINE only; selecting an
+        # unrelated rule must make the run clean.
+        root = write_tree(tmp_path, {"bad.py": "try:\n    f()\nexcept Exception:\n    pass\n"})
+        assert raelint_main([str(root), "--select", "ERRNO-DISCIPLINE", "--fail-on-findings"]) == 1
+        capsys.readouterr()
+        assert raelint_main([str(root), "--select", "SHADOW-PURITY", "--fail-on-findings"]) == 0
+
+    def test_select_unknown_rule_exits_two(self, tmp_path, capsys):
+        root = write_tree(tmp_path, {"ok.py": "x = 1\n"})
+        assert raelint_main([str(root), "--select", "NO-SUCH-RULE"]) == 2
+        assert "unknown rule id(s): NO-SUCH-RULE" in capsys.readouterr().err
+
+    def test_check_baseline_flags_stale_entries(self, tmp_path, capsys):
+        root = write_tree(tmp_path, {"bad.py": "try:\n    f()\nexcept Exception:\n    pass\n"})
+        baseline = tmp_path / "baseline.json"
+        assert raelint_main([str(root), "--write-baseline", "--baseline", str(baseline)]) == 0
+        # Entry still fires: the ratchet holds.
+        assert raelint_main([str(root), "--check-baseline", "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+
+        # Fix the file without updating the baseline: the entry is stale.
+        (root / "bad.py").write_text("x = 1\n")
+        assert raelint_main([str(root), "--check-baseline", "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "stale baseline entry" in out
+        assert "--update-baseline" in out
+
+    def test_check_baseline_scoped_to_selected_rules(self, tmp_path, capsys):
+        # A stale ERRNO-DISCIPLINE entry must not fail a run that only
+        # selected a different rule — that run could not have reproduced it.
+        root = write_tree(tmp_path, {"bad.py": "try:\n    f()\nexcept Exception:\n    pass\n"})
+        baseline = tmp_path / "baseline.json"
+        assert raelint_main([str(root), "--write-baseline", "--baseline", str(baseline)]) == 0
+        (root / "bad.py").write_text("x = 1\n")
+        assert raelint_main([
+            str(root), "--select", "SHADOW-PURITY",
+            "--check-baseline", "--baseline", str(baseline),
+        ]) == 0
+
+    def test_changed_only_outside_git_exits_two(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("GIT_CEILING_DIRECTORIES", str(tmp_path))
+        root = write_tree(tmp_path / "tree", {"ok.py": "x = 1\n"})
+        assert raelint_main([str(root), "--changed-only"]) == 2
+        assert "requires a git checkout" in capsys.readouterr().err
+
+    def test_changed_only_reports_only_changed_files(self, tmp_path, capsys):
+        import subprocess
+
+        bad = "try:\n    f()\nexcept Exception:\n    pass\n"
+        root = write_tree(tmp_path, {"touched.py": "x = 1\n", "untouched.py": bad})
+
+        def git(*argv):
+            subprocess.run(
+                ["git", *argv], cwd=root, check=True, capture_output=True,
+                env={"PATH": "/usr/bin:/bin", "HOME": str(tmp_path),
+                     "GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+                     "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t"},
+            )
+
+        git("init", "-q")
+        git("add", ".")
+        git("commit", "-q", "-m", "seed")
+
+        # untouched.py's finding is committed history; touched.py gains
+        # one, and a brand-new untracked file brings another.
+        (root / "touched.py").write_text(bad)
+        (root / "fresh.py").write_text(bad)
+        assert raelint_main([str(root), "--changed-only", "--format=json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {f["path"] for f in payload["findings"]} == {"touched.py", "fresh.py"}
 
 
 # ---------------------------------------------------------------------------
