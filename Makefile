@@ -3,7 +3,7 @@
 PYTHON ?= python
 PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: all install lint lint-json lint-contracts test bench experiments examples verify clean
+.PHONY: all install lint lint-json lint-contracts test bench bench-obs experiments examples verify clean
 
 CONTRACT_RULES = ERRNO-PARITY,EFFECT-CONTRACT,API-PARITY,STATE-PROTOCOL
 
@@ -30,6 +30,13 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# The observability ablation alone, producing BENCH_obs.json and then
+# FAILING (not skipping) if the artifact is missing or malformed — the
+# schema gate is what keeps the CI artifact trustworthy.
+bench-obs:
+	$(PYTHONPATH_SRC) BENCH_OBS_PATH=BENCH_obs.json $(PYTHON) -m pytest benchmarks/test_ablation_obs_overhead.py --benchmark-only -q -s
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.obs.check BENCH_obs.json
 
 experiments:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s

@@ -51,9 +51,26 @@ class DetectedError:
     seq: int | None = None
     op_name: str | None = None
 
+    @property
+    def corr_id(self) -> int | None:
+        """The op-log sequence number of the operation that was in
+        flight when the error escaped — the correlation id every
+        downstream artifact (events, spans, forensic bundle) carries."""
+        return self.seq
+
     def describe(self) -> str:
         where = f" during op #{self.seq} ({self.op_name})" if self.seq is not None else ""
         return f"{self.kind.value}{where}: {self.exception}"
+
+    def as_dict(self) -> dict:
+        """JSON-able record for the forensic bundle's ``trigger``."""
+        return {
+            "corr_id": self.corr_id,
+            "kind": self.kind.value,
+            "op": self.op_name,
+            "exception": type(self.exception).__name__,
+            "message": str(self.exception),
+        }
 
 
 @dataclass

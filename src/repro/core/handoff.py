@@ -23,9 +23,21 @@ from repro.errors import RECOVERY_BOUNDARY_ERRORS, RecoveryFailure
 from repro.shadowfs.output import MetadataUpdate
 
 
-def download_metadata(fs: BaseFilesystem, update: MetadataUpdate) -> None:
+def download_metadata(
+    fs: BaseFilesystem,
+    update: MetadataUpdate,
+    events=None,
+    corr_id: int | None = None,
+) -> None:
     """Absorb ``update`` into ``fs``.  Raises :class:`RecoveryFailure` on
-    any inconsistency (the base must not resume on a bad hand-off)."""
+    any inconsistency (the base must not resume on a bad hand-off).
+
+    ``events``/``corr_id``: when the supervisor's event log is threaded
+    through (duck-typed — this module never imports ``repro.obs``), the
+    hand-off emits one ``handoff.download`` event carrying the
+    triggering op's correlation id and the absorbed-state sizes, so the
+    forensic timeline shows *what* was handed off, not just how long it
+    took."""
     try:
         for ino in sorted(update.touched_inos):
             fs.page_cache.drop_ino(ino)
@@ -51,3 +63,12 @@ def download_metadata(fs: BaseFilesystem, update: MetadataUpdate) -> None:
         fs.absorb_fd_table(update.fd_table)
     except RECOVERY_BOUNDARY_ERRORS as exc:
         raise RecoveryFailure(f"metadata download failed: {exc}", phase="handoff") from exc
+    if events is not None:
+        events.emit(
+            "handoff.download",
+            corr_id=corr_id,
+            metadata_blocks=len(update.metadata_blocks),
+            data_pages=len(update.data_pages),
+            fds=len(update.fd_table),
+            touched_inos=len(update.touched_inos),
+        )

@@ -100,6 +100,17 @@ class OpLog:
     def __len__(self) -> int:
         return len(self.entries)
 
+    def window_bounds(self) -> tuple[int, int] | None:
+        """(first, last) correlation ids recorded in the current window.
+
+        The sequence number *is* the correlation id threaded through the
+        detector, the recovery phases, and the forensic bundle: a
+        bundle's ``window`` section uses these bounds to state exactly
+        which recorded ops constrained replay re-executed."""
+        if not self.entries:
+            return None
+        return (self.entries[0].seq, self.entries[-1].seq)
+
     def approximate_bytes(self) -> int:
         """Rough memory footprint, for the op-log ablation benchmark.
 

@@ -102,6 +102,40 @@ def _span(tracer, name: str, **attrs):
     return tracer.span(name, **attrs) if tracer is not None else nullcontext()
 
 
+def _emit(events, kind: str, corr_id: int | None, **fields) -> None:
+    """Emit a correlated event when an event log was injected.
+
+    ``events`` is duck-typed (:class:`repro.obs.events.EventLog` in
+    production) so this module — like the tracer threading above —
+    never has to import the observability package.
+    """
+    if events is not None:
+        events.emit(kind, corr_id=corr_id, **fields)
+
+
+class CrossCheckingReplayEngine(ReplayEngine):
+    """A :class:`ReplayEngine` that feeds every constrained-mode
+    cross-check into a supervisor-side capture sink.
+
+    This is the divergence table's capture point: it lives *here*, at
+    the engine call boundary in the recovery layer, rather than inside
+    ``repro.shadowfs`` — the shadow gains only the ``_crosscheck`` seam
+    and stays free of observability imports (SHADOW-PURITY).  The sink
+    is duck-typed (``note(record, replayed)``;
+    :class:`repro.obs.forensics.CrossCheckCapture` in production) and
+    is consulted *before* the strict policy can abort replay, so even a
+    failed recovery's bundle shows the rows checked up to the mismatch.
+    """
+
+    def __init__(self, shadow: ShadowFilesystem, strict: bool, capture):
+        super().__init__(shadow, strict=strict)
+        self._capture = capture
+
+    def _crosscheck(self, record, replayed) -> None:
+        self._capture.note(record, replayed)
+        super()._crosscheck(record, replayed)
+
+
 def _phase_seconds(t0: float, t1: float | None, t2: float | None, now: float) -> dict[str, float]:
     """Per-phase durations when the procedure stopped at time ``now``;
     the phase that raised gets its partial duration, later phases 0."""
@@ -122,31 +156,55 @@ def run_recovery(
     strict_crosscheck: bool = True,
     in_process: bool = True,
     tracer=None,
+    corr_id: int | None = None,
+    events=None,
+    crosscheck=None,
 ) -> RecoveryOutcome:
     """Execute one recovery.  Raises :class:`RecoveryFailure` if the
     shadow cannot produce trustworthy state; the failure carries a
-    ``phase_seconds`` dict so even failed attempts contribute timings."""
+    ``phase_seconds`` dict so even failed attempts contribute timings.
+
+    ``corr_id`` is the triggering op's log sequence number: it is
+    stamped on every phase span and event so the whole procedure can be
+    traced back to one operation.  ``events`` (an
+    :class:`~repro.obs.events.EventLog`, duck-typed) receives one event
+    per phase; ``crosscheck`` (a
+    :class:`~repro.obs.forensics.CrossCheckCapture`, duck-typed) makes
+    in-process replay run under :class:`CrossCheckingReplayEngine`,
+    capturing the per-op divergence table for the forensic bundle.
+    """
     t0 = time.perf_counter()
     t1: float | None = None
     t2: float | None = None
     try:
-        with _span(tracer, "recovery.reboot"):
+        with _span(tracer, "recovery.reboot", corr_id=corr_id):
             reboot = contained_reboot(old_fs, device)
             new_fs = reboot.fs
         t1 = time.perf_counter()
+        _emit(events, "recovery.reboot", corr_id, seconds=t1 - t0)
 
         # The preserved data pages stay with the rebooted base (read cache);
         # they are NOT given to the shadow's replay: a page reflects the state
         # at crash time, while replay needs the state at each op's position —
         # the recorded write payloads regenerate that exactly.  (The paper
         # shares pages because it does not record payloads; see DESIGN.md.)
-        with _span(tracer, "recovery.replay", ops=len(oplog.entries), inflight=inflight is not None):
+        with _span(
+            tracer, "recovery.replay",
+            ops=len(oplog.entries), inflight=inflight is not None, corr_id=corr_id,
+        ):
             if in_process:
                 shadow = ShadowFilesystem(device, check_level=check_level)
-                engine = ReplayEngine(shadow, strict=strict_crosscheck)
+                if crosscheck is not None:
+                    engine = CrossCheckingReplayEngine(shadow, strict_crosscheck, crosscheck)
+                else:
+                    engine = ReplayEngine(shadow, strict=strict_crosscheck)
                 update = engine.run(oplog.entries, oplog.fd_snapshot, inflight)
                 report = engine.report
             else:
+                # Process-mode replay crosses an OS boundary: the
+                # divergence table is not captured there (the child
+                # returns only the discrepancy report), which the
+                # bundle's replay.mode field makes explicit.
                 if not isinstance(device, FileBlockDevice):
                     raise RecoveryFailure(
                         "separate-process shadow requires a file-backed device", phase="shadow-process"
@@ -161,10 +219,18 @@ def run_recovery(
                     strict=strict_crosscheck,
                 )
         t2 = time.perf_counter()
+        _emit(
+            events, "recovery.replay", corr_id,
+            seconds=t2 - t1,
+            constrained=report.constrained_ops,
+            autonomous=report.autonomous_ops,
+            discrepancies=len(report.discrepancies),
+        )
 
-        with _span(tracer, "recovery.handoff"):
-            download_metadata(new_fs, update)
+        with _span(tracer, "recovery.handoff", corr_id=corr_id):
+            download_metadata(new_fs, update, events=events, corr_id=corr_id)
         t3 = time.perf_counter()
+        _emit(events, "recovery.handoff", corr_id, seconds=t3 - t2)
     except RecoveryFailure as exc:
         exc.phase_seconds = _phase_seconds(t0, t1, t2, time.perf_counter())
         raise

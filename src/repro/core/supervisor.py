@@ -33,7 +33,7 @@ from repro.core.detector import DetectedError, Detector, WarnPolicy
 from repro.core.oplog import OpLog
 from repro.core.recovery import RecoveryStats, run_recovery
 from repro.errors import Errno, FsError, RecoveryFailure
-from repro.obs import Registry
+from repro.obs import BundleStore, CrossCheckCapture, FlightRecorder, Registry, build_bundle
 from repro.shadowfs.checks import CheckLevel
 
 
@@ -54,6 +54,15 @@ class RAEConfig:
     # counts are kept separately and never dropped).
     event_history_limit: int = 256
     detector_history_limit: int = 256
+    # Flight recorder: an always-on, fixed-cost ring of recent ops that
+    # is frozen at detection time, before the contained reboot discards
+    # the failed base's state.  Independent of `metrics` — forensic
+    # bundles are produced even when push instruments are off.
+    flight: bool = True
+    flight_ring_size: int = 64
+    # How many forensic bundles to keep in memory (one per recovery;
+    # the count of bundles ever built is never lost).
+    bundle_history_limit: int = 16
 
 
 @dataclass
@@ -115,12 +124,24 @@ class RAEFilesystem(FilesystemAPI):
         # Hot-path guard: a single attribute test keeps the disabled
         # configuration within the <5% overhead budget.
         self._obs_on = self.obs.enabled
+        # Flight recorder + forensic bundle store: the recorder's ring
+        # append is the only always-on per-op cost; stat deltas are
+        # sampled at baseline/freeze time, never per op.
+        self.flight = FlightRecorder(
+            clock=self.obs.clock,
+            size=self.config.flight_ring_size,
+            enabled=self.config.flight,
+            stats_source=self._flight_stat_sample,
+        )
+        self._flight_on = self.flight.enabled
+        self.forensics = BundleStore(limit=self.config.bundle_history_limit)
         # Called with the new base after every contained reboot; the fault
         # injector registers its retarget() here so payload bugs keep
         # pointing at live state.
         self.on_reboot: list = []
         self._wire_base()
         self._register_collectors()
+        self.flight.rebaseline()
 
     def _wire_base(self) -> None:
         self.base.on_commit.append(self._on_commit)
@@ -128,6 +149,29 @@ class RAEFilesystem(FilesystemAPI):
     def _on_commit(self, _epoch: int) -> None:
         """Durability point: discard the replayable window (§3.2)."""
         self.oplog.truncate(self.base.fd_table.snapshot())
+
+    def _flight_stat_sample(self) -> dict:
+        """Cheap subsystem tallies for the flight ring's stat deltas.
+
+        Sampled only at baseline and freeze time (the closure reads
+        ``self.base``, so a contained reboot's base swap is picked up);
+        the frozen deltas show what the failed base did in its final
+        window — journal/writeback/cache/device activity the reboot is
+        about to discard."""
+        base = self.base
+        return {
+            "journal.commits": base.journal.stats.commits,
+            "journal.blocks_journaled": base.journal.stats.blocks_journaled,
+            "writeback.ticks": base.writeback.stats.ticks,
+            "writeback.commits": base.writeback.stats.commits,
+            "cache.page.hits": base.page_cache.stats.hits,
+            "cache.page.misses": base.page_cache.stats.misses,
+            "cache.page.evictions": base.page_cache.stats.evictions,
+            "oplog.recorded": self.oplog.stats.recorded,
+            "device.reads": self.device.io_stats.reads,
+            "device.writes": self.device.io_stats.writes,
+            "device.flushes": self.device.io_stats.flushes,
+        }
 
     def _register_collectors(self) -> None:
         """Pull-based observability: every subsystem keeps its existing
@@ -164,6 +208,15 @@ class RAEFilesystem(FilesystemAPI):
             **{f"kind.{kind}": count
                for kind, count in sorted(self.detector.stats.detections.items())},
         })
+        reg("forensics", lambda: {
+            "bundles_built": self.forensics.built,
+            "bundles_kept": len(self.forensics.bundles),
+            "bundles_dropped": self.forensics.dropped,
+            "flight.enabled": self.flight.enabled,
+            "flight.entries": len(self.flight),
+            "flight.ops_seen": self.flight.ops_seen,
+            "flight.freezes": self.flight.freezes,
+        })
         reg("recovery", lambda: {
             "attempts": self.stats.recovery.attempts,
             "successes": self.stats.recovery.successes,
@@ -192,6 +245,11 @@ class RAEFilesystem(FilesystemAPI):
     def recovery_count(self) -> int:
         return self.stats.recoveries
 
+    @property
+    def last_bundle(self) -> dict | None:
+        """The most recent recovery's forensic bundle (JSON-able dict)."""
+        return self.forensics.last
+
     def _call(self, name: str, **args):
         """Execute one operation with recording, detection, recovery."""
         if self._in_recovery:
@@ -219,6 +277,7 @@ class RAEFilesystem(FilesystemAPI):
                 # reads saw the partial effects against a disk state that
                 # never had them — a cross-check divergence.
                 outcome = OpResult(errno=Errno.EIO)
+                self.obs.events.emit("warn.ignored", corr_id=seq, op=name)
                 if op.is_mutation:
                     self.oplog.record(seq, op, outcome)
                     self._scrub_commit(seq)
@@ -233,6 +292,13 @@ class RAEFilesystem(FilesystemAPI):
             self.obs.counter(f"op.count.{name}").inc()
             if outcome.errno is not None:
                 self.obs.counter(f"op.errno.{outcome.errno.name}").inc()
+        # After the latency observation: the recorder shares the obs
+        # clock, and its read must not land inside the measured window.
+        if self._flight_on:
+            self.flight.note_op(
+                seq, name, op.describe(),
+                outcome.errno.name if outcome.errno else None,
+            )
 
         if self.config.auto_writeback and not self._in_recovery:
             try:
@@ -273,6 +339,32 @@ class RAEFilesystem(FilesystemAPI):
         before the commit is attempted); three consecutive failures give
         up, surfacing RecoveryFailure."""
         tracer = self.obs.tracer
+        events = self.obs.events
+        # Everything emitted from here on belongs to this episode's
+        # bundle; the mark makes the slice exact even for nested
+        # recoveries (the inner episode's events land in both bundles,
+        # which is the correct causal picture).
+        event_mark = events.emitted
+        events.emit(
+            "detect",
+            corr_id=detected.seq,
+            error_kind=detected.kind.value,
+            op=detected.op_name,
+            nesting=depth,
+        )
+        # Freeze BEFORE the contained reboot: the ring and the stat
+        # deltas describe the failed base's final window, state the
+        # reboot is about to discard.
+        frozen = self.flight.freeze(detected.describe(), trigger_seq=detected.seq)
+        bounds = self.oplog.window_bounds()
+        window = {
+            "entries": len(self.oplog),
+            "bytes": self.oplog.approximate_bytes(),
+            "first_seq": bounds[0] if bounds else None,
+            "last_seq": bounds[1] if bounds else None,
+            "inflight": inflight[1].describe() if inflight is not None else None,
+        }
+        capture = CrossCheckCapture()
         with tracer.span(
             "recovery", kind=detected.kind.value, seq=detected.seq, nesting=depth
         ):
@@ -288,12 +380,40 @@ class RAEFilesystem(FilesystemAPI):
                     strict_crosscheck=self.config.strict_crosscheck,
                     in_process=self.config.shadow_in_process,
                     tracer=tracer,
+                    corr_id=detected.seq,
+                    events=events,
+                    crosscheck=capture,
                 )
             except RecoveryFailure as failure:
                 self.stats.recovery.failures += 1
                 self.stats.recovery.note_failure(
                     failure.phase or "unknown", failure.phase_seconds
                 )
+                events.emit(
+                    "recovery.failed",
+                    corr_id=detected.seq,
+                    phase=failure.phase or "unknown",
+                )
+                phases = {
+                    name: float(seconds)
+                    for name, seconds in failure.phase_seconds.items()
+                }
+                phases["total"] = sum(phases.values())
+                self.forensics.add(build_bundle(
+                    outcome="failure",
+                    trigger=detected.as_dict(),
+                    window=window,
+                    flight=frozen.as_dict() if frozen is not None else None,
+                    phases=phases,
+                    replay=None,
+                    crosschecks=capture.as_dict(),
+                    events=[e.as_dict() for e in events.since(event_mark)],
+                    nesting=depth,
+                    failure={
+                        "phase": failure.phase or "unknown",
+                        "message": str(failure),
+                    },
+                ))
                 raise
             finally:
                 self._in_recovery = False
@@ -302,6 +422,9 @@ class RAEFilesystem(FilesystemAPI):
             self._wire_base()
             for callback in self.on_reboot:
                 callback(self.base)
+            # The failed base is gone; subsequent flight stat deltas are
+            # relative to the rebooted base's counters.
+            self.flight.rebaseline()
             replayed = outcome.report.constrained_ops + outcome.report.autonomous_ops
             self.stats.recovery.successes += 1
             self.stats.recovery.ops_replayed += replayed
@@ -318,6 +441,38 @@ class RAEFilesystem(FilesystemAPI):
                     discrepancies=len(outcome.report.discrepancies),
                 )
             )
+            events.emit(
+                "recovery.succeeded",
+                corr_id=detected.seq,
+                replayed=replayed,
+                seconds=outcome.total_seconds,
+            )
+            # Bundle the §3.2 procedure now, before the post-commit: a
+            # commit failure is its own detection and its own bundle.
+            self.forensics.add(build_bundle(
+                outcome="success",
+                trigger=detected.as_dict(),
+                window=window,
+                flight=frozen.as_dict() if frozen is not None else None,
+                phases={
+                    "reboot": outcome.reboot_seconds,
+                    "replay": outcome.replay_seconds,
+                    "handoff": outcome.handoff_seconds,
+                    "total": outcome.total_seconds,
+                },
+                replay={
+                    "mode": "in-process" if self.config.shadow_in_process else "process",
+                    "constrained_ops": outcome.report.constrained_ops,
+                    "autonomous_ops": outcome.report.autonomous_ops,
+                    "skipped_errors": outcome.report.skipped_errors,
+                    "skipped_fsyncs": outcome.report.skipped_fsyncs,
+                    "checks_run": outcome.report.checks_run,
+                    "discrepancies": [str(d) for d in outcome.report.discrepancies],
+                },
+                crosschecks=capture.as_dict(),
+                events=[e.as_dict() for e in events.since(event_mark)],
+                nesting=depth,
+            ))
 
             result = outcome.update.inflight_result
             delegated_fsync = result is not None and result.value == "fsync-delegated"
@@ -430,6 +585,12 @@ class RAEFilesystem(FilesystemAPI):
             f"{len(self.detector.history)}/{self.detector.history_limit} detections "
             f"(cumulative counts are unbounded)"
         )
+        if self.forensics.built:
+            lines.append(
+                f"  forensic bundles: {self.forensics.built} built, "
+                f"keeping {len(self.forensics.bundles)}/{self.forensics.limit} "
+                f"(see rae-report bundle)"
+            )
         if self.stats.recovery.failure_phases:
             lines.append(
                 "  failed recoveries by phase: "

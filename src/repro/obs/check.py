@@ -1,0 +1,61 @@
+"""Schema gate for the ``BENCH_obs.json`` perf-trajectory artifact.
+
+``make bench-obs`` and the CI ``obs-smoke`` job both end with::
+
+    python -m repro.obs.check [BENCH_obs.json]
+
+which **fails** (exit 1) — rather than silently skipping — when the
+artifact is missing, is not valid JSON, declares the wrong ``schema``,
+or carries no sections.  An empty perf trajectory should be loud: every
+green run must contribute a real datapoint.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.obs.export import BENCH_OBS_DEFAULT, BENCH_OBS_SCHEMA
+
+
+def check_payload(payload) -> list[str]:
+    """Validate one parsed artifact; returns a list of problems."""
+    if not isinstance(payload, dict):
+        return [f"top-level value must be a JSON object, got {type(payload).__name__}"]
+    problems = []
+    if payload.get("schema") != BENCH_OBS_SCHEMA:
+        problems.append(f"schema is {payload.get('schema')!r}, expected {BENCH_OBS_SCHEMA}")
+    sections = payload.get("sections")
+    if not isinstance(sections, dict) or not sections:
+        problems.append("sections is missing or empty — the run produced no datapoints")
+    else:
+        for name in sorted(sections):
+            section = sections[name]
+            if not isinstance(section, dict) or "snapshot" not in section:
+                problems.append(f"section {name!r} carries no registry snapshot")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    path = args[0] if args else BENCH_OBS_DEFAULT
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            payload = json.load(f)
+    except OSError as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"error: {path} is not valid JSON (truncated write?): {exc}", file=sys.stderr)
+        return 1
+    problems = check_payload(payload)
+    if problems:
+        for problem in problems:
+            print(f"error: {path}: {problem}", file=sys.stderr)
+        return 1
+    print(f"{path}: ok ({len(payload['sections'])} sections, schema {BENCH_OBS_SCHEMA})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,11 +41,26 @@ def record_section(name: str, registry: Registry, extra: dict | None = None) -> 
 
 def flush_bench_obs(path: str | None = None) -> str:
     """Write all staged sections to ``BENCH_obs.json`` (or ``path`` /
-    ``$BENCH_OBS_PATH``) and clear the staging area."""
+    ``$BENCH_OBS_PATH``) and clear the staging area.
+
+    Crash-safe: the payload is written to a sibling temp file and
+    :func:`os.replace`d into place, so an interrupted benchmark run can
+    never leave a truncated artifact — readers see either the previous
+    complete file or the new one.  Sections are sorted at flush time
+    (the module-global staging dict's insertion order is irrelevant),
+    and the staging area is cleared even when the write fails, so a
+    botched flush cannot leak stale sections into the next run.
+    """
     target = path or os.environ.get(BENCH_OBS_ENV) or BENCH_OBS_DEFAULT
     payload = {"schema": BENCH_OBS_SCHEMA, "sections": dict(sorted(_sections.items()))}
-    with open(target, "w", encoding="utf-8") as f:
-        json.dump(payload, f, indent=2, sort_keys=True)
-        f.write("\n")
-    _sections.clear()
+    tmp = f"{target}.tmp"
+    try:
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+        os.replace(tmp, target)
+    finally:
+        _sections.clear()
+        if os.path.exists(tmp):
+            os.remove(tmp)
     return target

@@ -100,6 +100,40 @@ class Histogram:
         else:
             self.bucket_counts[index] += 1
 
+    def percentile(self, q: float) -> float | None:
+        """Estimated q-quantile (``0 < q <= 1``) from the bucket counts.
+
+        No raw samples are kept, so this interpolates linearly inside
+        the bucket holding the target rank and clamps to the observed
+        ``min``/``max`` — exact at the extremes, within one log-scale
+        bucket everywhere else.  ``None`` when nothing was observed.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        cumulative = 0
+        lower = 0.0
+        estimate = None
+        for boundary, bucket_count in zip(self.boundaries, self.bucket_counts):
+            if bucket_count:
+                previous = cumulative
+                cumulative += bucket_count
+                if cumulative >= rank:
+                    fraction = (rank - previous) / bucket_count
+                    estimate = lower + (boundary - lower) * fraction
+                    break
+            lower = boundary
+        if estimate is None:
+            # Rank lands in the +inf overflow bucket: max is the best bound.
+            estimate = self.max
+        if self.min is not None:
+            estimate = max(estimate, self.min)
+        if self.max is not None:
+            estimate = min(estimate, self.max)
+        return estimate
+
     def snapshot(self) -> dict:
         buckets = [
             [f"{boundary:.9g}", count]
@@ -111,6 +145,9 @@ class Histogram:
             "sum": self.sum,
             "min": self.min,
             "max": self.max,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
             "buckets": buckets,
         }
 
@@ -154,11 +191,15 @@ class Registry:
     """
 
     def __init__(self, enabled: bool = True, clock: Clock = time.perf_counter):
+        from repro.obs.events import EventLog
         from repro.obs.trace import Tracer
 
         self.enabled = enabled
         self.clock: Clock = clock
         self.tracer = Tracer(clock=clock, enabled=enabled)
+        # Correlated structured events share the tracer's clock so
+        # `rae-report timeline` can merge both streams causally.
+        self.events = EventLog(clock=clock, enabled=enabled)
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
@@ -216,6 +257,7 @@ class Registry:
             "histograms": {name: h.snapshot() for name, h in sorted(self._histograms.items())},
             "collected": dict(sorted(self.collect().items())),
             "spans": [event.as_dict() for event in self.tracer.events],
+            "events": self.events.snapshot(),
         }
 
     def to_json(self, indent: int = 2) -> str:

@@ -128,10 +128,20 @@ class ReplayEngine:
         replayed = op.apply(self.shadow, opseq=record.seq)
         self.shadow.ino_hint = None
         self.report.constrained_ops += 1
+        self._crosscheck(record, replayed)
+
+    def _crosscheck(self, record: OpRecord, replayed: OpResult) -> None:
+        """Compare one constrained-mode outcome against the base's record.
+
+        A seam on purpose: the recovery layer subclasses the engine and
+        overrides this to capture every (expected, observed) pair for
+        the forensic bundle — supervisor-side, so the shadow itself
+        stays instrumentation-free (SHADOW-PURITY).
+        """
         if not record.outcome.same_outcome_as(replayed):
             discrepancy = Discrepancy(
                 seq=record.seq,
-                op=op.describe(),
+                op=record.op.describe(),
                 recorded=self._brief(record.outcome),
                 replayed=self._brief(replayed),
             )

@@ -23,11 +23,17 @@ divergence here is a spec bug, and the differential tests will find it):
 Inode numbers: the model allocates from its own monotone counter with a
 free-list — these do not match the disk filesystems' allocators, so
 equivalence uses an ino *bijection* rather than equality (see
-:mod:`repro.spec.equivalence`).  ``ino_hint`` is honoured like the
-shadow's, so constrained replay against the spec also works.
+:mod:`repro.spec.equivalence`).  The free-list is first-fit (lowest ino
+first): the bijection carries stale pairs for destroyed inodes, so on
+reuse the model must pick the same slot the shadow's in-group bitmap
+scan picks, and that scan is first-fit ascending.  ``ino_hint`` is
+honoured like the shadow's, so constrained replay against the spec also
+works.
 """
 
 from __future__ import annotations
+
+import heapq
 
 from dataclasses import dataclass, field
 
@@ -94,9 +100,18 @@ class SpecFilesystem(FilesystemAPI):
             self.ino_hint = None
             if ino in self._nodes:
                 raise ValueError(f"ino hint {ino} already live in the spec model")
+            if ino in self._free_inos:
+                # The hint names a previously-freed slot: take it out of
+                # the free-list or a later alloc would hand it out twice.
+                self._free_inos.remove(ino)
+                heapq.heapify(self._free_inos)
             return ino
         if self._free_inos:
-            return self._free_inos.pop()
+            # First-fit, matching the shadow's in-group bitmap scan; a
+            # LIFO pop here diverges from the shadow once the bijection
+            # holds stale pairs for the destroyed inodes (e.g. mkdir a,
+            # mkdir b, rmdir a, rmdir b, mkdir a).
+            return heapq.heappop(self._free_inos)
         ino = self._next_ino
         self._next_ino += 1
         return ino
@@ -106,7 +121,7 @@ class SpecFilesystem(FilesystemAPI):
 
     def _destroy(self, node: SpecNode) -> None:
         del self._nodes[node.ino]
-        self._free_inos.append(node.ino)
+        heapq.heappush(self._free_inos, node.ino)
 
     # ------------------------------------------------------------------
     # resolution (identical algorithm to base/shadow)

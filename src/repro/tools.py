@@ -15,7 +15,14 @@ Operates on image files (the :class:`FileBlockDevice` format):
 * ``report`` (also installed as ``rae-report``) — run a seeded workload
   with fault injection under the supervisor and print the observability
   report: metrics snapshot plus the recovery span timeline
-  (docs/OBSERVABILITY.md).
+  (docs/OBSERVABILITY.md);
+* ``bundle <file>`` — pretty-print a forensic bundle written with
+  ``report --bundle`` (or ``--json`` to re-emit it normalized);
+* ``timeline <file>`` — merge the spans and events of a snapshot
+  written with ``report --json`` into one causally-ordered timeline.
+
+``rae-report`` dispatches to ``report``/``bundle``/``timeline`` when the
+first argument names one of them, and defaults to ``report`` otherwise.
 """
 
 from __future__ import annotations
@@ -229,6 +236,7 @@ def cmd_report(args) -> int:
         mean = hist["sum"] / hist["count"] if hist["count"] else 0.0
         print(
             f"  {name}: count={hist['count']} mean={mean * 1e6:.1f}us "
+            f"p50={(hist['p50'] or 0) * 1e6:.1f}us p95={(hist['p95'] or 0) * 1e6:.1f}us "
             f"min={(hist['min'] or 0) * 1e6:.1f}us max={(hist['max'] or 0) * 1e6:.1f}us"
         )
     timeline = fs.obs.tracer.timeline()
@@ -239,7 +247,68 @@ def cmd_report(args) -> int:
     if args.json:
         path = write_snapshot(args.json, fs.obs, meta={"ops": args.ops, "seed": args.seed})
         print(f"\nwrote {path}")
+    if args.bundle:
+        from repro.obs import write_bundle
+
+        if fs.last_bundle is None:
+            print("no recoveries ran; no forensic bundle to write", file=sys.stderr)
+            return 1
+        path = write_bundle(args.bundle, fs.last_bundle)
+        print(f"wrote forensic bundle {path}")
     return 1 if failed else 0
+
+
+def cmd_bundle(args) -> int:
+    """rae-report bundle: pretty-print (or re-emit as JSON) a forensic
+    bundle file written by ``report --bundle``."""
+    import json
+
+    from repro.obs import load_bundle, render_bundle
+
+    try:
+        bundle = load_bundle(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        json.dump(bundle, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        print(render_bundle(bundle))
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    """rae-report timeline: merge a snapshot's spans and events into one
+    causally-ordered timeline.  Accepts either a ``report --json`` file
+    ({"meta", "snapshot"}) or a raw registry snapshot."""
+    import json
+
+    from repro.obs import merge_timeline, render_timeline
+
+    try:
+        with open(args.file, "r", encoding="utf-8") as f:
+            payload = json.load(f)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.file}: not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    snapshot = payload.get("snapshot", payload) if isinstance(payload, dict) else None
+    if not isinstance(snapshot, dict) or "spans" not in snapshot or "events" not in snapshot:
+        print(
+            f"error: {args.file}: not a registry snapshot (expected 'spans' and 'events')",
+            file=sys.stderr,
+        )
+        return 2
+    merged = merge_timeline(snapshot["spans"], snapshot["events"])
+    if args.json:
+        json.dump(merged, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        print(render_timeline(merged))
+    return 0
 
 
 def cmd_experiments(args) -> int:
@@ -314,7 +383,21 @@ def main(argv: list[str] | None = None) -> int:
         help="inject a KernelBug every Nth directory insert (0 disables; default 40)",
     )
     p.add_argument("--json", metavar="PATH", help="also export the snapshot as JSON")
+    p.add_argument(
+        "--bundle", metavar="PATH",
+        help="also export the last recovery's forensic bundle as JSON",
+    )
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("bundle", help="pretty-print a forensic bundle file")
+    p.add_argument("file")
+    p.add_argument("--json", action="store_true", help="re-emit the bundle as JSON")
+    p.set_defaults(func=cmd_bundle)
+
+    p = sub.add_parser("timeline", help="merge a snapshot's spans + events into one timeline")
+    p.add_argument("file")
+    p.add_argument("--json", action="store_true", help="emit the merged timeline as JSON")
+    p.set_defaults(func=cmd_timeline)
 
     p = sub.add_parser("experiments", help="regenerate all tables/figures/ablations")
     p.set_defaults(func=cmd_experiments)
@@ -328,8 +411,13 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def rae_report_main() -> int:
-    """Console-script entry: ``rae-report [args]`` ≡ ``repro.tools report [args]``."""
-    return main(["report", *sys.argv[1:]])
+    """Console-script entry: ``rae-report`` dispatches to its own
+    subcommands (``report``/``bundle``/``timeline``) when named, and
+    defaults to ``report`` so ``rae-report --ops 500`` keeps working."""
+    argv = sys.argv[1:]
+    if argv and argv[0] in ("report", "bundle", "timeline"):
+        return main(argv)
+    return main(["report", *argv])
 
 
 if __name__ == "__main__":

@@ -343,6 +343,34 @@ class TestShadowStaysInstrumentationFree:
             "the shadow must stay instrumentation-free"
         )
 
+    def test_forensics_modules_exist_and_stay_out_of_the_closure(self):
+        """The forensics subsystem (events, flight recorder, bundles,
+        artifact gate) must be present in the scanned tree — a rename
+        would silently drop it from the transitive check above — and
+        must never be imported, even indirectly, from shadowfs/ or
+        spec/.  The divergence capture runs supervisor-side via the
+        engine's ``_crosscheck`` seam; the shadow itself gains no
+        observability imports."""
+        forensics_modules = {
+            "repro.obs.events",
+            "repro.obs.flight",
+            "repro.obs.forensics",
+            "repro.obs.check",
+        }
+        graph = {
+            _module_name(path): _repro_imports(path)
+            for path in SRC_ROOT.rglob("*.py")
+        }
+        missing = forensics_modules - set(graph)
+        assert not missing, f"forensics modules moved or deleted: {sorted(missing)}"
+        shadow_modules = {
+            m: imports for m, imports in graph.items()
+            if m.startswith(("repro.shadowfs", "repro.spec"))
+        }
+        for module, imports in shadow_modules.items():
+            hits = imports & forensics_modules
+            assert not hits, f"{module} imports forensics modules {sorted(hits)}"
+
     def test_lint_rule_flags_obs_import_in_shadowfs(self, tmp_path):
         from tests.test_static_analysis import analyze_tree, write_tree
         from repro.analysis.rules.shadow_purity import ShadowPurityRule

@@ -1,0 +1,464 @@
+"""Tests for the recovery flight recorder and forensic bundles:
+repro.obs.events, repro.obs.flight, repro.obs.forensics, and their
+supervisor wiring (correlation ids, freeze-at-detection, cross-check
+divergence capture)."""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.api import OpenFlags
+from repro.basefs.hooks import HookPoints
+from repro.core.supervisor import RAEConfig, RAEFilesystem
+from repro.errors import RecoveryFailure
+from repro.faults.catalog import make_dir_insert_crash_bug
+from repro.faults.injector import Injector
+from repro.obs import (
+    BundleStore,
+    CrossCheckCapture,
+    EventLog,
+    FlightRecorder,
+    build_bundle,
+    load_bundle,
+    merge_timeline,
+    render_bundle,
+    render_timeline,
+    write_bundle,
+)
+from repro.obs.flight import DETAIL_LIMIT
+from repro.obs.metrics import Histogram
+from tests.conftest import formatted_device
+from tests.test_core_supervisor import crash_on_name
+from tests.test_obs import FakeClock
+
+
+# ---------------------------------------------------------------------------
+# Event log
+
+
+class TestEventLog:
+    def test_emit_records_seq_ts_corr_id_fields(self):
+        log = EventLog(clock=FakeClock())
+        event = log.emit("detect", corr_id=7, kind_of_error="bug")
+        assert event.seq == 1
+        assert event.ts == 1.0
+        assert event.corr_id == 7
+        assert event.fields == {"kind_of_error": "bug"}
+        assert log.counts == {"detect": 1}
+
+    def test_ring_bounded_but_counts_cumulative(self):
+        log = EventLog(clock=FakeClock(), limit=3)
+        for i in range(5):
+            log.emit("tick", corr_id=i)
+        assert len(log) == 3
+        assert log.emitted == 5
+        assert log.dropped == 2
+        assert log.counts == {"tick": 5}
+        assert [e.corr_id for e in log.events] == [2, 3, 4]
+
+    def test_since_slices_by_event_number(self):
+        log = EventLog(clock=FakeClock())
+        log.emit("before")
+        mark = log.emitted
+        log.emit("during", corr_id=1)
+        log.emit("during", corr_id=2)
+        sliced = log.since(mark)
+        assert [e.corr_id for e in sliced] == [1, 2]
+        assert log.since(log.emitted) == []
+
+    def test_disabled_log_is_a_no_op(self):
+        log = EventLog(clock=FakeClock(), enabled=False)
+        assert log.emit("detect") is None
+        assert log.emitted == 0
+        assert log.snapshot() == []
+
+    def test_bad_limit_rejected(self):
+        with pytest.raises(ValueError):
+            EventLog(limit=0)
+
+
+# ---------------------------------------------------------------------------
+# Flight recorder
+
+
+class TestFlightRecorder:
+    def test_ring_is_bounded_and_details_truncated(self):
+        rec = FlightRecorder(clock=FakeClock(), size=3)
+        for i in range(5):
+            rec.note_op(i, "write", "x" * 500)
+        assert len(rec) == 3
+        assert rec.ops_seen == 5
+        for entry in rec.entries:
+            assert len(entry.detail) == DETAIL_LIMIT
+            assert entry.detail.endswith("...")
+
+    def test_freeze_copies_ring_and_stat_deltas(self):
+        stats = {"journal.commits": 10}
+        rec = FlightRecorder(clock=FakeClock(), stats_source=lambda: dict(stats))
+        rec.rebaseline()
+        stats["journal.commits"] = 14
+        rec.note_op(1, "mkdir", "mkdir(path='/a')")
+        frozen = rec.freeze("bug during op #1", trigger_seq=1)
+        assert frozen.trigger_seq == 1
+        assert frozen.reason == "bug during op #1"
+        assert [e.seq for e in frozen.entries] == [1]
+        assert frozen.stat_deltas == {"journal.commits": 4}
+        assert rec.freezes == 1
+        assert rec.last_frozen is frozen
+        # The frozen copy is immutable: later ops don't leak into it.
+        rec.note_op(2, "rmdir", "rmdir(path='/a')")
+        assert len(frozen.entries) == 1
+
+    def test_freeze_advances_baseline(self):
+        stats = {"n": 0}
+        rec = FlightRecorder(clock=FakeClock(), stats_source=lambda: dict(stats))
+        rec.rebaseline()
+        stats["n"] = 5
+        assert rec.freeze("first").stat_deltas == {"n": 5}
+        stats["n"] = 7
+        assert rec.freeze("second").stat_deltas == {"n": 2}
+
+    def test_disabled_recorder_records_and_freezes_nothing(self):
+        rec = FlightRecorder(clock=FakeClock(), enabled=False)
+        rec.note_op(1, "mkdir", "mkdir(path='/a')")
+        rec.mark("detect")
+        assert len(rec) == 0
+        assert rec.freeze("bug") is None
+
+    def test_marks_interleave_with_ops(self):
+        rec = FlightRecorder(clock=FakeClock())
+        rec.note_op(1, "mkdir", "mkdir(path='/a')")
+        rec.mark("detect", seq=2, detail="bug during op #2")
+        kinds = [e.kind for e in rec.entries]
+        assert kinds == ["op", "mark"]
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(size=0)
+
+
+# ---------------------------------------------------------------------------
+# Histogram percentiles
+
+
+class TestHistogramPercentiles:
+    def test_empty_histogram_has_no_percentiles(self):
+        hist = Histogram("h")
+        assert hist.percentile(0.5) is None
+        snap = hist.snapshot()
+        assert snap["p50"] is None and snap["p95"] is None and snap["p99"] is None
+
+    def test_invalid_quantile_rejected(self):
+        hist = Histogram("h")
+        for q in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                hist.percentile(q)
+
+    def test_estimates_land_in_the_right_bucket(self):
+        hist = Histogram("h", lo=1.0, factor=2.0, buckets=8)
+        for value in [1.5] * 50 + [100.0] * 50:
+            hist.observe(value)
+        p50 = hist.percentile(0.50)
+        p99 = hist.percentile(0.99)
+        # p50 sits in the (1, 2] bucket, p99 in the (64, 128] one.
+        assert 1.0 <= p50 <= 2.0
+        assert 64.0 <= p99 <= 128.0
+
+    def test_clamped_to_observed_extremes(self):
+        hist = Histogram("h", lo=1.0, factor=2.0, buckets=4)
+        hist.observe(3.0)
+        # One sample: every quantile is that sample (bucket interpolation
+        # would otherwise report a value inside the (2, 4] bucket).
+        assert hist.percentile(0.01) == 3.0
+        assert hist.percentile(1.0) == 3.0
+
+    def test_overflow_rank_reports_max(self):
+        hist = Histogram("h", lo=1.0, factor=2.0, buckets=2)
+        hist.observe(1000.0)
+        hist.observe(2000.0)
+        assert hist.percentile(0.99) == 2000.0
+
+    def test_snapshot_percentiles_are_ordered(self):
+        hist = Histogram("h")
+        for i in range(1, 200):
+            hist.observe(i * 1e-5)
+        snap = hist.snapshot()
+        assert snap["p50"] <= snap["p95"] <= snap["p99"] <= snap["max"]
+
+
+# ---------------------------------------------------------------------------
+# Crash-safe BENCH_obs.json flush
+
+
+class TestFlushCrashSafety:
+    def test_flush_leaves_no_temp_file(self, tmp_path):
+        from repro.obs import flush_bench_obs, record_section
+
+        reg = __import__("repro.obs", fromlist=["Registry"]).Registry(clock=FakeClock())
+        record_section("a", reg)
+        target = tmp_path / "BENCH_obs.json"
+        flush_bench_obs(str(target))
+        assert target.exists()
+        assert not (tmp_path / "BENCH_obs.json.tmp").exists()
+        assert json.loads(target.read_text())["schema"] == 1
+
+    def test_failed_flush_clears_staging_and_temp(self, tmp_path):
+        from repro.obs import flush_bench_obs, record_section
+        from repro.obs.export import _sections
+
+        reg = __import__("repro.obs", fromlist=["Registry"]).Registry(clock=FakeClock())
+        record_section("a", reg)
+        # os.replace onto a directory fails after the temp write succeeds.
+        target = tmp_path / "adir"
+        target.mkdir()
+        with pytest.raises(OSError):
+            flush_bench_obs(str(target))
+        assert _sections == {}
+        assert not (tmp_path / "adir.tmp").exists()
+
+    def test_interrupted_write_preserves_previous_artifact(self, tmp_path, monkeypatch):
+        from repro.obs import flush_bench_obs, record_section
+        import repro.obs.export as export
+
+        reg = __import__("repro.obs", fromlist=["Registry"]).Registry(clock=FakeClock())
+        record_section("good", reg)
+        target = tmp_path / "BENCH_obs.json"
+        flush_bench_obs(str(target))
+        before = target.read_text()
+
+        record_section("bad", reg)
+        monkeypatch.setattr(
+            export.json, "dump",
+            lambda *a, **k: (_ for _ in ()).throw(RuntimeError("disk full")),
+        )
+        with pytest.raises(RuntimeError):
+            flush_bench_obs(str(target))
+        # Readers still see the previous complete artifact.
+        assert target.read_text() == before
+
+
+# ---------------------------------------------------------------------------
+# Bundle primitives
+
+
+class TestBundlePrimitives:
+    def _minimal(self, **over):
+        kwargs = dict(
+            outcome="success",
+            trigger={"corr_id": 1, "kind": "bug", "op": "mkdir",
+                     "exception": "KernelBug", "message": "boom"},
+            window=None,
+            flight=None,
+            phases={"reboot": 0.1, "replay": 0.2, "handoff": 0.1, "total": 0.4},
+            replay=None,
+            crosschecks=CrossCheckCapture().as_dict(),
+            events=[],
+        )
+        kwargs.update(over)
+        return build_bundle(**kwargs)
+
+    def test_build_rejects_unknown_outcome(self):
+        with pytest.raises(ValueError):
+            self._minimal(outcome="maybe")
+
+    def test_store_is_bounded_with_cumulative_built(self):
+        store = BundleStore(limit=2)
+        for i in range(4):
+            store.add(self._minimal(nesting=i))
+        assert store.built == 4
+        assert store.dropped == 2
+        assert len(store.bundles) == 2
+        assert store.last["nesting"] == 3
+
+    def test_write_load_round_trip(self, tmp_path):
+        bundle = self._minimal()
+        path = write_bundle(str(tmp_path / "b.json"), bundle)
+        assert not os.path.exists(path + ".tmp")
+        assert load_bundle(path) == bundle
+
+    def test_load_rejects_missing_corrupt_and_wrong_schema(self, tmp_path):
+        with pytest.raises(OSError):
+            load_bundle(str(tmp_path / "nope.json"))
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text("{not json")
+        with pytest.raises(ValueError):
+            load_bundle(str(corrupt))
+        not_a_bundle = tmp_path / "other.json"
+        not_a_bundle.write_text('{"schema": 1}')
+        with pytest.raises(ValueError):
+            load_bundle(str(not_a_bundle))
+        wrong_schema = tmp_path / "schema.json"
+        wrong_schema.write_text(json.dumps({**self._minimal(), "schema": 99}))
+        with pytest.raises(ValueError):
+            load_bundle(str(wrong_schema))
+
+    def test_crosscheck_capture_is_bounded(self):
+        class FakeOutcome:
+            value, ino, errno = 1, None, None
+
+            @staticmethod
+            def same_outcome_as(other):
+                return True
+
+        class FakeOp:
+            @staticmethod
+            def describe():
+                return "op()"
+
+        class FakeRecord:
+            seq, op, outcome = 1, FakeOp(), FakeOutcome()
+
+        capture = CrossCheckCapture(limit=2)
+        for _ in range(5):
+            capture.note(FakeRecord(), FakeOutcome())
+        assert capture.captured == 5
+        assert capture.dropped == 3
+        assert len(capture.rows) == 2
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: injected fault → bundle
+
+
+def _supervised_with_bug(config: RAEConfig | None = None):
+    device = formatted_device()
+    hooks = HookPoints()
+    fs = RAEFilesystem(device, config or RAEConfig(), hooks=hooks)
+    injector = Injector(hooks, seed=0)
+    injector.arm(make_dir_insert_crash_bug())
+    fs.on_reboot.append(injector.retarget)
+    injector.retarget(fs.base)
+    return fs
+
+
+class TestForensicBundleEndToEnd:
+    def _recovered_fs(self):
+        fs = _supervised_with_bug()
+        fs.mkdir("/a")
+        fd = fs.open("/a/f", OpenFlags.CREAT)
+        fs.write(fd, b"hello world")
+        fs.close(fd)
+        fs.mkdir("/a/this is evil")  # deterministic KernelBug → recovery
+        assert fs.recovery_count == 1
+        return fs
+
+    def test_success_bundle_is_complete(self):
+        fs = self._recovered_fs()
+        bundle = fs.last_bundle
+        assert bundle is not None
+        assert bundle["outcome"] == "success"
+        # Correlation id: the triggering op's log sequence number.
+        trigger = bundle["trigger"]
+        assert trigger["corr_id"] == 5
+        assert trigger["kind"] == "bug"
+        assert trigger["op"] == "mkdir"
+        # Frozen pre-detection flight ring: the four preceding ops.
+        flight = bundle["flight"]
+        assert flight["trigger_seq"] == 5
+        assert [e["seq"] for e in flight["entries"]] == [1, 2, 3, 4]
+        assert any(delta > 0 for delta in flight["stat_deltas"].values())
+        # Per-phase timings.
+        assert set(bundle["phases"]) == {"reboot", "replay", "handoff", "total"}
+        assert bundle["phases"]["total"] > 0
+        # At least one populated constrained-mode cross-check row.
+        rows = bundle["crosschecks"]["rows"]
+        assert len(rows) >= 1
+        assert all(row["match"] for row in rows)
+        assert rows[0]["expected"]["value"] is not None or rows[0]["expected"]["ino"] is not None
+        # Correlated events, detection first.
+        kinds = [e["kind"] for e in bundle["events"]]
+        assert kinds[0] == "detect"
+        assert "recovery.succeeded" in kinds
+        assert all(e["corr_id"] == 5 for e in bundle["events"])
+        # Window names the replayed slice.
+        assert bundle["window"]["first_seq"] == 1
+        assert bundle["window"]["last_seq"] == 4
+
+    def test_flight_freeze_precedes_reboot(self):
+        """The frozen ring's stat deltas come from the *failed* base:
+        its oplog tally counts the pre-detection window, which the
+        contained reboot resets to zero."""
+        fs = self._recovered_fs()
+        frozen = fs.last_bundle["flight"]
+        assert frozen["stat_deltas"]["oplog.recorded"] == 4
+        # After recovery the recorder rebaselined against the new base.
+        fs.mkdir("/b")
+        second = fs.flight.freeze("manual")
+        assert second.stat_deltas["oplog.recorded"] < 4
+
+    def test_bundle_built_even_when_recovery_fails(self):
+        config = RAEConfig(shadow_in_process=False)  # memory device → fails
+        fs = _supervised_with_bug(config)
+        fs.mkdir("/a")
+        with pytest.raises(RecoveryFailure):
+            fs.mkdir("/a/this is evil")
+        bundle = fs.last_bundle
+        assert bundle["outcome"] == "failure"
+        assert bundle["failure"]["phase"] == "shadow-process"
+        assert bundle["trigger"]["kind"] == "bug"
+        assert bundle["flight"]["trigger_seq"] == bundle["trigger"]["corr_id"]
+        assert set(bundle["phases"]) >= {"reboot", "replay", "handoff", "total"}
+        kinds = [e["kind"] for e in bundle["events"]]
+        assert "recovery.failed" in kinds
+
+    def test_bundle_store_and_collector_track_history(self):
+        fs = _supervised_with_bug()
+        fs.mkdir("/a")
+        fs.mkdir("/a/one evil")
+        fs.mkdir("/a/two evil")
+        assert fs.forensics.built == 2
+        collected = fs.obs.collect()
+        assert collected["forensics.bundles_built"] == 2
+        assert collected["forensics.flight.freezes"] == 2
+        assert collected["forensics.flight.ops_seen"] == fs.stats.ops
+
+    def test_flight_disabled_still_builds_bundle(self):
+        fs = _supervised_with_bug(RAEConfig(flight=False))
+        fs.mkdir("/a")
+        fs.mkdir("/a/x evil")
+        bundle = fs.last_bundle
+        assert bundle["outcome"] == "success"
+        assert bundle["flight"] is None
+        assert len(bundle["crosschecks"]["rows"]) >= 1
+
+    def test_metrics_disabled_bundle_has_no_events_but_full_forensics(self):
+        fs = _supervised_with_bug(RAEConfig(metrics=False))
+        fs.mkdir("/a")
+        fs.mkdir("/a/x evil")
+        bundle = fs.last_bundle
+        assert bundle["outcome"] == "success"
+        assert bundle["events"] == []
+        assert bundle["flight"] is not None
+        assert len(bundle["crosschecks"]["rows"]) >= 1
+
+    def test_render_bundle_names_the_story(self):
+        fs = self._recovered_fs()
+        text = render_bundle(fs.last_bundle)
+        assert "success recovery" in text
+        assert "corr_id=5" in text
+        assert "flight ring (frozen at detection" in text
+        assert "[MATCH]" in text
+        assert "detect" in text
+
+    def test_timeline_merges_spans_and_events_causally(self):
+        fs = self._recovered_fs()
+        snap = fs.obs.snapshot()
+        merged = merge_timeline(snap["spans"], snap["events"])
+        timestamps = [entry["ts"] for entry in merged]
+        assert timestamps == sorted(timestamps)
+        names = [entry["name"] for entry in merged]
+        # Detection precedes the recovery span; the success event follows
+        # the hand-off — one causally ordered narrative.
+        assert names.index("detect") < names.index("recovery")
+        assert names.index("recovery.handoff") < names.index("recovery.succeeded")
+        text = render_timeline(merged)
+        assert "span  recovery" in text
+        assert "event detect" in text
+
+    def test_registry_snapshot_carries_events(self):
+        fs = self._recovered_fs()
+        snap = fs.obs.snapshot()
+        assert any(e["kind"] == "detect" for e in snap["events"])
+        assert any(e["kind"] == "handoff.download" for e in snap["events"])
