@@ -3,9 +3,10 @@
 PYTHON ?= python
 PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: all install lint lint-json lint-contracts test bench bench-obs experiments examples verify clean
+.PHONY: all install lint lint-json lint-github lint-contracts lint-concurrency test bench bench-obs experiments examples verify clean
 
 CONTRACT_RULES = ERRNO-PARITY,EFFECT-CONTRACT,API-PARITY,STATE-PROTOCOL
+CONCURRENCY_RULES = RACE-LOCKSET,ATOMIC-RMW,ASYNC-BLOCKING,AWAIT-HOLDING-LOCK
 
 # Default flow: static analysis first (fast), then the tier-1 suite.
 all: lint test
@@ -19,11 +20,22 @@ lint:
 lint-json:
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.analysis src/repro --fail-on-findings --format=json
 
+# GitHub workflow-command annotations: findings render inline on the PR
+# diff.  CI uses this for the main lint step; lint-json stays the
+# machine-readable ratchet format.
+lint-github:
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.analysis src/repro --fail-on-findings --format=github
+
 # The contract rules alone, with the ratchet check: fails on any finding
 # not in raelint.baseline.json AND on baseline entries that no longer
 # fire (the baseline may only shrink).
 lint-contracts:
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.analysis src/repro --select $(CONTRACT_RULES) --check-baseline --fail-on-findings
+
+# The concurrency rules alone (same shape as lint-contracts): the race
+# detector and async-discipline checks for the parallel-recovery arc.
+lint-concurrency:
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.analysis src/repro --select $(CONCURRENCY_RULES) --check-baseline --fail-on-findings
 
 test:
 	$(PYTHON) -m pytest tests/

@@ -26,8 +26,26 @@ import sys
 from pathlib import Path
 
 from repro.analysis.baseline import BASELINE_FILENAME, Baseline
+from repro.analysis.concurrency import ConcurrencyConfigError
 from repro.analysis.engine import Analyzer
+from repro.analysis.findings import Finding
 from repro.analysis.rules import default_rules
+
+
+def _github_annotation(finding: Finding, root: Path, baselined: bool) -> str:
+    """One GitHub workflow command per finding.
+
+    The ``file=`` property must be repo-relative for GitHub to anchor
+    the annotation on the PR diff; finding paths are analysis-root-
+    relative, so rejoin them with the root as given on the command line
+    (CI invokes raelint from the repo root with ``src/repro``).
+    Newlines in messages would terminate the command early — GitHub's
+    escaping convention is URL-encoding them.
+    """
+    path = finding.path if root.is_file() else (root / finding.path).as_posix()
+    message = finding.message.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    title = finding.rule_id + (" (baselined)" if baselined else "")
+    return f"::error file={path},line={finding.line},title={title}::{message}"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -59,9 +77,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="report format [default: text]",
+        help="report format; 'github' emits workflow-command annotations "
+        "(::error file=...) that GitHub renders inline on the PR diff "
+        "[default: text]",
     )
     parser.add_argument(
         "--fail-on-findings",
@@ -129,6 +149,11 @@ def _changed_paths(root: Path) -> set[str] | None:
         if not line.strip() or not line.endswith(".py"):
             continue
         candidate = (Path(top) / line).resolve()
+        if not candidate.is_file():
+            # Deleted (or renamed-away) in the working tree: nothing to
+            # analyze, and --check-baseline must not judge its baseline
+            # entries stale — the deletion commit is what ratchets them.
+            continue
         if resolved_root.is_file():
             if candidate == resolved_root:
                 changed.add(resolved_root.name)  # matches Analyzer._relpath
@@ -188,7 +213,13 @@ def main(argv: list[str] | None = None) -> int:
 
     baseline_path = _resolve_baseline_path(args, root)
     baseline = Baseline.load(baseline_path)
-    report = Analyzer(root, rules=rules, baseline=baseline, only_paths=only_paths).run()
+    try:
+        report = Analyzer(root, rules=rules, baseline=baseline, only_paths=only_paths).run()
+    except ConcurrencyConfigError as error:
+        # A spec/concurrency.py declaration that cannot bind is a broken
+        # configuration, not a finding: report it like a bad --select.
+        print(f"raelint: concurrency spec error: {error}", file=sys.stderr)
+        return 2
 
     if args.write_baseline or args.update_baseline:
         updated = Baseline.from_findings(report.findings)
@@ -229,7 +260,12 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 1
 
-    if args.format == "json":
+    if args.format == "github":
+        new = set(report.new_findings)
+        for finding in report.findings:
+            print(_github_annotation(finding, root, baselined=finding not in new))
+        print(report.summary())
+    elif args.format == "json":
         payload = {
             "files": report.files,
             "findings": [f.to_json() for f in report.findings],

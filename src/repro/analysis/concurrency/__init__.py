@@ -1,0 +1,61 @@
+"""Concurrency-safety analysis for raelint — the fourth analysis layer.
+
+The ROADMAP's next arc is explicitly concurrent: an asyncio multi-tenant
+front-end over the supervisor, sharded replay and parallel fsck, and
+multi-volume federation.  None of that parallelism touches the shadow —
+SHADOW-PURITY keeps it sequential and import-clean by construction,
+which is the paper's trust argument — but the *supervisor side* grows
+threads, executor pools, and event loops, and those need the same
+"verified at lint time" treatment the first five PRs gave purity, lock
+discipline, and contracts.
+
+Three pieces, layered on the PR 2 CFG/dataflow/call-graph machinery:
+
+* :mod:`repro.analysis.concurrency.declared` — extraction of the
+  declared concurrency spec from ``spec/concurrency.py``: the
+  ``SHARED_CLASSES`` registry (classes whose instances are reachable
+  from more than one thread or task) and the ``GUARDED_BY`` map (which
+  lock must protect each shared attribute).  Both are pure literals,
+  like ``OP_CONTRACTS``.  A declaration that names a nonexistent class
+  or attribute is a *configuration error* (exit 2), not a finding — a
+  guard that cannot bind protects nothing.
+* :mod:`repro.analysis.concurrency.model` — the shared-state model: it
+  seeds shared classes from ``threading.Thread`` targets, executor
+  ``submit`` calls, asyncio task creation, and the declared registry,
+  then collects every attribute access site on a shared class together
+  with the Eraser-style may-held lockset at that site.
+* the four consuming rules in :mod:`repro.analysis.rules` —
+  RACE-LOCKSET, ATOMIC-RMW, ASYNC-BLOCKING, and AWAIT-HOLDING-LOCK.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.concurrency.declared import (
+    GUARD_SINGLE_THREADED,
+    ConcurrencyConfigError,
+    ConcurrencyDecls,
+    declared_concurrency,
+)
+from repro.analysis.concurrency.model import (
+    AccessSite,
+    SharedStateModel,
+    apply_guard_call,
+    lockset_at,
+    model_for,
+    norm_token,
+    with_lock_tokens,
+)
+
+__all__ = [
+    "AccessSite",
+    "ConcurrencyConfigError",
+    "ConcurrencyDecls",
+    "GUARD_SINGLE_THREADED",
+    "SharedStateModel",
+    "apply_guard_call",
+    "declared_concurrency",
+    "lockset_at",
+    "model_for",
+    "norm_token",
+    "with_lock_tokens",
+]

@@ -48,12 +48,21 @@ from repro.analysis.contracts.summaries import (
 from repro.analysis.engine import ParsedModule
 from repro.analysis.rules.shadow_reach import graph_for
 
-# One SummaryEngine per module set, sharing the CallGraph cache keyed the
-# same way (identity of the sequence the engine passes to check_project).
+# One SummaryEngine per module set.  Rules running under the engine pass
+# their RuleContext and share its per-run store; the module-level cache
+# remains for direct invocation, keyed the same way (identity of the
+# sequence the engine passes to check_project).
 _ENGINE_CACHE: list[tuple[Sequence[ParsedModule], SummaryEngine]] = []
 
 
-def summaries_for(modules: Sequence[ParsedModule]) -> SummaryEngine:
+def summaries_for(modules: Sequence[ParsedModule], context=None) -> SummaryEngine:
+    if context is not None:
+        key = ("contract-summaries", id(modules))
+        engine = context.shared.get(key)
+        if engine is None:
+            engine = SummaryEngine(graph_for(modules, context))
+            context.shared[key] = engine
+        return engine
     for cached_modules, engine in _ENGINE_CACHE:
         if cached_modules is modules:
             return engine

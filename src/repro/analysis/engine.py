@@ -95,12 +95,74 @@ class ParsedModule:
         return self._parents.get(node)
 
 
+class RuleContext:
+    """Shared, memoized analysis artifacts for one analyzer run.
+
+    The flow, contract, and concurrency rule families all want the same
+    expensive intermediates — per-function CFGs, the project call graph,
+    interprocedural summaries, the shared-state model.  Before this
+    existed every rule rebuilt its own CFGs, so one ``make lint`` built
+    each function's graph up to five times.  The :class:`Analyzer` now
+    creates one context per run and installs it on every rule; rules
+    reach shared artifacts through ``self.context``.
+
+    * :meth:`cfg` memoizes per function *node* (identity), which is
+      sound because the parsed trees are owned by the run that owns
+      this context — the node cannot be reparsed underneath us.
+    * :meth:`graph` memoizes the project call graph per module *list*
+      (identity), matching how the engine hands the same sequence to
+      every project rule.
+    * :attr:`shared` is an open store for rule families to stash
+      heavier derived artifacts (contract summaries, the concurrency
+      shared-state model) under family-chosen keys.
+    """
+
+    def __init__(self) -> None:
+        self._cfgs: dict[int, object] = {}
+        self._graphs: list[tuple[Sequence["ParsedModule"], object]] = []
+        self.shared: dict = {}
+
+    def cfg(self, func: ast.FunctionDef | ast.AsyncFunctionDef):
+        """The (memoized) CFG for one function definition."""
+        cached = self._cfgs.get(id(func))
+        if cached is None:
+            from repro.analysis.flow.cfg import build_cfg
+
+            cached = build_cfg(func)
+            self._cfgs[id(func)] = cached
+        return cached
+
+    def graph(self, modules: Sequence["ParsedModule"]):
+        """The (memoized) project call graph for one module set."""
+        for cached_modules, graph in self._graphs:
+            if cached_modules is modules:
+                return graph
+        from repro.analysis.flow.callgraph import CallGraph
+
+        graph = CallGraph(modules)
+        self._graphs.append((modules, graph))
+        return graph
+
+
 class Rule:
     """Base class: identity and metadata shared by both rule kinds."""
 
     rule_id: str = ""
     severity: Severity = Severity.ERROR
     description: str = ""
+    _context: RuleContext | None = None
+
+    @property
+    def context(self) -> RuleContext:
+        """The run-shared :class:`RuleContext`.
+
+        The engine installs one shared context before running the rule
+        set; a rule invoked directly (unit tests, library use) lazily
+        gets a private one, so ``self.context.cfg(...)`` is always safe.
+        """
+        if self._context is None:
+            self._context = RuleContext()
+        return self._context
 
     def finding(self, module: ParsedModule, node: ast.AST, message: str) -> Finding:
         return Finding(
@@ -207,6 +269,11 @@ class Analyzer:
 
     def run(self) -> Report:
         modules, parse_errors = self.parse_all()
+        # One shared context per run: CFGs and the call graph are built
+        # once and reused across every rule family (see RuleContext).
+        context = RuleContext()
+        for rule in self.rules:
+            rule._context = context
         raw: list[Finding] = [f for f in parse_errors if self._selected(f.path)]
         for rule in self.rules:
             if isinstance(rule, ProjectRule):

@@ -8,6 +8,9 @@ from __future__ import annotations
 
 from repro.analysis.engine import Rule
 from repro.analysis.rules.api_parity import ApiParityRule
+from repro.analysis.rules.async_blocking import AsyncBlockingRule
+from repro.analysis.rules.atomic_rmw import AtomicRmwRule
+from repro.analysis.rules.await_holding_lock import AwaitHoldingLockRule
 from repro.analysis.rules.effect_contract import EffectContractRule
 from repro.analysis.rules.errno_discipline import ErrnoDisciplineRule
 from repro.analysis.rules.errno_parity import ErrnoParityRule
@@ -16,6 +19,7 @@ from repro.analysis.rules.journal_before_write import JournalBeforeWriteRule
 from repro.analysis.rules.lock_order import LockOrderRule
 from repro.analysis.rules.lock_release import LockReleaseRule
 from repro.analysis.rules.oplog_coverage import OplogCoverageRule
+from repro.analysis.rules.race_lockset import RaceLocksetRule
 from repro.analysis.rules.replay_determinism import ReplayDeterminismRule
 from repro.analysis.rules.shadow_purity import ShadowPurityRule
 from repro.analysis.rules.shadow_reach import ShadowReachRule
@@ -35,6 +39,10 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     EffectContractRule,
     ApiParityRule,
     StateProtocolRule,
+    RaceLocksetRule,
+    AtomicRmwRule,
+    AsyncBlockingRule,
+    AwaitHoldingLockRule,
 )
 
 
@@ -59,4 +67,8 @@ __all__ = [
     "EffectContractRule",
     "ApiParityRule",
     "StateProtocolRule",
+    "RaceLocksetRule",
+    "AtomicRmwRule",
+    "AsyncBlockingRule",
+    "AwaitHoldingLockRule",
 ]

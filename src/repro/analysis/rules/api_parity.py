@@ -79,7 +79,7 @@ class ApiParityRule(ProjectRule):
     description = "overrides of FilesystemAPI abstract methods must keep its exact parameter names, order, and defaults"
 
     def check_project(self, modules: Sequence[ParsedModule]) -> Iterable[Finding]:
-        graph = graph_for(modules)
+        graph = graph_for(modules, self.context)
         by_path = {module.path: module for module in modules}
 
         api_info = None

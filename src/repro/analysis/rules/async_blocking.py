@@ -1,0 +1,184 @@
+"""ASYNC-BLOCKING: no blocking call reachable from a coroutine.
+
+The coming asyncio front-end multiplexes every tenant onto one event
+loop; a single ``time.sleep`` or synchronous ``open`` anywhere under an
+``async def`` stalls *all* of them.  This rule walks the call graph from
+every async def and reports blocking calls with the witness chain that
+reaches them.
+
+What counts as blocking:
+
+* a known blocking stdlib call — ``time.sleep``, the ``subprocess``
+  runners, raw ``os`` I/O, ``socket.create_connection`` — resolved
+  through each module's import aliases (``from time import sleep`` is
+  still ``time.sleep``);
+* the ``open(...)`` builtin (synchronous file I/O);
+* a non-awaited, no-argument ``.acquire()`` on a lock-ish receiver: a
+  ``threading`` lock acquired inside a coroutine blocks the loop, not
+  just the task.  ``await lock.acquire()`` is the asyncio idiom and is
+  exempt.
+
+The traversal stops at async-def boundaries — a blocking call is
+attributed to its *nearest* enclosing coroutine, not to every coroutine
+upstream — and never crosses executor hops by construction:
+``loop.run_in_executor(None, fn)`` / ``asyncio.to_thread(fn)`` pass
+``fn`` without calling it, so the call graph has no edge to follow,
+which is exactly the sanctioned escape hatch for blocking work.
+
+Runs unconditionally (no spec gate): an async def in the tree is its
+own evidence of an event loop.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Sequence
+
+from repro.analysis.concurrency.model import own_nodes
+from repro.analysis.engine import ParsedModule, ProjectRule
+from repro.analysis.findings import Finding
+from repro.analysis.flow.callgraph import CallGraph, render_chain
+from repro.analysis.flow.dataflow import lock_receiver
+from repro.analysis.rules.shadow_reach import graph_for
+
+#: Dotted names that block the calling thread (and thus the event loop).
+BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "os.read",
+    "os.write",
+    "os.fsync",
+    "os.open",
+    "socket.create_connection",
+    "requests.get",
+    "requests.post",
+    "urllib.request.urlopen",
+})
+
+_BLOCKING_MODULES = frozenset(name.rsplit(".", 1)[0] for name in BLOCKING_CALLS)
+
+
+def _import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name -> dotted origin, for the modules the blocklist cares
+    about (``sleep`` -> ``time.sleep``, ``sp`` -> ``subprocess``)."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in _BLOCKING_MODULES or alias.name.split(".")[0] in _BLOCKING_MODULES:
+                    aliases[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            if node.module in _BLOCKING_MODULES:
+                for alias in node.names:
+                    aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def _dotted(expr: ast.expr) -> str | None:
+    parts: list[str] = []
+    cursor = expr
+    while isinstance(cursor, ast.Attribute):
+        parts.append(cursor.attr)
+        cursor = cursor.value
+    if isinstance(cursor, ast.Name):
+        parts.append(cursor.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def blocking_reason(call: ast.Call, aliases: dict[str, str], module: ParsedModule) -> str | None:
+    """Why ``call`` blocks the event loop, or ``None`` if it does not."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id == "open":
+            return "builtin open() does synchronous file I/O"
+        origin = aliases.get(func.id)
+        if origin in BLOCKING_CALLS:
+            return f"{origin}() blocks the calling thread"
+        return None
+    dotted = _dotted(func)
+    if dotted is not None:
+        head, _, rest = dotted.partition(".")
+        resolved = f"{aliases[head]}.{rest}" if head in aliases and rest else dotted
+        if resolved in BLOCKING_CALLS:
+            return f"{resolved}() blocks the calling thread"
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr == "acquire"
+        and not call.args
+        and lock_receiver(func.value)
+        and not isinstance(module.parent(call), ast.Await)
+    ):
+        return (
+            f"sync {ast.unparse(func.value)}.acquire() blocks the event loop "
+            f"(use an asyncio.Lock, or run it in an executor)"
+        )
+    return None
+
+
+class AsyncBlockingRule(ProjectRule):
+    rule_id = "ASYNC-BLOCKING"
+    description = "no blocking call (time.sleep, sync I/O, sync lock acquire) reachable from an async def"
+
+    def check_project(self, modules: Sequence[ParsedModule]) -> Iterable[Finding]:
+        graph = graph_for(modules, self.context)
+        roots = sorted(
+            key
+            for key, info in graph.defs.items()
+            if isinstance(info.node, ast.AsyncFunctionDef)
+        )
+        if not roots:
+            return
+        by_path = {module.path: module for module in modules}
+        alias_cache: dict[str, dict[str, str]] = {}
+        async_keys = set(roots)
+        reported: set[tuple[str, int, str]] = set()
+
+        for root in roots:
+            parents = self._reach_sync(graph, root, async_keys)
+            for key in sorted(parents):
+                info = graph.defs[key]
+                module = by_path.get(info.path)
+                if module is None:
+                    continue
+                if info.path not in alias_cache:
+                    alias_cache[info.path] = _import_aliases(module.tree)
+                aliases = alias_cache[info.path]
+                for node in own_nodes(info.node):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    reason = blocking_reason(node, aliases, module)
+                    if reason is None:
+                        continue
+                    dedupe = (info.path, node.lineno, reason)
+                    if dedupe in reported:
+                        continue
+                    reported.add(dedupe)
+                    chain = render_chain(graph, graph.chain(parents, key))
+                    where = "in the coroutine body" if key == root else f"via {chain}"
+                    yield self.finding(
+                        module,
+                        node,
+                        f"blocking call reachable from async "
+                        f"{graph.defs[root].qualname}() {where}: {reason}",
+                    )
+
+    @staticmethod
+    def _reach_sync(graph: CallGraph, root: str, async_keys: set[str]) -> dict[str, str | None]:
+        """BFS from ``root`` that does not expand through *other* async
+        defs: each blocking site is attributed to its nearest coroutine,
+        which is the frame that actually stalls the loop."""
+        parents: dict[str, str | None] = {root: None}
+        queue = [root]
+        while queue:
+            current = queue.pop(0)
+            for callee in sorted(graph.edges.get(current, ())):
+                if callee in parents or callee in async_keys:
+                    continue
+                parents[callee] = current
+                queue.append(callee)
+        return parents

@@ -1,0 +1,114 @@
+"""ATOMIC-RMW: read-modify-writes on shared attributes must be atomic.
+
+A lost update needs less than a data race: even when every individual
+access is guarded, ``self.stats.recorded += 1`` is a read, an add, and a
+write — interleave two of them and one increment vanishes.  This rule
+judges the *compound*, not the accesses:
+
+* an augmented assignment (``+=``, ``|=``, ...) to a shared attribute
+  must run with a lock in its may-held lockset — the declared
+  ``GUARDED_BY`` token when one exists, otherwise any lock at all (no
+  lock means no atomicity story whatsoever);
+* in an async def, a read of a shared attribute followed by a write of
+  the same attribute **across an ``await``** is the cooperative-
+  scheduling spelling of the same bug: the event loop may run another
+  task between the read and the write.  It fires unless one common lock
+  spans both ends (an ``async with lock:`` around the whole compound).
+
+Attributes sanctioned with :data:`GUARD_SINGLE_THREADED` are exempt,
+same as RACE-LOCKSET.  Silent when the tree declares no
+``spec/concurrency.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Sequence
+
+from repro.analysis.concurrency import GUARD_SINGLE_THREADED, model_for, norm_token
+from repro.analysis.concurrency.model import own_nodes
+from repro.analysis.engine import ParsedModule, ProjectRule
+from repro.analysis.findings import Finding
+
+
+class AtomicRmwRule(ProjectRule):
+    rule_id = "ATOMIC-RMW"
+    description = "read-modify-write of a shared attribute must hold a lock across the whole compound"
+
+    def check_project(self, modules: Sequence[ParsedModule]) -> Iterable[Finding]:
+        model = model_for(modules, self.context)
+        if model is None:
+            return
+        by_path = {module.path: module for module in modules}
+        graph = model.graph
+
+        for attr_key in model.shared_attr_keys():
+            guard = model.guards.get(attr_key)
+            if guard == GUARD_SINGLE_THREADED:
+                continue
+            token = norm_token(guard) if guard else None
+            reason = model.reason(attr_key)
+            sites = model.accesses[attr_key]
+
+            for site in sites:
+                if site.kind != "rmw":
+                    continue
+                module = by_path.get(site.path)
+                if module is None:
+                    continue
+                if token is not None and token not in site.held:
+                    held = ", ".join(sorted(site.held)) or "none"
+                    yield self.finding(
+                        module,
+                        site.node,
+                        f"read-modify-write of {attr_key} without its declared "
+                        f"guard {guard!r} (may-held locks here: {held}; owner is "
+                        f"shared: {reason})",
+                    )
+                elif token is None and not site.held:
+                    yield self.finding(
+                        module,
+                        site.node,
+                        f"unsynchronized read-modify-write of shared attribute "
+                        f"{attr_key}: the load and the store can interleave with "
+                        f"another thread/task (owner is shared: {reason})",
+                    )
+
+            # Read ... await ... write of the same attribute inside one
+            # async def: the cooperative lost update.
+            for def_key in sorted({site.def_key for site in sites if site.in_async}):
+                per_def = [site for site in sites if site.def_key == def_key]
+                reads = [s for s in per_def if s.kind == "read"]
+                writes = [s for s in per_def if s.kind in ("write", "rmw")]
+                if not reads or not writes:
+                    continue
+                await_lines = [
+                    node.lineno
+                    for node in own_nodes(graph.defs[def_key].node)
+                    if isinstance(node, ast.Await)
+                ]
+                if not await_lines:
+                    continue
+                for write in writes:
+                    module = by_path.get(write.path)
+                    if module is None:
+                        continue
+                    for read in reads:
+                        if read.line >= write.line:
+                            continue
+                        if read.held & write.held:
+                            continue  # one lock spans the compound
+                        split = [
+                            line for line in await_lines if read.line < line <= write.line
+                        ]
+                        if not split:
+                            continue
+                        yield self.finding(
+                            module,
+                            write.node,
+                            f"read of {attr_key} at line {read.line} and this "
+                            f"write are split by an await at line {split[0]}: "
+                            f"another task can run in between (owner is shared: "
+                            f"{reason}); hold one lock across the compound",
+                        )
+                        break  # one finding per write site

@@ -1,0 +1,85 @@
+"""AWAIT-HOLDING-LOCK: no await while holding a synchronous lock.
+
+An ``await`` parks the current task and lets the event loop schedule
+others — with a ``threading``-style lock (or a ``LockManager`` inode
+lock) still held.  Any other task that needs that lock then blocks the
+*loop thread itself* trying to acquire it, and the task that would
+release it can never be scheduled again: instant single-threaded
+deadlock, the async twin of LOCK-RELEASE's leak-on-exception.
+
+The rule computes, at every ``await`` inside an async def, the may-held
+set of synchronous locks:
+
+* the acquire/release fixpoint (``locks.acquire(ino)`` and bare
+  ``lock.acquire()``), minus tokens whose acquire was itself awaited —
+  ``await lock.acquire()`` is an *asyncio* lock by construction;
+* plus lexically enclosing **sync** ``with <lock>:`` blocks.  ``async
+  with lock:`` is exempt: holding an asyncio lock across an await is the
+  intended idiom (the loop keeps running; only same-lock tasks wait).
+
+Runs unconditionally, like ASYNC-BLOCKING: it needs no shared-state
+declarations, only an async def and a lock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.concurrency.model import (
+    ConcurrencyLockset,
+    lockset_at,
+    norm_token,
+    own_nodes,
+    with_lock_tokens,
+)
+from repro.analysis.engine import FileRule, ParsedModule
+from repro.analysis.findings import Finding
+from repro.analysis.flow.dataflow import ACQUIRE_METHODS, lock_call, solve
+
+
+class AwaitHoldingLockRule(FileRule):
+    rule_id = "AWAIT-HOLDING-LOCK"
+    description = "an async def must not await while holding a synchronous lock"
+
+    def check(self, module: ParsedModule) -> Iterable[Finding]:
+        for func in self._async_defs(module.tree):
+            awaits = [node for node in own_nodes(func) if isinstance(node, ast.Await)]
+            if not awaits:
+                continue
+            cfg = self.context.cfg(func)
+            values = solve(cfg, ConcurrencyLockset())
+            async_tokens = self._awaited_acquire_tokens(func)
+            for node in awaits:
+                held = lockset_at(cfg, values, module, node) - async_tokens
+                held |= with_lock_tokens(module, node, include_async=False)
+                if not held:
+                    continue
+                locks = ", ".join(sorted(held))
+                yield self.finding(
+                    module,
+                    node,
+                    f"await inside {func.name}() while holding sync lock(s) "
+                    f"{locks}: another task needing them deadlocks the loop; "
+                    f"release before awaiting or switch to asyncio.Lock",
+                )
+
+    @staticmethod
+    def _async_defs(tree: ast.Module) -> list[ast.AsyncFunctionDef]:
+        return [
+            node for node in ast.walk(tree) if isinstance(node, ast.AsyncFunctionDef)
+        ]
+
+    @staticmethod
+    def _awaited_acquire_tokens(func: ast.AsyncFunctionDef) -> frozenset[str]:
+        """Tokens taken by ``await x.acquire()`` — asyncio locks, which
+        the sync-lock check must not count."""
+        tokens: set[str] = set()
+        for node in own_nodes(func):
+            if (
+                isinstance(node, ast.Await)
+                and lock_call(node.value, ACQUIRE_METHODS)
+                and not node.value.args
+            ):
+                tokens.add(norm_token(ast.unparse(node.value.func.value)))
+        return frozenset(tokens)

@@ -57,8 +57,8 @@ class EffectContractRule(ProjectRule):
         if declared is None:
             return
         _, contracts = declared
-        graph = graph_for(modules)
-        engine = summaries_for(modules)
+        graph = graph_for(modules, self.context)
+        engine = summaries_for(modules, self.context)
         by_path = {module.path: module for module in modules}
 
         for role, info in implementation_classes(graph):

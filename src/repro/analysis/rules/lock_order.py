@@ -56,7 +56,7 @@ class LockOrderRule(FileRule):
         if not self.applies_to(module):
             return
         for func in function_defs(module.tree):
-            cfg = build_cfg(func)
+            cfg = self.context.cfg(func)
             values = None
             for node in cfg.nodes:
                 calls = ordered_calls(node.payload)

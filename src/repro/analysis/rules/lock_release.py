@@ -58,7 +58,7 @@ class LockReleaseRule(FileRule):
     def check(self, module: ParsedModule) -> Iterable[Finding]:
         seen: set[int] = set()
         for func in function_defs(module.tree):
-            cfg = build_cfg(func)
+            cfg = self.context.cfg(func)
             values = None
             for node in cfg.nodes:
                 acquires = [

@@ -1,0 +1,74 @@
+"""RACE-LOCKSET: every write to a shared attribute holds its declared lock.
+
+The static half of Eraser's lockset algorithm, run over the shared-state
+model (:mod:`repro.analysis.concurrency.model`): a class is shared when
+an instance escapes to another thread/task or when it is registered in
+``SHARED_CLASSES``, and every attribute of a shared class needs a
+synchronization story *in writing*:
+
+* a real ``GUARDED_BY`` token — then every write site must have that
+  token in its may-held lockset (acquire/release fixpoint plus enclosing
+  ``with <lock>:`` blocks), or the write fires;
+* the :data:`GUARD_SINGLE_THREADED` sentinel — an argued sanction that
+  the owner is still driven by one thread today (the concurrency
+  analogue of ``shadow_extra``), silencing the rule until the token
+  flips to a real lock;
+* nothing — then any *write* fires: a shared attribute whose guard
+  nobody bothered to name is exactly the state a future concurrent
+  caller corrupts first.
+
+Read-modify-writes (``+=``) are deliberately excluded here — they fire
+ATOMIC-RMW, which judges the whole compound, so one seeded bug maps to
+exactly one rule.  Silent when the tree declares no
+``spec/concurrency.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.concurrency import GUARD_SINGLE_THREADED, model_for, norm_token
+from repro.analysis.engine import ParsedModule, ProjectRule
+from repro.analysis.findings import Finding
+
+
+class RaceLocksetRule(ProjectRule):
+    rule_id = "RACE-LOCKSET"
+    description = "writes to shared attributes must hold the GUARDED_BY lock declared in spec/concurrency.py"
+
+    def check_project(self, modules: Sequence[ParsedModule]) -> Iterable[Finding]:
+        model = model_for(modules, self.context)
+        if model is None:
+            return
+        by_path = {module.path: module for module in modules}
+        for attr_key in model.shared_attr_keys():
+            guard = model.guards.get(attr_key)
+            if guard == GUARD_SINGLE_THREADED:
+                continue
+            writes = [site for site in model.accesses[attr_key] if site.kind == "write"]
+            if not writes:
+                continue
+            reason = model.reason(attr_key)
+            for site in writes:
+                module = by_path.get(site.path)
+                if module is None:
+                    continue
+                if guard is None:
+                    yield self.finding(
+                        module,
+                        site.node,
+                        f"write to shared attribute {attr_key} with no GUARDED_BY "
+                        f"declaration (owner is shared: {reason}); declare its lock "
+                        f"in spec/concurrency.py or sanction it with "
+                        f"{GUARD_SINGLE_THREADED!r}",
+                    )
+                    continue
+                token = norm_token(guard)
+                if token not in site.held:
+                    held = ", ".join(sorted(site.held)) or "none"
+                    yield self.finding(
+                        module,
+                        site.node,
+                        f"write to {attr_key} without its declared guard {guard!r} "
+                        f"(may-held locks here: {held}; owner is shared: {reason})",
+                    )

@@ -110,7 +110,7 @@ class ReplayDeterminismRule(ProjectRule):
     description = "code reachable from shadow replay must not use time/random/uuid/threading or unordered-set iteration"
 
     def check_project(self, modules: Sequence[ParsedModule]) -> Iterable[Finding]:
-        graph = graph_for(modules)
+        graph = graph_for(modules, self.context)
         by_path = {module.path: module for module in modules}
 
         roots = []

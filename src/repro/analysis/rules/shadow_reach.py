@@ -46,12 +46,17 @@ _CACHE_MUTATORS = frozenset({
 })
 
 # One CallGraph per module set, shared across the flow rules in a run.
-# Keyed by identity of the sequence the engine passes to check_project;
-# holding a strong reference keeps the id stable for the cache lifetime.
+# Rules running under the engine pass their RuleContext and share its
+# per-run memo; the module-level cache remains for direct invocation
+# (unit tests, library callers), keyed by identity of the module
+# sequence — holding a strong reference keeps the id stable for the
+# cache lifetime.
 _GRAPH_CACHE: list[tuple[Sequence[ParsedModule], CallGraph]] = []
 
 
-def graph_for(modules: Sequence[ParsedModule]) -> CallGraph:
+def graph_for(modules: Sequence[ParsedModule], context=None) -> CallGraph:
+    if context is not None:
+        return context.graph(modules)
     for cached_modules, graph in _GRAPH_CACHE:
         if cached_modules is modules:
             return graph
@@ -87,7 +92,7 @@ class ShadowReachRule(ProjectRule):
     description = "shadowfs/spec code must not reach caches, device writes, hooks, or writeback through any call chain"
 
     def check_project(self, modules: Sequence[ParsedModule]) -> Iterable[Finding]:
-        graph = graph_for(modules)
+        graph = graph_for(modules, self.context)
         by_path = {module.path: module for module in modules}
 
         sinks = {key: reason for key, info in graph.defs.items() if (reason := sink_reason(info))}

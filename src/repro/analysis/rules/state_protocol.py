@@ -188,7 +188,7 @@ class StateProtocolRule(FileRule):
             if isinstance(call, ast.Call)
         ):
             return
-        cfg = build_cfg(func)
+        cfg = self.context.cfg(func)
         analysis = _JournalAnalysis()
         values = solve(cfg, analysis)
         exit_node = cfg.nodes[cfg.exit]
@@ -218,7 +218,7 @@ class StateProtocolRule(FileRule):
     # -- fds: open -> ... -> close | hand-off on some path ---------------
 
     def _check_fds(self, module: ParsedModule, func: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterable[Finding]:
-        cfg = build_cfg(func)
+        cfg = self.context.cfg(func)
         gen_at: dict[int, frozenset[str]] = {}
         opens: dict[str, tuple[str, ast.Call]] = {}  # fact -> (var, open call)
         for node in cfg.nodes:

@@ -580,6 +580,19 @@ class TestCli:
             "--check-baseline", "--baseline", str(baseline),
         ]) == 0
 
+    def test_github_format_emits_workflow_annotations(self, tmp_path, capsys):
+        root = write_tree(tmp_path, {"bad.py": "try:\n    f()\nexcept Exception:\n    pass\n"})
+        assert raelint_main([str(root), "--format=github", "--fail-on-findings"]) == 1
+        out = capsys.readouterr().out
+        line = next(l for l in out.splitlines() if l.startswith("::error "))
+        # file= is joined with the analysis root so GitHub can anchor
+        # the annotation on the PR diff; line/title/message follow the
+        # workflow-command grammar.
+        assert f"file={(Path(root) / 'bad.py').as_posix()}" in line
+        assert "line=3," in line
+        assert "title=ERRNO-DISCIPLINE" in line
+        assert line.count("::") == 2
+
     def test_changed_only_outside_git_exits_two(self, tmp_path, capsys, monkeypatch):
         monkeypatch.setenv("GIT_CEILING_DIRECTORIES", str(tmp_path))
         root = write_tree(tmp_path / "tree", {"ok.py": "x = 1\n"})
@@ -611,6 +624,102 @@ class TestCli:
         assert raelint_main([str(root), "--changed-only", "--format=json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert {f["path"] for f in payload["findings"]} == {"touched.py", "fresh.py"}
+
+    def test_changed_only_skips_deleted_files(self, tmp_path, capsys):
+        # A file deleted in the working tree shows up in `git diff HEAD`
+        # but has nothing to analyze; it must be dropped from the
+        # changed set — in particular --check-baseline must not judge
+        # its baseline entries stale (the deletion commit is what
+        # ratchets them), and the run must not crash trying to read it.
+        import subprocess
+
+        bad = "try:\n    f()\nexcept Exception:\n    pass\n"
+        root = write_tree(tmp_path, {"doomed.py": bad, "ok.py": "x = 1\n"})
+
+        def git(*argv):
+            subprocess.run(
+                ["git", *argv], cwd=root, check=True, capture_output=True,
+                env={"PATH": "/usr/bin:/bin", "HOME": str(tmp_path),
+                     "GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+                     "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t"},
+            )
+
+        git("init", "-q")
+        git("add", ".")
+        git("commit", "-q", "-m", "seed")
+
+        baseline = tmp_path / "baseline.json"
+        assert raelint_main([str(root), "--write-baseline", "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+
+        (root / "doomed.py").unlink()
+        (root / "fresh.py").write_text(bad)
+
+        assert raelint_main([
+            str(root), "--changed-only", "--check-baseline",
+            "--baseline", str(baseline), "--format=json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        # Only the untracked file is reported; doomed.py neither
+        # appears nor trips the stale-entry check.
+        assert {f["path"] for f in payload["findings"]} == {"fresh.py"}
+
+
+# ---------------------------------------------------------------------------
+# the shared rule context: memoized CFGs must not change behavior
+
+
+class TestSharedContext:
+    def test_cfgs_are_built_once_per_function(self):
+        import ast
+
+        from repro.analysis.engine import RuleContext
+
+        func = ast.parse("def f():\n    if x:\n        return 1\n    return 2\n").body[0]
+        context = RuleContext()
+        assert context.cfg(func) is context.cfg(func)
+
+    def test_shared_context_findings_match_isolated_runs(self, tmp_path):
+        # The engine memoizes CFGs/call graph across the rule set; the
+        # report must be identical to running every rule in its own
+        # Analyzer (fresh caches).  Fixture trips flow, contract, and
+        # concurrency rules so the shared artifacts are actually hit.
+        root = write_tree(tmp_path, {
+            "spec/concurrency.py": 'SHARED_CLASSES = ("Box",)\nGUARDED_BY = {}\n',
+            "core/box.py": """
+                import time
+
+                class Box:
+                    def __init__(self):
+                        self.item = None
+
+                def put(b: Box, item):
+                    b.item = item
+
+                async def drain(b: Box, locks, ino):
+                    locks.acquire(ino)
+                    await tick()
+                    locks.release(ino)
+                    time.sleep(1)
+
+                async def tick():
+                    pass
+            """,
+            "basefs/ops.py": """
+                def risky(locks, ino):
+                    locks.acquire(ino)
+                    might_raise()
+                    locks.release(ino)
+            """,
+        })
+        shared = analyze_tree(root)  # one Analyzer, one RuleContext
+        shared_keys = {(f.path, f.line, f.rule_id, f.message) for f in shared.findings}
+        isolated_keys = set()
+        for rule in default_rules():
+            report = analyze_tree(root, rules=[type(rule)()])
+            isolated_keys |= {(f.path, f.line, f.rule_id, f.message) for f in report.findings}
+        assert shared_keys == isolated_keys
+        assert shared_keys  # the fixture actually produced findings
 
 
 # ---------------------------------------------------------------------------
