@@ -3,10 +3,11 @@
 PYTHON ?= python
 PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: all install lint lint-json lint-github lint-contracts lint-concurrency test bench bench-obs experiments examples verify clean
+.PHONY: all install lint lint-json lint-github lint-contracts lint-concurrency lint-persistence crash-surface test bench bench-obs experiments examples verify clean
 
 CONTRACT_RULES = ERRNO-PARITY,EFFECT-CONTRACT,API-PARITY,STATE-PROTOCOL
 CONCURRENCY_RULES = RACE-LOCKSET,ATOMIC-RMW,ASYNC-BLOCKING,AWAIT-HOLDING-LOCK
+PERSISTENCE_RULES = FLUSH-BARRIER,PERSIST-ORDER,CRASH-HOOK-COVERAGE
 
 # Default flow: static analysis first (fast), then the tier-1 suite.
 all: lint test
@@ -36,6 +37,18 @@ lint-contracts:
 # detector and async-discipline checks for the parallel-recovery arc.
 lint-concurrency:
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.analysis src/repro --select $(CONCURRENCY_RULES) --check-baseline --fail-on-findings
+
+# The crash-consistency ordering rules alone (same shape): the static
+# half of the durability story — flush barriers, declared persistence
+# protocols, and fault-hook coverage of every persistence point.
+lint-persistence:
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.analysis src/repro --select $(PERSISTENCE_RULES) --check-baseline --fail-on-findings
+
+# Regenerate the committed crash-surface catalog (ROADMAP item 3's
+# sweep work-list).  CI runs this and fails on `git diff` drift, so the
+# catalog can never silently fall behind the code.
+crash-surface:
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.analysis src/repro --emit-crash-surface crashpoints.json
 
 test:
 	$(PYTHON) -m pytest tests/

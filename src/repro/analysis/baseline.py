@@ -11,6 +11,7 @@ so unrelated edits do not invalidate the file.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
@@ -59,4 +60,14 @@ class Baseline:
                 for p, r, m in sorted(self.entries)
             ],
         }
-        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+        # Stage-then-rename (same discipline as flush_bench_obs and the
+        # forensic bundle store): an interrupted --update-baseline must
+        # never truncate the committed ratchet file.
+        target = Path(path)
+        tmp = target.with_name(target.name + ".tmp")
+        try:
+            tmp.write_text(json.dumps(payload, indent=2) + "\n")
+            os.replace(tmp, target)
+        finally:
+            if tmp.exists():
+                tmp.unlink()

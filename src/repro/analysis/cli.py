@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -29,6 +30,7 @@ from repro.analysis.baseline import BASELINE_FILENAME, Baseline
 from repro.analysis.concurrency import ConcurrencyConfigError
 from repro.analysis.engine import Analyzer
 from repro.analysis.findings import Finding
+from repro.analysis.persistence import PersistenceConfigError
 from repro.analysis.rules import default_rules
 
 
@@ -41,11 +43,16 @@ def _github_annotation(finding: Finding, root: Path, baselined: bool) -> str:
     (CI invokes raelint from the repo root with ``src/repro``).
     Newlines in messages would terminate the command early — GitHub's
     escaping convention is URL-encoding them.
+
+    Baselined findings render as ``::notice`` rather than ``::error``:
+    they are known debt the ratchet already tracks, and a PR diff should
+    only scream about findings the PR itself introduced.
     """
     path = finding.path if root.is_file() else (root / finding.path).as_posix()
     message = finding.message.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
     title = finding.rule_id + (" (baselined)" if baselined else "")
-    return f"::error file={path},line={finding.line},title={title}::{message}"
+    level = "notice" if baselined else "error"
+    return f"::{level} file={path},line={finding.line},title={title}::{message}"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -111,13 +118,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail if any baseline entry no longer fires (the ratchet "
         "must only move down)",
     )
+    parser.add_argument(
+        "--changed-since",
+        default=None,
+        metavar="REF",
+        help="with --changed-only: diff against `git merge-base REF HEAD` "
+        "instead of the working tree, so CI PR runs scope to the PR's "
+        "delta (e.g. --changed-since origin/main)",
+    )
+    parser.add_argument(
+        "--emit-crash-surface",
+        default=None,
+        metavar="PATH",
+        help="build the persistence model and write the crash-surface "
+        "catalog (op -> ordered persistence points -> covering hook) as "
+        "schema-checked JSON to PATH, then exit",
+    )
     return parser
 
 
-def _changed_paths(root: Path) -> set[str] | None:
+def _changed_paths(root: Path, since: str | None = None) -> set[str] | None:
     """Root-relative paths of files changed in the enclosing git
-    checkout (tracked changes against HEAD, plus untracked files), or
-    ``None`` when git is unavailable or ``root`` is not in a checkout."""
+    checkout, or ``None`` when git is unavailable or ``root`` is not in
+    a checkout.  By default: tracked changes against HEAD plus untracked
+    files (the dirty working tree).  With ``since``, the diff base is
+    ``git merge-base since HEAD`` instead — the PR's delta — which is
+    what a CI pull-request run wants; untracked files still count."""
     try:
         top = subprocess.run(
             ["git", "rev-parse", "--show-toplevel"],
@@ -126,8 +152,17 @@ def _changed_paths(root: Path) -> set[str] | None:
             text=True,
             check=True,
         ).stdout.strip()
+        diff_base = "HEAD"
+        if since is not None:
+            diff_base = subprocess.run(
+                ["git", "merge-base", since, "HEAD"],
+                cwd=top,
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout.strip()
         diff = subprocess.run(
-            ["git", "diff", "--name-only", "HEAD"],
+            ["git", "diff", "--name-only", diff_base],
             cwd=top,
             capture_output=True,
             text=True,
@@ -166,6 +201,52 @@ def _changed_paths(root: Path) -> set[str] | None:
     return changed
 
 
+def _emit_crash_surface(root: Path, target: Path) -> int:
+    """Build the persistence model and write the crash-surface catalog.
+
+    The write is atomic (tmp + ``os.replace``) and validated before it
+    lands, so an interrupted or misconfigured run can never truncate or
+    corrupt the committed ``crashpoints.json`` CI diffs against."""
+    from repro.analysis.persistence import model_for
+    from repro.analysis.persistence.surface import (
+        build_crash_surface,
+        render_crash_surface,
+        validate_crash_surface,
+    )
+
+    analyzer = Analyzer(root)
+    modules, parse_errors = analyzer.parse_all()
+    if parse_errors:
+        for finding in parse_errors:
+            print(finding.render(), file=sys.stderr)
+        return 2
+    try:
+        model = model_for(modules)
+    except PersistenceConfigError as error:
+        print(f"raelint: persistence spec error: {error}", file=sys.stderr)
+        return 2
+    if model is None:
+        print(
+            "raelint: --emit-crash-surface needs a spec/persistence.py in the analyzed tree",
+            file=sys.stderr,
+        )
+        return 2
+    payload = build_crash_surface(model)
+    validate_crash_surface(payload)
+    tmp = target.with_name(target.name + ".tmp")
+    try:
+        tmp.write_text(render_crash_surface(payload))
+        os.replace(tmp, target)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+    print(
+        f"raelint: crash surface: {len(payload['points'])} persistence point(s) "
+        f"across {len(payload['ops'])} op(s) -> {target}"
+    )
+    return 0
+
+
 def _resolve_baseline_path(args: argparse.Namespace, root: Path) -> Path:
     if args.baseline:
         return Path(args.baseline)
@@ -201,9 +282,15 @@ def main(argv: list[str] | None = None) -> int:
         print(f"raelint: no such path: {root}", file=sys.stderr)
         return 2
 
+    if args.emit_crash_surface:
+        return _emit_crash_surface(root, Path(args.emit_crash_surface))
+
     only_paths: set[str] | None = None
+    if args.changed_since and not args.changed_only:
+        print("raelint: --changed-since requires --changed-only", file=sys.stderr)
+        return 2
     if args.changed_only:
-        only_paths = _changed_paths(root)
+        only_paths = _changed_paths(root, since=args.changed_since)
         if only_paths is None:
             print("raelint: --changed-only requires a git checkout", file=sys.stderr)
             return 2
@@ -215,10 +302,12 @@ def main(argv: list[str] | None = None) -> int:
     baseline = Baseline.load(baseline_path)
     try:
         report = Analyzer(root, rules=rules, baseline=baseline, only_paths=only_paths).run()
-    except ConcurrencyConfigError as error:
-        # A spec/concurrency.py declaration that cannot bind is a broken
-        # configuration, not a finding: report it like a bad --select.
-        print(f"raelint: concurrency spec error: {error}", file=sys.stderr)
+    except (ConcurrencyConfigError, PersistenceConfigError) as error:
+        # A spec/concurrency.py or spec/persistence.py declaration that
+        # cannot bind is a broken configuration, not a finding: report it
+        # like a bad --select.
+        family = "persistence" if isinstance(error, PersistenceConfigError) else "concurrency"
+        print(f"raelint: {family} spec error: {error}", file=sys.stderr)
         return 2
 
     if args.write_baseline or args.update_baseline:

@@ -1,0 +1,130 @@
+"""The machine-readable crash surface: ``crashpoints.json``.
+
+``raelint --emit-crash-surface`` serializes the persistence model into
+the committed catalog ROADMAP item 3's fault-sweep engine consumes:
+each entry names an op (a ``CRASH_ENTRY_POINTS`` root), the ordered
+persistence points the op can reach, the ``file:line`` witness for each
+point, and the fault-injection hook that covers it (or the sanction
+that argues why none does).  CI regenerates the file and fails on
+drift, so the sweep work-list can never silently fall behind the code.
+
+The payload is fully deterministic: points sorted by ``(path, line,
+kind)``, ops sorted by name, ``json.dumps(..., sort_keys=True)`` — two
+emissions over the same tree are byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.flow.callgraph import render_chain
+from repro.analysis.persistence.model import PersistenceModel
+
+SURFACE_VERSION = 1
+
+_POINT_FIELDS = {"ref", "kind", "path", "line", "function", "hook", "hook_chain", "sanction", "ops"}
+_KINDS = {"journal-write", "commit-record", "barrier", "checkpoint", "data-write"}
+
+
+def build_crash_surface(model: PersistenceModel) -> dict:
+    """The ``crashpoints.json`` payload for ``model``."""
+    graph = model.graph
+    # Per-op reachability: which defs each crash entry can reach, plus
+    # the parents map for witness chains.
+    op_reach: dict[str, dict] = {}
+    for op in sorted(model.entries):
+        op_reach[op] = graph.reachable([model.entries[op]])
+
+    points = []
+    for point in model.points:
+        ref = f"{point.path}:{point.line}"
+        hook = model.covering_hook(point.func_key)
+        sanction = model.sanction_for(point.func_key)
+        ops = sorted(op for op, parents in op_reach.items() if point.func_key in parents)
+        entry = {
+            "ref": ref,
+            "kind": point.kind,
+            "path": point.path,
+            "line": point.line,
+            "function": model.qualname(point.func_key),
+            "hook": hook,
+            "hook_chain": (
+                render_chain(graph, model.hook_chain(point.func_key))
+                if hook is not None else None
+            ),
+            "sanction": sanction[1] if sanction is not None else None,
+            "ops": ops,
+        }
+        points.append(entry)
+
+    ops_payload = {}
+    for op in sorted(model.entries):
+        entry_key = model.entries[op]
+        parents = op_reach[op]
+        op_points = []
+        for point in model.points:
+            if point.func_key not in parents:
+                continue
+            op_points.append({
+                "ref": f"{point.path}:{point.line}",
+                "kind": point.kind,
+                "chain": render_chain(graph, graph.chain(parents, point.func_key)),
+            })
+        ops_payload[op] = {
+            "entry": model.qualname(entry_key),
+            "entry_path": graph.defs[entry_key].path,
+            "points": op_points,
+        }
+
+    return {
+        "version": SURFACE_VERSION,
+        "scope": sorted({"basefs", "ondisk", "blockdev"}),
+        "points": points,
+        "ops": ops_payload,
+    }
+
+
+def render_crash_surface(payload: dict) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def validate_crash_surface(payload: dict) -> None:
+    """Schema check; raises ``ValueError`` on any malformation.  Used by
+    both the emitting CLI (never write a bad catalog) and the tests
+    (the committed copy stays well-formed)."""
+    if not isinstance(payload, dict):
+        raise ValueError("crash surface must be a JSON object")
+    if payload.get("version") != SURFACE_VERSION:
+        raise ValueError(f"crash surface version must be {SURFACE_VERSION}")
+    if not isinstance(payload.get("scope"), list):
+        raise ValueError("crash surface scope must be a list")
+    points = payload.get("points")
+    if not isinstance(points, list):
+        raise ValueError("crash surface points must be a list")
+    for entry in points:
+        if not isinstance(entry, dict) or set(entry) != _POINT_FIELDS:
+            raise ValueError(f"point entry fields must be {sorted(_POINT_FIELDS)}")
+        if entry["kind"] not in _KINDS:
+            raise ValueError(f"unknown point kind {entry['kind']!r}")
+        if not isinstance(entry["path"], str) or not isinstance(entry["line"], int):
+            raise ValueError("point path/line must be str/int")
+        if entry["ref"] != f"{entry['path']}:{entry['line']}":
+            raise ValueError(f"point ref {entry['ref']!r} does not match path:line")
+        if entry["hook"] is None and entry["sanction"] is None:
+            raise ValueError(
+                f"point {entry['ref']} has neither a covering hook nor a sanction"
+            )
+        if not isinstance(entry["ops"], list):
+            raise ValueError("point ops must be a list")
+    ops = payload.get("ops")
+    if not isinstance(ops, dict):
+        raise ValueError("crash surface ops must be an object")
+    refs = {entry["ref"] for entry in points}
+    for op, body in ops.items():
+        if not isinstance(body, dict) or set(body) != {"entry", "entry_path", "points"}:
+            raise ValueError(f"op {op!r} must have entry/entry_path/points")
+        for point in body["points"]:
+            if set(point) != {"ref", "kind", "chain"}:
+                raise ValueError(f"op {op!r} point fields must be ref/kind/chain")
+            if point["ref"] not in refs:
+                raise ValueError(f"op {op!r} references unknown point {point['ref']!r}")

@@ -11,7 +11,9 @@ from repro.analysis.rules.api_parity import ApiParityRule
 from repro.analysis.rules.async_blocking import AsyncBlockingRule
 from repro.analysis.rules.atomic_rmw import AtomicRmwRule
 from repro.analysis.rules.await_holding_lock import AwaitHoldingLockRule
+from repro.analysis.rules.crash_hook_coverage import CrashHookCoverageRule
 from repro.analysis.rules.effect_contract import EffectContractRule
+from repro.analysis.rules.flush_barrier import FlushBarrierRule
 from repro.analysis.rules.errno_discipline import ErrnoDisciplineRule
 from repro.analysis.rules.errno_parity import ErrnoParityRule
 from repro.analysis.rules.hook_registry import HookRegistryRule
@@ -19,6 +21,7 @@ from repro.analysis.rules.journal_before_write import JournalBeforeWriteRule
 from repro.analysis.rules.lock_order import LockOrderRule
 from repro.analysis.rules.lock_release import LockReleaseRule
 from repro.analysis.rules.oplog_coverage import OplogCoverageRule
+from repro.analysis.rules.persist_order import PersistOrderRule
 from repro.analysis.rules.race_lockset import RaceLocksetRule
 from repro.analysis.rules.replay_determinism import ReplayDeterminismRule
 from repro.analysis.rules.shadow_purity import ShadowPurityRule
@@ -43,6 +46,9 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     AtomicRmwRule,
     AsyncBlockingRule,
     AwaitHoldingLockRule,
+    FlushBarrierRule,
+    PersistOrderRule,
+    CrashHookCoverageRule,
 )
 
 
@@ -71,4 +77,7 @@ __all__ = [
     "AtomicRmwRule",
     "AsyncBlockingRule",
     "AwaitHoldingLockRule",
+    "FlushBarrierRule",
+    "PersistOrderRule",
+    "CrashHookCoverageRule",
 ]

@@ -1,0 +1,57 @@
+"""CRASH-HOOK-COVERAGE: the crash sweep must be able to reach every
+persistence point.
+
+ROADMAP item 3's fault-sweep engine injects crashes at fault-injection
+hooks (``VALID_HOOK_NAMES``, fired through ``HookPoints.fire``).  A
+persistence point — any classified ``write_block``/flush/writeback/
+submit site in basefs/ondisk/blockdev — that is *not* reachable from a
+hook-firing function is a blind spot: the sweep can never interrupt
+execution there, so whatever crash-consistency bug hides at that point
+is untestable by construction.
+
+The rule walks the call graph from every hook-firing def (the
+persistence model's coverage pass) and fires on each point in an
+unreached function, unless the function carries a ``PERSIST_SANCTIONS``
+entry with a written justification (offline tools like ``mkfs``, writes
+that *are* the injected fault, ...).  Stale sanctions — the function
+got hook coverage, or lost its points — exit 2 from the model, the same
+ratchet direction as the baseline.  Silent when the tree declares no
+``spec/persistence.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.engine import ParsedModule, ProjectRule
+from repro.analysis.findings import Finding
+from repro.analysis.persistence import model_for
+
+
+class CrashHookCoverageRule(ProjectRule):
+    rule_id = "CRASH-HOOK-COVERAGE"
+    description = (
+        "every persistence point is reachable from a fault-injection hook "
+        "or carries a PERSIST_SANCTIONS justification"
+    )
+
+    def check_project(self, modules: Sequence[ParsedModule]) -> Iterable[Finding]:
+        model = model_for(modules, self.context)
+        if model is None:
+            return
+        for point in model.uncovered_points():
+            if model.sanction_for(point.func_key) is not None:
+                continue
+            yield Finding(
+                path=point.path,
+                line=point.line,
+                rule_id=self.rule_id,
+                severity=self.severity,
+                message=(
+                    f"persistence point ({point.kind}) in "
+                    f"{model.qualname(point.func_key)} is not reachable from "
+                    f"any fault-injection hook — the crash sweep cannot "
+                    f"exercise it; fire a hook on its call path or add a "
+                    f"PERSIST_SANCTIONS entry in spec/persistence.py"
+                ),
+            )

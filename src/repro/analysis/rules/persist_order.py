@@ -1,0 +1,201 @@
+"""PERSIST-ORDER: declared durability protocols are typestate-checked.
+
+SquirrelFS (PAPERS.md) shows crash-consistency ordering can be a
+compile-time typestate discipline: each persistence operation moves the
+transaction through a declared state machine, and an operation arriving
+in the wrong state is a bug *before* any crash test runs.  This rule is
+the Python analogue over raelint's CFGs: ``DURABILITY_PROTOCOL``
+(``spec/persistence.py``) declares, per function, the ordered phases
+(``journal-write -> barrier -> commit-record -> barrier`` for the
+journal writer, etc.), and the rule walks every CFG path — loops, early
+returns, exception handlers — advancing a state set per the function's
+classified persistence primitives plus its declared delegated events
+(``writer.append`` counting as the commit record it performs).
+
+Semantics of the automaton:
+
+* a ``"?"``-suffixed phase may be skipped (a commit with no dirty data
+  pages submits no data writes);
+* repeating the phase just completed is legal (a loop of journal-block
+  writes is one ``journal-write`` phase);
+* an event that fits no next phase on *any* live path fires
+  **out-of-order** at that call (must-semantics: a ``for`` loop always
+  has a statically-possible zero-iteration path, so firing on "some
+  path" would flag every phase that runs inside a loop — the mismatching
+  path is poisoned and stays silent instead);
+* a *normal* return mid-protocol (some non-optional phase not reached,
+  and the protocol was started) fires **incomplete**, anchored at the
+  ``return``/final statement — exceptional exits are deliberately
+  exempt: an exception abandons the transaction before its commit
+  record, which is exactly the case journal replay recovers, and state
+  still propagates *through* handler edges so a catch-and-continue path
+  is checked like any other.
+
+Silent when the tree declares no ``spec/persistence.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Sequence
+
+from repro.analysis.engine import ParsedModule, ProjectRule
+from repro.analysis.findings import Finding
+from repro.analysis.flow.cfg import CFGNode
+from repro.analysis.flow.dataflow import FORWARD, DataflowAnalysis, ordered_calls, solve
+from repro.analysis.persistence import model_for
+from repro.analysis.persistence.model import PersistenceModel, event_name, normal_exit_preds
+
+_POISON = -1
+
+
+def _base(phase: str) -> str:
+    return phase[:-1] if phase.endswith("?") else phase
+
+
+def _optional(phase: str) -> bool:
+    return phase.endswith("?")
+
+
+def _advance(state: int, kind: str, phases: tuple[str, ...]) -> int | None:
+    """Next automaton state after event ``kind``, or ``None`` on a
+    protocol violation.  ``state`` counts completed phases."""
+    if state == _POISON:
+        return _POISON
+    if state > 0 and kind == _base(phases[state - 1]):
+        return state  # repetition of the phase just completed (loops)
+    j = state
+    while j < len(phases):
+        if _base(phases[j]) == kind:
+            return j + 1
+        if not _optional(phases[j]):
+            break
+        j += 1
+    return None
+
+
+class _ProtocolAnalysis(DataflowAnalysis):
+    direction = FORWARD
+
+    def __init__(self, events: dict[int, str], phases: tuple[str, ...]):
+        self._events = events
+        self._phases = phases
+
+    def boundary(self) -> frozenset:
+        return frozenset({0})
+
+    def initial(self) -> frozenset:
+        return frozenset()
+
+    def join(self, a: frozenset, b: frozenset) -> frozenset:
+        return a | b
+
+    def transfer(self, node: CFGNode, value: frozenset) -> frozenset:
+        for call in ordered_calls(node.payload):
+            kind = self._events.get(id(call))
+            if kind is None:
+                continue
+            value = frozenset(
+                _advance(state, kind, self._phases) or _POISON for state in value
+            ) if value else value
+        return value
+
+
+class PersistOrderRule(ProjectRule):
+    rule_id = "PERSIST-ORDER"
+    description = (
+        "functions declared in DURABILITY_PROTOCOL step through their "
+        "persistence phases in order on every CFG path"
+    )
+
+    def check_project(self, modules: Sequence[ParsedModule]) -> Iterable[Finding]:
+        model = model_for(modules, self.context)
+        if model is None:
+            return
+        for proto_name in sorted(model.decls.protocols):
+            phases, event_map = model.decls.protocols[proto_name]
+            for info in model._bound_defs(proto_name):
+                yield from self._check_def(model, info, proto_name, phases, event_map)
+
+    def _event_plan(self, model: PersistenceModel, key: str,
+                    event_map: dict[str, str]) -> dict[int, str]:
+        """id(call) -> event kind: classified primitives plus the
+        declared delegated events."""
+        plan = model.plan_for(key)
+        events: dict[int, str] = {}
+        for call in model.graph._own_calls(model.graph.defs[key].node):
+            action = plan.get(id(call))
+            if action is not None and action[0] == "primitive":
+                events[id(call)] = action[1]
+                continue
+            name = event_name(call)
+            if name is not None and name in event_map:
+                events[id(call)] = event_map[name]
+        return events
+
+    def _check_def(self, model: PersistenceModel, info, proto_name: str,
+                   phases: tuple[str, ...], event_map: dict[str, str]) -> Iterable[Finding]:
+        events = self._event_plan(model, info.key, event_map)
+        cfg = self.context.cfg(info.node)
+        analysis = _ProtocolAnalysis(events, phases)
+        values = solve(cfg, analysis)
+        declared = " -> ".join(phases)
+        reported: set[int] = set()
+        for node in cfg.nodes:
+            value = values[node.index].before
+            for call in ordered_calls(node.payload):
+                kind = events.get(id(call))
+                if kind is None:
+                    continue
+                live = sorted(state for state in value if state != _POISON)
+                bad = [s for s in live if _advance(s, kind, phases) is None]
+                # Fire only when *every* live state mismatches: a for-loop
+                # always has a statically-possible zero-iteration path, so
+                # "some path hasn't done phase N yet" would flag every
+                # protocol whose phase runs inside a loop.
+                if live and bad == live and id(call) not in reported:
+                    reported.add(id(call))
+                    state = bad[0]
+                    done = _base(phases[state - 1]) if state > 0 else "start"
+                    yield Finding(
+                        path=info.path,
+                        line=getattr(call, "lineno", info.line),
+                        rule_id=self.rule_id,
+                        severity=self.severity,
+                        message=(
+                            f"{kind} out of order in {info.qualname}: after "
+                            f"phase {done!r} the declared protocol "
+                            f"[{declared}] does not allow it"
+                        ),
+                    )
+                value = frozenset(
+                    _advance(state, kind, phases) or _POISON for state in value
+                ) if value else value
+        # Normal completion: every non-poisoned exit state must be 0
+        # (never started), n (done), or followed only by optional phases.
+        seen_exits: set[tuple[int, int]] = set()
+        for pred in normal_exit_preds(cfg):
+            node = cfg.nodes[pred]
+            for state in sorted(values[pred].after):
+                if state in (_POISON, 0, len(phases)):
+                    continue
+                if all(_optional(p) for p in phases[state:]):
+                    continue
+                line = node.line or info.line
+                if (pred, state) in seen_exits:
+                    continue
+                seen_exits.add((pred, state))
+                missing = " -> ".join(
+                    p for p in phases[state:] if not _optional(p)
+                )
+                yield Finding(
+                    path=info.path,
+                    line=line,
+                    rule_id=self.rule_id,
+                    severity=self.severity,
+                    message=(
+                        f"{info.qualname} can return with its durability "
+                        f"protocol incomplete: phases [{missing}] not "
+                        f"performed on this path (declared: [{declared}])"
+                    ),
+                )

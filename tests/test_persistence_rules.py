@@ -1,0 +1,688 @@
+"""The persistence rule family on seeded synthetic trees.
+
+Mutation-style validation, mirroring test_concurrency_rules: every rule
+fires on at least two distinct seeded crash-consistency bugs with the
+right file/line witness, stays silent on the clean twin, and the
+declared-spec machinery (durability protocols, write-site roles,
+sanctions, config errors) behaves per docs/STATIC_ANALYSIS.md.  The
+crash-surface catalog tests pin the committed ``crashpoints.json`` to
+what the tree actually contains.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_tree
+from repro.analysis.baseline import Baseline
+from repro.analysis.cli import main as raelint_main
+from repro.analysis.engine import Analyzer, ParsedModule
+from repro.analysis.persistence import PersistenceConfigError, model_for
+from repro.analysis.persistence.surface import (
+    build_crash_surface,
+    render_crash_surface,
+    validate_crash_surface,
+)
+from repro.analysis.rules import (
+    CrashHookCoverageRule,
+    FlushBarrierRule,
+    PersistOrderRule,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def write_tree(tmp_path: Path, files: dict[str, str]) -> Path:
+    for relpath, source in files.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+    return tmp_path
+
+
+def parse_tree(files: dict[str, str]) -> list[ParsedModule]:
+    return [ParsedModule.parse(path, textwrap.dedent(src)) for path, src in files.items()]
+
+
+def rule_ids(report) -> list[str]:
+    return [finding.rule_id for finding in report.findings]
+
+
+# ---------------------------------------------------------------------------
+# FLUSH-BARRIER
+
+
+#: Commit record then in-place write, no flush between: the reordering
+#: window a crash would land in.
+UNFLUSHED_COMMIT = """
+    class Journal:
+        def commit(self, txn):
+            self.device.write_block(0, txn)
+            self.device.write_block(7, txn)
+"""
+
+ROLES_COMMIT_THEN_CHECKPOINT = """
+    WRITE_SITE_ROLES = {
+        "Journal.commit": ("commit-record", "checkpoint"),
+    }
+"""
+
+
+class TestFlushBarrier:
+    def test_unflushed_commit_record_before_checkpoint_is_flagged(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "spec/persistence.py": ROLES_COMMIT_THEN_CHECKPOINT,
+            "basefs/journal.py": UNFLUSHED_COMMIT,
+        })
+        report = analyze_tree(root, rules=[FlushBarrierRule()])
+        assert rule_ids(report) == ["FLUSH-BARRIER"]
+        finding = report.findings[0]
+        assert (finding.path, finding.line) == ("basefs/journal.py", 5)
+        # The witness names the unflushed commit-record write.
+        assert "basefs/journal.py:4" in finding.message
+        assert "add a device flush" in finding.message
+
+    def test_unsealed_callee_write_is_flagged_at_the_call(self, tmp_path):
+        # Second seeded bug, interprocedural: the in-place write lives in
+        # a callee, the pending commit record in the caller — the finding
+        # anchors at the call and names both.
+        root = write_tree(tmp_path, {
+            "spec/persistence.py": """
+                WRITE_SITE_ROLES = {
+                    "Store.commit": ("commit-record",),
+                }
+            """,
+            "basefs/store.py": """
+                class Store:
+                    def commit(self, txn):
+                        self.device.write_block(0, txn)
+                        self.checkpoint_home(txn)
+
+                    def checkpoint_home(self, txn):
+                        self.device.write_block(9, txn)
+            """,
+        })
+        report = analyze_tree(root, rules=[FlushBarrierRule()])
+        assert rule_ids(report) == ["FLUSH-BARRIER"]
+        finding = report.findings[0]
+        assert (finding.path, finding.line) == ("basefs/store.py", 5)
+        assert "call into Store.checkpoint_home" in finding.message
+        assert "basefs/store.py:8" in finding.message  # the overtaking write
+        assert "basefs/store.py:4" in finding.message  # the pending record
+
+    def test_flush_between_commit_record_and_checkpoint_passes(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "spec/persistence.py": ROLES_COMMIT_THEN_CHECKPOINT,
+            "basefs/journal.py": """
+                class Journal:
+                    def commit(self, txn):
+                        self.device.write_block(0, txn)
+                        self.device.flush()
+                        self.device.write_block(7, txn)
+            """,
+        })
+        assert rule_ids(analyze_tree(root, rules=[FlushBarrierRule()])) == []
+
+    def test_callee_sealing_its_own_record_passes(self, tmp_path):
+        # The JournalWriter.append story: the callee flushes the commit
+        # record it wrote, so the caller's writeback is provably safe.
+        root = write_tree(tmp_path, {
+            "spec/persistence.py": """
+                WRITE_SITE_ROLES = {
+                    "Store.append_record": ("commit-record",),
+                }
+            """,
+            "basefs/store.py": """
+                class Store:
+                    def commit(self, txn):
+                        self.append_record(txn)
+                        self.cache.writeback(txn)
+
+                    def append_record(self, txn):
+                        self.device.write_block(0, txn)
+                        self.device.flush()
+            """,
+        })
+        assert rule_ids(analyze_tree(root, rules=[FlushBarrierRule()])) == []
+
+    def test_silent_without_a_persistence_spec(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "basefs/journal.py": UNFLUSHED_COMMIT,
+        })
+        assert rule_ids(analyze_tree(root, rules=[FlushBarrierRule()])) == []
+
+
+# ---------------------------------------------------------------------------
+# PERSIST-ORDER
+
+
+def _protocol_spec(phases: str, roles: str, events: str = "{}") -> str:
+    return f"""
+        DURABILITY_PROTOCOL = {{
+            "Log.append": {{"phases": {phases}, "events": {events}}},
+        }}
+        WRITE_SITE_ROLES = {{
+            "Log.append": {roles},
+        }}
+    """
+
+
+class TestPersistOrder:
+    def test_out_of_order_phase_is_flagged(self, tmp_path):
+        # Declared journal-write first; the code leads with the commit
+        # record.
+        root = write_tree(tmp_path, {
+            "spec/persistence.py": _protocol_spec(
+                '("journal-write", "commit-record", "barrier")', '("commit-record",)'
+            ),
+            "ondisk/log.py": """
+                class Log:
+                    def append(self, rec):
+                        self.device.write_block(8, rec)
+            """,
+        })
+        report = analyze_tree(root, rules=[PersistOrderRule()])
+        assert rule_ids(report) == ["PERSIST-ORDER"]
+        finding = report.findings[0]
+        assert (finding.path, finding.line) == ("ondisk/log.py", 4)
+        assert "commit-record out of order in Log.append" in finding.message
+        assert "'start'" in finding.message
+
+    def test_incomplete_return_is_flagged(self, tmp_path):
+        # Second seeded bug: the protocol starts but a normal return
+        # skips the barrier.
+        root = write_tree(tmp_path, {
+            "spec/persistence.py": _protocol_spec(
+                '("journal-write", "barrier")', '("journal-write",)'
+            ),
+            "ondisk/log.py": """
+                class Log:
+                    def append(self, rec):
+                        self.device.write_block(8, rec)
+                        return True
+            """,
+        })
+        report = analyze_tree(root, rules=[PersistOrderRule()])
+        assert rule_ids(report) == ["PERSIST-ORDER"]
+        finding = report.findings[0]
+        assert (finding.path, finding.line) == ("ondisk/log.py", 5)
+        assert "durability protocol incomplete" in finding.message
+        assert "phases [barrier] not performed" in finding.message
+
+    def test_loop_repetition_and_zero_iteration_paths_pass(self, tmp_path):
+        # A loop of journal-block writes is one journal-write phase, and
+        # the statically-possible zero-iteration path must not flag the
+        # commit record as out of order (must-semantics).
+        root = write_tree(tmp_path, {
+            "spec/persistence.py": _protocol_spec(
+                '("journal-write", "commit-record", "barrier")',
+                '("journal-write", "commit-record")',
+            ),
+            "ondisk/log.py": """
+                class Log:
+                    def append(self, recs):
+                        for rec in recs:
+                            self.device.write_block(1, rec)
+                        self.device.write_block(0, recs)
+                        self.device.flush()
+            """,
+        })
+        assert rule_ids(analyze_tree(root, rules=[PersistOrderRule()])) == []
+
+    def test_optional_phase_may_be_skipped(self, tmp_path):
+        # "data-write?" is skippable: a commit with no dirty data pages.
+        root = write_tree(tmp_path, {
+            "spec/persistence.py": _protocol_spec(
+                '("journal-write", "data-write?", "barrier")', '("journal-write",)'
+            ),
+            "ondisk/log.py": """
+                class Log:
+                    def append(self, rec):
+                        self.device.write_block(1, rec)
+                        self.device.flush()
+            """,
+        })
+        assert rule_ids(analyze_tree(root, rules=[PersistOrderRule()])) == []
+
+    def test_exceptional_exit_is_exempt(self, tmp_path):
+        # An exception abandons the transaction before its commit record
+        # — exactly what journal replay recovers — so the raise path is
+        # not an incomplete protocol.
+        root = write_tree(tmp_path, {
+            "spec/persistence.py": _protocol_spec(
+                '("journal-write", "commit-record", "barrier")',
+                '("journal-write", "commit-record")',
+            ),
+            "ondisk/log.py": """
+                class Log:
+                    def append(self, rec):
+                        self.device.write_block(1, rec)
+                        if not rec:
+                            raise ValueError(rec)
+                        self.device.write_block(0, rec)
+                        self.device.flush()
+            """,
+        })
+        assert rule_ids(analyze_tree(root, rules=[PersistOrderRule()])) == []
+
+    def test_early_return_before_protocol_starts_passes(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "spec/persistence.py": _protocol_spec(
+                '("journal-write", "commit-record", "barrier")',
+                '("journal-write", "commit-record")',
+            ),
+            "ondisk/log.py": """
+                class Log:
+                    def append(self, recs):
+                        if not recs:
+                            return 0
+                        self.device.write_block(1, recs)
+                        self.device.write_block(0, recs)
+                        self.device.flush()
+            """,
+        })
+        assert rule_ids(analyze_tree(root, rules=[PersistOrderRule()])) == []
+
+    def test_delegated_event_counts_as_its_declared_phase(self, tmp_path):
+        # `self.journal.append(...)` performs the commit record on the
+        # caller's behalf; the events map makes the typestate see it.
+        spec = """
+            DURABILITY_PROTOCOL = {
+                "Fs.commit": {
+                    "phases": ("commit-record", "barrier"),
+                    "events": {"journal.append": "commit-record"},
+                },
+            }
+        """
+        clean = write_tree(tmp_path / "clean", {
+            "spec/persistence.py": spec,
+            "basefs/fs.py": """
+                class Fs:
+                    def commit(self, txn):
+                        self.journal.append(txn)
+                        self.device.flush()
+            """,
+        })
+        assert rule_ids(analyze_tree(clean, rules=[PersistOrderRule()])) == []
+
+        buggy = write_tree(tmp_path / "buggy", {
+            "spec/persistence.py": spec,
+            "basefs/fs.py": """
+                class Fs:
+                    def commit(self, txn):
+                        self.journal.append(txn)
+            """,
+        })
+        report = analyze_tree(buggy, rules=[PersistOrderRule()])
+        assert rule_ids(report) == ["PERSIST-ORDER"]
+        assert "phases [barrier] not performed" in report.findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# CRASH-HOOK-COVERAGE
+
+
+#: One hook-covered persistence point (sync -> flush_home) and one
+#: uncovered one (mkfs).
+PARTIAL_COVERAGE = """
+    class Fs:
+        def sync(self):
+            self.hooks.fire("sync.pre")
+            self.flush_home()
+
+        def flush_home(self):
+            self.device.write_block(0, b"x")
+
+        def mkfs(self):
+            self.device.write_block(1, b"x")
+"""
+
+
+class TestCrashHookCoverage:
+    def test_unreachable_point_is_flagged(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "spec/persistence.py": "PERSIST_SANCTIONS = {}\n",
+            "blockdev/disk.py": """
+                class Disk:
+                    def zap(self):
+                        self.device.write_block(0, b"")
+            """,
+        })
+        report = analyze_tree(root, rules=[CrashHookCoverageRule()])
+        assert rule_ids(report) == ["CRASH-HOOK-COVERAGE"]
+        finding = report.findings[0]
+        assert (finding.path, finding.line) == ("blockdev/disk.py", 4)
+        assert "Disk.zap" in finding.message
+        assert "not reachable from any fault-injection hook" in finding.message
+
+    def test_hook_covers_only_its_reachable_defs(self, tmp_path):
+        # Second seeded bug: a hook exists but the call graph does not
+        # carry it to mkfs; flush_home (reached through sync) is clean.
+        root = write_tree(tmp_path, {
+            "spec/persistence.py": "PERSIST_SANCTIONS = {}\n",
+            "basefs/fs.py": PARTIAL_COVERAGE,
+        })
+        report = analyze_tree(root, rules=[CrashHookCoverageRule()])
+        assert rule_ids(report) == ["CRASH-HOOK-COVERAGE"]
+        finding = report.findings[0]
+        assert (finding.path, finding.line) == ("basefs/fs.py", 11)
+        assert "Fs.mkfs" in finding.message
+
+    def test_sanctioned_point_passes(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "spec/persistence.py": """
+                PERSIST_SANCTIONS = {
+                    "Fs.mkfs": "offline image build: no mounted state to recover",
+                }
+            """,
+            "basefs/fs.py": PARTIAL_COVERAGE,
+        })
+        assert rule_ids(analyze_tree(root, rules=[CrashHookCoverageRule()])) == []
+
+    def test_stale_sanction_on_covered_function_raises(self):
+        modules = parse_tree({
+            "spec/persistence.py": """
+                PERSIST_SANCTIONS = {
+                    "Fs.flush_home": "pretend this is unreachable",
+                }
+            """,
+            "basefs/fs.py": PARTIAL_COVERAGE,
+        })
+        with pytest.raises(PersistenceConfigError, match="already\\s+.*hook-covered"):
+            model_for(modules)
+
+    def test_sanction_on_pointless_function_raises(self):
+        modules = parse_tree({
+            "spec/persistence.py": """
+                PERSIST_SANCTIONS = {
+                    "Fs.sync": "sync itself writes nothing",
+                }
+            """,
+            "basefs/fs.py": PARTIAL_COVERAGE,
+        })
+        with pytest.raises(PersistenceConfigError, match="no persistence points"):
+            model_for(modules)
+
+
+# ---------------------------------------------------------------------------
+# declared-spec config errors: always exit 2, never findings
+
+
+class TestConfigErrors:
+    def test_unknown_kind_raises_at_parse_time(self):
+        modules = parse_tree({
+            "spec/persistence.py": _protocol_spec(
+                '("jornal-write",)', '("journal-write",)'
+            ),
+            "ondisk/log.py": "class Log:\n    def append(self, rec):\n        pass\n",
+        })
+        with pytest.raises(PersistenceConfigError, match="jornal-write"):
+            model_for(modules)
+
+    def test_unbound_protocol_raises(self):
+        modules = parse_tree({
+            "spec/persistence.py": """
+                DURABILITY_PROTOCOL = {
+                    "Ghost.commit": {"phases": ("barrier",), "events": {}},
+                }
+            """,
+            "ondisk/log.py": "class Log:\n    def append(self, rec):\n        pass\n",
+        })
+        with pytest.raises(PersistenceConfigError, match="Ghost.commit.*names no function"):
+            model_for(modules)
+
+    def test_site_role_arity_mismatch_raises(self):
+        modules = parse_tree({
+            "spec/persistence.py": ROLES_COMMIT_THEN_CHECKPOINT,
+            "basefs/journal.py": """
+                class Journal:
+                    def commit(self, txn):
+                        self.device.write_block(0, txn)
+            """,
+        })
+        with pytest.raises(PersistenceConfigError, match="declares 2 write_block sites"):
+            model_for(modules)
+
+    def test_cli_reports_spec_error_as_exit_two(self, tmp_path, capsys):
+        root = write_tree(tmp_path, {
+            "spec/persistence.py": """
+                PERSIST_SANCTIONS = {
+                    "Ghost": "no such function anywhere",
+                }
+            """,
+            "basefs/fs.py": PARTIAL_COVERAGE,
+        })
+        assert raelint_main([str(root)]) == 2
+        err = capsys.readouterr().err
+        assert "persistence spec error" in err
+        assert "Ghost" in err
+        # The error names the spec file and the offending line.
+        assert "spec/persistence.py:3" in err
+
+
+# ---------------------------------------------------------------------------
+# the crash-surface catalog
+
+
+class TestCrashSurface:
+    def test_surface_structure_and_determinism(self):
+        modules = parse_tree({
+            "spec/persistence.py": """
+                WRITE_SITE_ROLES = {
+                    "Fs.commit": ("commit-record",),
+                }
+                CRASH_ENTRY_POINTS = {
+                    "commit": "Fs.commit",
+                }
+            """,
+            "basefs/fs.py": """
+                class Fs:
+                    def commit(self, txn):
+                        self.hooks.fire("commit.pre")
+                        self.device.write_block(0, txn)
+                        self.device.flush()
+            """,
+        })
+        model = model_for(modules)
+        payload = build_crash_surface(model)
+        validate_crash_surface(payload)
+        refs = {point["ref"]: point for point in payload["points"]}
+        assert set(refs) == {"basefs/fs.py:5", "basefs/fs.py:6"}
+        record = refs["basefs/fs.py:5"]
+        assert record["kind"] == "commit-record"
+        assert record["function"] == "Fs.commit"
+        assert record["hook"] == "commit.pre"
+        assert record["ops"] == ["commit"]
+        op = payload["ops"]["commit"]
+        assert op["entry"] == "Fs.commit"
+        assert {p["ref"] for p in op["points"]} == set(refs)
+        # Determinism: render twice, round-trip, byte-identical.
+        rendered = render_crash_surface(payload)
+        assert rendered == render_crash_surface(build_crash_surface(model))
+        validate_crash_surface(json.loads(rendered))
+
+    def test_emitted_catalog_matches_committed_copy(self, tmp_path, capsys):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        root = str(REPO / "src" / "repro")
+        assert raelint_main([root, "--emit-crash-surface", str(first)]) == 0
+        assert raelint_main([root, "--emit-crash-surface", str(second)]) == 0
+        assert first.read_text() == second.read_text()
+        # The committed catalog is exactly what the tree regenerates —
+        # the invariant the CI drift step enforces.
+        assert first.read_text() == (REPO / "crashpoints.json").read_text()
+
+    def test_committed_catalog_is_schema_valid_and_actionable(self):
+        payload = json.loads((REPO / "crashpoints.json").read_text())
+        validate_crash_surface(payload)
+        assert payload["points"]
+        # Every persistence point is on some op's crash path (the sweep
+        # work-list has no orphans); hook-or-sanction is enforced by the
+        # schema check above.
+        assert all(point["ops"] for point in payload["points"])
+
+    def test_emit_without_a_spec_exits_two(self, tmp_path, capsys):
+        root = write_tree(tmp_path, {
+            "basefs/journal.py": UNFLUSHED_COMMIT,
+        })
+        out = tmp_path / "crashpoints.json"
+        assert raelint_main([str(root), "--emit-crash-surface", str(out)]) == 2
+        assert "spec/persistence.py" in capsys.readouterr().err
+        assert not out.exists()
+
+
+# ---------------------------------------------------------------------------
+# satellite: atomic baseline save
+
+
+class TestBaselineAtomicSave:
+    def test_failed_replace_leaves_target_intact(self, tmp_path, monkeypatch):
+        target = tmp_path / "raelint.baseline.json"
+        Baseline(entries={("a.py", "RULE", "msg")}).save(target)
+        original = target.read_text()
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.analysis.baseline.os.replace", boom)
+        with pytest.raises(OSError):
+            Baseline(entries=set()).save(target)
+        # The committed ratchet file is untouched and the staging file
+        # does not linger.
+        assert target.read_text() == original
+        assert not target.with_name(target.name + ".tmp").exists()
+
+    def test_save_replaces_and_leaves_no_staging_file(self, tmp_path):
+        target = tmp_path / "raelint.baseline.json"
+        Baseline(entries={("a.py", "RULE", "old")}).save(target)
+        Baseline(entries={("a.py", "RULE", "new")}).save(target)
+        assert not target.with_name(target.name + ".tmp").exists()
+        assert Baseline.load(target).entries == {("a.py", "RULE", "new")}
+
+
+# ---------------------------------------------------------------------------
+# satellite: --changed-since
+
+
+def _git(cwd: Path, *args: str) -> None:
+    subprocess.run(
+        ["git", "-c", "user.name=t", "-c", "user.email=t@example.com", *args],
+        cwd=cwd, check=True, capture_output=True, text=True,
+    )
+
+
+class TestChangedSince:
+    def test_scopes_reporting_to_the_merge_base_delta(self, tmp_path, capsys):
+        # Base commit: spec + a buggy file (pre-existing debt).  Feature
+        # commit: a second buggy file.  --changed-since base must report
+        # only the feature file's finding.
+        spec = """
+            WRITE_SITE_ROLES = {
+                "Cold.commit": ("commit-record", "checkpoint"),
+                "Hot.commit": ("commit-record", "checkpoint"),
+            }
+        """
+        write_tree(tmp_path, {
+            "spec/persistence.py": spec,
+            "basefs/cold.py": """
+                class Cold:
+                    def commit(self, txn):
+                        self.device.write_block(0, txn)
+                        self.device.write_block(7, txn)
+            """,
+        })
+        _git(tmp_path, "init", "-q")
+        _git(tmp_path, "add", "-A")
+        _git(tmp_path, "commit", "-q", "-m", "base")
+        _git(tmp_path, "branch", "base")
+        write_tree(tmp_path, {
+            "basefs/hot.py": """
+                class Hot:
+                    def commit(self, txn):
+                        self.device.write_block(0, txn)
+                        self.device.write_block(7, txn)
+            """,
+        })
+        _git(tmp_path, "add", "-A")
+        _git(tmp_path, "commit", "-q", "-m", "feature")
+
+        args = [str(tmp_path), "--select", "FLUSH-BARRIER", "--fail-on-findings"]
+        # Clean working tree: plain --changed-only has nothing to report.
+        assert raelint_main(args + ["--changed-only"]) == 0
+        assert "no changed files" in capsys.readouterr().out
+        # Against the merge base, the feature file's finding surfaces —
+        # and only it.
+        assert raelint_main(args + ["--changed-only", "--changed-since", "base"]) == 1
+        out = capsys.readouterr().out
+        assert "basefs/hot.py" in out
+        assert "basefs/cold.py" not in out
+
+    def test_changed_since_requires_changed_only(self, tmp_path, capsys):
+        assert raelint_main([str(tmp_path), "--changed-since", "main"]) == 2
+        assert "--changed-since requires --changed-only" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# satellite: --format=github severity split
+
+
+class TestGithubFormat:
+    def test_baselined_findings_render_as_notice(self, tmp_path, capsys):
+        root = write_tree(tmp_path, {
+            "spec/persistence.py": ROLES_COMMIT_THEN_CHECKPOINT,
+            "basefs/journal.py": UNFLUSHED_COMMIT,
+        })
+        baseline = tmp_path / "baseline.json"
+        args = [str(root), "--select", "FLUSH-BARRIER", "--baseline", str(baseline)]
+        assert raelint_main(args + ["--write-baseline"]) == 0
+        capsys.readouterr()
+        # Known debt the ratchet already tracks: annotate, don't scream.
+        assert raelint_main(args + ["--format", "github", "--fail-on-findings"]) == 0
+        out = capsys.readouterr().out
+        assert "::notice " in out
+        assert "(baselined)" in out
+        assert "::error" not in out
+
+    def test_new_findings_render_as_error(self, tmp_path, capsys):
+        root = write_tree(tmp_path, {
+            "spec/persistence.py": ROLES_COMMIT_THEN_CHECKPOINT,
+            "basefs/journal.py": UNFLUSHED_COMMIT,
+        })
+        baseline = tmp_path / "baseline.json"  # absent: everything is new
+        code = raelint_main([
+            str(root), "--select", "FLUSH-BARRIER", "--baseline", str(baseline),
+            "--format", "github", "--fail-on-findings",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "::error file=" in out
+        assert "basefs/journal.py" in out
+
+
+# ---------------------------------------------------------------------------
+# the real tree: the spec binds and the family runs clean
+
+
+class TestRealTree:
+    def test_persistence_family_is_clean_on_src_repro(self):
+        root = REPO / "src" / "repro"
+        report = analyze_tree(root, rules=[
+            FlushBarrierRule(), PersistOrderRule(), CrashHookCoverageRule(),
+        ])
+        assert rule_ids(report) == [], "\n".join(f.render() for f in report.findings)
+
+    def test_model_binds_the_declared_surface(self):
+        # The declarations are load-bearing: entry points resolve, points
+        # exist, and no unflushed commit record survives composition.
+        root = REPO / "src" / "repro"
+        modules, _ = Analyzer(root).parse_all()
+        model = model_for(modules)
+        assert model is not None
+        assert model.points
+        assert {"commit", "mount", "journal-recover", "mkfs"} <= set(model.entries)
+        assert model.violations == []
