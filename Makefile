@@ -3,7 +3,7 @@
 PYTHON ?= python
 PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: all install lint lint-json lint-github lint-contracts lint-concurrency lint-persistence crash-surface test bench bench-obs experiments examples verify clean
+.PHONY: all install lint lint-json lint-github lint-contracts lint-concurrency lint-persistence crash-surface sweep sweep-smoke test bench bench-obs experiments examples verify clean
 
 CONTRACT_RULES = ERRNO-PARITY,EFFECT-CONTRACT,API-PARITY,STATE-PROTOCOL
 CONCURRENCY_RULES = RACE-LOCKSET,ATOMIC-RMW,ASYNC-BLOCKING,AWAIT-HOLDING-LOCK
@@ -49,6 +49,18 @@ lint-persistence:
 # catalog can never silently fall behind the code.
 crash-surface:
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.analysis src/repro --emit-crash-surface crashpoints.json
+
+# Execute the full crash-point sweep: every (op, point) pair of the
+# committed catalog, both crash kinds, drift-checked work-list, exit 1
+# on any unsanctioned non-clean outcome (see docs/FAULT_SWEEP.md).
+sweep:
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.sweep
+
+# Bounded sweep for CI: one profile, short workloads, capped case count.
+# Failing tuples write reproducer bundles under sweep-bundles/ which the
+# workflow uploads as artifacts.
+sweep-smoke:
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.sweep --smoke --bundle-dir sweep-bundles
 
 test:
 	$(PYTHON) -m pytest tests/

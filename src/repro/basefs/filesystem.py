@@ -689,7 +689,13 @@ class BaseFilesystem(FilesystemAPI):
             self.stats.data_writes += 1
             self.page_cache.mark_clean(page.ino, page.logical)
         self.blkmq.drain()
-        self.blkmq.reap()
+        # A completed data write can still carry a device error (the
+        # read path at _read_data_block re-raises these); swallowing it
+        # here would seal a journal commit whose ordered data never hit
+        # the disk — silent content divergence the sweep flagged.
+        for request in self.blkmq.reap():
+            if request.error is not None:
+                raise request.error
         self.device.flush()
 
         # Phase 2: serialize dirty inodes into their table blocks.

@@ -86,6 +86,12 @@ class RecoveryOutcome:
     reboot_seconds: float
     replay_seconds: float
     handoff_seconds: float
+    # True when the remounted base's write generation proved the whole
+    # replay window already durable (crash after the commit record was
+    # sealed but before the supervisor's truncation callback ran); the
+    # window was handed off as-is instead of replayed, and the
+    # supervisor must acknowledge the durability point by truncating it.
+    window_durable: bool = False
 
     @property
     def total_seconds(self) -> float:
@@ -159,6 +165,7 @@ def run_recovery(
     corr_id: int | None = None,
     events=None,
     crosscheck=None,
+    window_generation: int | None = None,
 ) -> RecoveryOutcome:
     """Execute one recovery.  Raises :class:`RecoveryFailure` if the
     shadow cannot produce trustworthy state; the failure carries a
@@ -172,16 +179,51 @@ def run_recovery(
     :class:`~repro.obs.forensics.CrossCheckCapture`, duck-typed) makes
     in-process replay run under :class:`CrossCheckingReplayEngine`,
     capturing the per-op divergence table for the forensic bundle.
+
+    ``window_generation`` is the superblock write generation as of the
+    window's durability point (the supervisor tracks it at every commit
+    callback).  After the contained reboot's journal replay, a *larger*
+    on-disk generation proves the crashing commit sealed the entire
+    window before the failure escaped — the crash landed between the
+    commit record reaching the device and the truncation callback.
+    Replaying the window then would double-apply it against a base that
+    already contains it (EEXIST-style divergences); instead the replay
+    runs with no entries and the descriptor table captured from the
+    crashed base, and the outcome is flagged ``window_durable`` so the
+    supervisor truncates the stale window.
     """
     t0 = time.perf_counter()
     t1: float | None = None
     t2: float | None = None
+    # Captured before the reboot scrubs it.  Trustworthy exactly in the
+    # durable-window case: a mid-op crash can only leave the window
+    # durable from inside a commit, and the only inflight ops that reach
+    # a commit (fsync — unmount/writeback/scrub run with none) do not
+    # mutate descriptor state first.
+    crash_fd_registry = old_fs.fd_table.snapshot()
     try:
         with _span(tracer, "recovery.reboot", corr_id=corr_id):
             reboot = contained_reboot(old_fs, device)
             new_fs = reboot.fs
         t1 = time.perf_counter()
         _emit(events, "recovery.reboot", corr_id, seconds=t1 - t0)
+
+        entries = oplog.entries
+        fd_registry = oplog.fd_snapshot
+        window_durable = (
+            window_generation is not None
+            and bool(entries)
+            and new_fs.sb.write_generation > window_generation
+        )
+        if window_durable:
+            entries = []
+            fd_registry = crash_fd_registry
+            _emit(
+                events, "recovery.window-durable", corr_id,
+                window_generation=window_generation,
+                disk_generation=new_fs.sb.write_generation,
+                entries_skipped=len(oplog.entries),
+            )
 
         # The preserved data pages stay with the rebooted base (read cache);
         # they are NOT given to the shadow's replay: a page reflects the state
@@ -190,7 +232,7 @@ def run_recovery(
         # shares pages because it does not record payloads; see DESIGN.md.)
         with _span(
             tracer, "recovery.replay",
-            ops=len(oplog.entries), inflight=inflight is not None, corr_id=corr_id,
+            ops=len(entries), inflight=inflight is not None, corr_id=corr_id,
         ):
             if in_process:
                 shadow = ShadowFilesystem(device, check_level=check_level)
@@ -198,7 +240,7 @@ def run_recovery(
                     engine = CrossCheckingReplayEngine(shadow, strict_crosscheck, crosscheck)
                 else:
                     engine = ReplayEngine(shadow, strict=strict_crosscheck)
-                update = engine.run(oplog.entries, oplog.fd_snapshot, inflight)
+                update = engine.run(entries, fd_registry, inflight)
                 report = engine.report
             else:
                 # Process-mode replay crosses an OS boundary: the
@@ -212,8 +254,8 @@ def run_recovery(
                 device.flush()
                 update, report = run_shadow_process(
                     device.path,
-                    oplog.entries,
-                    oplog.fd_snapshot,
+                    entries,
+                    fd_registry,
                     inflight,
                     check_level=check_level,
                     strict=strict_crosscheck,
@@ -242,4 +284,5 @@ def run_recovery(
         reboot_seconds=t1 - t0,
         replay_seconds=t2 - t1,
         handoff_seconds=t3 - t2,
+        window_durable=window_durable,
     )

@@ -139,6 +139,12 @@ class RAEFilesystem(FilesystemAPI):
         # injector registers its retarget() here so payload bugs keep
         # pointing at live state.
         self.on_reboot: list = []
+        # The superblock write generation as of the current window's
+        # durability point.  Updated at every commit callback and at a
+        # durable-window truncation; run_recovery compares it against
+        # the remounted disk to detect windows the crashing commit
+        # sealed before the truncation callback could run.
+        self._window_generation = self.base.sb.write_generation
         self._wire_base()
         self._register_collectors()
         self.flight.rebaseline()
@@ -149,6 +155,7 @@ class RAEFilesystem(FilesystemAPI):
     def _on_commit(self, _epoch: int) -> None:
         """Durability point: discard the replayable window (§3.2)."""
         self.oplog.truncate(self.base.fd_table.snapshot())
+        self._window_generation = self.base.sb.write_generation
 
     def _flight_stat_sample(self) -> dict:
         """Cheap subsystem tallies for the flight ring's stat deltas.
@@ -383,6 +390,7 @@ class RAEFilesystem(FilesystemAPI):
                     corr_id=detected.seq,
                     events=events,
                     crosscheck=capture,
+                    window_generation=self._window_generation,
                 )
             except RecoveryFailure as failure:
                 self.stats.recovery.failures += 1
@@ -422,6 +430,15 @@ class RAEFilesystem(FilesystemAPI):
             self._wire_base()
             for callback in self.on_reboot:
                 callback(self.base)
+            if outcome.window_durable:
+                # The crashing commit already sealed the whole window on
+                # disk (replay skipped it); acknowledge the durability
+                # point now, exactly as the missed commit callback would
+                # have — otherwise the stale entries replay (and
+                # double-apply) at the next recovery.  The in-flight
+                # result recorded below lands in the fresh window.
+                self.oplog.truncate(self.base.fd_table.snapshot())
+                self._window_generation = self.base.sb.write_generation
             # The failed base is gone; subsequent flight stat deltas are
             # relative to the rebooted base's counters.
             self.flight.rebaseline()
@@ -462,6 +479,7 @@ class RAEFilesystem(FilesystemAPI):
                 },
                 replay={
                     "mode": "in-process" if self.config.shadow_in_process else "process",
+                    "window_durable": outcome.window_durable,
                     "constrained_ops": outcome.report.constrained_ops,
                     "autonomous_ops": outcome.report.autonomous_ops,
                     "skipped_errors": outcome.report.skipped_errors,

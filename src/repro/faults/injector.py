@@ -45,6 +45,9 @@ class ArmedBug:
 @dataclass
 class InjectorStats:
     fires_by_bug: dict[str, int] = field(default_factory=dict)
+    # Payload dispatches skipped because the targeted filesystem was
+    # already fenced by a contained reboot (see Injector._fire).
+    stale_skips: int = 0
 
     @property
     def total_fires(self) -> int:
@@ -96,6 +99,19 @@ class Injector:
             return
         if spec.determinism is Determinism.NONDETERMINISTIC and self.rng.random() >= spec.probability:
             return
+
+        if spec.consequence is Consequence.NOCRASH:
+            fs = self._fs
+            if fs is not None and not getattr(fs, "_mounted", True):
+                # The hooks object outlives a contained reboot, so hooks
+                # fire during the replacement base's construction —
+                # before the supervisor's on_reboot callbacks can
+                # retarget() us.  The old base is fenced (`_mounted`
+                # False) at that point; running the payload against it
+                # would mutate discarded state.  Skip without counting a
+                # fire (max_fires still applies to the live target).
+                self.stats.stale_skips += 1
+                return
 
         armed.fires += 1
         self.stats.fires_by_bug[spec.bug_id] = self.stats.fires_by_bug.get(spec.bug_id, 0) + 1

@@ -65,6 +65,8 @@ GUARDED_BY = {
     "RAEFilesystem.base": "<single-threaded>",  # swapped only inside recovery
     "RAEFilesystem._in_recovery": "<single-threaded>",  # recovery re-entrance flag
     "RAEFilesystem.seq": "<single-threaded>",  # op sequence counter (rmw on every op)
+    "RAEFilesystem._window_generation": "<single-threaded>",  # durability-point generation, moved at commit callbacks
+    "RAEFilesystem.on_reboot": "<single-threaded>",  # reboot callbacks, registered before the workload runs
     "RAEFilesystem.forensics": "<single-threaded>",  # forensic bundle accumulator
     # -- OpLog: append/truncate mutate entries and the byte budget as
     #    one compound; the sharded-replay PR needs a log lock (append)

@@ -1,0 +1,51 @@
+"""Crash-point sweep engine over the static crash surface.
+
+Executes every (op, persistence-point, crash-kind) tuple of the
+committed ``crashpoints.json``, recovers, classifies, and ships
+minimized reproducers for anything that doesn't come back clean.
+See ``docs/FAULT_SWEEP.md``.
+"""
+
+from repro.sweep.device import CRASH_KINDS, FAIL_STOP, POWER_LOSS, SweepDevice
+from repro.sweep.engine import (
+    OUTCOME_CLEAN,
+    OUTCOME_DIVERGED,
+    OUTCOME_FAILED,
+    OUTCOME_REPAIRED,
+    OUTCOME_UNREACHED,
+    SweepCase,
+    SweepConfig,
+    SweepEngine,
+    SweepReport,
+    SweepRunResult,
+)
+from repro.sweep.minimize import ddmin
+from repro.sweep.sanctions import SWEEP_SANCTIONS, sanction_for, validate_sanctions
+from repro.sweep.suites import ScratchImage
+from repro.sweep.surface import SurfaceError, SweepPoint, iter_pairs, load_surface
+
+__all__ = [
+    "CRASH_KINDS",
+    "FAIL_STOP",
+    "POWER_LOSS",
+    "OUTCOME_CLEAN",
+    "OUTCOME_DIVERGED",
+    "OUTCOME_FAILED",
+    "OUTCOME_REPAIRED",
+    "OUTCOME_UNREACHED",
+    "SWEEP_SANCTIONS",
+    "ScratchImage",
+    "SurfaceError",
+    "SweepCase",
+    "SweepConfig",
+    "SweepDevice",
+    "SweepEngine",
+    "SweepPoint",
+    "SweepReport",
+    "SweepRunResult",
+    "ddmin",
+    "iter_pairs",
+    "load_surface",
+    "sanction_for",
+    "validate_sanctions",
+]

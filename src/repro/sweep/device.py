@@ -1,0 +1,145 @@
+"""The sweep's crash trigger: a device wrapper keyed to ``file:line``.
+
+The static catalog names persistence points as device-call sites
+(``ondisk/journal.py:181`` and so on).  To crash *exactly there*,
+:class:`SweepDevice` wraps the scenario's real device and, on every
+read/write/flush, checks whether the armed point's call site is the
+direct caller **and** the armed op's entry function is on the stack
+(``commit`` points must not fire during ``unmount``'s inner commit run
+and vice versa — each (op, point) tuple is its own run).  On a match it
+fires the ordinary ``blkmq.submit`` fault hook with a ``persist_ref``
+context key; the crash itself is delivered by a :class:`BugSpec` armed
+through the existing :class:`~repro.faults.injector.Injector`, so the
+sweep exercises the same detection/recovery machinery as every curated
+catalog bug.
+
+Two crash kinds:
+
+* ``fail-stop`` — the device call completes, then the hook fires (a
+  kernel bug after the IO; the volatile image survives, testing the
+  RAE runtime-error recovery story);
+* ``power-loss`` — the hook fires *before* the call and, when the
+  armed bug raises, the inner device's ``crash()`` discards every
+  unflushed write (testing the journal's crash-consistency story).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.blockdev.device import BlockDevice
+from repro.errors import KernelBug
+from repro.sweep.surface import SweepPoint
+
+FAIL_STOP = "fail-stop"
+POWER_LOSS = "power-loss"
+CRASH_KINDS = (FAIL_STOP, POWER_LOSS)
+
+
+class SweepDevice(BlockDevice):
+    """Wrap ``inner``, firing the fault hook at the armed crash point."""
+
+    def __init__(self, inner: BlockDevice, hooks):
+        super().__init__(inner.block_size, inner.block_count)
+        self.inner = inner
+        self.hooks = hooks
+        self.point: SweepPoint | None = None
+        self.crash_kind: str = FAIL_STOP
+        self.matches = 0  # site matches seen (fired or not)
+
+    def arm_point(self, point: SweepPoint, crash_kind: str = FAIL_STOP) -> None:
+        if crash_kind not in CRASH_KINDS:
+            raise ValueError(f"unknown crash kind {crash_kind!r}")
+        self.point = point
+        self.crash_kind = crash_kind
+
+    def disarm_point(self) -> None:
+        self.point = None
+
+    # ------------------------------------------------------------------
+    # stack matching
+
+    def _matched(self) -> bool:
+        """True when the armed point's call site is live on the stack
+        and the armed op's entry function is somewhere above it.
+
+        Usually the catalog's witness line is the direct device call
+        (frame 2), but some persistence sites delegate — e.g. the
+        journal manager's home writes go ``cache.writeback(block)`` →
+        ``device.write_block``, so the site's frame sits one level up,
+        parked exactly on the catalog line.  Walking the stack covers
+        both shapes; pure submission sites whose device effect is
+        deferred past the site's lifetime (blk-mq enqueues drained
+        later) cannot match and carry sanctions instead.
+        """
+        point = self.point
+        if point is None:
+            return False
+        # Frame 0 = _matched, 1 = our read/write/flush, 2 = the caller.
+        site = sys._getframe(2)
+        while site is not None:
+            if site.f_lineno == point.line and site.f_code.co_filename.endswith(point.path):
+                break
+            site = site.f_back
+        if site is None:
+            return False
+        entry_name = point.entry.rpartition(".")[2]
+        frame = site
+        while frame is not None:
+            code = frame.f_code
+            if code.co_name == entry_name and code.co_filename.endswith(point.entry_path):
+                self.matches += 1
+                return True
+            frame = frame.f_back
+        return False
+
+    def _fire(self, block: int) -> None:
+        assert self.point is not None
+        self.hooks.fire("blkmq.submit", op="sweep", block=block, persist_ref=self.point.ref)
+
+    def _fire_power_loss(self, block: int) -> None:
+        try:
+            self._fire(block)
+        except KernelBug:
+            # The write/flush never happened AND volatile state is gone:
+            # drop the inner device to its last durable image before the
+            # failure propagates, so recovery sees what a real power
+            # loss would leave on the platter.
+            crash = getattr(self.inner, "crash", None)
+            if crash is not None:
+                crash()
+            raise
+
+    # ------------------------------------------------------------------
+    # BlockDevice
+
+    def read_block(self, block: int) -> bytes:
+        armed = self.point is not None and self._matched()
+        if armed and self.crash_kind == POWER_LOSS:
+            self._fire_power_loss(block)
+        data = self.inner.read_block(block)
+        self.io_stats.reads += 1
+        if armed and self.crash_kind == FAIL_STOP:
+            self._fire(block)
+        return data
+
+    def write_block(self, block: int, data: bytes) -> None:
+        armed = self.point is not None and self._matched()
+        if armed and self.crash_kind == POWER_LOSS:
+            self._fire_power_loss(block)
+        self.inner.write_block(block, data)
+        self.io_stats.writes += 1
+        if armed and self.crash_kind == FAIL_STOP:
+            self._fire(block)
+
+    def flush(self) -> None:
+        armed = self.point is not None and self._matched()
+        if armed and self.crash_kind == POWER_LOSS:
+            self._fire_power_loss(-1)
+        self.inner.flush()
+        self.io_stats.flushes += 1
+        if armed and self.crash_kind == FAIL_STOP:
+            self._fire(-1)
+
+    def close(self) -> None:
+        self.inner.close()

@@ -1,0 +1,70 @@
+"""Delta-minimization of failing op sequences.
+
+Zeller/Hildebrandt ddmin over the workload's operation list: given a
+sequence that makes a sweep case fail and a predicate that re-runs the
+case on a candidate subsequence, shrink to a 1-minimal subsequence —
+removing any single remaining chunk makes the failure disappear.  The
+result ships inside the reproducer bundle, so a 200-op fuzzing streak
+becomes a handful of ops a human can read.
+
+The predicate re-executes the whole scenario (format, run, crash,
+recover, classify), so determinism of the sweep seed is what makes the
+minimizer sound: a flaky failure would minimize to garbage.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def _chunks(items: list[T], n: int) -> list[list[T]]:
+    """Split into ``n`` contiguous chunks, as evenly as possible."""
+    size, extra = divmod(len(items), n)
+    out: list[list[T]] = []
+    start = 0
+    for i in range(n):
+        end = start + size + (1 if i < extra else 0)
+        if end > start:
+            out.append(items[start:end])
+        start = end
+    return out
+
+
+def ddmin(
+    items: Sequence[T],
+    still_fails: Callable[[list[T]], bool],
+    max_tests: int = 256,
+) -> tuple[list[T], int]:
+    """Minimize ``items`` while ``still_fails`` holds.
+
+    Returns ``(minimized, tests_run)``.  ``still_fails`` must be true
+    for the full sequence (the caller established the failure); it is
+    never called with the empty list.  ``max_tests`` bounds the number
+    of re-executions — on exhaustion the best-so-far subsequence is
+    returned, which is still a valid (if non-1-minimal) reproducer.
+    """
+    current = list(items)
+    tests = 0
+    granularity = 2
+    while len(current) >= 2 and tests < max_tests:
+        parts = _chunks(current, granularity)
+        reduced = False
+        for i in range(len(parts)):
+            candidate = [item for j, part in enumerate(parts) for item in part if j != i]
+            if not candidate:
+                continue
+            tests += 1
+            if still_fails(candidate):
+                current = candidate
+                granularity = max(2, granularity - 1)
+                reduced = True
+                break
+            if tests >= max_tests:
+                break
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    return current, tests

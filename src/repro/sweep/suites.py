@@ -1,0 +1,138 @@
+"""fstests-style suite plumbing for the sweep.
+
+The sweep's unit of execution is the (workload, op, point, crash-kind)
+tuple; this module gives those tuples the shape of an fstests run:
+stable case names (``sweep/<op>/NNN``), group membership for selection
+(``-g commit``, ``-g power-loss``, ``-g quick``), scratch-image
+setup/teardown with per-geometry template caching, and the familiar
+one-line-per-case result listing with a totals footer.
+"""
+
+from __future__ import annotations
+
+from repro.blockdev.device import MemoryBlockDevice
+from repro.ondisk.mkfs import mkfs
+
+
+class ScratchImage:
+    """Scratch-device setup/teardown, fstests SCRATCH_DEV style.
+
+    ``mkfs`` on every case would dominate sweep time; instead the first
+    ``setup()`` for a geometry formats once and snapshots the result,
+    and every later call restores the template onto a fresh in-memory
+    device.  ``teardown()`` exists for symmetry and for subclasses
+    backed by real files; in-memory scratch devices are just dropped.
+    """
+
+    _templates: dict[tuple[int, int], bytes] = {}
+
+    def __init__(self, block_count: int = 1024, journal_blocks: int = 8):
+        self.block_count = block_count
+        self.journal_blocks = journal_blocks
+        self.live: list[MemoryBlockDevice] = []
+
+    def setup(self) -> MemoryBlockDevice:
+        key = (self.block_count, self.journal_blocks)
+        mem = MemoryBlockDevice(block_count=self.block_count, track_durability=True)
+        template = self._templates.get(key)
+        if template is None:
+            mkfs(mem, journal_blocks=self.journal_blocks)
+            mem.flush()
+            self._templates[key] = mem.snapshot()
+        else:
+            mem.restore(template)
+        self.live.append(mem)
+        return mem
+
+    def teardown(self, mem: MemoryBlockDevice | None = None) -> None:
+        if mem is None:
+            self.live.clear()
+            return
+        if mem in self.live:
+            self.live.remove(mem)
+
+    def __enter__(self) -> MemoryBlockDevice:
+        return self.setup()
+
+    def __exit__(self, *exc) -> None:
+        self.teardown()
+
+
+# ----------------------------------------------------------------------
+# case naming and groups
+
+
+def case_name(case, index: int) -> str:
+    """``sweep/<op>/NNN`` — stable across runs for a fixed work-list."""
+    return f"sweep/{case.op}/{index:03d}"
+
+
+def case_groups(case) -> tuple[str, ...]:
+    """Groups a case belongs to, fstests ``-g`` style."""
+    return ("auto", case.op, case.crash_kind, case.point.kind, case.profile)
+
+
+def name_cases(cases) -> list[tuple[str, object]]:
+    """Assign ``sweep/<op>/NNN`` names, numbering within each op."""
+    counters: dict[str, int] = {}
+    named: list[tuple[str, object]] = []
+    for case in cases:
+        counters[case.op] = counters.get(case.op, 0) + 1
+        named.append((case_name(case, counters[case.op]), case))
+    return named
+
+
+def select_cases(named, groups: tuple[str, ...] | None) -> list[tuple[str, object]]:
+    """Keep cases belonging to any requested group (None = all)."""
+    if not groups:
+        return list(named)
+    wanted = set(groups)
+    return [(name, case) for name, case in named if wanted & set(case_groups(case))]
+
+
+# ----------------------------------------------------------------------
+# result formatting
+
+#: outcome -> fstests-style status word.
+_STATUS = {
+    "recovered-clean": "pass",
+    "repaired": "pass",
+    "diverged": "FAIL",
+    "recovery-failed": "FAIL",
+    "unreached": "notrun",
+}
+
+
+def format_result_line(name: str, result) -> str:
+    status = _STATUS.get(result.outcome, "FAIL")
+    line = f"{name:<28} {status:<7} ({result.outcome})"
+    if result.detail:
+        line += f" — {result.detail}"
+    return line
+
+
+def format_report(named_results, report) -> str:
+    """The run listing plus the fstests-style footer."""
+    lines = [format_result_line(name, result) for name, result in named_results]
+    counts = report.outcome_counts()
+    total = len(report.pair_outcomes)
+    clean = counts.get("recovered-clean", 0)
+    lines.append("")
+    lines.append(
+        f"Ran {len(named_results)} cases over {total} (op, point, kind) tuples: "
+        + ", ".join(f"{count} {outcome}" for outcome, count in sorted(counts.items()))
+    )
+    if report.stale_sanctions:
+        lines.append(f"STALE SANCTIONS ({len(report.stale_sanctions)}):")
+        for key in report.stale_sanctions:
+            lines.append(f"  {key} — covered tuples all clean; remove the entry")
+    if report.unsanctioned:
+        lines.append(f"UNSANCTIONED NON-CLEAN OUTCOMES ({len(report.unsanctioned)}):")
+        for key, outcome, detail in report.unsanctioned:
+            suffix = f" — {detail}" if detail else ""
+            lines.append(f"  {key}: {outcome}{suffix}")
+    elif clean == total:
+        lines.append("All tuples recovered clean.")
+    else:
+        lines.append("All non-clean tuples are sanctioned (see repro/sweep/sanctions.py).")
+    return "\n".join(lines)

@@ -1,0 +1,112 @@
+"""Loading the committed crash surface as the sweep work-list.
+
+The sweep never invents its own enumeration: it consumes the
+``crashpoints.json`` catalog PR 7's static analysis emitted (ROADMAP
+item 3), so the executable sweep and the static surface can never
+disagree silently.  :func:`load_surface` therefore *re-emits* the
+catalog from the source tree and fails with :class:`SurfaceError` —
+which ``rae-sweep`` maps to exit 2 — when the committed copy has
+drifted, mirroring the CI drift gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.persistence.surface import validate_crash_surface
+
+
+class SurfaceError(Exception):
+    """Catalog missing, malformed, or drifted — ``rae-sweep`` exit 2."""
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (crash-entry op, persistence point) pair of the work-list."""
+
+    op: str          # crash-entry op name ("commit", "mount", ...)
+    ref: str         # "path:line" witness of the device call
+    kind: str        # persistence kind ("commit-record", "barrier", ...)
+    path: str        # repo-relative path inside the analyzed tree
+    line: int
+    entry: str       # entry function qualname ("BaseFilesystem.commit")
+    entry_path: str  # path of the module defining the entry
+
+
+def emit_fresh_surface(src_root: str | Path) -> str:
+    """Re-run the static analysis and render a fresh catalog."""
+    from repro.analysis.engine import Analyzer
+    from repro.analysis.persistence import model_for
+    from repro.analysis.persistence.surface import (
+        build_crash_surface,
+        render_crash_surface,
+    )
+
+    analyzer = Analyzer(Path(src_root))
+    modules, parse_errors = analyzer.parse_all()
+    if parse_errors:
+        raise SurfaceError(
+            "cannot re-emit crash surface: "
+            + "; ".join(f.render() for f in parse_errors)
+        )
+    model = model_for(modules)
+    if model is None:
+        raise SurfaceError(f"no spec/persistence.py under {src_root}")
+    payload = build_crash_surface(model)
+    validate_crash_surface(payload)
+    return render_crash_surface(payload)
+
+
+def load_surface(
+    path: str | Path,
+    src_root: str | Path | None = None,
+    check_drift: bool = True,
+) -> dict:
+    """Load and validate the committed catalog.
+
+    With ``check_drift`` (and a ``src_root``), the catalog is re-emitted
+    from the tree and compared byte-for-byte; any difference raises
+    :class:`SurfaceError` — a sweep over a stale work-list would report
+    coverage for points that no longer exist.
+    """
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise SurfaceError(f"cannot read crash surface {path}: {exc}") from exc
+    try:
+        payload = json.loads(text)
+    except ValueError as exc:
+        raise SurfaceError(f"crash surface {path} is not valid JSON: {exc}") from exc
+    try:
+        validate_crash_surface(payload)
+    except ValueError as exc:
+        raise SurfaceError(f"crash surface {path} is malformed: {exc}") from exc
+    if check_drift and src_root is not None:
+        fresh = emit_fresh_surface(src_root)
+        if fresh != text:
+            raise SurfaceError(
+                f"crash surface {path} has drifted from the source tree; "
+                "regenerate it with `make crash-surface` before sweeping"
+            )
+    return payload
+
+
+def iter_pairs(payload: dict) -> list[SweepPoint]:
+    """Every (op, point) pair of the catalog, in deterministic order."""
+    pairs: list[SweepPoint] = []
+    for op in sorted(payload["ops"]):
+        body = payload["ops"][op]
+        for point in body["points"]:
+            path, _, line = point["ref"].rpartition(":")
+            pairs.append(SweepPoint(
+                op=op,
+                ref=point["ref"],
+                kind=point["kind"],
+                path=path,
+                line=int(line),
+                entry=body["entry"],
+                entry_path=body["entry_path"],
+            ))
+    return pairs

@@ -1,0 +1,159 @@
+"""Injector edge cases the sweep leans on: disarm mid-run, overlapping
+armed points on one hook, the non-raising WARN policy, and fire-count
+accounting."""
+
+import pytest
+
+from repro.basefs.hooks import HookPoints
+from repro.errors import KernelBug, KernelWarning
+from repro.faults.catalog import BugSpec, Consequence, Determinism
+from repro.faults.injector import Injector
+
+
+def _spec(bug_id, consequence=Consequence.CRASH, hook="blkmq.submit", **kwargs):
+    defaults = dict(
+        title=f"test bug {bug_id}",
+        determinism=Determinism.DETERMINISTIC,
+        trigger=lambda ctx: True,
+    )
+    defaults.update(kwargs)
+    return BugSpec(bug_id=bug_id, hook=hook, consequence=consequence, **defaults)
+
+
+class TestDisarmMidSweep:
+    def test_disarm_stops_firing_but_stays_registered(self):
+        hooks = HookPoints()
+        injector = Injector(hooks)
+        injector.arm(_spec("d1"))
+        with pytest.raises(KernelBug):
+            hooks.fire("blkmq.submit", op="write", block=1)
+        assert injector.stats.total_fires == 1
+
+        injector.disarm("d1")
+        hooks.fire("blkmq.submit", op="write", block=2)  # no raise
+        assert injector.stats.total_fires == 1
+        assert injector.armed["d1"].enabled is False
+
+    def test_disarmed_bug_stops_counting_invocations(self):
+        hooks = HookPoints()
+        injector = Injector(hooks)
+        armed = injector.arm(_spec("d2", consequence=Consequence.NOCRASH,
+                                   payload=lambda fs, ctx: None))
+        hooks.fire("blkmq.submit", op="write", block=1)
+        injector.disarm("d2")
+        hooks.fire("blkmq.submit", op="write", block=2)
+        assert armed.invocations == 1
+
+    def test_disarm_unknown_bug_raises(self):
+        injector = Injector(HookPoints())
+        with pytest.raises(KeyError):
+            injector.disarm("never-armed")
+
+
+class TestArmAllOverlapping:
+    def test_two_bugs_on_same_hook_both_fire(self):
+        hooks = HookPoints()
+        injector = Injector(hooks)
+        ran = []
+        armed = injector.arm_all([
+            _spec("p1", consequence=Consequence.NOCRASH,
+                  payload=lambda fs, ctx: ran.append("p1")),
+            _spec("p2", consequence=Consequence.NOCRASH,
+                  payload=lambda fs, ctx: ran.append("p2")),
+        ])
+        hooks.fire("blkmq.submit", op="write", block=1)
+        assert ran == ["p1", "p2"]  # registration order
+        assert [bug.fires for bug in armed] == [1, 1]
+        assert injector.stats.total_fires == 2
+
+    def test_earlier_crash_preempts_later_bug_on_same_hook(self):
+        hooks = HookPoints()
+        injector = Injector(hooks)
+        ran = []
+        injector.arm_all([
+            _spec("crash-first"),
+            _spec("shadowed", consequence=Consequence.NOCRASH,
+                  payload=lambda fs, ctx: ran.append("shadowed")),
+        ])
+        with pytest.raises(KernelBug):
+            hooks.fire("blkmq.submit", op="write", block=1)
+        # The raise unwound before the second handler — exactly how a
+        # real BUG() would preempt later instrumentation on the path.
+        assert ran == []
+        assert injector.stats.fires_by_bug == {"crash-first": 1}
+
+    def test_duplicate_bug_id_rejected(self):
+        injector = Injector(HookPoints())
+        injector.arm(_spec("dup"))
+        with pytest.raises(ValueError, match="already armed"):
+            injector.arm(_spec("dup"))
+
+    def test_overlapping_triggers_select_disjoint_contexts(self):
+        hooks = HookPoints()
+        injector = Injector(hooks)
+        injector.arm_all([
+            _spec("on-write", consequence=Consequence.NOCRASH,
+                  trigger=lambda ctx: ctx.get("op") == "write",
+                  payload=lambda fs, ctx: None),
+            _spec("on-read", consequence=Consequence.NOCRASH,
+                  trigger=lambda ctx: ctx.get("op") == "read",
+                  payload=lambda fs, ctx: None),
+        ])
+        hooks.fire("blkmq.submit", op="write", block=1)
+        hooks.fire("blkmq.submit", op="write", block=2)
+        hooks.fire("blkmq.submit", op="read", block=3)
+        assert injector.stats.fires_by_bug == {"on-write": 2, "on-read": 1}
+
+
+class TestWarnPolicy:
+    def test_warn_raises_by_default(self):
+        hooks = HookPoints()
+        injector = Injector(hooks)
+        injector.arm(_spec("w1", consequence=Consequence.WARN))
+        with pytest.raises(KernelWarning):
+            hooks.fire("blkmq.submit", op="write", block=1)
+
+    def test_warn_raises_false_counts_silently(self):
+        hooks = HookPoints()
+        injector = Injector(hooks, warn_raises=False)
+        armed = injector.arm(_spec("w2", consequence=Consequence.WARN))
+        hooks.fire("blkmq.submit", op="write", block=1)
+        hooks.fire("blkmq.submit", op="write", block=2)
+        assert armed.warn_logs == 2
+        # A logged-and-run-past WARN is still a fire for the stats.
+        assert injector.stats.fires_by_bug == {"w2": 2}
+
+
+class TestFireAccounting:
+    def test_total_fires_sums_across_bugs(self):
+        hooks = HookPoints()
+        injector = Injector(hooks, warn_raises=False)
+        injector.arm_all([
+            _spec("a", consequence=Consequence.WARN),
+            _spec("b", consequence=Consequence.NOCRASH, payload=lambda fs, ctx: None),
+        ])
+        for block in range(3):
+            hooks.fire("blkmq.submit", op="write", block=block)
+        assert injector.stats.fires_by_bug == {"a": 3, "b": 3}
+        assert injector.stats.total_fires == 6
+
+    def test_max_fires_caps_each_bug_independently(self):
+        hooks = HookPoints()
+        injector = Injector(hooks, warn_raises=False)
+        capped = injector.arm(_spec("capped", consequence=Consequence.WARN, max_fires=1))
+        uncapped = injector.arm(_spec("uncapped", consequence=Consequence.NOCRASH,
+                                      payload=lambda fs, ctx: None))
+        for block in range(4):
+            hooks.fire("blkmq.submit", op="write", block=block)
+        assert capped.fires == 1
+        assert uncapped.fires == 4
+        assert capped.invocations == 4  # still sees every hook crossing
+
+    def test_untriggered_invocations_do_not_fire(self):
+        hooks = HookPoints()
+        injector = Injector(hooks)
+        armed = injector.arm(_spec("picky", trigger=lambda ctx: ctx.get("block") == 99))
+        hooks.fire("blkmq.submit", op="write", block=1)
+        assert armed.invocations == 1
+        assert armed.fires == 0
+        assert injector.stats.total_fires == 0
