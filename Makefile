@@ -3,11 +3,7 @@
 PYTHON ?= python
 PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: all install lint lint-json lint-github lint-contracts lint-concurrency lint-persistence crash-surface sweep sweep-smoke test bench bench-obs experiments examples verify clean
-
-CONTRACT_RULES = ERRNO-PARITY,EFFECT-CONTRACT,API-PARITY,STATE-PROTOCOL
-CONCURRENCY_RULES = RACE-LOCKSET,ATOMIC-RMW,ASYNC-BLOCKING,AWAIT-HOLDING-LOCK
-PERSISTENCE_RULES = FLUSH-BARRIER,PERSIST-ORDER,CRASH-HOOK-COVERAGE
+.PHONY: all install lint lint-json lint-github lint-contracts lint-concurrency lint-persistence lint-commute crash-surface replay-matrix sweep sweep-smoke test bench bench-obs experiments examples verify clean
 
 # Default flow: static analysis first (fast), then the tier-1 suite.
 all: lint test
@@ -27,28 +23,42 @@ lint-json:
 lint-github:
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.analysis src/repro --fail-on-findings --format=github
 
-# The contract rules alone, with the ratchet check: fails on any finding
+# One rule family alone, with the ratchet check: fails on any finding
 # not in raelint.baseline.json AND on baseline entries that no longer
-# fire (the baseline may only shrink).
+# fire (the baseline may only shrink).  `--select` resolves a family
+# name to every rule in it, so these targets never drift from the rule
+# registry.
 lint-contracts:
-	$(PYTHONPATH_SRC) $(PYTHON) -m repro.analysis src/repro --select $(CONTRACT_RULES) --check-baseline --fail-on-findings
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.analysis src/repro --select contracts --check-baseline --fail-on-findings
 
 # The concurrency rules alone (same shape as lint-contracts): the race
 # detector and async-discipline checks for the parallel-recovery arc.
 lint-concurrency:
-	$(PYTHONPATH_SRC) $(PYTHON) -m repro.analysis src/repro --select $(CONCURRENCY_RULES) --check-baseline --fail-on-findings
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.analysis src/repro --select concurrency --check-baseline --fail-on-findings
 
 # The crash-consistency ordering rules alone (same shape): the static
 # half of the durability story — flush barriers, declared persistence
 # protocols, and fault-hook coverage of every persistence point.
 lint-persistence:
-	$(PYTHONPATH_SRC) $(PYTHON) -m repro.analysis src/repro --select $(PERSISTENCE_RULES) --check-baseline --fail-on-findings
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.analysis src/repro --select persistence --check-baseline --fail-on-findings
+
+# The replay-commutativity rules alone (same shape): footprint parity
+# against the reviewed spec, vocabulary coverage of every write, and
+# shard isolation — the static half of sharded replay.
+lint-commute:
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.analysis src/repro --select commute --check-baseline --fail-on-findings
 
 # Regenerate the committed crash-surface catalog (ROADMAP item 3's
 # sweep work-list).  CI runs this and fails on `git diff` drift, so the
 # catalog can never silently fall behind the code.
 crash-surface:
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.analysis src/repro --emit-crash-surface crashpoints.json
+
+# Regenerate the committed replay matrix (ROADMAP item 4's shard
+# surface).  Same drift discipline as crash-surface: CI re-emits and
+# fails on `git diff`.
+replay-matrix:
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.analysis src/repro --emit-replay-matrix replaymatrix.json
 
 # Execute the full crash-point sweep: every (op, point) pair of the
 # committed catalog, both crash kinds, drift-checked work-list, exit 1

@@ -11,12 +11,12 @@ so unrelated edits do not invalidate the file.
 from __future__ import annotations
 
 import json
-import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
 
 from repro.analysis.findings import Finding
+from repro.util import atomic_write_json
 
 BASELINE_FILENAME = "raelint.baseline.json"
 _FORMAT_VERSION = 1
@@ -60,14 +60,7 @@ class Baseline:
                 for p, r, m in sorted(self.entries)
             ],
         }
-        # Stage-then-rename (same discipline as flush_bench_obs and the
-        # forensic bundle store): an interrupted --update-baseline must
-        # never truncate the committed ratchet file.
-        target = Path(path)
-        tmp = target.with_name(target.name + ".tmp")
-        try:
-            tmp.write_text(json.dumps(payload, indent=2) + "\n")
-            os.replace(tmp, target)
-        finally:
-            if tmp.exists():
-                tmp.unlink()
+        # Stage-then-rename: an interrupted --update-baseline must never
+        # truncate the committed ratchet file.  sort_keys=False keeps the
+        # committed layout (version before findings; entries pre-sorted).
+        atomic_write_json(path, payload, sort_keys=False)

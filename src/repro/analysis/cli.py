@@ -21,17 +21,18 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import subprocess
 import sys
 from pathlib import Path
 
 from repro.analysis.baseline import BASELINE_FILENAME, Baseline
+from repro.analysis.commute import CommuteConfigError
 from repro.analysis.concurrency import ConcurrencyConfigError
 from repro.analysis.engine import Analyzer
 from repro.analysis.findings import Finding
 from repro.analysis.persistence import PersistenceConfigError
-from repro.analysis.rules import default_rules
+from repro.analysis.rules import default_rules, rule_families
+from repro.util import atomic_write_json
 
 
 def _github_annotation(finding: Finding, root: Path, baselined: bool) -> str:
@@ -110,7 +111,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--select",
         default=None,
         metavar="RULE[,RULE...]",
-        help="run only the named rule ids (comma-separated)",
+        help="run only the named rules; each token is a rule id or a "
+        "family name (core, contracts, concurrency, persistence, "
+        "commute) selecting every rule in it (comma-separated)",
     )
     parser.add_argument(
         "--check-baseline",
@@ -133,6 +136,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="build the persistence model and write the crash-surface "
         "catalog (op -> ordered persistence points -> covering hook) as "
         "schema-checked JSON to PATH, then exit",
+    )
+    parser.add_argument(
+        "--emit-replay-matrix",
+        default=None,
+        metavar="PATH",
+        help="build the commute model and write the replay matrix "
+        "(per-op component footprints + a commute/conditional/conflict "
+        "verdict for every op pair) as schema-checked JSON to PATH, "
+        "then exit",
     )
     return parser
 
@@ -201,24 +213,37 @@ def _changed_paths(root: Path, since: str | None = None) -> set[str] | None:
     return changed
 
 
-def _emit_crash_surface(root: Path, target: Path) -> int:
-    """Build the persistence model and write the crash-surface catalog.
+def _emitter_modules(root: Path):
+    """Parse the FULL tree for a surface emitter, or ``None`` after
+    reporting parse errors.
 
-    The write is atomic (tmp + ``os.replace``) and validated before it
-    lands, so an interrupted or misconfigured run can never truncate or
-    corrupt the committed ``crashpoints.json`` CI diffs against."""
-    from repro.analysis.persistence import model_for
-    from repro.analysis.persistence.surface import (
-        build_crash_surface,
-        render_crash_surface,
-        validate_crash_surface,
-    )
-
-    analyzer = Analyzer(root)
-    modules, parse_errors = analyzer.parse_all()
+    Emitters deliberately ignore ``--changed-only``/``--changed-since``:
+    the committed artifacts describe whole-tree surfaces, and a scoped
+    emission would silently drop every op or point whose code happens to
+    be unchanged — the output must be byte-identical however the run is
+    scoped."""
+    modules, parse_errors = Analyzer(root).parse_all()
     if parse_errors:
         for finding in parse_errors:
             print(finding.render(), file=sys.stderr)
+        return None
+    return modules
+
+
+def _emit_crash_surface(root: Path, target: Path) -> int:
+    """Build the persistence model and write the crash-surface catalog.
+
+    The write is atomic and validated before it lands, so an interrupted
+    or misconfigured run can never truncate or corrupt the committed
+    ``crashpoints.json`` CI diffs against."""
+    from repro.analysis.persistence import model_for
+    from repro.analysis.persistence.surface import (
+        build_crash_surface,
+        validate_crash_surface,
+    )
+
+    modules = _emitter_modules(root)
+    if modules is None:
         return 2
     try:
         model = model_for(modules)
@@ -233,16 +258,47 @@ def _emit_crash_surface(root: Path, target: Path) -> int:
         return 2
     payload = build_crash_surface(model)
     validate_crash_surface(payload)
-    tmp = target.with_name(target.name + ".tmp")
-    try:
-        tmp.write_text(render_crash_surface(payload))
-        os.replace(tmp, target)
-    finally:
-        if tmp.exists():
-            tmp.unlink()
+    atomic_write_json(target, payload)
     print(
         f"raelint: crash surface: {len(payload['points'])} persistence point(s) "
         f"across {len(payload['ops'])} op(s) -> {target}"
+    )
+    return 0
+
+
+def _emit_replay_matrix(root: Path, target: Path) -> int:
+    """Build the commute model and write the replay matrix (the shard
+    surface: per-op footprints and pairwise replay verdicts)."""
+    from repro.analysis.commute import model_for
+    from repro.analysis.commute.surface import (
+        build_replay_matrix,
+        validate_replay_matrix,
+    )
+
+    modules = _emitter_modules(root)
+    if modules is None:
+        return 2
+    try:
+        model = model_for(modules)
+    except CommuteConfigError as error:
+        print(f"raelint: commute spec error: {error}", file=sys.stderr)
+        return 2
+    if model is None:
+        print(
+            "raelint: --emit-replay-matrix needs a spec/commute.py in the analyzed tree",
+            file=sys.stderr,
+        )
+        return 2
+    payload = build_replay_matrix(model)
+    validate_replay_matrix(payload)
+    atomic_write_json(target, payload)
+    verdicts = [pair["verdict"] for pair in payload["pairs"].values()]
+    print(
+        f"raelint: replay matrix: {len(payload['ops'])} op(s), "
+        f"{len(verdicts)} pair(s) "
+        f"({verdicts.count('commute')} commute, "
+        f"{verdicts.count('conditional-on-disjoint-subtree')} conditional, "
+        f"{verdicts.count('conflict')} conflict) -> {target}"
     )
     return 0
 
@@ -265,15 +321,28 @@ def main(argv: list[str] | None = None) -> int:
     rules = default_rules()
     if args.list_rules:
         for rule in rules:
-            print(f"{rule.rule_id:18} {rule.description}")
+            print(f"{rule.rule_id:20} [{rule.family}] {rule.description}")
         return 0
 
     if args.select:
-        wanted = {part.strip() for part in args.select.split(",") if part.strip()}
+        tokens = {part.strip() for part in args.select.split(",") if part.strip()}
         known = {rule.rule_id for rule in rules}
-        unknown = sorted(wanted - known)
+        families = rule_families()
+        wanted: set[str] = set()
+        unknown: list[str] = []
+        for token in sorted(tokens):
+            if token in known:
+                wanted.add(token)
+            elif token in families:
+                wanted.update(families[token])
+            else:
+                unknown.append(token)
         if unknown:
-            print(f"raelint: unknown rule id(s): {', '.join(unknown)}", file=sys.stderr)
+            print(
+                f"raelint: unknown rule id(s) or famil(ies): {', '.join(unknown)} "
+                f"(families: {', '.join(sorted(families))})",
+                file=sys.stderr,
+            )
             return 2
         rules = [rule for rule in rules if rule.rule_id in wanted]
 
@@ -282,8 +351,13 @@ def main(argv: list[str] | None = None) -> int:
         print(f"raelint: no such path: {root}", file=sys.stderr)
         return 2
 
+    # Surface emitters run before --changed-only is even computed: the
+    # committed artifacts are whole-tree surfaces, so emission must be
+    # byte-identical however the run is scoped (see _emitter_modules).
     if args.emit_crash_surface:
         return _emit_crash_surface(root, Path(args.emit_crash_surface))
+    if args.emit_replay_matrix:
+        return _emit_replay_matrix(root, Path(args.emit_replay_matrix))
 
     only_paths: set[str] | None = None
     if args.changed_since and not args.changed_only:
@@ -302,11 +376,15 @@ def main(argv: list[str] | None = None) -> int:
     baseline = Baseline.load(baseline_path)
     try:
         report = Analyzer(root, rules=rules, baseline=baseline, only_paths=only_paths).run()
-    except (ConcurrencyConfigError, PersistenceConfigError) as error:
-        # A spec/concurrency.py or spec/persistence.py declaration that
-        # cannot bind is a broken configuration, not a finding: report it
-        # like a bad --select.
-        family = "persistence" if isinstance(error, PersistenceConfigError) else "concurrency"
+    except (ConcurrencyConfigError, PersistenceConfigError, CommuteConfigError) as error:
+        # A spec/concurrency.py, spec/persistence.py, or spec/commute.py
+        # declaration that cannot bind is a broken configuration, not a
+        # finding: report it like a bad --select.
+        family = {
+            PersistenceConfigError: "persistence",
+            ConcurrencyConfigError: "concurrency",
+            CommuteConfigError: "commute",
+        }[type(error)]
         print(f"raelint: {family} spec error: {error}", file=sys.stderr)
         return 2
 

@@ -1,0 +1,27 @@
+"""Replay-commutativity analysis: which oplog operations can replay in
+parallel shards (ROADMAP item: sharded replay).
+
+``declared`` parses the pure-literal spec (``spec/commute.py``),
+``model`` refines the call-graph into per-op component footprints, and
+``surface`` composes the committed ``replaymatrix.json`` artifact.
+"""
+
+from repro.analysis.commute.declared import CommuteConfigError, declared_commute
+from repro.analysis.commute.model import CommuteModel, model_for
+from repro.analysis.commute.surface import (
+    MATRIX_VERSION,
+    build_replay_matrix,
+    render_replay_matrix,
+    validate_replay_matrix,
+)
+
+__all__ = [
+    "CommuteConfigError",
+    "declared_commute",
+    "CommuteModel",
+    "model_for",
+    "MATRIX_VERSION",
+    "build_replay_matrix",
+    "render_replay_matrix",
+    "validate_replay_matrix",
+]

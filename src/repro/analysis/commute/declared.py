@@ -1,0 +1,335 @@
+"""Extraction of the declared commutativity spec from the analyzed tree.
+
+Like the contract, concurrency, and persistence families, the commute
+rules *parse* their declarations out of the tree (``spec/commute.py``)
+rather than importing the runtime module, so they work on the synthetic
+fixture trees the test suite builds under ``tmp_path`` and are silent on
+trees that declare nothing.
+
+The spec is a set of pure-literal tables (see the module docstring of
+``spec/commute.py`` for the semantics):
+
+* ``STATE_COMPONENTS`` — the closed component vocabulary;
+* ``PATH_KEYED_COMPONENTS`` — components whose instances are keyed by
+  the path argument that reaches them;
+* ``REPLAY_ROOTS`` — ``{op: {"entry": qualname, "path_args": (...)}}``;
+* ``COMPONENT_ACCESSORS`` — ``{name: (component, "read"|"write")}``;
+* ``ROLE_COMPONENTS`` — write-site role -> component (a 2-tuple marks a
+  role the model disambiguates per site);
+* ``MEDIUM_WRITERS`` — the raw block-write primitives whose call sites
+  carry a role;
+* ``ATTR_COMPONENTS`` / ``CLASS_COMPONENTS`` — attribute / class names
+  that *are* a component;
+* ``SCRATCH_CLASSES`` / ``SCRATCH_ATTRS`` — argued exemptions (decoded
+  working copies, diagnostics, per-op directives);
+* ``COMMUTE_SANCTIONS`` — argued conflict resolutions (``commutes`` or
+  ``serialize``), keyed by component or ``"component:opA|opB"``;
+* ``DECLARED_FOOTPRINTS`` — the reviewed per-op read/write sets that
+  COMMUTE-PARITY holds the inferred model against.
+
+Shape errors (unknown component, malformed entry) raise
+:class:`CommuteConfigError` at parse time; binding errors (an entry
+point that matches no definition, a stale sanction) are raised later by
+the model, with the declaration's source line.  Both reach the CLI as
+exit code 2 — configuration errors, never findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Sequence
+
+from repro.analysis.engine import ParsedModule
+
+_COMMUTE_FILENAME = "commute.py"
+
+ACCESS_MODES = ("read", "write")
+RESOLUTIONS = ("commutes", "serialize")
+
+#: Instances in DECLARED_FOOTPRINTS: ``component`` or ``component<key>``
+#: where key is a comma-joined path-argument list or ``*`` (unknown key).
+
+
+class CommuteConfigError(Exception):
+    """A commute declaration that cannot bind to the analyzed tree (or
+    is malformed).  Reported by the CLI as exit 2 (configuration error),
+    never as a finding."""
+
+    def __init__(self, path: str, line: int, message: str):
+        self.path = path
+        self.line = line
+        super().__init__(f"{path}:{line}: {message}")
+
+
+@dataclass
+class CommuteDecls:
+    """The parsed commutativity spec of one analyzed tree."""
+
+    module: ParsedModule
+    components: dict[str, str] = field(default_factory=dict)
+    path_keyed: tuple[str, ...] = ()
+    #: op -> (entry qualname, path-arg names)
+    roots: dict[str, tuple[str, tuple[str, ...]]] = field(default_factory=dict)
+    #: accessor name ("_iget" or "fd_table.get") -> (component, mode)
+    accessors: dict[str, tuple[str, str]] = field(default_factory=dict)
+    #: write-site role -> component name, or a tuple of candidates the
+    #: model disambiguates from the site's block expression
+    roles: dict[str, str | tuple[str, ...]] = field(default_factory=dict)
+    medium_writers: tuple[str, ...] = ()
+    attr_components: dict[str, str] = field(default_factory=dict)
+    class_components: dict[str, str] = field(default_factory=dict)
+    scratch_classes: dict[str, str] = field(default_factory=dict)
+    scratch_attrs: dict[str, str] = field(default_factory=dict)
+    #: sanction key ("component" or "component:opA|opB") -> (resolution, why)
+    sanctions: dict[str, tuple[str, str]] = field(default_factory=dict)
+    #: op -> {"reads": (instance, ...), "writes": (instance, ...)}
+    footprints: dict[str, dict[str, tuple[str, ...]]] = field(default_factory=dict)
+    lines: dict[str, int] = field(default_factory=dict)  # decl key -> source line
+
+    def line_of(self, decl: str) -> int:
+        return self.lines.get(decl, 1)
+
+    def component_of_instance(self, instance: str) -> str:
+        return instance.split("<", 1)[0]
+
+
+def _spec_module(modules: Sequence[ParsedModule]) -> ParsedModule | None:
+    for module in modules:
+        path = PurePosixPath(module.path)
+        if path.name == _COMMUTE_FILENAME and "spec" in path.parts:
+            return module
+    return None
+
+
+def _literal_entries(module, node, table):
+    """(key, value, line) triples of a literal dict assignment."""
+    if not isinstance(node.value, ast.Dict):
+        raise CommuteConfigError(module.path, node.lineno, f"{table} must be a literal dict")
+    for key_node, value_node in zip(node.value.keys, node.value.values):
+        try:
+            key = ast.literal_eval(key_node) if key_node is not None else None
+            value = ast.literal_eval(value_node)
+        except ValueError:
+            raise CommuteConfigError(
+                module.path,
+                getattr(key_node, "lineno", node.lineno),
+                f"{table} entries must be pure literals",
+            )
+        line = getattr(key_node, "lineno", node.lineno)
+        if not isinstance(key, str) or not key:
+            raise CommuteConfigError(module.path, line, f"{table} key {key!r} must be a string")
+        yield key, value, line
+
+
+def _literal_tuple(module, node, table) -> tuple:
+    try:
+        value = ast.literal_eval(node.value)
+    except ValueError:
+        raise CommuteConfigError(module.path, node.lineno, f"{table} must be a literal tuple")
+    if not isinstance(value, (tuple, list)):
+        raise CommuteConfigError(module.path, node.lineno, f"{table} must be a tuple of strings")
+    for item in value:
+        if not isinstance(item, str) or not item:
+            raise CommuteConfigError(module.path, node.lineno, f"{table} entry {item!r}")
+    return tuple(value)
+
+
+def _check_component(decls: CommuteDecls, name: str, line: int, where: str) -> None:
+    if name not in decls.components:
+        raise CommuteConfigError(
+            decls.module.path,
+            line,
+            f"{where}: {name!r} is not in STATE_COMPONENTS {tuple(sorted(decls.components))}",
+        )
+
+
+def _check_instance(decls: CommuteDecls, instance: str, line: int, where: str) -> None:
+    component, sep, key = instance.partition("<")
+    if sep:
+        if not key.endswith(">") or not key[:-1]:
+            raise CommuteConfigError(
+                decls.module.path, line, f"{where}: malformed instance {instance!r}"
+            )
+        if component not in decls.path_keyed:
+            raise CommuteConfigError(
+                decls.module.path,
+                line,
+                f"{where}: {component!r} is not path-keyed, {instance!r} cannot carry a key",
+            )
+    _check_component(decls, component, line, where)
+
+
+def declared_commute(modules: Sequence[ParsedModule]) -> CommuteDecls | None:
+    """The commute literals from ``spec/commute.py``, or ``None`` when
+    the tree declares no commute spec (the rules are then not
+    applicable)."""
+    module = _spec_module(modules)
+    if module is None:
+        return None
+    decls = CommuteDecls(module=module)
+    deferred: list = []  # validated once STATE_COMPONENTS is known
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if "STATE_COMPONENTS" in targets:
+            for key, value, line in _literal_entries(module, node, "STATE_COMPONENTS"):
+                if not isinstance(value, str) or not value.strip():
+                    raise CommuteConfigError(
+                        module.path, line,
+                        f"STATE_COMPONENTS[{key!r}] must carry a description",
+                    )
+                decls.components[key] = value
+                decls.lines[f"component:{key}"] = line
+        elif "PATH_KEYED_COMPONENTS" in targets:
+            decls.path_keyed = _literal_tuple(module, node, "PATH_KEYED_COMPONENTS")
+            decls.lines["PATH_KEYED_COMPONENTS"] = node.lineno
+        elif "MEDIUM_WRITERS" in targets:
+            decls.medium_writers = _literal_tuple(module, node, "MEDIUM_WRITERS")
+            decls.lines["MEDIUM_WRITERS"] = node.lineno
+        elif "REPLAY_ROOTS" in targets:
+            for key, value, line in _literal_entries(module, node, "REPLAY_ROOTS"):
+                if (
+                    not isinstance(value, dict)
+                    or set(value) != {"entry", "path_args"}
+                    or not isinstance(value["entry"], str)
+                    or not value["entry"]
+                    or not isinstance(value["path_args"], (tuple, list))
+                    or not all(isinstance(a, str) and a for a in value["path_args"])
+                ):
+                    raise CommuteConfigError(
+                        module.path, line,
+                        f"REPLAY_ROOTS[{key!r}] must be "
+                        "{'entry': qualname, 'path_args': tuple of arg names}",
+                    )
+                decls.roots[key] = (value["entry"], tuple(value["path_args"]))
+                decls.lines[f"root:{key}"] = line
+        elif "COMPONENT_ACCESSORS" in targets:
+            for key, value, line in _literal_entries(module, node, "COMPONENT_ACCESSORS"):
+                if (
+                    not isinstance(value, (tuple, list))
+                    or len(value) != 2
+                    or value[1] not in ACCESS_MODES
+                ):
+                    raise CommuteConfigError(
+                        module.path, line,
+                        f"COMPONENT_ACCESSORS[{key!r}] must be (component, 'read'|'write')",
+                    )
+                decls.accessors[key] = (value[0], value[1])
+                decls.lines[f"accessor:{key}"] = line
+                deferred.append((value[0], line, f"COMPONENT_ACCESSORS[{key!r}]"))
+        elif "ROLE_COMPONENTS" in targets:
+            for key, value, line in _literal_entries(module, node, "ROLE_COMPONENTS"):
+                if isinstance(value, str):
+                    decls.roles[key] = value
+                    deferred.append((value, line, f"ROLE_COMPONENTS[{key!r}]"))
+                elif isinstance(value, (tuple, list)) and len(value) >= 2 and all(
+                    isinstance(v, str) for v in value
+                ):
+                    decls.roles[key] = tuple(value)
+                    for v in value:
+                        deferred.append((v, line, f"ROLE_COMPONENTS[{key!r}]"))
+                else:
+                    raise CommuteConfigError(
+                        module.path, line,
+                        f"ROLE_COMPONENTS[{key!r}] must be a component or a tuple of candidates",
+                    )
+                decls.lines[f"role:{key}"] = line
+        elif "ATTR_COMPONENTS" in targets:
+            for key, value, line in _literal_entries(module, node, "ATTR_COMPONENTS"):
+                if not isinstance(value, str):
+                    raise CommuteConfigError(
+                        module.path, line, f"ATTR_COMPONENTS[{key!r}] must name a component"
+                    )
+                decls.attr_components[key] = value
+                deferred.append((value, line, f"ATTR_COMPONENTS[{key!r}]"))
+        elif "CLASS_COMPONENTS" in targets:
+            for key, value, line in _literal_entries(module, node, "CLASS_COMPONENTS"):
+                if not isinstance(value, str):
+                    raise CommuteConfigError(
+                        module.path, line, f"CLASS_COMPONENTS[{key!r}] must name a component"
+                    )
+                decls.class_components[key] = value
+                deferred.append((value, line, f"CLASS_COMPONENTS[{key!r}]"))
+        elif "SCRATCH_CLASSES" in targets or "SCRATCH_ATTRS" in targets:
+            table = "SCRATCH_CLASSES" if "SCRATCH_CLASSES" in targets else "SCRATCH_ATTRS"
+            store = decls.scratch_classes if table == "SCRATCH_CLASSES" else decls.scratch_attrs
+            for key, value, line in _literal_entries(module, node, table):
+                if not isinstance(value, str) or not value.strip():
+                    raise CommuteConfigError(
+                        module.path, line,
+                        f"{table}[{key!r}] must carry a written justification",
+                    )
+                store[key] = value
+                decls.lines[f"scratch:{key}"] = line
+        elif "COMMUTE_SANCTIONS" in targets:
+            for key, value, line in _literal_entries(module, node, "COMMUTE_SANCTIONS"):
+                if (
+                    not isinstance(value, dict)
+                    or set(value) != {"resolution", "why"}
+                    or value["resolution"] not in RESOLUTIONS
+                    or not isinstance(value["why"], str)
+                    or not value["why"].strip()
+                ):
+                    raise CommuteConfigError(
+                        module.path, line,
+                        f"COMMUTE_SANCTIONS[{key!r}] must be "
+                        "{'resolution': 'commutes'|'serialize', 'why': justification}",
+                    )
+                decls.sanctions[key] = (value["resolution"], value["why"])
+                decls.lines[f"sanction:{key}"] = line
+                deferred.append(
+                    (key.split(":", 1)[0], line, f"COMMUTE_SANCTIONS[{key!r}]")
+                )
+        elif "DECLARED_FOOTPRINTS" in targets:
+            for key, value, line in _literal_entries(module, node, "DECLARED_FOOTPRINTS"):
+                if (
+                    not isinstance(value, dict)
+                    or set(value) != {"reads", "writes"}
+                    or not all(isinstance(v, (tuple, list)) for v in value.values())
+                ):
+                    raise CommuteConfigError(
+                        module.path, line,
+                        f"DECLARED_FOOTPRINTS[{key!r}] must be "
+                        "{'reads': instances, 'writes': instances}",
+                    )
+                decls.footprints[key] = {
+                    "reads": tuple(value["reads"]),
+                    "writes": tuple(value["writes"]),
+                }
+                decls.lines[f"footprint:{key}"] = line
+    if not decls.roots:
+        return decls if decls.components else None
+    for component, line, where in deferred:
+        _check_component(decls, component, line, where)
+    for name in decls.path_keyed:
+        _check_component(decls, name, decls.line_of("PATH_KEYED_COMPONENTS"), "PATH_KEYED_COMPONENTS")
+    for op, footprint in decls.footprints.items():
+        line = decls.line_of(f"footprint:{op}")
+        if op not in decls.roots:
+            raise CommuteConfigError(
+                decls.module.path, line,
+                f"DECLARED_FOOTPRINTS[{op!r}] does not match any REPLAY_ROOTS op",
+            )
+        for mode in ("reads", "writes"):
+            for instance in footprint[mode]:
+                if not isinstance(instance, str) or not instance:
+                    raise CommuteConfigError(
+                        decls.module.path, line,
+                        f"DECLARED_FOOTPRINTS[{op!r}] {mode} entry {instance!r}",
+                    )
+                _check_instance(decls, instance, line, f"DECLARED_FOOTPRINTS[{op!r}]")
+    for key in decls.sanctions:
+        if ":" in key:
+            _component, pair = key.split(":", 1)
+            ops = pair.split("|")
+            line = decls.line_of(f"sanction:{key}")
+            if len(ops) != 2 or any(o not in decls.roots for o in ops) or ops != sorted(ops):
+                raise CommuteConfigError(
+                    decls.module.path, line,
+                    f"COMMUTE_SANCTIONS[{key!r}] pair must be 'opA|opB' with known ops "
+                    "in sorted order",
+                )
+    return decls

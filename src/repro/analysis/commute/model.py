@@ -1,0 +1,868 @@
+"""The inferred commutativity model: per-op component footprints and
+pairwise replay verdicts.
+
+Built on the project call graph (PR-2) the way the persistence model is
+built on effect summaries: every replayable operation root declared in
+``spec/commute.py`` is explored with a BFS over *(definition,
+path-parameter taint)* states, and every state access met along the way
+is classified into the declared component vocabulary through five
+channels:
+
+1. **accessor calls/references** (``COMPONENT_ACCESSORS``) — helper
+   methods that *are* a component access wherever they appear;
+2. **medium-writer sites** (``MEDIUM_WRITERS`` + ``ROLE_COMPONENTS``) —
+   raw block writes classified by their literal ``role``; the ambiguous
+   ``bitmap`` role is disambiguated per site from which layout helper
+   computed the block number;
+3. **component attributes** (``ATTR_COMPONENTS``) — loads and stores
+   through attributes that are the live image of a component;
+4. **component classes** (``CLASS_COMPONENTS``) — stores through typed
+   receivers whose class is component state wherever it flows;
+5. **scratch** (``SCRATCH_CLASSES`` / ``SCRATCH_ATTRS``) — argued
+   exemptions: decoded working copies and diagnostics.
+
+Path-parameter taint makes namespace footprints *keyed*: a
+``dentry-namespace`` access inherits the name of whichever declared
+path argument reaches it through assignments and call arguments, so
+``mkdir(a/...)`` and ``mkdir(b/...)`` conflict only conditionally.  An
+access no path argument reaches is keyed ``*`` and conflicts with
+everything.
+
+Unclassifiable *writes* in the replay closure surface as
+SHARD-FOOTPRINT findings; mutations of module-level state as
+REPLAY-ISOLATION findings; drift between the inferred footprints and
+the reviewed ``DECLARED_FOOTPRINTS`` (either direction), or a hard
+conflict no sanction argues, as COMMUTE-PARITY findings.
+
+Known under-approximations, accepted like the call graph's: a store
+through an *untyped bare local* is treated as local scratch (aliasing a
+component container into a local before mutating it would dodge the
+classifier), and dynamic dispatch (``getattr``) is invisible.  The
+permutation harness exists exactly to catch what the static side
+misses.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Iterable, Sequence
+
+from repro.analysis.commute.declared import (
+    CommuteConfigError,
+    CommuteDecls,
+    declared_commute,
+)
+from repro.analysis.engine import ParsedModule, RuleContext
+from repro.analysis.flow.callgraph import CallGraph, DefInfo, render_chain
+
+#: Directory parts that put a module inside the replay closure's world.
+SCOPE_PARTS = frozenset({"basefs", "ondisk", "shadowfs"})
+
+#: Method names treated as in-place mutations of their receiver.
+MUTATOR_METHODS = frozenset({
+    "add", "append", "extend", "insert", "remove", "discard", "pop",
+    "popitem", "clear", "update", "setdefault", "set", "unset",
+})
+
+VERDICTS = ("commute", "conditional-on-disjoint-subtree", "conflict")
+
+
+def in_scope(path: str) -> bool:
+    return bool(SCOPE_PARTS & set(PurePosixPath(path).parts))
+
+
+def instance_name(component: str, keys: tuple[str, ...]) -> str:
+    return f"{component}<{','.join(keys)}>" if keys else component
+
+
+@dataclass(frozen=True)
+class Access:
+    """One classified component access, with its witness."""
+
+    component: str
+    mode: str  # "read" | "write"
+    keys: tuple[str, ...]  # path-arg names, ("*",), or () for unkeyed
+    path: str
+    line: int
+    detail: str
+    chain: tuple[str, ...]  # qualnames from the op root to the site
+
+    @property
+    def instance(self) -> str:
+        return instance_name(self.component, self.keys)
+
+
+@dataclass(frozen=True)
+class UnclassifiedWrite:
+    """A write in the replay closure the vocabulary cannot express."""
+
+    path: str
+    line: int
+    detail: str
+    chain: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class IsolationViolation:
+    """Module-level mutable state reached from a replay root."""
+
+    path: str
+    line: int
+    detail: str
+    chain: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """One component two ops collide on, classified."""
+
+    component: str
+    a_instances: tuple[str, ...]
+    b_instances: tuple[str, ...]
+    kinds: tuple[str, ...]  # subset of ("write-write", "write-read", "read-write")
+    classification: str  # "sanctioned-commutes" | "conditional" | "serialize" | "unsanctioned"
+    sanction_key: str | None  # the COMMUTE_SANCTIONS key that resolved it
+    why: str | None  # that sanction's argument
+
+
+@dataclass
+class PairVerdict:
+    a: str
+    b: str
+    verdict: str
+    conflicts: list[Conflict] = field(default_factory=list)
+
+
+@dataclass
+class Footprint:
+    """Per-op component accesses: first witness per (instance, mode)."""
+
+    reads: dict[str, Access] = field(default_factory=dict)
+    writes: dict[str, Access] = field(default_factory=dict)
+
+    def of_mode(self, mode: str) -> dict[str, Access]:
+        return self.writes if mode == "write" else self.reads
+
+    def components(self, mode: str) -> set[str]:
+        return {a.component for a in self.of_mode(mode).values()}
+
+
+#: A def-instance: one definition explored under one parameter taint.
+#: ``taint`` maps parameter name -> sorted tuple of root path-arg names.
+_Taint = tuple[tuple[str, tuple[str, ...]], ...]
+
+
+@dataclass
+class _DefSummary:
+    """Memoized per-(def, taint) analysis results (chains excluded —
+    they are per-op and rebuilt from the BFS parents)."""
+
+    accesses: list[Access]  # chain field left empty here
+    callees: list[tuple[str, _Taint]]
+    unclassified: list[UnclassifiedWrite]
+    isolation: list[IsolationViolation]
+
+
+class CommuteModel:
+    """Footprints, pairwise verdicts, and rule inputs for one tree."""
+
+    def __init__(
+        self,
+        modules: Sequence[ParsedModule],
+        decls: CommuteDecls,
+        context: RuleContext | None = None,
+    ):
+        self.modules = modules
+        self.decls = decls
+        self.graph: CallGraph = (
+            context.graph(modules) if context is not None else CallGraph(modules)
+        )
+        self.scope: dict[str, DefInfo] = {
+            key: info for key, info in self.graph.defs.items() if in_scope(info.path)
+        }
+        self._summaries: dict[tuple[str, _Taint], _DefSummary] = {}
+        self._module_mutables: dict[str, dict[str, int]] = {}
+        self.roots: dict[str, str] = {}  # op -> def key
+        self.footprints: dict[str, Footprint] = {}
+        self.unclassified_writes: list[UnclassifiedWrite] = []
+        self.isolation_violations: list[IsolationViolation] = []
+        self.pairs: dict[tuple[str, str], PairVerdict] = {}
+        self._bind_roots()
+        self._explore()
+        self._judge_pairs()
+        self._check_sanctions()
+
+    # ------------------------------------------------------------------
+    # binding
+
+    def _bound_defs(self, name: str) -> list[DefInfo]:
+        """In-scope defs a declaration key binds to: exact qualname
+        matches when any exist, else bare-name matches."""
+        exact = [i for i in self.scope.values() if i.qualname == name]
+        if exact:
+            return sorted(exact, key=lambda i: i.key)
+        return sorted(
+            (i for i in self.scope.values() if i.name == name), key=lambda i: i.key
+        )
+
+    def _bind_roots(self) -> None:
+        for op, (entry, _path_args) in sorted(self.decls.roots.items()):
+            bound = self._bound_defs(entry)
+            if not bound:
+                raise CommuteConfigError(
+                    self.decls.module.path,
+                    self.decls.line_of(f"root:{op}"),
+                    f"REPLAY_ROOTS[{op!r}] entry {entry!r} matches no in-scope definition",
+                )
+            self.roots[op] = bound[0].key
+
+    # ------------------------------------------------------------------
+    # module-level mutable state (REPLAY-ISOLATION channel)
+
+    def _mutables_of(self, path: str) -> dict[str, int]:
+        cached = self._module_mutables.get(path)
+        if cached is not None:
+            return cached
+        mutables: dict[str, int] = {}
+        for module in self.modules:
+            if module.path != path:
+                continue
+            for stmt in module.tree.body:
+                if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                    continue
+                targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                value = stmt.value
+                if value is None or not isinstance(
+                    value,
+                    (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp,
+                     ast.SetComp, ast.Call),
+                ):
+                    continue
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        mutables[target.id] = stmt.lineno
+        self._module_mutables[path] = mutables
+        return mutables
+
+    # ------------------------------------------------------------------
+    # per-(def, taint) analysis
+
+    @staticmethod
+    def _own_nodes(func: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterable[ast.AST]:
+        """Nodes of ``func``'s own body, not of nested defs/classes."""
+        stack: list[ast.AST] = list(func.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _bind_target_names(target: ast.expr, out: set[str]) -> None:
+        if isinstance(target, ast.Name):
+            out.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                CommuteModel._bind_target_names(elt, out)
+        elif isinstance(target, ast.Starred):
+            CommuteModel._bind_target_names(target.value, out)
+
+    def _local_taint(
+        self, info: DefInfo, param_taint: dict[str, frozenset[str]]
+    ) -> dict[str, frozenset[str]]:
+        """Fixpoint propagation of path-argument taint through the def's
+        own assignments, loop targets, and with-items."""
+        taint: dict[str, frozenset[str]] = dict(param_taint)
+
+        def expr_taint(expr: ast.expr | None) -> frozenset[str]:
+            if expr is None:
+                return frozenset()
+            found: frozenset[str] = frozenset()
+            for node in ast.walk(expr):
+                if isinstance(node, ast.Name) and node.id in taint:
+                    found |= taint[node.id]
+            return found
+
+        def bind(target: ast.expr, t: frozenset[str]) -> bool:
+            if not t:
+                return False
+            names: set[str] = set()
+            self._bind_target_names(target, names)
+            changed = False
+            for name in names:
+                merged = taint.get(name, frozenset()) | t
+                if merged != taint.get(name):
+                    taint[name] = merged
+                    changed = True
+            return changed
+
+        for _ in range(8):  # assignment chains are short; 8 passes is ample
+            changed = False
+            for node in self._own_nodes(info.node):
+                if isinstance(node, ast.Assign):
+                    t = expr_taint(node.value)
+                    for target in node.targets:
+                        changed |= bind(target, t)
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    changed |= bind(node.target, expr_taint(node.value))
+                elif isinstance(node, ast.AugAssign):
+                    changed |= bind(node.target, expr_taint(node.value))
+                elif isinstance(node, (ast.For, ast.AsyncFor)):
+                    changed |= bind(node.target, expr_taint(node.iter))
+                elif isinstance(node, ast.comprehension):
+                    changed |= bind(node.target, expr_taint(node.iter))
+                elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+                    changed |= bind(node.optional_vars, expr_taint(node.context_expr))
+                elif isinstance(node, ast.NamedExpr):
+                    changed |= bind(node.target, expr_taint(node.value))
+            if not changed:
+                break
+        return taint
+
+    @staticmethod
+    def _call_names(call: ast.Call) -> tuple[str | None, str | None]:
+        """(dotted, bare) lookup names for a call: ``self.fd_table.get``
+        -> ("fd_table.get", "get"); ``self._iget`` -> (None, "_iget")."""
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            value = func.value
+            if isinstance(value, ast.Attribute):
+                return (f"{value.attr}.{func.attr}", func.attr)
+            if isinstance(value, ast.Name) and value.id != "self":
+                return (f"{value.id}.{func.attr}", func.attr)
+            return (None, func.attr)
+        if isinstance(func, ast.Name):
+            return (None, func.id)
+        return (None, None)
+
+    def _lookup_accessor(self, call: ast.Call) -> tuple[str, str] | None:
+        dotted, bare = self._call_names(call)
+        if dotted is not None and dotted in self.decls.accessors:
+            return self.decls.accessors[dotted]
+        if bare is not None and bare in self.decls.accessors:
+            return self.decls.accessors[bare]
+        return None
+
+    def _is_medium_writer(self, call: ast.Call) -> bool:
+        dotted, bare = self._call_names(call)
+        return dotted in self.decls.medium_writers or bare in self.decls.medium_writers
+
+    def _role_of(self, call: ast.Call) -> tuple[str | None, bool]:
+        """(literal role, found) — found is False when no role argument
+        is present; a present-but-non-literal role returns (None, True)."""
+        role_expr: ast.expr | None = None
+        for kw in call.keywords:
+            if kw.arg == "role":
+                role_expr = kw.value
+        if role_expr is None and len(call.args) >= 3:
+            role_expr = call.args[2]
+        if role_expr is None:
+            return (None, False)
+        if isinstance(role_expr, ast.Constant) and isinstance(role_expr.value, str):
+            return (role_expr.value, True)
+        return (None, True)
+
+    def _disambiguate_role(
+        self, candidates: tuple[str, ...], call: ast.Call
+    ) -> str | None:
+        """Pick the candidate component whose layout helper
+        (``<component>_block`` with dashes as underscores) computes the
+        written block number."""
+        names: set[str] = set()
+        if call.args:
+            for node in ast.walk(call.args[0]):
+                if isinstance(node, ast.Attribute):
+                    names.add(node.attr)
+                elif isinstance(node, ast.Name):
+                    names.add(node.id)
+        hits = [c for c in candidates if f"{c.replace('-', '_')}_block" in names]
+        if len(hits) == 1:
+            return hits[0]
+        return None
+
+    def _class_name(self, class_key: str | None) -> str | None:
+        if class_key is None or class_key not in self.graph.classes:
+            return None
+        return self.graph.classes[class_key].node.name
+
+    def _classify_receiver(
+        self, info: DefInfo, expr: ast.expr, locals_types: dict[str, str]
+    ) -> tuple[str, str | None]:
+        """Classify a store receiver: ("component", name) /
+        ("scratch", why-key) / ("local", None) / ("module", name) /
+        ("unknown", description)."""
+        attrs: list[str] = []
+        base: ast.expr = expr
+        while True:
+            if isinstance(base, ast.Subscript):
+                base = base.value
+            elif isinstance(base, ast.Attribute):
+                attrs.append(base.attr)
+                base = base.value
+            else:
+                break
+        for attr in attrs:  # innermost attribute first: most specific wins
+            if attr in self.decls.attr_components:
+                return ("component", self.decls.attr_components[attr])
+            if attr in self.decls.scratch_attrs:
+                return ("scratch", attr)
+        # Typed receivers: nearest resolvable class along the chain.
+        probe: ast.expr = expr
+        while isinstance(probe, (ast.Attribute, ast.Subscript)):
+            probe = probe.value
+            cls = self._class_name(self.graph.expr_class(info.key, probe, locals_types))
+            if cls is not None:
+                if cls in self.decls.class_components:
+                    return ("component", self.decls.class_components[cls])
+                if cls in self.decls.scratch_classes:
+                    return ("scratch", cls)
+        if isinstance(base, ast.Name):
+            if base.id == "self":
+                cls = self._class_name(info.class_key)
+                if cls is not None and cls in self.decls.class_components:
+                    return ("component", self.decls.class_components[cls])
+                if cls is not None and cls in self.decls.scratch_classes:
+                    return ("scratch", cls)
+                return ("unknown", f"self.{'.'.join(reversed(attrs))}")
+            if base.id in self._mutables_of(info.path) and base.id not in locals_types:
+                local_names: set[str] = set()
+                for node in self._own_nodes(info.node):
+                    if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                        targets = (
+                            node.targets if isinstance(node, ast.Assign) else [node.target]
+                        )
+                        for target in targets:
+                            self._bind_target_names(target, local_names)
+                args = info.node.args
+                params = {
+                    a.arg
+                    for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+                }
+                if base.id not in local_names and base.id not in params:
+                    return ("module", base.id)
+            return ("local", None)
+        return ("local", None)
+
+    def _summarize(self, key: str, taint_key: _Taint) -> _DefSummary:
+        memo_key = (key, taint_key)
+        cached = self._summaries.get(memo_key)
+        if cached is not None:
+            return cached
+        info = self.scope[key]
+        param_taint = {p: frozenset(roots) for p, roots in taint_key}
+        local_taint = self._local_taint(info, param_taint)
+        inst_taint = frozenset().union(*param_taint.values()) if param_taint else frozenset()
+        locals_types = self.graph.local_types(key)
+        summary = _DefSummary(accesses=[], callees=[], unclassified=[], isolation=[])
+
+        def expr_taint(expr: ast.expr | None) -> frozenset[str]:
+            if expr is None:
+                return frozenset()
+            found: frozenset[str] = frozenset()
+            for node in ast.walk(expr):
+                if isinstance(node, ast.Name) and node.id in local_taint:
+                    found |= local_taint[node.id]
+            return found
+
+        def keys_for(component: str, exprs: Sequence[ast.expr | None]) -> tuple[str, ...]:
+            if component not in self.decls.path_keyed:
+                return ()
+            t: frozenset[str] = frozenset()
+            for expr in exprs:
+                t |= expr_taint(expr)
+            if not t:
+                t = inst_taint
+            return tuple(sorted(t)) if t else ("*",)
+
+        def record(component: str, mode: str, node: ast.AST, detail: str,
+                   key_exprs: Sequence[ast.expr | None] = ()) -> None:
+            summary.accesses.append(Access(
+                component=component,
+                mode=mode,
+                keys=keys_for(component, key_exprs),
+                path=info.path,
+                line=getattr(node, "lineno", info.line),
+                detail=detail,
+                chain=(),
+            ))
+
+        calls = [n for n in self._own_nodes(info.node) if isinstance(n, ast.Call)]
+        call_funcs = {id(c.func) for c in calls}
+        handled_receivers: set[int] = set()
+
+        for call in calls:
+            dotted, bare = self._call_names(call)
+            label = dotted or bare or "<call>"
+            accessor = self._lookup_accessor(call)
+            if accessor is not None:
+                component, mode = accessor
+                record(component, mode, call, f"{label}(...)", list(call.args))
+                continue
+            if self._is_medium_writer(call):
+                role, found = self._role_of(call)
+                if not found:
+                    if info.name not in {m.split(".")[-1] for m in self.decls.medium_writers}:
+                        summary.unclassified.append(UnclassifiedWrite(
+                            path=info.path, line=call.lineno,
+                            detail=f"{label}(...) carries no role", chain=(),
+                        ))
+                    continue
+                if role is None:
+                    # Non-literal role: legal only as delegation inside
+                    # another medium writer.
+                    if info.name not in {m.split(".")[-1] for m in self.decls.medium_writers}:
+                        summary.unclassified.append(UnclassifiedWrite(
+                            path=info.path, line=call.lineno,
+                            detail=f"{label}(...) role is not a literal", chain=(),
+                        ))
+                    continue
+                component = self.decls.roles.get(role)
+                if component is None:
+                    summary.unclassified.append(UnclassifiedWrite(
+                        path=info.path, line=call.lineno,
+                        detail=f"{label}(...) role {role!r} is not in ROLE_COMPONENTS",
+                        chain=(),
+                    ))
+                    continue
+                if isinstance(component, tuple):
+                    picked = self._disambiguate_role(component, call)
+                    if picked is None:
+                        summary.unclassified.append(UnclassifiedWrite(
+                            path=info.path, line=call.lineno,
+                            detail=f"{label}(...) role {role!r} is ambiguous between "
+                                   f"{component} and no layout helper decides it",
+                            chain=(),
+                        ))
+                        continue
+                    component = picked
+                record(component, "write", call, f"{label}(role={role!r})", list(call.args))
+                continue
+            if isinstance(call.func, ast.Attribute) and call.func.attr in MUTATOR_METHODS:
+                receiver = call.func.value
+                handled_receivers.add(id(receiver))
+                kind, name = self._classify_receiver(info, receiver, locals_types)
+                if kind == "component":
+                    record(name, "write", call, f".{call.func.attr}(...) on {name}",
+                           [receiver, *call.args])
+                elif kind == "module":
+                    summary.isolation.append(IsolationViolation(
+                        path=info.path, line=call.lineno,
+                        detail=f"mutates module-level {name!r} via .{call.func.attr}(...)",
+                        chain=(),
+                    ))
+                elif kind == "unknown":
+                    summary.unclassified.append(UnclassifiedWrite(
+                        path=info.path, line=call.lineno,
+                        detail=f"mutation of {name} via .{call.func.attr}(...) is not "
+                               "expressible in the component vocabulary",
+                        chain=(),
+                    ))
+
+        # Accessor *references* outside call position (passed as probes).
+        for node in self._own_nodes(info.node):
+            if (
+                isinstance(node, ast.Attribute)
+                and id(node) not in call_funcs
+                and node.attr in self.decls.accessors
+                and isinstance(node.ctx, ast.Load)
+            ):
+                component, mode = self.decls.accessors[node.attr]
+                record(component, mode, node, f"{node.attr} (referenced)", [node])
+
+        # Component-attribute loads.
+        for node in self._own_nodes(info.node):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Load)
+                and node.attr in self.decls.attr_components
+            ):
+                record(self.decls.attr_components[node.attr], "read", node,
+                       f"reads .{node.attr}", [node])
+
+        # Stores: assignment/deletion targets.
+        def classify_store(target: ast.expr, node: ast.AST) -> None:
+            if not isinstance(target, (ast.Attribute, ast.Subscript)):
+                if isinstance(target, (ast.Tuple, ast.List)):
+                    for elt in target.elts:
+                        classify_store(elt, node)
+                return
+            kind, name = self._classify_receiver(info, target, locals_types)
+            rendered = ast.unparse(target)
+            if kind == "component":
+                record(name, "write", node, f"stores to {rendered}", [target])
+            elif kind == "module":
+                summary.isolation.append(IsolationViolation(
+                    path=info.path, line=getattr(node, "lineno", info.line),
+                    detail=f"mutates module-level {name!r} ({rendered})", chain=(),
+                ))
+            elif kind == "unknown":
+                summary.unclassified.append(UnclassifiedWrite(
+                    path=info.path, line=getattr(node, "lineno", info.line),
+                    detail=f"store to {rendered} is not expressible in the "
+                           "component vocabulary",
+                    chain=(),
+                ))
+
+        for node in self._own_nodes(info.node):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    classify_store(target, node)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                classify_store(node.target, node)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    classify_store(target, node)
+            elif isinstance(node, ast.Global):
+                summary.isolation.append(IsolationViolation(
+                    path=info.path, line=node.lineno,
+                    detail=f"declares global {', '.join(node.names)}", chain=(),
+                ))
+
+        # Callees, with argument taint threaded into parameters.
+        for call, callee_keys in self.graph.call_edges(key):
+            for callee in callee_keys:
+                if callee not in self.scope:
+                    continue
+                callee_info = self.scope[callee]
+                args = callee_info.node.args
+                params = [a.arg for a in [*args.posonlyargs, *args.args]]
+                if callee_info.class_key is not None and params and params[0] == "self":
+                    params = params[1:]
+                callee_taint: dict[str, frozenset[str]] = {}
+                for index, arg in enumerate(call.args):
+                    if isinstance(arg, ast.Starred) or index >= len(params):
+                        break
+                    t = expr_taint(arg)
+                    if t:
+                        callee_taint[params[index]] = t
+                kw_params = {a.arg for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]}
+                for kw in call.keywords:
+                    if kw.arg is not None and kw.arg in kw_params:
+                        t = expr_taint(kw.value)
+                        if t:
+                            callee_taint[kw.arg] = t
+                taint_tuple: _Taint = tuple(sorted(
+                    (p, tuple(sorted(t))) for p, t in callee_taint.items()
+                ))
+                summary.callees.append((callee, taint_tuple))
+
+        self._summaries[memo_key] = summary
+        return summary
+
+    # ------------------------------------------------------------------
+    # exploration
+
+    def _explore(self) -> None:
+        seen_unclassified: set[tuple[str, int, str]] = set()
+        seen_isolation: set[tuple[str, int, str]] = set()
+        for op in sorted(self.roots):
+            root_key = self.roots[op]
+            _entry, path_args = self.decls.roots[op]
+            root_info = self.scope[root_key]
+            arg_names = {
+                a.arg
+                for a in [*root_info.node.args.posonlyargs, *root_info.node.args.args,
+                          *root_info.node.args.kwonlyargs]
+            }
+            root_taint: _Taint = tuple(sorted(
+                (arg, (arg,)) for arg in path_args if arg in arg_names
+            ))
+            footprint = Footprint()
+            self.footprints[op] = footprint
+            start = (root_key, root_taint)
+            parents: dict[tuple[str, _Taint], tuple[str, _Taint] | None] = {start: None}
+            queue = [start]
+            while queue:
+                state = queue.pop(0)
+                summary = self._summarize(*state)
+                chain = self._chain(parents, state)
+                for access in summary.accesses:
+                    store = footprint.of_mode(access.mode)
+                    if access.instance not in store:
+                        store[access.instance] = Access(
+                            component=access.component, mode=access.mode,
+                            keys=access.keys, path=access.path, line=access.line,
+                            detail=access.detail, chain=chain,
+                        )
+                for item in summary.unclassified:
+                    dedup = (item.path, item.line, item.detail)
+                    if dedup not in seen_unclassified:
+                        seen_unclassified.add(dedup)
+                        self.unclassified_writes.append(UnclassifiedWrite(
+                            path=item.path, line=item.line, detail=item.detail,
+                            chain=chain,
+                        ))
+                for item in summary.isolation:
+                    dedup = (item.path, item.line, item.detail)
+                    if dedup not in seen_isolation:
+                        seen_isolation.add(dedup)
+                        self.isolation_violations.append(IsolationViolation(
+                            path=item.path, line=item.line, detail=item.detail,
+                            chain=chain,
+                        ))
+                for callee_state in summary.callees:
+                    if callee_state not in parents:
+                        parents[callee_state] = state
+                        queue.append(callee_state)
+        self.unclassified_writes.sort(key=lambda w: (w.path, w.line, w.detail))
+        self.isolation_violations.sort(key=lambda v: (v.path, v.line, v.detail))
+
+    def _chain(
+        self,
+        parents: dict[tuple[str, _Taint], tuple[str, _Taint] | None],
+        state: tuple[str, _Taint],
+    ) -> tuple[str, ...]:
+        keys: list[str] = []
+        cursor: tuple[str, _Taint] | None = state
+        while cursor is not None:
+            keys.append(cursor[0])
+            cursor = parents.get(cursor)
+        return tuple(reversed(keys))
+
+    def render_chain(self, chain: tuple[str, ...]) -> str:
+        return render_chain(self.graph, list(chain))
+
+    # ------------------------------------------------------------------
+    # pairwise verdicts
+
+    def _sanction_for(self, component: str, a: str, b: str) -> tuple[str, tuple[str, str]] | None:
+        pair_key = f"{component}:{a}|{b}"
+        if pair_key in self.decls.sanctions:
+            return (pair_key, self.decls.sanctions[pair_key])
+        if component in self.decls.sanctions:
+            return (component, self.decls.sanctions[component])
+        return None
+
+    def _judge_pairs(self) -> None:
+        self._used_sanctions: set[str] = set()
+        ops = sorted(self.footprints)
+        for i, a in enumerate(ops):
+            for b in ops[i:]:
+                self.pairs[(a, b)] = self._judge(a, b)
+
+    def _judge(self, a: str, b: str) -> PairVerdict:
+        fa, fb = self.footprints[a], self.footprints[b]
+        conflicts: list[Conflict] = []
+        hard = False
+        conditional = False
+        components = sorted(
+            (fa.components("read") | fa.components("write"))
+            & (fb.components("read") | fb.components("write"))
+        )
+        for component in components:
+            aw = {i for i, acc in fa.writes.items() if acc.component == component}
+            ar = {i for i, acc in fa.reads.items() if acc.component == component}
+            bw = {i for i, acc in fb.writes.items() if acc.component == component}
+            br = {i for i, acc in fb.reads.items() if acc.component == component}
+            kinds: list[str] = []
+            if aw and bw:
+                kinds.append("write-write")
+            if aw and br:
+                kinds.append("write-read")
+            if bw and ar:
+                kinds.append("read-write")
+            if not kinds:
+                continue
+            involved_a = sorted(aw | (ar if bw else set()))
+            involved_b = sorted(bw | (br if aw else set()))
+            sanction = self._sanction_for(component, a, b)
+            sanction_key: str | None = None
+            why: str | None = None
+            if sanction is not None and sanction[1][0] == "commutes":
+                classification = "sanctioned-commutes"
+                sanction_key, why = sanction[0], sanction[1][1]
+                self._used_sanctions.add(sanction_key)
+            elif component in self.decls.path_keyed and not any(
+                "<*>" in instance for instance in [*involved_a, *involved_b]
+            ):
+                classification = "conditional"
+                conditional = True
+            elif sanction is not None:
+                classification = "serialize"
+                sanction_key, why = sanction[0], sanction[1][1]
+                self._used_sanctions.add(sanction_key)
+                hard = True
+            else:
+                classification = "unsanctioned"
+                hard = True
+            conflicts.append(Conflict(
+                component=component,
+                a_instances=tuple(involved_a),
+                b_instances=tuple(involved_b),
+                kinds=tuple(kinds),
+                classification=classification,
+                sanction_key=sanction_key,
+                why=why,
+            ))
+        if hard:
+            verdict = "conflict"
+        elif conditional:
+            verdict = "conditional-on-disjoint-subtree"
+        else:
+            verdict = "commute"
+        return PairVerdict(a=a, b=b, verdict=verdict, conflicts=conflicts)
+
+    # ------------------------------------------------------------------
+    # sanctions hygiene
+
+    def _check_sanctions(self) -> None:
+        for key in sorted(self.decls.sanctions):
+            if key not in self._used_sanctions:
+                raise CommuteConfigError(
+                    self.decls.module.path,
+                    self.decls.line_of(f"sanction:{key}"),
+                    f"COMMUTE_SANCTIONS[{key!r}] is stale: no replay pair "
+                    "conflicts on it",
+                )
+
+    # ------------------------------------------------------------------
+    # rule inputs
+
+    def unsanctioned_conflicts(self) -> list[tuple[str, str, str]]:
+        """(op_a, op_b, component) triples with no covering sanction."""
+        out: list[tuple[str, str, str]] = []
+        for (a, b), verdict in sorted(self.pairs.items()):
+            for conflict in verdict.conflicts:
+                if conflict.classification == "unsanctioned":
+                    out.append((a, b, conflict.component))
+        return out
+
+    def inferred_instances(self, op: str, mode: str) -> tuple[str, ...]:
+        return tuple(sorted(self.footprints[op].of_mode(mode)))
+
+
+_MODEL_CACHE: list = []
+
+
+def model_for(
+    modules: Sequence[ParsedModule], context: RuleContext | None = None
+) -> CommuteModel | None:
+    """The commute model for ``modules``, or ``None`` when the tree
+    declares no commute spec.  Raises :class:`CommuteConfigError` on
+    unbindable declarations and stale sanctions."""
+    if context is not None:
+        key = ("commute-model", id(modules))
+        if key in context.shared:
+            return context.shared[key]
+        model = _build(modules, context)
+        context.shared[key] = model
+        return model
+    for cached_modules, model in _MODEL_CACHE:
+        if cached_modules is modules:
+            return model
+    model = _build(modules, None)
+    _MODEL_CACHE.append((modules, model))
+    del _MODEL_CACHE[:-2]
+    return model
+
+
+def _build(
+    modules: Sequence[ParsedModule], context: RuleContext | None
+) -> CommuteModel | None:
+    decls = declared_commute(modules)
+    if decls is None or not decls.roots:
+        return None
+    return CommuteModel(modules, decls, context)

@@ -1,0 +1,241 @@
+"""The machine-readable shard surface: ``replaymatrix.json``.
+
+``raelint --emit-replay-matrix`` serializes the commute model into the
+committed matrix the sharded-replay work (ROADMAP item: parallel shard
+replay) consumes: the component vocabulary with its sanctions, each
+replayable op's keyed read/write footprint with a ``file:line`` witness
+and call chain per instance, and a verdict for every unordered op pair
+(including self-pairs):
+
+* ``commute`` — no component collides, or every collision is argued
+  away by a ``commutes`` sanction;
+* ``conditional-on-disjoint-subtree`` — the remaining collisions are
+  all on path-keyed instances with definite keys: the pair commutes
+  when its path arguments address pairwise-disjoint subtrees and no
+  hard link aliases an inode across them;
+* ``conflict`` — at least one collision is order-sensitive
+  (``serialize`` sanction) or unargued: replay in one shard, in log
+  order.
+
+CI regenerates the file and fails on drift, so the shard planner can
+never silently fall behind the code.  The payload is fully
+deterministic: instances and pairs sorted, ``json.dumps(...,
+sort_keys=True)`` — two emissions over the same tree are
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.commute.model import CommuteModel
+
+MATRIX_VERSION = 1
+
+_CLASSIFICATIONS = {"sanctioned-commutes", "conditional", "serialize", "unsanctioned"}
+_VERDICTS = {"commute", "conditional-on-disjoint-subtree", "conflict"}
+_CONDITION = "disjoint-subtrees-and-no-hard-link-aliasing"
+
+_COMPONENT_FIELDS = {"description", "path_keyed"}
+_OP_FIELDS = {"entry", "entry_path", "reads", "writes", "witnesses"}
+_WITNESS_FIELDS = {"site", "chain"}
+_CONFLICT_FIELDS = {"component", "a_instances", "b_instances", "kinds", "class", "sanction"}
+_PAIR_FIELDS = {"a", "b", "verdict", "condition", "conflicts"}
+
+
+def build_replay_matrix(model: CommuteModel) -> dict:
+    """The ``replaymatrix.json`` payload for ``model``."""
+    decls = model.decls
+    components = {}
+    for name in sorted(decls.components):
+        components[name] = {
+            "description": decls.components[name],
+            "path_keyed": name in decls.path_keyed,
+        }
+    sanctions = {
+        key: {"resolution": resolution, "why": why}
+        for key, (resolution, why) in sorted(decls.sanctions.items())
+    }
+
+    ops = {}
+    for op in sorted(model.footprints):
+        footprint = model.footprints[op]
+        root_key = model.roots[op]
+        witnesses = {}
+        for mode in ("read", "write"):
+            for instance, access in sorted(footprint.of_mode(mode).items()):
+                witnesses[f"{mode}:{instance}"] = {
+                    "site": f"{access.path}:{access.line}",
+                    "chain": model.render_chain(access.chain),
+                }
+        ops[op] = {
+            "entry": model.graph.defs[root_key].qualname,
+            "entry_path": model.graph.defs[root_key].path,
+            "reads": sorted(footprint.reads),
+            "writes": sorted(footprint.writes),
+            "witnesses": witnesses,
+        }
+
+    pairs = {}
+    for (a, b), verdict in sorted(model.pairs.items()):
+        conflicts = []
+        for conflict in verdict.conflicts:
+            conflicts.append({
+                "component": conflict.component,
+                "a_instances": list(conflict.a_instances),
+                "b_instances": list(conflict.b_instances),
+                "kinds": list(conflict.kinds),
+                "class": conflict.classification,
+                "sanction": conflict.sanction_key,
+            })
+        pairs[f"{a}|{b}"] = {
+            "a": a,
+            "b": b,
+            "verdict": verdict.verdict,
+            "condition": (
+                _CONDITION
+                if verdict.verdict == "conditional-on-disjoint-subtree" else None
+            ),
+            "conflicts": conflicts,
+        }
+
+    return {
+        "version": MATRIX_VERSION,
+        "scope": sorted({"basefs", "ondisk", "shadowfs"}),
+        "components": components,
+        "sanctions": sanctions,
+        "ops": ops,
+        "pairs": pairs,
+    }
+
+
+def render_replay_matrix(payload: dict) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def validate_replay_matrix(payload: dict) -> None:
+    """Schema check; raises ``ValueError`` on any malformation.  Used by
+    both the emitting CLI (never write a bad matrix) and the tests (the
+    committed copy stays well-formed)."""
+    if not isinstance(payload, dict):
+        raise ValueError("replay matrix must be a JSON object")
+    if payload.get("version") != MATRIX_VERSION:
+        raise ValueError(f"replay matrix version must be {MATRIX_VERSION}")
+    if not isinstance(payload.get("scope"), list):
+        raise ValueError("replay matrix scope must be a list")
+    components = payload.get("components")
+    if not isinstance(components, dict) or not components:
+        raise ValueError("replay matrix components must be a non-empty object")
+    for name, body in components.items():
+        if not isinstance(body, dict) or set(body) != _COMPONENT_FIELDS:
+            raise ValueError(f"component {name!r} fields must be {sorted(_COMPONENT_FIELDS)}")
+    sanctions = payload.get("sanctions")
+    if not isinstance(sanctions, dict):
+        raise ValueError("replay matrix sanctions must be an object")
+    for key, body in sanctions.items():
+        if (
+            not isinstance(body, dict)
+            or set(body) != {"resolution", "why"}
+            or body["resolution"] not in ("commutes", "serialize")
+            or not isinstance(body["why"], str)
+            or not body["why"]
+        ):
+            raise ValueError(f"sanction {key!r} is malformed")
+        if key.split(":", 1)[0] not in components:
+            raise ValueError(f"sanction {key!r} names an unknown component")
+    ops = payload.get("ops")
+    if not isinstance(ops, dict) or not ops:
+        raise ValueError("replay matrix ops must be a non-empty object")
+    for op, body in ops.items():
+        if not isinstance(body, dict) or set(body) != _OP_FIELDS:
+            raise ValueError(f"op {op!r} fields must be {sorted(_OP_FIELDS)}")
+        for mode in ("reads", "writes"):
+            instances = body[mode]
+            if not isinstance(instances, list) or instances != sorted(instances):
+                raise ValueError(f"op {op!r} {mode} must be a sorted list")
+            for instance in instances:
+                if instance.split("<", 1)[0] not in components:
+                    raise ValueError(
+                        f"op {op!r} instance {instance!r} names an unknown component"
+                    )
+                if f"{mode[:-1]}:{instance}" not in body["witnesses"]:
+                    raise ValueError(f"op {op!r} instance {instance!r} has no witness")
+        for ref, witness in body["witnesses"].items():
+            if set(witness) != _WITNESS_FIELDS:
+                raise ValueError(f"op {op!r} witness {ref!r} fields must be site/chain")
+            mode, _, instance = ref.partition(":")
+            if mode not in ("read", "write") or instance not in body[f"{mode}s"]:
+                raise ValueError(f"op {op!r} witness {ref!r} matches no instance")
+    pairs = payload.get("pairs")
+    if not isinstance(pairs, dict):
+        raise ValueError("replay matrix pairs must be an object")
+    names = sorted(ops)
+    expected = {
+        f"{a}|{b}" for i, a in enumerate(names) for b in names[i:]
+    }
+    if set(pairs) != expected:
+        raise ValueError("replay matrix pairs must cover every unordered op pair")
+    for key, body in pairs.items():
+        if not isinstance(body, dict) or set(body) != _PAIR_FIELDS:
+            raise ValueError(f"pair {key!r} fields must be {sorted(_PAIR_FIELDS)}")
+        if key != f"{body['a']}|{body['b']}" or body["a"] > body["b"]:
+            raise ValueError(f"pair {key!r} key must be 'a|b' with a <= b")
+        if body["verdict"] not in _VERDICTS:
+            raise ValueError(f"pair {key!r} verdict {body['verdict']!r} is unknown")
+        conditional = body["verdict"] == "conditional-on-disjoint-subtree"
+        if conditional != (body["condition"] == _CONDITION):
+            raise ValueError(f"pair {key!r} condition must match its verdict")
+        hard = False
+        saw_conditional = False
+        for conflict in body["conflicts"]:
+            if set(conflict) != _CONFLICT_FIELDS:
+                raise ValueError(
+                    f"pair {key!r} conflict fields must be {sorted(_CONFLICT_FIELDS)}"
+                )
+            if conflict["component"] not in components:
+                raise ValueError(
+                    f"pair {key!r} conflicts on unknown component {conflict['component']!r}"
+                )
+            if conflict["class"] not in _CLASSIFICATIONS:
+                raise ValueError(f"pair {key!r} conflict class {conflict['class']!r}")
+            if conflict["class"] in ("serialize", "unsanctioned"):
+                hard = True
+            if conflict["class"] == "conditional":
+                saw_conditional = True
+            sanction_key = conflict["sanction"]
+            if conflict["class"] in ("serialize", "sanctioned-commutes"):
+                expected_resolution = (
+                    "serialize" if conflict["class"] == "serialize" else "commutes"
+                )
+                if (
+                    sanction_key not in sanctions
+                    or sanctions[sanction_key]["resolution"] != expected_resolution
+                ):
+                    raise ValueError(
+                        f"pair {key!r} conflict on {conflict['component']!r} must "
+                        "reference a sanction with the matching resolution"
+                    )
+            elif sanction_key is not None:
+                raise ValueError(
+                    f"pair {key!r} {conflict['class']} conflict on "
+                    f"{conflict['component']!r} cannot carry a sanction"
+                )
+            for side, owner in (("a_instances", body["a"]), ("b_instances", body["b"])):
+                op_body = ops[owner]
+                known = set(op_body["reads"]) | set(op_body["writes"])
+                for instance in conflict[side]:
+                    if instance not in known:
+                        raise ValueError(
+                            f"pair {key!r} references unknown instance {instance!r} "
+                            f"of op {owner!r}"
+                        )
+        expected_verdict = (
+            "conflict" if hard
+            else "conditional-on-disjoint-subtree" if saw_conditional
+            else "commute"
+        )
+        if body["verdict"] != expected_verdict:
+            raise ValueError(
+                f"pair {key!r} verdict {body['verdict']!r} is inconsistent with its "
+                f"conflicts (expected {expected_verdict!r})"
+            )

@@ -150,6 +150,10 @@ class Rule:
     rule_id: str = ""
     severity: Severity = Severity.ERROR
     description: str = ""
+    #: Rule family (``core``, ``contracts``, ``concurrency``,
+    #: ``persistence``, ``commute``): ``--select`` accepts a family name
+    #: as shorthand for every rule in it.
+    family: str = "core"
     _context: RuleContext | None = None
 
     @property

@@ -11,6 +11,11 @@ from repro.analysis.rules.api_parity import ApiParityRule
 from repro.analysis.rules.async_blocking import AsyncBlockingRule
 from repro.analysis.rules.atomic_rmw import AtomicRmwRule
 from repro.analysis.rules.await_holding_lock import AwaitHoldingLockRule
+from repro.analysis.rules.commute import (
+    CommuteParityRule,
+    ReplayIsolationRule,
+    ShardFootprintRule,
+)
 from repro.analysis.rules.crash_hook_coverage import CrashHookCoverageRule
 from repro.analysis.rules.effect_contract import EffectContractRule
 from repro.analysis.rules.flush_barrier import FlushBarrierRule
@@ -49,7 +54,19 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     FlushBarrierRule,
     PersistOrderRule,
     CrashHookCoverageRule,
+    CommuteParityRule,
+    ShardFootprintRule,
+    ReplayIsolationRule,
 )
+
+
+def rule_families() -> dict[str, tuple[str, ...]]:
+    """family -> rule ids, in registration order (``--select`` accepts a
+    family name as shorthand for all of its rules)."""
+    families: dict[str, list[str]] = {}
+    for cls in RULE_CLASSES:
+        families.setdefault(cls.family, []).append(cls.rule_id)
+    return {family: tuple(ids) for family, ids in families.items()}
 
 
 def default_rules() -> list[Rule]:
@@ -60,6 +77,7 @@ def default_rules() -> list[Rule]:
 __all__ = [
     "RULE_CLASSES",
     "default_rules",
+    "rule_families",
     "ShadowPurityRule",
     "ShadowReachRule",
     "OplogCoverageRule",
@@ -80,4 +98,7 @@ __all__ = [
     "FlushBarrierRule",
     "PersistOrderRule",
     "CrashHookCoverageRule",
+    "CommuteParityRule",
+    "ShardFootprintRule",
+    "ReplayIsolationRule",
 ]

@@ -76,6 +76,7 @@ def _render(node: ast.FunctionDef | ast.AsyncFunctionDef) -> str:
 
 class ApiParityRule(ProjectRule):
     rule_id = "API-PARITY"
+    family = "contracts"
     description = "overrides of FilesystemAPI abstract methods must keep its exact parameter names, order, and defaults"
 
     def check_project(self, modules: Sequence[ParsedModule]) -> Iterable[Finding]:

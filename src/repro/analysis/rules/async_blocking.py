@@ -122,6 +122,7 @@ def blocking_reason(call: ast.Call, aliases: dict[str, str], module: ParsedModul
 
 class AsyncBlockingRule(ProjectRule):
     rule_id = "ASYNC-BLOCKING"
+    family = "concurrency"
     description = "no blocking call (time.sleep, sync I/O, sync lock acquire) reachable from an async def"
 
     def check_project(self, modules: Sequence[ParsedModule]) -> Iterable[Finding]:

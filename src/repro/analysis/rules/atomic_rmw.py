@@ -33,6 +33,7 @@ from repro.analysis.findings import Finding
 
 class AtomicRmwRule(ProjectRule):
     rule_id = "ATOMIC-RMW"
+    family = "concurrency"
     description = "read-modify-write of a shared attribute must hold a lock across the whole compound"
 
     def check_project(self, modules: Sequence[ParsedModule]) -> Iterable[Finding]:

@@ -40,6 +40,7 @@ from repro.analysis.flow.dataflow import ACQUIRE_METHODS, lock_call, solve
 
 class AwaitHoldingLockRule(FileRule):
     rule_id = "AWAIT-HOLDING-LOCK"
+    family = "concurrency"
     description = "an async def must not await while holding a synchronous lock"
 
     def check(self, module: ParsedModule) -> Iterable[Finding]:

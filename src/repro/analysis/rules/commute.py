@@ -1,0 +1,166 @@
+"""The replay-commutativity rules: COMMUTE-PARITY, SHARD-FOOTPRINT,
+REPLAY-ISOLATION.
+
+Sharded replay (ROADMAP: partition the oplog by directory subtree and
+replay shards in parallel) stands on the committed ``replaymatrix.json``
+being *true*: every replayable op's state footprint expressed in the
+declared component vocabulary, every conflict argued.  These three rules
+are what keep the matrix honest as the tree moves:
+
+* **COMMUTE-PARITY** holds the inferred footprints against the reviewed
+  ``DECLARED_FOOTPRINTS`` in both directions — an instance the model
+  infers but the spec does not declare means the code grew a state
+  access nobody reviewed; a declared instance the model no longer infers
+  means the spec is stale.  It also fires on any hard conflict no
+  ``COMMUTE_SANCTIONS`` entry argues, so a new collision cannot slide
+  into the matrix unexamined.
+* **SHARD-FOOTPRINT** fires on every write in the replay closure the
+  component vocabulary cannot express: an escape to unclassified state
+  is exactly the access pattern that makes a shard verdict unsound.
+* **REPLAY-ISOLATION** fires when a replayable op reaches module-level
+  mutable state (or declares ``global``): cross-shard singletons make
+  even "disjoint" shards race.
+
+All three are silent when the tree declares no ``spec/commute.py``.
+Misdeclarations (unbindable root, unknown component, stale sanction)
+raise :class:`CommuteConfigError` out of the analyzer — raelint exits 2
+rather than reporting findings against a broken spec.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.commute import model_for
+from repro.analysis.commute.model import CommuteModel
+from repro.analysis.engine import ParsedModule, ProjectRule
+from repro.analysis.findings import Finding
+
+
+class CommuteParityRule(ProjectRule):
+    rule_id = "COMMUTE-PARITY"
+    family = "commute"
+    description = (
+        "inferred replay footprints match the reviewed DECLARED_FOOTPRINTS "
+        "in both directions, and every hard conflict carries a sanction"
+    )
+
+    def check_project(self, modules: Sequence[ParsedModule]) -> Iterable[Finding]:
+        model = model_for(modules, self.context)
+        if model is None:
+            return
+        yield from self._check_footprints(model)
+        yield from self._check_conflicts(model)
+
+    def _check_footprints(self, model: CommuteModel) -> Iterable[Finding]:
+        for op in sorted(model.footprints):
+            root = model.graph.defs[model.roots[op]]
+            declared = model.decls.footprints.get(op)
+            if declared is None:
+                yield Finding(
+                    path=root.path,
+                    line=root.line,
+                    rule_id=self.rule_id,
+                    severity=self.severity,
+                    message=(
+                        f"replayable op {op!r} ({root.qualname}) has no "
+                        "DECLARED_FOOTPRINTS entry: its footprint was never "
+                        "reviewed"
+                    ),
+                )
+                continue
+            for mode, table in (("read", "reads"), ("write", "writes")):
+                inferred = set(model.inferred_instances(op, mode))
+                reviewed = set(declared[table])
+                for instance in sorted(inferred - reviewed):
+                    access = model.footprints[op].of_mode(mode)[instance]
+                    yield Finding(
+                        path=access.path,
+                        line=access.line,
+                        rule_id=self.rule_id,
+                        severity=self.severity,
+                        message=(
+                            f"op {op!r} {table} {instance!r} but "
+                            "DECLARED_FOOTPRINTS does not declare it "
+                            f"({access.detail}; via "
+                            f"{model.render_chain(access.chain)})"
+                        ),
+                    )
+                for instance in sorted(reviewed - inferred):
+                    yield Finding(
+                        path=model.decls.module.path,
+                        line=model.decls.line_of(f"footprint:{op}"),
+                        rule_id=self.rule_id,
+                        severity=self.severity,
+                        message=(
+                            f"DECLARED_FOOTPRINTS[{op!r}] declares "
+                            f"{table} {instance!r} but the model no longer "
+                            "infers it: the spec is stale"
+                        ),
+                    )
+
+    def _check_conflicts(self, model: CommuteModel) -> Iterable[Finding]:
+        for a, b, component in model.unsanctioned_conflicts():
+            root = model.graph.defs[model.roots[a]]
+            yield Finding(
+                path=root.path,
+                line=root.line,
+                rule_id=self.rule_id,
+                severity=self.severity,
+                message=(
+                    f"ops {a!r} and {b!r} conflict on {component!r} with no "
+                    "COMMUTE_SANCTIONS entry: argue the conflict away "
+                    "('commutes') or order it ('serialize') in spec/commute.py"
+                ),
+            )
+
+
+class ShardFootprintRule(ProjectRule):
+    rule_id = "SHARD-FOOTPRINT"
+    family = "commute"
+    description = (
+        "every write reachable from a replayable op is expressible in the "
+        "declared component vocabulary"
+    )
+
+    def check_project(self, modules: Sequence[ParsedModule]) -> Iterable[Finding]:
+        model = model_for(modules, self.context)
+        if model is None:
+            return
+        for write in model.unclassified_writes:
+            yield Finding(
+                path=write.path,
+                line=write.line,
+                rule_id=self.rule_id,
+                severity=self.severity,
+                message=(
+                    f"{write.detail} (reached via "
+                    f"{model.render_chain(write.chain)}); classify it in "
+                    "spec/commute.py or argue a scratch exemption"
+                ),
+            )
+
+
+class ReplayIsolationRule(ProjectRule):
+    rule_id = "REPLAY-ISOLATION"
+    family = "commute"
+    description = (
+        "no replayable op reaches module-level mutable state or declares "
+        "global: cross-shard singletons break shard isolation"
+    )
+
+    def check_project(self, modules: Sequence[ParsedModule]) -> Iterable[Finding]:
+        model = model_for(modules, self.context)
+        if model is None:
+            return
+        for violation in model.isolation_violations:
+            yield Finding(
+                path=violation.path,
+                line=violation.line,
+                rule_id=self.rule_id,
+                severity=self.severity,
+                message=(
+                    f"{violation.detail} (reached via "
+                    f"{model.render_chain(violation.chain)})"
+                ),
+            )

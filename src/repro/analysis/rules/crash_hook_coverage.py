@@ -30,6 +30,7 @@ from repro.analysis.persistence import model_for
 
 class CrashHookCoverageRule(ProjectRule):
     rule_id = "CRASH-HOOK-COVERAGE"
+    family = "persistence"
     description = (
         "every persistence point is reachable from a fault-injection hook "
         "or carries a PERSIST_SANCTIONS justification"

@@ -50,6 +50,7 @@ _READ_ONLY_FORBIDDEN = frozenset({EFFECT_CACHE_DIRTY, EFFECT_LOCK_ACQUIRE})
 
 class EffectContractRule(ProjectRule):
     rule_id = "EFFECT-CONTRACT"
+    family = "contracts"
     description = "base/shadow operations must stay inside the effect footprint declared in spec/contracts.py"
 
     def check_project(self, modules: Sequence[ParsedModule]) -> Iterable[Finding]:

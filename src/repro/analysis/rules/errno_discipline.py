@@ -53,6 +53,7 @@ def _errno_like(node: ast.expr) -> bool:
 
 class ErrnoDisciplineRule(FileRule):
     rule_id = "ERRNO-DISCIPLINE"
+    family = "core"
     description = "no generic raises or broad excepts; FsError carries an Errno member"
 
     def check(self, module: ParsedModule) -> Iterable[Finding]:

@@ -38,6 +38,7 @@ from repro.analysis.rules.shadow_reach import graph_for
 
 class ErrnoParityRule(ProjectRule):
     rule_id = "ERRNO-PARITY"
+    family = "contracts"
     description = "base/shadow operations may raise only the errnos declared for them in spec/contracts.py"
 
     def check_project(self, modules: Sequence[ParsedModule]) -> Iterable[Finding]:

@@ -31,6 +31,7 @@ from repro.analysis.persistence import model_for
 
 class FlushBarrierRule(ProjectRule):
     rule_id = "FLUSH-BARRIER"
+    family = "persistence"
     description = (
         "every commit-record write must be flushed before any checkpoint/"
         "in-place write can follow, on every path (spec/persistence.py)"

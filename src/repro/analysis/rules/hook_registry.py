@@ -53,6 +53,7 @@ def _hook_receiver(node: ast.expr) -> bool:
 
 class HookRegistryRule(ProjectRule):
     rule_id = "HOOK-REGISTRY"
+    family = "core"
     description = "hook names at fire/register sites must exist in the HOOK_NAMES registry"
 
     def check_project(self, modules: Sequence[ParsedModule]) -> Iterable[Finding]:

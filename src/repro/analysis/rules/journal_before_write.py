@@ -58,6 +58,7 @@ def _is_marker(call: ast.Call) -> bool:
 
 class JournalBeforeWriteRule(FileRule):
     rule_id = "JOURNAL-BEFORE-WRITE"
+    family = "core"
     description = "basefs/ device writes must be dominated by a journal commit/append on every path"
 
     def applies_to(self, module: ParsedModule) -> bool:

@@ -47,6 +47,7 @@ from repro.analysis.flow.dataflow import (
 
 class LockOrderRule(FileRule):
     rule_id = "LOCK-ORDER"
+    family = "core"
     description = "nested LockManager acquires in basefs/ must declare parent= or use acquire_pair"
 
     def applies_to(self, module: ParsedModule) -> bool:

@@ -53,6 +53,7 @@ def _contains(nodes: list[ast.stmt], target: ast.AST) -> bool:
 
 class LockReleaseRule(FileRule):
     rule_id = "LOCK-RELEASE"
+    family = "core"
     description = "LockManager.acquire must be followed by a release on every path, exceptional edges included"
 
     def check(self, module: ParsedModule) -> Iterable[Finding]:

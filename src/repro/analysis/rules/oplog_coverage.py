@@ -106,6 +106,7 @@ def _records_on_success_path(module: ParsedModule, method: ast.FunctionDef) -> b
 
 class OplogCoverageRule(ProjectRule):
     rule_id = "OPLOG-COVERAGE"
+    family = "core"
     description = "every mutating API operation must reach oplog.record on its success path"
 
     def check_project(self, modules: Sequence[ParsedModule]) -> Iterable[Finding]:

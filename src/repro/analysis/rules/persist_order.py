@@ -103,6 +103,7 @@ class _ProtocolAnalysis(DataflowAnalysis):
 
 class PersistOrderRule(ProjectRule):
     rule_id = "PERSIST-ORDER"
+    family = "persistence"
     description = (
         "functions declared in DURABILITY_PROTOCOL step through their "
         "persistence phases in order on every CFG path"

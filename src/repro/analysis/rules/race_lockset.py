@@ -34,6 +34,7 @@ from repro.analysis.findings import Finding
 
 class RaceLocksetRule(ProjectRule):
     rule_id = "RACE-LOCKSET"
+    family = "concurrency"
     description = "writes to shared attributes must hold the GUARDED_BY lock declared in spec/concurrency.py"
 
     def check_project(self, modules: Sequence[ParsedModule]) -> Iterable[Finding]:

@@ -107,6 +107,7 @@ def _is_set_expr(expr: ast.expr, set_locals: set[str], set_attrs: set[str]) -> b
 
 class ReplayDeterminismRule(ProjectRule):
     rule_id = "REPLAY-DETERMINISM"
+    family = "core"
     description = "code reachable from shadow replay must not use time/random/uuid/threading or unordered-set iteration"
 
     def check_project(self, modules: Sequence[ParsedModule]) -> Iterable[Finding]:

@@ -72,6 +72,7 @@ def _import_violation(name: str) -> str | None:
 
 class ShadowPurityRule(FileRule):
     rule_id = "SHADOW-PURITY"
+    family = "core"
     description = "shadowfs modules must stay sequential, cache-free, and read-only"
 
     def applies_to(self, module: ParsedModule) -> bool:

@@ -89,6 +89,7 @@ def sink_reason(info: DefInfo) -> str | None:
 
 class ShadowReachRule(ProjectRule):
     rule_id = "SHADOW-REACH"
+    family = "core"
     description = "shadowfs/spec code must not reach caches, device writes, hooks, or writeback through any call chain"
 
     def check_project(self, modules: Sequence[ParsedModule]) -> Iterable[Finding]:

@@ -172,6 +172,7 @@ def _fd_releases(node: CFGNode, var: str) -> bool:
 
 class StateProtocolRule(FileRule):
     rule_id = "STATE-PROTOCOL"
+    family = "contracts"
     description = "journal begin must commit/abort on every CFG path; opened fds must be closed or handed off on some path"
 
     def check(self, module: ParsedModule) -> Iterable[Finding]:

@@ -17,6 +17,7 @@ import json
 import os
 
 from repro.obs.metrics import Registry
+from repro.util import atomic_write_json
 
 BENCH_OBS_ENV = "BENCH_OBS_PATH"
 BENCH_OBS_DEFAULT = "BENCH_obs.json"
@@ -53,14 +54,8 @@ def flush_bench_obs(path: str | None = None) -> str:
     """
     target = path or os.environ.get(BENCH_OBS_ENV) or BENCH_OBS_DEFAULT
     payload = {"schema": BENCH_OBS_SCHEMA, "sections": dict(sorted(_sections.items()))}
-    tmp = f"{target}.tmp"
     try:
-        with open(tmp, "w", encoding="utf-8") as f:
-            json.dump(payload, f, indent=2, sort_keys=True)
-            f.write("\n")
-        os.replace(tmp, target)
+        atomic_write_json(target, payload)
     finally:
         _sections.clear()
-        if os.path.exists(tmp):
-            os.remove(tmp)
     return target

@@ -28,8 +28,9 @@ import the filesystem stack.
 from __future__ import annotations
 
 import json
-import os
 from typing import Any
+
+from repro.util import atomic_write_json
 
 #: Version stamp for the bundle JSON layout.
 BUNDLE_SCHEMA = 1
@@ -182,16 +183,7 @@ class BundleStore:
 
 def write_bundle(path: str, bundle: dict) -> str:
     """Write one bundle as JSON, atomically (temp file + rename)."""
-    tmp = f"{path}.tmp"
-    try:
-        with open(tmp, "w", encoding="utf-8") as f:
-            json.dump(bundle, f, indent=2, sort_keys=True)
-            f.write("\n")
-        os.replace(tmp, path)
-    finally:
-        if os.path.exists(tmp):
-            os.remove(tmp)
-    return path
+    return atomic_write_json(path, bundle)
 
 
 def load_bundle(path: str) -> dict:

@@ -1,0 +1,364 @@
+"""Declared replay-commutativity spec (the shard surface).
+
+Sharded replay (ROADMAP: partition the oplog by directory subtree and
+replay shards in parallel) is only sound for operation pairs that
+*commute*: replaying them in either order must leave the shadow in
+spec-equivalent states.  This module declares, as pure literals the
+static analyzer parses (never imports), the model against which the
+commute rules (COMMUTE-PARITY / SHARD-FOOTPRINT / REPLAY-ISOLATION)
+hold the tree:
+
+* the closed **component vocabulary** every replayable operation's
+  footprint must be expressible in,
+* how source constructs map onto components (accessor methods, write
+  roles, attributes, classes),
+* argued **scratch** exemptions (decoded working copies whose durable
+  effect lands through a classified write site),
+* argued **sanctions** resolving the conflicts the model infers, and
+* the reviewed per-op **declared footprints** the inferred model is
+  held against (parity in both directions).
+
+The analyzer composes all of this into the committed
+``replaymatrix.json`` (``raelint --emit-replay-matrix``), and the
+permutation harness (``repro.shadowfs.permute``) validates sanctioned
+verdicts dynamically by replaying recorded sequences in permuted
+orders.
+
+A ``conditional-on-disjoint-subtree`` verdict means: the pair commutes
+when each op's path arguments address pairwise-disjoint directory
+subtrees *and* no hard link aliases an inode across them (the
+inode-table sanction below spells out the aliasing caveat).
+
+Misdeclarations (unknown component, malformed entry, stale sanction)
+are configuration errors: ``raelint`` exits 2, it does not emit
+findings.
+"""
+
+# --- component vocabulary -------------------------------------------------
+#
+# Every durable or replay-visible piece of shadow state belongs to
+# exactly one component.  ``journal`` and ``oplog`` complete the
+# vocabulary for state the replay engine consumes but operations never
+# touch (the journal is ingested once in __init__; the oplog is
+# supervisor-side) — SHARD-FOOTPRINT proves no op reaches them.
+
+STATE_COMPONENTS = {
+    "superblock": "block 0: geometry and the free-block/free-inode counters",
+    "block-bitmap": "per-group data-block allocation bitmaps",
+    "inode-bitmap": "per-group inode allocation bitmaps",
+    "inode-table": "on-disk inode slots, including indirect pointer blocks",
+    "dentry-namespace": "directory blocks and symlink targets, keyed by subtree",
+    "page-cache": "file data pages, keyed at runtime by (ino, logical block)",
+    "fd-table": "the open-descriptor registry and per-descriptor cursors",
+    "orphan-set": "inodes unlinked while still held open by a descriptor",
+    "journal": "the redo journal ingested when the shadow attaches",
+    "oplog": "the supervisor-side operation log replay is driven from",
+}
+
+# Only the namespace is statically keyable: a dentry access inherits the
+# key of whichever path argument reached it through the call graph.
+# page-cache is (ino, logical)-keyed at runtime, which path-level
+# keying cannot soundly express (see its sanction).
+PATH_KEYED_COMPONENTS = ("dentry-namespace",)
+
+# --- replayable operation roots -------------------------------------------
+#
+# fsync is deliberately absent: the shadow fails it with EINVAL before
+# touching any state, and the replay engine skips recorded fsyncs
+# entirely (completed fsyncs only affected durability), so it has no
+# replay footprint to shard.
+
+REPLAY_ROOTS = {
+    "mkdir": {"entry": "ShadowFilesystem.mkdir", "path_args": ("path",)},
+    "rmdir": {"entry": "ShadowFilesystem.rmdir", "path_args": ("path",)},
+    "unlink": {"entry": "ShadowFilesystem.unlink", "path_args": ("path",)},
+    "rename": {"entry": "ShadowFilesystem.rename", "path_args": ("src", "dst")},
+    "link": {"entry": "ShadowFilesystem.link", "path_args": ("existing", "new")},
+    # symlink's ``target`` is stored as content, never resolved: it is
+    # not a path argument for keying purposes.
+    "symlink": {"entry": "ShadowFilesystem.symlink", "path_args": ("path",)},
+    "readlink": {"entry": "ShadowFilesystem.readlink", "path_args": ("path",)},
+    "readdir": {"entry": "ShadowFilesystem.readdir", "path_args": ("path",)},
+    "stat": {"entry": "ShadowFilesystem.stat", "path_args": ("path",)},
+    "lstat": {"entry": "ShadowFilesystem.lstat", "path_args": ("path",)},
+    "truncate": {"entry": "ShadowFilesystem.truncate", "path_args": ("path",)},
+    "open": {"entry": "ShadowFilesystem.open", "path_args": ("path",)},
+    "close": {"entry": "ShadowFilesystem.close", "path_args": ()},
+    "read": {"entry": "ShadowFilesystem.read", "path_args": ()},
+    "write": {"entry": "ShadowFilesystem.write", "path_args": ()},
+    "lseek": {"entry": "ShadowFilesystem.lseek", "path_args": ()},
+}
+
+# --- source construct -> component maps ------------------------------------
+
+# Helper methods that *are* a component access wherever they are called
+# (or referenced: ``checks.ino_allocated(ino, self._ino_is_allocated)``
+# passes the accessor as a probe).  Dotted names match typed attribute
+# receivers ("fd_table.get"); bare names match self-calls.
+COMPONENT_ACCESSORS = {
+    "_count_free_blocks": ("block-bitmap", "read"),
+    "_count_free_inodes": ("inode-bitmap", "read"),
+    "_read_block_bitmap": ("block-bitmap", "read"),
+    "_read_inode_bitmap": ("inode-bitmap", "read"),
+    "_block_is_allocated": ("block-bitmap", "read"),
+    "_ino_is_allocated": ("inode-bitmap", "read"),
+    "_alloc_block": ("block-bitmap", "write"),
+    "_free_block": ("block-bitmap", "write"),
+    "_alloc_inode": ("inode-bitmap", "write"),
+    "_claim_inode": ("inode-bitmap", "write"),
+    "_free_inode_number": ("inode-bitmap", "write"),
+    "_iget": ("inode-table", "read"),
+    "_resolve_logical": ("inode-table", "read"),
+    "_double_inner_present": ("inode-table", "read"),
+    "_iput": ("inode-table", "write"),
+    "_izero": ("inode-table", "write"),
+    "_new_inode": ("inode-table", "write"),
+    "_destroy_inode": ("inode-table", "write"),
+    "_map_block": ("inode-table", "write"),
+    "_truncate_blocks": ("inode-table", "write"),
+    "_alloc_pointer_block": ("inode-table", "write"),
+    "_dir_blocks": ("dentry-namespace", "read"),
+    "_dir_entries": ("dentry-namespace", "read"),
+    "_dir_find": ("dentry-namespace", "read"),
+    "_dir_is_empty": ("dentry-namespace", "read"),
+    "_dir_insert_cost": ("dentry-namespace", "read"),
+    "_read_symlink": ("dentry-namespace", "read"),
+    "_dir_insert": ("dentry-namespace", "write"),
+    "_dir_remove": ("dentry-namespace", "write"),
+    "_dir_set_dotdot": ("dentry-namespace", "write"),
+    "_data_block_read": ("page-cache", "read"),
+    "fd_table.get": ("fd-table", "read"),
+    "fd_table.fds_for_ino": ("fd-table", "read"),
+    "fd_table.open_fds": ("fd-table", "read"),
+    "fd_table.snapshot": ("fd-table", "read"),
+    "fd_table.allocate": ("fd-table", "write"),
+    "fd_table.install": ("fd-table", "write"),
+    "fd_table.release": ("fd-table", "write"),
+    "fd_table.clear": ("fd-table", "write"),
+}
+
+# Raw block-write primitives: every call site must carry a literal
+# ``role`` that ROLE_COMPONENTS classifies.  A non-literal role is only
+# legal inside another medium writer (delegation).
+MEDIUM_WRITERS = ("_write_block", "overlay.write")
+
+# The "bitmap" role covers both allocation bitmaps; the model
+# disambiguates per site from the block expression (which layout helper
+# computed the block number).
+ROLE_COMPONENTS = {
+    "sb": "superblock",
+    "bitmap": ("block-bitmap", "inode-bitmap"),
+    "itable": "inode-table",
+    "indirect": "inode-table",
+    "dir": "dentry-namespace",
+    "symlink": "dentry-namespace",
+    "data": "page-cache",
+    "replay": "journal",
+}
+
+# Attributes that are the live in-memory image of a component: a store
+# through them (or a mutator call on them) is a component write, a load
+# a component read.
+ATTR_COMPONENTS = {
+    "sb": "superblock",
+    "data_pages": "page-cache",
+    "shared_pages": "page-cache",
+    "touched_inos": "inode-table",
+    "_orphans": "orphan-set",
+}
+
+# Classes whose instances are component state wherever they flow:
+# FdState objects live inside the FdTable registry, so mutating a
+# descriptor cursor is an fd-table write even through a typed local.
+CLASS_COMPONENTS = {
+    "FdTable": "fd-table",
+    "FdState": "fd-table",
+    "Superblock": "superblock",
+}
+
+# --- argued scratch exemptions ---------------------------------------------
+
+SCRATCH_CLASSES = {
+    "Bitmap": "decoded working copy; the durable write is the role='bitmap' site",
+    "DirBlock": "decoded working copy; the durable write is the role='dir' site",
+    "OnDiskInode": "decoded working copy; the durable write is _iput (role='itable')",
+    "Ref": "an (ino, decoded inode) pair; durable writes land through _iput",
+    "Overlay": "the raw block medium; every durable write is classified at its "
+               "role-carrying call site",
+    "ShadowChecks": "invariant-check plumbing; mutates only diagnostic counters",
+    "CheckStats": "diagnostic counters; replay equivalence never reads them",
+}
+
+SCRATCH_ATTRS = {
+    "ino_hint": "per-op constrained-allocation directive installed by the replay "
+                "engine and consumed before the op returns; carries no cross-op state",
+    "blocks": "the overlay's raw page store; durable writes are classified at "
+              "role-carrying sites, and the free-path pop only scrubs pages whose "
+              "bitmap release is already a classified block-bitmap write",
+    "roles": "overlay bookkeeping mirroring 'blocks'; same argument",
+    "stats": "ShadowChecks diagnostic counters (see SCRATCH_CLASSES)",
+}
+
+# --- argued conflict resolutions -------------------------------------------
+#
+# Every component two replayable ops can collide on must either be
+# path-keyed (the verdict degrades to conditional-on-disjoint-subtree)
+# or carry a sanction.  ``commutes`` argues the collision is
+# order-invisible to spec equivalence and removes it from the verdict;
+# ``serialize`` concedes the ordering dependence — pairs colliding on
+# that component must replay in one shard, in log order.
+
+COMMUTE_SANCTIONS = {
+    "superblock": {
+        "resolution": "commutes",
+        "why": "ops touch only the free-block/free-inode counters, whose deltas "
+               "are commutative; admission control (ENOSPC pre-checks) reads a "
+               "conservative bound that sharded replay preserves by granting each "
+               "shard the net demand its log segment records",
+    },
+    "block-bitmap": {
+        "resolution": "commutes",
+        "why": "physical block placement is sanctioned policy divergence (§3.3): "
+               "spec equivalence is placement-blind, so allocation order between "
+               "shards is unobservable as long as each allocation stays exclusive",
+    },
+    "inode-bitmap": {
+        "resolution": "commutes",
+        "why": "constrained replay pins every created inode number via ino_hint "
+               "from the recorded outcome, so bit claims are disjoint and "
+               "order-independent; frees release bits no other shard references",
+    },
+    "inode-table": {
+        "resolution": "commutes",
+        "why": "inode slots are per-ino: creating ops write slots pinned by "
+               "ino_hint, and mutations of existing inodes reach them through "
+               "path resolution, which the disjoint-subtree condition separates — "
+               "except when a hard link aliases one inode into two subtrees, "
+               "which is exactly the aliasing caveat the conditional verdict "
+               "carries (nlink>1 routes the pair to one shard dynamically)",
+    },
+    "orphan-set": {
+        "resolution": "commutes",
+        "why": "orphan transitions are per-inode and every one is gated by an "
+               "fd-table access (fds_for_ino / release), so any same-inode pair "
+               "already serializes on fd-table; cross-inode transitions commute",
+    },
+    "fd-table": {
+        "resolution": "serialize",
+        "why": "descriptor numbers come from lowest-free allocation and cursors "
+               "advance per descriptor: both are order-sensitive, so ops that "
+               "touch the registry replay in one shard, in log order",
+    },
+    "page-cache": {
+        "resolution": "serialize",
+        "why": "data pages are keyed by (ino, logical) at runtime, which "
+               "path-level static keying cannot soundly express (hard links "
+               "alias inodes across subtrees); data-writing pairs replay in one "
+               "shard until the matrix grows per-inode keys",
+    },
+}
+
+# --- reviewed per-op footprints --------------------------------------------
+#
+# The parity target: COMMUTE-PARITY reports any drift between these
+# reviewed sets and what the model infers from the tree, in both
+# directions.  Instances are "component" or "component<path-arg>".
+
+DECLARED_FOOTPRINTS = {
+    "close": {
+        "reads": ("block-bitmap", "fd-table", "inode-bitmap", "inode-table",
+                  "orphan-set", "page-cache", "superblock",),
+        "writes": ("block-bitmap", "fd-table", "inode-bitmap", "inode-table",
+                  "orphan-set", "page-cache", "superblock",),
+    },
+    "link": {
+        "reads": ("block-bitmap", "dentry-namespace<existing>",
+                  "dentry-namespace<new>", "fd-table", "inode-bitmap",
+                  "inode-table", "orphan-set", "superblock",),
+        "writes": ("block-bitmap", "dentry-namespace<existing,new>",
+                  "dentry-namespace<new>", "inode-table", "superblock",),
+    },
+    "lseek": {
+        "reads": ("fd-table", "inode-bitmap", "inode-table", "orphan-set",),
+        "writes": ("fd-table",),
+    },
+    "lstat": {
+        "reads": ("block-bitmap", "dentry-namespace<path>", "fd-table",
+                  "inode-bitmap", "inode-table", "orphan-set", "superblock",),
+        "writes": (),
+    },
+    "mkdir": {
+        "reads": ("block-bitmap", "dentry-namespace<path>", "fd-table",
+                  "inode-bitmap", "inode-table", "orphan-set", "superblock",),
+        "writes": ("block-bitmap", "dentry-namespace<path>", "inode-bitmap",
+                  "inode-table", "superblock",),
+    },
+    "open": {
+        "reads": ("block-bitmap", "dentry-namespace<path>", "fd-table",
+                  "inode-bitmap", "inode-table", "orphan-set", "page-cache",
+                  "superblock",),
+        "writes": ("block-bitmap", "dentry-namespace<path>", "fd-table",
+                  "inode-bitmap", "inode-table", "page-cache", "superblock",),
+    },
+    "read": {
+        "reads": ("block-bitmap", "fd-table", "inode-bitmap", "inode-table",
+                  "orphan-set", "page-cache",),
+        "writes": ("fd-table",),
+    },
+    "readdir": {
+        "reads": ("block-bitmap", "dentry-namespace<path>", "fd-table",
+                  "inode-bitmap", "inode-table", "orphan-set", "superblock",),
+        "writes": (),
+    },
+    "readlink": {
+        "reads": ("block-bitmap", "dentry-namespace<path>", "fd-table",
+                  "inode-bitmap", "inode-table", "orphan-set", "superblock",),
+        "writes": (),
+    },
+    "rename": {
+        "reads": ("block-bitmap", "dentry-namespace<dst,src>",
+                  "dentry-namespace<dst>", "dentry-namespace<src>",
+                  "fd-table", "inode-bitmap", "inode-table", "orphan-set",
+                  "page-cache", "superblock",),
+        "writes": ("block-bitmap", "dentry-namespace<dst,src>",
+                  "dentry-namespace<src>", "inode-bitmap", "inode-table",
+                  "orphan-set", "page-cache", "superblock",),
+    },
+    "rmdir": {
+        "reads": ("block-bitmap", "dentry-namespace<path>", "fd-table",
+                  "inode-bitmap", "inode-table", "orphan-set", "page-cache",
+                  "superblock",),
+        "writes": ("block-bitmap", "dentry-namespace<path>", "inode-bitmap",
+                  "inode-table", "page-cache", "superblock",),
+    },
+    "stat": {
+        "reads": ("block-bitmap", "dentry-namespace<path>", "fd-table",
+                  "inode-bitmap", "inode-table", "orphan-set", "superblock",),
+        "writes": (),
+    },
+    "symlink": {
+        "reads": ("block-bitmap", "dentry-namespace<path>", "fd-table",
+                  "inode-bitmap", "inode-table", "orphan-set", "superblock",),
+        "writes": ("block-bitmap", "dentry-namespace<path>", "inode-bitmap",
+                  "inode-table", "superblock",),
+    },
+    "truncate": {
+        "reads": ("block-bitmap", "dentry-namespace<path>", "fd-table",
+                  "inode-bitmap", "inode-table", "orphan-set", "page-cache",
+                  "superblock",),
+        "writes": ("block-bitmap", "inode-table", "page-cache", "superblock",),
+    },
+    "unlink": {
+        "reads": ("block-bitmap", "dentry-namespace<path>", "fd-table",
+                  "inode-bitmap", "inode-table", "orphan-set", "page-cache",
+                  "superblock",),
+        "writes": ("block-bitmap", "dentry-namespace<path>", "inode-bitmap",
+                  "inode-table", "orphan-set", "page-cache", "superblock",),
+    },
+    "write": {
+        "reads": ("block-bitmap", "fd-table", "inode-bitmap", "inode-table",
+                  "orphan-set", "page-cache", "superblock",),
+        "writes": ("block-bitmap", "fd-table", "inode-table", "page-cache",
+                  "superblock",),
+    },
+}

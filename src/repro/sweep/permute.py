@@ -1,0 +1,148 @@
+"""Permutation cross-check harness: dynamic validation of the replay
+matrix.
+
+The committed ``replaymatrix.json`` (``raelint --emit-replay-matrix``)
+is a *static* claim: ops whose footprints do not collide may replay in
+either order.  This harness is the dynamic side of that argument — the
+same record/replay machinery the supervisor uses, pointed at permuted
+orders:
+
+1. :func:`record_workload` runs an operation sequence on a fresh base
+   filesystem over a formatted in-memory device (kept un-committed, so
+   the image stays at S0) and records every mutation into an oplog;
+2. :func:`replay_order` replays the records — in log order or any
+   permutation — on a fresh :class:`ShadowFilesystem` over the S0 image
+   in strict constrained mode, and snapshots the resulting logical
+   state through the public API;
+3. :func:`permutation_diverges` compares a permuted replay against the
+   log-order replay: a cross-check mismatch, a recovery failure, a
+   state divergence (``compare_ino_numbers=True`` — constrained
+   replay's ino pinning makes inode numbers order-independent), or a
+   descriptor-table difference is a divergence.
+
+The test suite uses this to hold the matrix to its word in both
+directions: pairs the matrix marks ``conflict`` must actually diverge
+under permutation (seeded-conflict cases prove the harness *can* see a
+wrong commute verdict), and pairs it sanctions — ``commute``, or
+``conditional-on-disjoint-subtree`` exercised with disjoint subtrees —
+must permute green.
+
+Two shadows over the same S0 image are independent: the shadow never
+writes the device (write-fenced; SHADOW-PURITY/SHADOW-REACH), so each
+replay sees pristine base state through its own overlay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.basefs.filesystem import BaseFilesystem
+from repro.blockdev.device import MemoryBlockDevice
+from repro.core.oplog import OpLog, OpRecord
+from repro.errors import CrossCheckMismatch, RecoveryFailure
+from repro.ondisk.image import clone_to_memory
+from repro.ondisk.mkfs import mkfs
+from repro.shadowfs.filesystem import ShadowFilesystem
+from repro.shadowfs.replay import ReplayEngine
+from repro.spec.equivalence import FsState, capture_state, states_equivalent
+
+
+def record_workload(
+    operations, block_count: int = 4096
+) -> tuple[list[OpRecord], MemoryBlockDevice]:
+    """Run ``operations`` on a fresh base over a formatted device and
+    return ``(records, image_s0)``.
+
+    The base is never committed, so ``image_s0`` is the pristine post-
+    mkfs image every replay starts from — exactly the supervisor's
+    record/recover geometry.  Non-mutations execute (they can move fd
+    cursors the *base* sees) but are not recorded, mirroring the oplog's
+    own discipline.
+    """
+    device = MemoryBlockDevice(block_count=block_count)
+    mkfs(device)
+    image_s0 = clone_to_memory(device)
+    base = BaseFilesystem(device)
+    log = OpLog()
+    for index, operation in enumerate(operations):
+        outcome = operation.apply(base, opseq=index + 1)
+        if operation.is_mutation:
+            log.record(index + 1, operation, outcome)
+    return list(log.entries), image_s0
+
+
+@dataclass
+class ReplayResult:
+    """One replay attempt: either an error string or a state snapshot."""
+
+    error: str | None
+    state: FsState | None
+    fd_table: dict[int, tuple[int, int]] | None  # fd -> (ino, offset)
+
+
+def replay_order(
+    records: list[OpRecord],
+    image_s0: MemoryBlockDevice,
+    order: list[int] | None = None,
+) -> ReplayResult:
+    """Replay ``records`` (permuted by ``order``, a list of indices) on
+    a fresh shadow over ``image_s0`` in strict constrained mode."""
+    ordered = records if order is None else [records[i] for i in order]
+    shadow = ShadowFilesystem(image_s0)
+    engine = ReplayEngine(shadow, strict=True)
+    try:
+        update = engine.run(ordered, {}, None)
+    except (CrossCheckMismatch, RecoveryFailure) as error:
+        return ReplayResult(
+            error=f"{type(error).__name__}: {error}", state=None, fd_table=None
+        )
+    fd_table = {
+        fd: (state.ino, state.offset) for fd, state in update.fd_table.items()
+    }
+    return ReplayResult(error=None, state=capture_state(shadow), fd_table=fd_table)
+
+
+def swapped_tail_order(count: int) -> list[int]:
+    """Log order with the last two records swapped — the canonical probe
+    for a pair appended to a setup prefix."""
+    if count < 2:
+        raise ValueError("need at least two records to swap")
+    return [*range(count - 2), count - 1, count - 2]
+
+
+def permutation_diverges(
+    records: list[OpRecord],
+    image_s0: MemoryBlockDevice,
+    order: list[int],
+) -> list[str]:
+    """Divergences between replaying ``records`` in ``order`` and in log
+    order; an empty list means the permutation is observationally safe.
+
+    The log-order replay is the ground truth the supervisor relies on,
+    so it must be clean; a dirty baseline is a bad workload, not a
+    commutativity fact, and raises.
+    """
+    if sorted(order) != list(range(len(records))):
+        raise ValueError(f"order {order!r} is not a permutation of the records")
+    baseline = replay_order(records, image_s0)
+    if baseline.error is not None:
+        raise ValueError(f"log-order replay must be clean: {baseline.error}")
+    permuted = replay_order(records, image_s0, order)
+    if permuted.error is not None:
+        return [permuted.error]
+    problems = list(
+        states_equivalent(
+            baseline.state, permuted.state, compare_ino_numbers=True
+        ).problems
+    )
+    if baseline.fd_table != permuted.fd_table:
+        problems.append(
+            f"fd table diverged: {baseline.fd_table} vs {permuted.fd_table}"
+        )
+    return problems
+
+
+def matrix_verdict(payload: dict, a: str, b: str) -> str:
+    """The matrix's verdict for the unordered op pair ``{a, b}``."""
+    key = "|".join(sorted((a, b)))
+    return payload["pairs"][key]["verdict"]

@@ -1,12 +1,16 @@
-"""Small shared utilities: checksums, logical time, deterministic RNG.
+"""Small shared utilities: checksums, logical time, deterministic RNG,
+crash-safe JSON writes.
 
 Nothing here depends on any other repro module.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import random
 import zlib
+from pathlib import Path
 
 
 def checksum32(data: bytes) -> int:
@@ -38,6 +42,33 @@ class LogicalClock:
         """Advance the clock and return the new time."""
         self._now += 1
         return self._now
+
+
+def atomic_write_json(path: str | Path, payload, *, sort_keys: bool = True) -> str:
+    """Write ``payload`` as indented JSON to ``path`` atomically.
+
+    The payload is serialized *before* the target is touched, staged in a
+    sibling ``.tmp`` file, and :func:`os.replace`d into place — so a crash,
+    a full disk, or an unserializable payload can never truncate an
+    existing file: readers see either the previous complete file or the
+    new one.  The temp file is removed on any failure.
+
+    Every committed JSON artifact in the repo (the raelint baseline,
+    ``crashpoints.json``, ``replaymatrix.json``, ``BENCH_obs.json``,
+    forensic bundles) goes through here; ``sort_keys=False`` is for
+    payloads that carry their own canonical ordering.
+    """
+    text = json.dumps(payload, indent=2, sort_keys=sort_keys) + "\n"
+    target = str(path)
+    tmp = f"{target}.tmp"
+    try:
+        with open(tmp, "w", encoding="utf-8") as f:
+            f.write(text)
+        os.replace(tmp, target)
+    finally:
+        if os.path.exists(tmp):
+            os.remove(tmp)
+    return target
 
 
 def make_rng(seed: int) -> random.Random:

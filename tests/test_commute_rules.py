@@ -1,0 +1,602 @@
+"""The commute rule family (COMMUTE-PARITY / SHARD-FOOTPRINT /
+REPLAY-ISOLATION) on seeded synthetic trees, plus the replay-matrix
+surface and its CLI.
+
+Mutation-style validation, mirroring test_persistence_rules: each rule
+fires on seeded commutativity bugs with the right file/line witness and
+stays silent on the clean twin; the declared-spec machinery (component
+vocabulary, sanctions, config errors) behaves per
+docs/STATIC_ANALYSIS.md; the committed ``replaymatrix.json`` is pinned
+to what the tree regenerates; and ``--select`` family names and the
+full-tree emitter discipline are covered.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_tree
+from repro.analysis.cli import main as raelint_main
+from repro.analysis.commute import (
+    CommuteConfigError,
+    build_replay_matrix,
+    model_for,
+    render_replay_matrix,
+    validate_replay_matrix,
+)
+from repro.analysis.engine import ParsedModule
+from repro.analysis.rules import (
+    RULE_CLASSES,
+    CommuteParityRule,
+    ReplayIsolationRule,
+    ShardFootprintRule,
+    rule_families,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def write_tree(tmp_path: Path, files: dict[str, str]) -> Path:
+    for relpath, source in files.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+    return tmp_path
+
+
+def parse_tree(files: dict[str, str]) -> list[ParsedModule]:
+    return [ParsedModule.parse(path, textwrap.dedent(src)) for path, src in files.items()]
+
+
+def rule_ids(report) -> list[str]:
+    return [finding.rule_id for finding in report.findings]
+
+
+def _git(cwd: Path, *args: str) -> None:
+    subprocess.run(
+        ["git", "-c", "user.name=t", "-c", "user.email=t@example.com", *args],
+        cwd=cwd, check=True, capture_output=True, text=True,
+    )
+
+
+#: Two-component vocabulary, two keyed ops, every conflict argued, and
+#: DECLARED_FOOTPRINTS matching what the clean fs below infers.
+CLEAN_SPEC = """
+    STATE_COMPONENTS = {
+        "dentry-namespace": "directory entries",
+        "inode-table": "inode slots",
+    }
+    PATH_KEYED_COMPONENTS = ("dentry-namespace",)
+    REPLAY_ROOTS = {
+        "mkdir": {"entry": "Shadow.mkdir", "path_args": ("path",)},
+        "unlink": {"entry": "Shadow.unlink", "path_args": ("path",)},
+    }
+    COMPONENT_ACCESSORS = {
+        "_dir_insert": ("dentry-namespace", "write"),
+        "_dir_remove": ("dentry-namespace", "write"),
+        "_iput": ("inode-table", "write"),
+    }
+    COMMUTE_SANCTIONS = {
+        "inode-table": {
+            "resolution": "commutes",
+            "why": "slot updates are per-inode and replay pins inode numbers",
+        },
+    }
+    DECLARED_FOOTPRINTS = {
+        "mkdir": {"reads": (), "writes": ("dentry-namespace<path>", "inode-table")},
+        "unlink": {"reads": (), "writes": ("dentry-namespace<path>", "inode-table")},
+    }
+"""
+
+CLEAN_FS = """
+    class Shadow:
+        def mkdir(self, path):
+            self._dir_insert(path)
+            self._iput(path)
+
+        def unlink(self, path):
+            self._dir_remove(path)
+            self._iput(path)
+
+        def _dir_insert(self, path):
+            pass
+
+        def _dir_remove(self, path):
+            pass
+
+        def _iput(self, path):
+            pass
+"""
+
+
+# ---------------------------------------------------------------------------
+# COMMUTE-PARITY
+
+
+class TestCommuteParity:
+    def test_clean_tree_is_silent(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "spec/commute.py": CLEAN_SPEC,
+            "shadowfs/fs.py": CLEAN_FS,
+        })
+        report = analyze_tree(root, rules=[CommuteParityRule()])
+        assert rule_ids(report) == []
+
+    def test_no_spec_is_silent(self, tmp_path):
+        root = write_tree(tmp_path, {"shadowfs/fs.py": CLEAN_FS})
+        report = analyze_tree(root, rules=[CommuteParityRule()])
+        assert rule_ids(report) == []
+
+    def test_inferred_but_undeclared_instance_fires_at_the_access(self, tmp_path):
+        # mkdir grows a dentry write through a second accessor the
+        # reviewed footprint never listed... except the instance is the
+        # same; instead grow an *inode-table* access in unlink only, and
+        # shrink its declaration.
+        spec = CLEAN_SPEC.replace(
+            '"unlink": {"reads": (), "writes": ("dentry-namespace<path>", "inode-table")},',
+            '"unlink": {"reads": (), "writes": ("dentry-namespace<path>",)},',
+        )
+        root = write_tree(tmp_path, {
+            "spec/commute.py": spec,
+            "shadowfs/fs.py": CLEAN_FS,
+        })
+        report = analyze_tree(root, rules=[CommuteParityRule()])
+        assert rule_ids(report) == ["COMMUTE-PARITY"]
+        finding = report.findings[0]
+        assert finding.path == "shadowfs/fs.py"
+        assert "'unlink'" in finding.message
+        assert "'inode-table'" in finding.message
+        assert "does not declare it" in finding.message
+        # The witness carries the call chain from the op root.
+        assert "Shadow.unlink" in finding.message
+
+    def test_declared_but_uninferred_instance_fires_at_the_spec(self, tmp_path):
+        fs = CLEAN_FS.replace(
+            "def unlink(self, path):\n"
+            "            self._dir_remove(path)\n"
+            "            self._iput(path)",
+            "def unlink(self, path):\n"
+            "            self._dir_remove(path)",
+        )
+        assert fs != CLEAN_FS
+        root = write_tree(tmp_path, {
+            "spec/commute.py": CLEAN_SPEC,
+            "shadowfs/fs.py": fs,
+        })
+        report = analyze_tree(root, rules=[CommuteParityRule()])
+        assert rule_ids(report) == ["COMMUTE-PARITY"]
+        finding = report.findings[0]
+        assert finding.path == "spec/commute.py"
+        assert "stale" in finding.message
+        assert "'inode-table'" in finding.message
+
+    def test_op_missing_from_declared_footprints_fires(self, tmp_path):
+        spec = CLEAN_SPEC.replace(
+            '"unlink": {"reads": (), "writes": ("dentry-namespace<path>", "inode-table")},',
+            "",
+        )
+        root = write_tree(tmp_path, {
+            "spec/commute.py": spec,
+            "shadowfs/fs.py": CLEAN_FS,
+        })
+        report = analyze_tree(root, rules=[CommuteParityRule()])
+        assert rule_ids(report) == ["COMMUTE-PARITY"]
+        finding = report.findings[0]
+        assert finding.path == "shadowfs/fs.py"
+        assert "never" in finding.message and "reviewed" in finding.message
+
+    def test_unsanctioned_hard_conflict_fires(self, tmp_path):
+        # Drop the inode-table sanction: every pair now collides
+        # write-write on an unkeyed component with no argument.
+        spec = CLEAN_SPEC.replace(
+            """\
+    COMMUTE_SANCTIONS = {
+        "inode-table": {
+            "resolution": "commutes",
+            "why": "slot updates are per-inode and replay pins inode numbers",
+        },
+    }
+""",
+            "",
+        )
+        root = write_tree(tmp_path, {
+            "spec/commute.py": spec,
+            "shadowfs/fs.py": CLEAN_FS,
+        })
+        report = analyze_tree(root, rules=[CommuteParityRule()])
+        assert set(rule_ids(report)) == {"COMMUTE-PARITY"}
+        messages = [f.message for f in report.findings]
+        assert any(
+            "conflict on 'inode-table' with no COMMUTE_SANCTIONS entry" in m
+            for m in messages
+        )
+
+
+# ---------------------------------------------------------------------------
+# SHARD-FOOTPRINT
+
+
+class TestShardFootprint:
+    def test_unclassifiable_write_fires_with_chain(self, tmp_path):
+        fs = CLEAN_FS.replace(
+            "self._iput(path)\n\n        def unlink",
+            "self._iput(path)\n            self.scoreboard[path] = 1\n\n        def unlink",
+        )
+        root = write_tree(tmp_path, {
+            "spec/commute.py": CLEAN_SPEC,
+            "shadowfs/fs.py": fs,
+        })
+        report = analyze_tree(root, rules=[ShardFootprintRule()])
+        assert rule_ids(report) == ["SHARD-FOOTPRINT"]
+        finding = report.findings[0]
+        assert finding.path == "shadowfs/fs.py"
+        assert "self.scoreboard[path]" in finding.message
+        assert "Shadow.mkdir" in finding.message
+        assert "spec/commute.py" in finding.message  # the remediation hint
+
+    def test_scratch_attr_exemption_silences(self, tmp_path):
+        spec = CLEAN_SPEC + (
+            '    SCRATCH_ATTRS = {"scoreboard": "diagnostics only; never replayed"}\n'
+        )
+        fs = CLEAN_FS.replace(
+            "self._iput(path)\n\n        def unlink",
+            "self._iput(path)\n            self.scoreboard[path] = 1\n\n        def unlink",
+        )
+        root = write_tree(tmp_path, {
+            "spec/commute.py": spec,
+            "shadowfs/fs.py": fs,
+        })
+        report = analyze_tree(root, rules=[ShardFootprintRule()])
+        assert rule_ids(report) == []
+
+    def test_clean_tree_is_silent(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "spec/commute.py": CLEAN_SPEC,
+            "shadowfs/fs.py": CLEAN_FS,
+        })
+        report = analyze_tree(root, rules=[ShardFootprintRule()])
+        assert rule_ids(report) == []
+
+
+# ---------------------------------------------------------------------------
+# REPLAY-ISOLATION
+
+
+class TestReplayIsolation:
+    def test_module_level_mutation_fires(self, tmp_path):
+        fs = "SEEN = {}\n\n" + textwrap.dedent(CLEAN_FS).replace(
+            "self._iput(path)\n\n    def unlink",
+            "self._iput(path)\n        SEEN[path] = 1\n\n    def unlink",
+        )
+        root = write_tree(tmp_path, {
+            "spec/commute.py": CLEAN_SPEC,
+            "shadowfs/fs.py": fs,
+        })
+        report = analyze_tree(root, rules=[ReplayIsolationRule()])
+        assert rule_ids(report) == ["REPLAY-ISOLATION"]
+        finding = report.findings[0]
+        assert "'SEEN'" in finding.message
+        assert "Shadow.mkdir" in finding.message
+
+    def test_global_declaration_fires(self, tmp_path):
+        fs = CLEAN_FS.replace(
+            "def _iput(self, path):\n            pass",
+            "def _iput(self, path):\n            global COUNT\n            COUNT = 1",
+        )
+        root = write_tree(tmp_path, {
+            "spec/commute.py": CLEAN_SPEC,
+            "shadowfs/fs.py": fs,
+        })
+        report = analyze_tree(root, rules=[ReplayIsolationRule()])
+        assert rule_ids(report) == ["REPLAY-ISOLATION"]
+        assert "global COUNT" in report.findings[0].message
+
+    def test_clean_tree_is_silent(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "spec/commute.py": CLEAN_SPEC,
+            "shadowfs/fs.py": CLEAN_FS,
+        })
+        report = analyze_tree(root, rules=[ReplayIsolationRule()])
+        assert rule_ids(report) == []
+
+
+# ---------------------------------------------------------------------------
+# declared-spec config errors (exit 2, not findings)
+
+
+class TestCommuteConfigErrors:
+    def test_unknown_component_in_accessor_raises(self):
+        modules = parse_tree({
+            "spec/commute.py": CLEAN_SPEC.replace(
+                '"_iput": ("inode-table", "write"),',
+                '"_iput": ("ghost-component", "write"),',
+            ),
+            "shadowfs/fs.py": CLEAN_FS,
+        })
+        with pytest.raises(CommuteConfigError, match="ghost-component"):
+            model_for(modules)
+
+    def test_unbindable_root_raises(self):
+        modules = parse_tree({
+            "spec/commute.py": CLEAN_SPEC.replace("Shadow.unlink", "Shadow.vanish"),
+            "shadowfs/fs.py": CLEAN_FS,
+        })
+        with pytest.raises(CommuteConfigError, match="Shadow.vanish.*matches no"):
+            model_for(modules)
+
+    def test_stale_sanction_raises(self):
+        spec = CLEAN_SPEC.replace(
+            '"inode-table": "inode slots",',
+            '"inode-table": "inode slots",\n        "journal": "never touched",',
+        ).replace(
+            "COMMUTE_SANCTIONS = {",
+            'COMMUTE_SANCTIONS = {\n        "journal": {"resolution": "serialize", "why": "x"},',
+        )
+        modules = parse_tree({
+            "spec/commute.py": spec,
+            "shadowfs/fs.py": CLEAN_FS,
+        })
+        with pytest.raises(CommuteConfigError, match="journal.*stale"):
+            model_for(modules)
+
+    def test_footprint_for_unknown_op_raises(self):
+        spec = CLEAN_SPEC.replace(
+            '"mkdir": {"reads": (), "writes": ("dentry-namespace<path>", "inode-table")},',
+            '"mkdir": {"reads": (), "writes": ("dentry-namespace<path>", "inode-table")},\n'
+            '        "mount": {"reads": (), "writes": ()},',
+        )
+        modules = parse_tree({
+            "spec/commute.py": spec,
+            "shadowfs/fs.py": CLEAN_FS,
+        })
+        with pytest.raises(CommuteConfigError, match="mount"):
+            model_for(modules)
+
+    def test_cli_reports_spec_error_as_exit_two(self, tmp_path, capsys):
+        root = write_tree(tmp_path, {
+            "spec/commute.py": CLEAN_SPEC.replace("Shadow.unlink", "Shadow.vanish"),
+            "shadowfs/fs.py": CLEAN_FS,
+        })
+        assert raelint_main([str(root)]) == 2
+        err = capsys.readouterr().err
+        assert "commute spec error" in err
+        assert "Shadow.vanish" in err
+        assert "spec/commute.py" in err
+
+
+# ---------------------------------------------------------------------------
+# the replay matrix surface
+
+
+class TestReplayMatrixSurface:
+    def _model(self):
+        modules = parse_tree({
+            "spec/commute.py": CLEAN_SPEC,
+            "shadowfs/fs.py": CLEAN_FS,
+        })
+        return model_for(modules)
+
+    def test_structure_verdicts_and_determinism(self):
+        model = self._model()
+        payload = build_replay_matrix(model)
+        validate_replay_matrix(payload)
+        assert set(payload["ops"]) == {"mkdir", "unlink"}
+        assert set(payload["pairs"]) == {"mkdir|mkdir", "mkdir|unlink", "unlink|unlink"}
+        pair = payload["pairs"]["mkdir|unlink"]
+        # Keyed dentry collision -> conditional; inode-table argued away.
+        assert pair["verdict"] == "conditional-on-disjoint-subtree"
+        classes = {c["component"]: c["class"] for c in pair["conflicts"]}
+        assert classes == {
+            "dentry-namespace": "conditional",
+            "inode-table": "sanctioned-commutes",
+        }
+        sanctioned = [c for c in pair["conflicts"] if c["component"] == "inode-table"]
+        assert sanctioned[0]["sanction"] == "inode-table"
+        assert payload["sanctions"]["inode-table"]["resolution"] == "commutes"
+        # Every footprint instance carries a file:line witness + chain.
+        mkdir = payload["ops"]["mkdir"]
+        assert mkdir["writes"] == ["dentry-namespace<path>", "inode-table"]
+        witness = mkdir["witnesses"]["write:inode-table"]
+        assert witness["site"].startswith("shadowfs/fs.py:")
+        assert "Shadow.mkdir" in witness["chain"]
+        # Byte determinism.
+        rendered = render_replay_matrix(payload)
+        assert rendered == render_replay_matrix(build_replay_matrix(self._model()))
+        validate_replay_matrix(json.loads(rendered))
+
+    def test_serialize_sanction_forces_conflict(self):
+        modules = parse_tree({
+            "spec/commute.py": CLEAN_SPEC.replace('"commutes"', '"serialize"'),
+            "shadowfs/fs.py": CLEAN_FS,
+        })
+        payload = build_replay_matrix(model_for(modules))
+        validate_replay_matrix(payload)
+        assert payload["pairs"]["mkdir|unlink"]["verdict"] == "conflict"
+
+    def test_validator_rejects_tampering(self):
+        payload = build_replay_matrix(self._model())
+        bad = json.loads(json.dumps(payload))
+        bad["pairs"]["mkdir|unlink"]["verdict"] = "commute"
+        bad["pairs"]["mkdir|unlink"]["condition"] = None
+        with pytest.raises(ValueError, match="inconsistent"):
+            validate_replay_matrix(bad)
+        bad = json.loads(json.dumps(payload))
+        bad["pairs"]["mkdir|unlink"]["verdict"] = "commute"
+        with pytest.raises(ValueError, match="condition must match"):
+            validate_replay_matrix(bad)
+        bad = json.loads(json.dumps(payload))
+        del bad["pairs"]["unlink|unlink"]
+        with pytest.raises(ValueError, match="every unordered op pair"):
+            validate_replay_matrix(bad)
+        bad = json.loads(json.dumps(payload))
+        bad["pairs"]["mkdir|unlink"]["conflicts"][0]["sanction"] = "inode-table"
+        with pytest.raises(ValueError, match="cannot carry a sanction"):
+            validate_replay_matrix(bad)
+        bad = json.loads(json.dumps(payload))
+        bad["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            validate_replay_matrix(bad)
+
+
+# ---------------------------------------------------------------------------
+# the committed artifact (the gate CI's drift step enforces)
+
+
+class TestCommittedMatrix:
+    def test_emission_is_deterministic_and_matches_committed_copy(self, tmp_path, capsys):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        root = str(REPO / "src" / "repro")
+        assert raelint_main([root, "--emit-replay-matrix", str(first)]) == 0
+        assert raelint_main([root, "--emit-replay-matrix", str(second)]) == 0
+        assert first.read_text() == second.read_text()
+        assert first.read_text() == (REPO / "replaymatrix.json").read_text()
+
+    def test_committed_matrix_is_schema_valid_with_expected_verdicts(self):
+        payload = json.loads((REPO / "replaymatrix.json").read_text())
+        validate_replay_matrix(payload)
+        verdicts = {key: pair["verdict"] for key, pair in payload["pairs"].items()}
+        # Anchor the semantics, not just the schema: namespace twins are
+        # conditionally parallel, descriptor/data collisions are not,
+        # and pure readers commute outright.
+        assert verdicts["mkdir|mkdir"] == "conditional-on-disjoint-subtree"
+        assert verdicts["open|open"] == "conflict"
+        assert verdicts["truncate|write"] == "conflict"
+        assert verdicts["readdir|stat"] == "commute"
+        assert verdicts["lstat|stat"] == "commute"
+
+    def test_real_tree_commute_rules_are_clean(self, capsys):
+        assert raelint_main([
+            str(REPO / "src" / "repro"), "--select", "commute",
+            "--baseline", str(REPO / "raelint.baseline.json"),
+            "--fail-on-findings",
+        ]) == 0
+
+
+# ---------------------------------------------------------------------------
+# satellite: --select family names
+
+
+class TestFamilySelect:
+    def test_family_registry_covers_all_rules(self):
+        families = rule_families()
+        assert set(families) == {
+            "core", "contracts", "concurrency", "persistence", "commute",
+        }
+        assert sum(len(ids) for ids in families.values()) == len(RULE_CLASSES)
+        assert families["commute"] == (
+            "COMMUTE-PARITY", "SHARD-FOOTPRINT", "REPLAY-ISOLATION",
+        )
+
+    def test_family_token_selects_only_that_family(self, tmp_path, capsys):
+        # A commute bug and nothing else: `--select commute` reports it,
+        # `--select persistence` stays silent on the same tree.
+        fs = CLEAN_FS.replace(
+            "self._iput(path)\n\n        def unlink",
+            "self._iput(path)\n            self.scoreboard[path] = 1\n\n        def unlink",
+        )
+        root = write_tree(tmp_path, {
+            "spec/commute.py": CLEAN_SPEC,
+            "shadowfs/fs.py": fs,
+        })
+        assert raelint_main([str(root), "--select", "commute", "--fail-on-findings"]) == 1
+        assert "SHARD-FOOTPRINT" in capsys.readouterr().out
+        assert raelint_main([str(root), "--select", "persistence", "--fail-on-findings"]) == 0
+
+    def test_family_and_exact_id_tokens_mix(self, tmp_path, capsys):
+        root = write_tree(tmp_path, {
+            "spec/commute.py": CLEAN_SPEC,
+            "shadowfs/fs.py": CLEAN_FS,
+        })
+        assert raelint_main([
+            str(root), "--select", "commute,FLUSH-BARRIER", "--fail-on-findings",
+        ]) == 0
+
+    def test_unknown_family_exits_two(self, tmp_path, capsys):
+        assert raelint_main([str(tmp_path), "--select", "communte"]) == 2
+        err = capsys.readouterr().err
+        assert "communte" in err
+        # The error teaches the vocabulary.
+        assert "commute" in err and "persistence" in err
+
+    def test_list_rules_shows_families(self, capsys):
+        assert raelint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "[commute]" in out
+        assert "[core]" in out
+
+
+# ---------------------------------------------------------------------------
+# satellite: emitters always analyze the full tree
+
+
+class TestEmitterScope:
+    def _committed_git_tree(self, tmp_path, files):
+        root = write_tree(tmp_path, files)
+        _git(root, "init", "-q")
+        _git(root, "add", "-A")
+        _git(root, "commit", "-q", "-m", "base")
+        return root
+
+    def test_replay_matrix_is_identical_with_and_without_changed_only(
+        self, tmp_path, capsys
+    ):
+        root = self._committed_git_tree(tmp_path, {
+            "spec/commute.py": CLEAN_SPEC,
+            "shadowfs/fs.py": CLEAN_FS,
+            "shadowfs/other.py": "def helper():\n    pass\n",
+        })
+        # Dirty exactly one irrelevant file: a scoped analysis would
+        # drop shadowfs/fs.py and emit an empty (or broken) surface.
+        (root / "shadowfs" / "other.py").write_text("def helper():\n    return 1\n")
+        full = root / "full.json"
+        scoped = root / "scoped.json"
+        assert raelint_main([str(root), "--emit-replay-matrix", str(full)]) == 0
+        assert raelint_main([
+            str(root), "--changed-only", "--emit-replay-matrix", str(scoped),
+        ]) == 0
+        assert full.read_bytes() == scoped.read_bytes()
+        assert json.loads(full.read_text())["ops"]  # actually analyzed the tree
+
+    def test_crash_surface_is_identical_with_and_without_changed_only(
+        self, tmp_path, capsys
+    ):
+        root = self._committed_git_tree(tmp_path, {
+            "spec/persistence.py": """
+                WRITE_SITE_ROLES = {
+                    "Fs.commit": ("commit-record",),
+                }
+                CRASH_ENTRY_POINTS = {
+                    "commit": "Fs.commit",
+                }
+            """,
+            "basefs/fs.py": """
+                class Fs:
+                    def commit(self, txn):
+                        self.hooks.fire("commit.pre")
+                        self.device.write_block(0, txn)
+                        self.device.flush()
+            """,
+            "basefs/other.py": "def helper():\n    pass\n",
+        })
+        (root / "basefs" / "other.py").write_text("def helper():\n    return 1\n")
+        full = root / "full.json"
+        scoped = root / "scoped.json"
+        assert raelint_main([str(root), "--emit-crash-surface", str(full)]) == 0
+        assert raelint_main([
+            str(root), "--changed-only", "--emit-crash-surface", str(scoped),
+        ]) == 0
+        assert full.read_bytes() == scoped.read_bytes()
+        assert json.loads(full.read_text())["points"]
+
+    def test_emit_without_a_spec_exits_two(self, tmp_path, capsys):
+        root = write_tree(tmp_path, {"shadowfs/fs.py": CLEAN_FS})
+        out = tmp_path / "replaymatrix.json"
+        assert raelint_main([str(root), "--emit-replay-matrix", str(out)]) == 2
+        assert "spec/commute.py" in capsys.readouterr().err
+        assert not out.exists()

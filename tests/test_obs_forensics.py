@@ -220,7 +220,6 @@ class TestFlushCrashSafety:
 
     def test_interrupted_write_preserves_previous_artifact(self, tmp_path, monkeypatch):
         from repro.obs import flush_bench_obs, record_section
-        import repro.obs.export as export
 
         reg = __import__("repro.obs", fromlist=["Registry"]).Registry(clock=FakeClock())
         record_section("good", reg)
@@ -229,14 +228,20 @@ class TestFlushCrashSafety:
         before = target.read_text()
 
         record_section("bad", reg)
+        # Break the stage->rename step inside the shared atomic writer:
+        # the failure must surface and the previous artifact must survive.
+        import repro.util as util
+
         monkeypatch.setattr(
-            export.json, "dump",
+            util.os, "replace",
             lambda *a, **k: (_ for _ in ()).throw(RuntimeError("disk full")),
         )
         with pytest.raises(RuntimeError):
             flush_bench_obs(str(target))
-        # Readers still see the previous complete artifact.
+        # Readers still see the previous complete artifact, and the
+        # staging temp file is cleaned up.
         assert target.read_text() == before
+        assert not (tmp_path / "BENCH_obs.json.tmp").exists()
 
 
 # ---------------------------------------------------------------------------

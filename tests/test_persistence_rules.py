@@ -549,7 +549,8 @@ class TestBaselineAtomicSave:
         def boom(src, dst):
             raise OSError("disk full")
 
-        monkeypatch.setattr("repro.analysis.baseline.os.replace", boom)
+        # Baseline.save delegates to the shared repro.util.atomic_write_json.
+        monkeypatch.setattr("repro.util.os.replace", boom)
         with pytest.raises(OSError):
             Baseline(entries=set()).save(target)
         # The committed ratchet file is untouched and the staging file

@@ -1,0 +1,181 @@
+"""Permutation cross-check: the replay matrix held to its word
+dynamically.
+
+``replaymatrix.json`` is a static proof sketch; this suite replays real
+oplogs in permuted orders (:mod:`repro.sweep.permute`) and checks both
+directions of the claim against the committed artifact:
+
+* **seeded conflicts** — pairs the matrix marks ``conflict`` must
+  actually diverge when their records are swapped.  These are the
+  harness's own proof of power: if a wrong ``commute`` verdict ever
+  crept into the matrix for such a pair, this machinery would catch it.
+* **green twins** — ``conditional-on-disjoint-subtree`` pairs exercised
+  with genuinely disjoint subtrees must permute without any observable
+  difference.  (Unconditional ``commute`` pairs are read-only in this
+  tree — readers are not recorded, so the conditional pairs are the
+  strongest replayable-commute claim the matrix makes.)
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.commute.surface import validate_replay_matrix
+from repro.api import OpenFlags, op
+from repro.sweep.permute import (
+    matrix_verdict,
+    permutation_diverges,
+    record_workload,
+    replay_order,
+    swapped_tail_order,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def matrix() -> dict:
+    payload = json.loads((REPO / "replaymatrix.json").read_text())
+    validate_replay_matrix(payload)
+    return payload
+
+
+def swap_diverges(operations) -> list[str]:
+    """Record ``operations`` and replay with the last two records
+    swapped, returning the divergences."""
+    records, image_s0 = record_workload(operations)
+    return permutation_diverges(records, image_s0, swapped_tail_order(len(records)))
+
+
+# ---------------------------------------------------------------------------
+# seeded conflicts: permuted replay diverges, matrix says conflict
+
+
+class TestSeededConflicts:
+    def test_create_create_colliding_dirent_diverges(self, matrix):
+        # Two O_CREAT opens of the same path: the second open must see
+        # the first's inode, so order decides which create wins the
+        # dirent and which fd binds to which recorded inode.
+        problems = swap_diverges([
+            op("open", path="/clash", flags=int(OpenFlags.CREAT)),
+            op("open", path="/clash", flags=int(OpenFlags.CREAT)),
+        ])
+        assert problems, "colliding creates must diverge under permutation"
+        assert "CrossCheckMismatch" in problems[0]
+        assert matrix_verdict(matrix, "open", "open") == "conflict"
+
+    def test_write_truncate_same_inode_diverges(self, matrix):
+        # write-then-truncate leaves 10 bytes; truncate-then-write
+        # leaves 5000.  Same inode, order-dependent final size.
+        problems = swap_diverges([
+            op("open", path="/f", flags=int(OpenFlags.CREAT)),
+            op("write", fd=3, data=b"x" * 5000),
+            op("truncate", path="/f", size=10),
+        ])
+        assert problems, "write/truncate on one inode must diverge under permutation"
+        assert any("size" in problem for problem in problems)
+        assert matrix_verdict(matrix, "write", "truncate") == "conflict"
+
+
+# ---------------------------------------------------------------------------
+# green twins: disjoint subtrees permute cleanly, matrix agrees
+
+
+class TestDisjointTwins:
+    def test_mkdir_twins_in_disjoint_subtrees_permute_green(self, matrix):
+        problems = swap_diverges([
+            op("mkdir", path="/a"),
+            op("mkdir", path="/b"),
+            op("mkdir", path="/a/x"),
+            op("mkdir", path="/b/y"),
+        ])
+        assert problems == []
+        assert matrix_verdict(matrix, "mkdir", "mkdir") == (
+            "conditional-on-disjoint-subtree"
+        )
+
+    def test_symlink_and_mkdir_in_disjoint_subtrees_permute_green(self, matrix):
+        problems = swap_diverges([
+            op("mkdir", path="/a"),
+            op("mkdir", path="/b"),
+            op("symlink", target="/tgt", path="/a/s"),
+            op("mkdir", path="/b/z"),
+        ])
+        assert problems == []
+        assert matrix_verdict(matrix, "mkdir", "symlink") == (
+            "conditional-on-disjoint-subtree"
+        )
+
+    def test_same_subtree_twins_show_the_condition_is_load_bearing(self, matrix):
+        # The matrix says *conditional*, not commute — two creates under
+        # one parent collide on that parent's dentry namespace, and the
+        # permuted replay sees it (ino pinning makes the creates land on
+        # different inodes per order).
+        problems = swap_diverges([
+            op("mkdir", path="/a"),
+            op("mkdir", path="/a/x"),
+            op("mkdir", path="/a/y"),
+        ])
+        assert problems, "same-parent creates must diverge: the condition is real"
+        assert matrix_verdict(matrix, "mkdir", "mkdir") == (
+            "conditional-on-disjoint-subtree"
+        )
+
+
+# ---------------------------------------------------------------------------
+# harness mechanics
+
+
+class TestHarness:
+    def test_identity_order_is_always_green(self):
+        records, image_s0 = record_workload([
+            op("mkdir", path="/d"),
+            op("open", path="/d/f", flags=int(OpenFlags.CREAT)),
+            op("write", fd=3, data=b"payload"),
+        ])
+        assert permutation_diverges(
+            records, image_s0, list(range(len(records)))
+        ) == []
+
+    def test_replays_over_one_image_are_independent(self):
+        # Two full replays over the same S0 image: the shadow never
+        # writes the device, so the second replay is not contaminated
+        # by the first.
+        records, image_s0 = record_workload([
+            op("mkdir", path="/d"),
+            op("open", path="/d/f", flags=int(OpenFlags.CREAT)),
+        ])
+        first = replay_order(records, image_s0)
+        second = replay_order(records, image_s0)
+        assert first.error is None and second.error is None
+        assert first.fd_table == second.fd_table
+
+    def test_reads_are_not_recorded(self):
+        records, _ = record_workload([
+            op("mkdir", path="/d"),
+            op("stat", path="/d"),
+            op("readdir", path="/"),
+        ])
+        assert [record.op.name for record in records] == ["mkdir"]
+
+    def test_non_permutation_order_is_rejected(self):
+        records, image_s0 = record_workload([
+            op("mkdir", path="/a"),
+            op("mkdir", path="/b"),
+        ])
+        with pytest.raises(ValueError, match="not a permutation"):
+            permutation_diverges(records, image_s0, [0, 0])
+
+    def test_swapped_tail_order_needs_two_records(self):
+        assert swapped_tail_order(2) == [1, 0]
+        assert swapped_tail_order(5) == [0, 1, 2, 4, 3]
+        with pytest.raises(ValueError, match="at least two"):
+            swapped_tail_order(1)
+
+    def test_matrix_verdict_sorts_the_pair_key(self, matrix):
+        assert matrix_verdict(matrix, "write", "truncate") == matrix_verdict(
+            matrix, "truncate", "write"
+        )

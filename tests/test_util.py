@@ -1,6 +1,10 @@
 """Tests for repro.util."""
 
-from repro.util import LogicalClock, checksum32, make_rng
+import json
+
+import pytest
+
+from repro.util import LogicalClock, atomic_write_json, checksum32, make_rng
 
 
 def test_checksum32_deterministic_and_sensitive():
@@ -29,3 +33,41 @@ def test_logical_clock_custom_start():
 def test_make_rng_reproducible():
     assert make_rng(7).random() == make_rng(7).random()
     assert make_rng(7).random() != make_rng(8).random()
+
+
+class TestAtomicWriteJson:
+    def test_writes_sorted_indented_json_with_trailing_newline(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_json(target, {"b": 1, "a": [2, 3]})
+        text = target.read_text()
+        assert text == json.dumps({"b": 1, "a": [2, 3]}, indent=2, sort_keys=True) + "\n"
+        assert not (tmp_path / "out.json.tmp").exists()
+
+    def test_sort_keys_false_preserves_payload_order(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_json(target, {"version": 1, "findings": []}, sort_keys=False)
+        assert target.read_text().splitlines()[1].strip().startswith('"version"')
+
+    def test_unserializable_payload_never_touches_target(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_json(target, {"ok": True})
+        before = target.read_text()
+        with pytest.raises(TypeError):
+            atomic_write_json(target, {"bad": object()})
+        assert target.read_text() == before
+        assert not (tmp_path / "out.json.tmp").exists()
+
+    def test_interrupted_replace_preserves_target_and_cleans_tmp(self, tmp_path, monkeypatch):
+        import repro.util as util
+
+        target = tmp_path / "out.json"
+        atomic_write_json(target, {"ok": 1})
+        before = target.read_text()
+        monkeypatch.setattr(
+            util.os, "replace",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("disk full")),
+        )
+        with pytest.raises(OSError):
+            atomic_write_json(target, {"ok": 2})
+        assert target.read_text() == before
+        assert not (tmp_path / "out.json.tmp").exists()
