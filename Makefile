@@ -3,7 +3,7 @@
 PYTHON ?= python
 PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: all install lint lint-json lint-github lint-contracts lint-concurrency lint-persistence lint-commute crash-surface replay-matrix sweep sweep-smoke test bench bench-obs experiments examples verify clean
+.PHONY: all install lint lint-json lint-github lint-contracts lint-concurrency lint-persistence lint-commute crash-surface replay-matrix sweep sweep-smoke test bench bench-obs bench-hotpath bench-hotpath-check hotpath-baseline experiments examples verify clean
 
 # Default flow: static analysis first (fast), then the tier-1 suite.
 all: lint test
@@ -84,6 +84,23 @@ bench:
 bench-obs:
 	$(PYTHONPATH_SRC) BENCH_OBS_PATH=BENCH_obs.json $(PYTHON) -m pytest benchmarks/test_ablation_obs_overhead.py --benchmark-only -q -s
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.obs.check BENCH_obs.json
+
+# The hot-path throughput artifact (ROADMAP item 2): run every mix via
+# rae-bench, then FAIL (not skip) if BENCH_hotpath.json is missing or
+# malformed — same schema-gate discipline as bench-obs.
+bench-hotpath:
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.bench --out BENCH_hotpath.json
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.obs.check BENCH_hotpath.json
+
+# The perf ratchet against the committed baseline (exit 1 on regression
+# beyond the tolerance bands; see docs/OBSERVABILITY.md).
+bench-hotpath-check:
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.bench --check-baseline --artifact BENCH_hotpath.json
+
+# Deliberately ratchet hotpath.baseline.json forward from a fresh run.
+# Commit the result — CI compares every run against it.
+hotpath-baseline:
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.bench --out BENCH_hotpath.json --update-baseline
 
 experiments:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s

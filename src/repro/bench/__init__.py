@@ -14,10 +14,31 @@ from repro.bench.harness import (
     run_ops,
     time_ops,
 )
-from repro.bench.reporting import format_table, print_banner
+from repro.bench.hotpath import (
+    MIX_PROFILES,
+    calibration_score,
+    run_hotpath_bench,
+    run_mix,
+    write_hotpath,
+)
+from repro.bench.ratchet import (
+    baseline_from_artifact,
+    check_against_baseline,
+    load_baseline,
+)
+from repro.bench.reporting import format_table, print_banner, render_hotpath
 from repro.obs import flush_bench_obs
 
 __all__ = [
+    "MIX_PROFILES",
+    "run_mix",
+    "run_hotpath_bench",
+    "calibration_score",
+    "write_hotpath",
+    "baseline_from_artifact",
+    "check_against_baseline",
+    "load_baseline",
+    "render_hotpath",
     "make_device",
     "make_base",
     "make_shadow",

@@ -1,0 +1,8 @@
+"""``python -m repro.bench`` — the rae-bench hot-path benchmark CLI."""
+
+import sys
+
+from repro.bench.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

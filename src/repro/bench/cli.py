@@ -1,0 +1,133 @@
+"""``rae-bench``: run the hot-path mixes, emit BENCH_hotpath.json,
+and check the perf ratchet.
+
+Usage shapes (see docs/OBSERVABILITY.md):
+
+* ``rae-bench`` — run every mix, write the artifact, print the tables;
+* ``rae-bench --check-baseline`` — the CI gate: run (or reuse
+  ``--artifact``), then fail (exit 1) on any regression past the
+  baseline's tolerance bands;
+* ``rae-bench --update-baseline`` — deliberately ratchet the committed
+  ``hotpath.baseline.json`` forward from this run.
+
+Exit codes: 0 clean, 1 regression/schema failure, 2 usage error
+(unknown mix, unreadable baseline/artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.hotpath import (
+    DEFAULT_OPS,
+    DEFAULT_ROUNDS,
+    DEFAULT_SEED,
+    MIX_PROFILES,
+    run_hotpath_bench,
+    write_hotpath,
+)
+from repro.bench.ratchet import (
+    BASELINE_DEFAULT,
+    baseline_from_artifact,
+    check_against_baseline,
+    load_baseline,
+)
+from repro.bench.reporting import render_hotpath
+from repro.obs.check import check_hotpath_payload
+from repro.util import atomic_write_json
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="rae-bench", description=__doc__)
+    parser.add_argument("--ops", type=int, default=DEFAULT_OPS,
+                        help=f"measured stream length per mix (default {DEFAULT_OPS})")
+    parser.add_argument("--rounds", type=int, default=DEFAULT_ROUNDS,
+                        help=f"fresh runs per mix, best kept (default {DEFAULT_ROUNDS})")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help=f"workload seed (default {DEFAULT_SEED})")
+    parser.add_argument("--mix", action="append", metavar="NAME",
+                        help="run only this mix (repeatable; default all: "
+                             + ", ".join(MIX_PROFILES) + ")")
+    parser.add_argument("--out", metavar="PATH",
+                        help="artifact path (default $BENCH_HOTPATH_PATH or BENCH_hotpath.json)")
+    parser.add_argument("--no-attribution", action="store_true",
+                        help="disable the layer profiler (ablation arm)")
+    parser.add_argument("--artifact", metavar="PATH",
+                        help="check an existing artifact instead of running")
+    parser.add_argument("--baseline", default=BASELINE_DEFAULT, metavar="PATH",
+                        help=f"baseline path (default {BASELINE_DEFAULT})")
+    parser.add_argument("--check-baseline", action="store_true",
+                        help="fail (exit 1) on regression past the baseline's tolerance bands")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from this run (the deliberate ratchet)")
+    parser.add_argument("--quiet", action="store_true", help="suppress the tables")
+    args = parser.parse_args(argv)
+
+    if args.artifact:
+        try:
+            with open(args.artifact, "r", encoding="utf-8") as f:
+                payload = json.load(f)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot load {args.artifact}: {exc}", file=sys.stderr)
+            return 2
+        target = args.artifact
+    else:
+        try:
+            payload = run_hotpath_bench(
+                ops=args.ops,
+                rounds=args.rounds,
+                seed=args.seed,
+                mixes=args.mix,
+                attribution=not args.no_attribution,
+            )
+        except ValueError as exc:  # unknown mix name
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        target = write_hotpath(payload, args.out)
+        if not args.quiet:
+            print(f"wrote {target}")
+
+    # Self-gate: a malformed artifact must never reach the ratchet.
+    problems = check_hotpath_payload(payload)
+    if problems:
+        if args.mix and not args.artifact:
+            # An explicit --mix subset is a local experiment, not a
+            # trajectory datapoint; surface the gate result, don't fail.
+            for problem in problems:
+                print(f"note: {target}: {problem}", file=sys.stderr)
+        else:
+            for problem in problems:
+                print(f"error: {target}: {problem}", file=sys.stderr)
+            return 1
+
+    if not args.quiet:
+        print(render_hotpath(payload))
+
+    if args.update_baseline:
+        atomic_write_json(args.baseline, baseline_from_artifact(payload))
+        print(f"baseline updated: {args.baseline}")
+
+    if args.check_baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, json.JSONDecodeError, ValueError) as exc:
+            print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+        regressions = check_against_baseline(payload, baseline)
+        if regressions:
+            for regression in regressions:
+                print(f"REGRESSION: {regression}", file=sys.stderr)
+            print(
+                f"{len(regressions)} regression(s) vs {args.baseline} — "
+                "if deliberate, rerun with --update-baseline and commit",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"baseline check ok ({args.baseline})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

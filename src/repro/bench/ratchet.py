@@ -1,0 +1,126 @@
+"""The perf ratchet: ``rae-bench --check-baseline``.
+
+Mirrors raelint's baseline discipline for benchmark numbers: a
+committed ``hotpath.baseline.json`` records, per mix, the blessed
+throughput and latency percentiles; CI fails when a fresh
+``BENCH_hotpath.json`` regresses past the per-metric tolerance band,
+and the baseline only moves when someone deliberately reruns with
+``--update-baseline`` and commits the result.
+
+Raw seconds do not transfer between machines, so every comparison is
+**calibration-normalized**: both artifact and baseline carry the
+:func:`repro.bench.hotpath.calibration_score` of the machine that
+produced them (a fixed pure-Python workload's runs/sec), throughput is
+compared as ``ops_per_second / calibration_score`` and latency as
+``seconds * calibration_score``.  That cancels first-order machine
+speed; what remains — scheduler jitter, cache topology, allocator
+behavior — is why the default tolerance bands are deliberately wide
+(a CI false-positive costs more trust than a small missed regression;
+real hot-path work moves these numbers by integer factors, not
+percents).  Latency tails get the widest band: p99 of a few hundred
+ops is a handful of samples.
+"""
+
+from __future__ import annotations
+
+import json
+
+BASELINE_DEFAULT = "hotpath.baseline.json"
+BASELINE_SCHEMA = 1
+
+#: Allowed relative regression per metric, post-normalization:
+#: throughput may drop to (1 - tol) of baseline; latency percentiles
+#: may grow to (1 + tol) of baseline.
+DEFAULT_TOLERANCE = {
+    "ops_per_second": 0.60,
+    "p50": 1.50,
+    "p95": 1.50,
+    "p99": 2.50,
+}
+
+_PERCENTILES = ("p50", "p95", "p99")
+
+
+def baseline_from_artifact(artifact: dict, tolerance: dict | None = None) -> dict:
+    """Distill a ``BENCH_hotpath.json`` payload into a baseline."""
+    tol = dict(DEFAULT_TOLERANCE)
+    if tolerance:
+        tol.update(tolerance)
+    return {
+        "schema": BASELINE_SCHEMA,
+        "calibration_score": artifact["meta"]["calibration_score"],
+        "tolerance": tol,
+        "mixes": {
+            name: {
+                "ops_per_second": mix["ops_per_second"],
+                "latency_seconds": {
+                    p: mix["latency_seconds"].get(p) for p in _PERCENTILES
+                },
+            }
+            for name, mix in sorted(artifact["mixes"].items())
+        },
+    }
+
+
+def load_baseline(path: str = BASELINE_DEFAULT) -> dict:
+    with open(path, "r", encoding="utf-8") as f:
+        baseline = json.load(f)
+    if not isinstance(baseline, dict) or baseline.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(f"{path}: not a schema-{BASELINE_SCHEMA} hotpath baseline")
+    return baseline
+
+
+def check_against_baseline(artifact: dict, baseline: dict) -> list[str]:
+    """Compare a fresh artifact to the committed baseline; returns the
+    list of regressions (empty means the ratchet holds)."""
+    problems: list[str] = []
+    cal_now = artifact.get("meta", {}).get("calibration_score") or 0.0
+    cal_base = baseline.get("calibration_score") or 0.0
+    if cal_now <= 0 or cal_base <= 0:
+        return ["calibration score missing or non-positive; cannot normalize"]
+    tolerance = {**DEFAULT_TOLERANCE, **baseline.get("tolerance", {})}
+    mixes = artifact.get("mixes", {})
+    base_mixes = baseline.get("mixes", {})
+
+    for name in sorted(base_mixes):
+        base = base_mixes[name]
+        mix = mixes.get(name)
+        if mix is None:
+            problems.append(
+                f"{name}: mix present in baseline but missing from the artifact "
+                "(a dropped mix would blind the ratchet)"
+            )
+            continue
+        tol = tolerance["ops_per_second"]
+        current = mix.get("ops_per_second", 0.0) / cal_now
+        blessed = base["ops_per_second"] / cal_base
+        floor = blessed * (1.0 - tol)
+        if current < floor:
+            problems.append(
+                f"{name}: ops_per_second regressed — {current:.3f} normalized "
+                f"vs baseline {blessed:.3f} (floor {floor:.3f}, tolerance -{tol:.0%})"
+            )
+        for p in _PERCENTILES:
+            blessed_seconds = base.get("latency_seconds", {}).get(p)
+            current_seconds = mix.get("latency_seconds", {}).get(p)
+            if blessed_seconds is None or current_seconds is None:
+                continue
+            tol = tolerance[p]
+            current_norm = current_seconds * cal_now
+            blessed_norm = blessed_seconds * cal_base
+            ceiling = blessed_norm * (1.0 + tol)
+            if current_norm > ceiling:
+                problems.append(
+                    f"{name}: latency {p} regressed — {current_norm:.6f} normalized "
+                    f"vs baseline {blessed_norm:.6f} (ceiling {ceiling:.6f}, "
+                    f"tolerance +{tol:.0%})"
+                )
+
+    unbaselined = sorted(set(mixes) - set(base_mixes))
+    if unbaselined:
+        problems.append(
+            "mixes not in the baseline: "
+            + ", ".join(unbaselined)
+            + " — bless them with rae-bench --update-baseline"
+        )
+    return problems

@@ -34,6 +34,7 @@ from repro.core.oplog import OpLog
 from repro.core.recovery import RecoveryStats, run_recovery
 from repro.errors import Errno, FsError, RecoveryFailure
 from repro.obs import BundleStore, CrossCheckCapture, FlightRecorder, Registry, build_bundle
+from repro.obs.prof import LayerProfiler
 from repro.shadowfs.checks import CheckLevel
 
 
@@ -50,6 +51,12 @@ class RAEConfig:
     # Observability: per-op latency/errno instruments plus the recovery
     # span timeline.  Disabled costs one boolean test per operation.
     metrics: bool = True
+    # Layer-attribution profiling (repro.obs.prof): wraps the live
+    # supervisor/base/device methods to split each op's wall time into
+    # per-layer self-time.  On by default — the tier-2 ablation keeps it
+    # within the observability noise band — and implied off when
+    # ``metrics`` is off (the breakdown lands in registry histograms).
+    profile: bool = True
     # Ring-buffer caps for supervisor-lifetime histories (cumulative
     # counts are kept separately and never dropped).
     event_history_limit: int = 256
@@ -146,6 +153,12 @@ class RAEFilesystem(FilesystemAPI):
         # sealed before the truncation callback could run.
         self._window_generation = self.base.sb.write_generation
         self._wire_base()
+        # Layer-attribution profiler: wraps this supervisor's hot path
+        # (and re-wraps after every contained reboot via on_reboot).
+        self.profiler = None
+        if self.config.profile and self.obs.enabled:
+            self.profiler = LayerProfiler(self.obs)
+            self.profiler.attach(self)
         self._register_collectors()
         self.flight.rebaseline()
 
@@ -224,6 +237,8 @@ class RAEFilesystem(FilesystemAPI):
             "flight.ops_seen": self.flight.ops_seen,
             "flight.freezes": self.flight.freezes,
         })
+        if self.profiler is not None:
+            reg("prof", self.profiler.collector_snapshot)
         reg("recovery", lambda: {
             "attempts": self.stats.recovery.attempts,
             "successes": self.stats.recovery.successes,

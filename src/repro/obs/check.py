@@ -1,25 +1,51 @@
-"""Schema gate for the ``BENCH_obs.json`` perf-trajectory artifact.
+"""Schema gate for the committed benchmark artifacts.
 
-``make bench-obs`` and the CI ``obs-smoke`` job both end with::
+``make bench-obs``, ``make bench-hotpath``, and the CI smoke jobs all
+end with::
 
-    python -m repro.obs.check [BENCH_obs.json]
+    python -m repro.obs.check [ARTIFACT ...]
 
-which **fails** (exit 1) — rather than silently skipping — when the
+which **fails** (exit 1) — rather than silently skipping — when any
 artifact is missing, is not valid JSON, declares the wrong ``schema``,
-or carries no sections.  An empty perf trajectory should be loud: every
-green run must contribute a real datapoint.
+or carries no datapoints.  An empty perf trajectory should be loud:
+every green run must contribute a real datapoint.
+
+Two artifact kinds, each with its own validator:
+
+* ``BENCH_obs.json`` — named observability sections, each a registry
+  snapshot (:mod:`repro.obs.export`);
+* ``BENCH_hotpath.json`` — the ``rae-bench`` throughput artifact: per
+  workload mix, ops/sec, latency percentiles, and the per-layer
+  self-time breakdown from :mod:`repro.obs.prof`.
+
+The kind is picked by filename (``BENCH_obs*`` / ``BENCH_hotpath*``)
+with a content sniff as fallback (``"sections"`` vs ``"mixes"``), so
+renamed copies in CI artifact stores still validate.
 """
 
 from __future__ import annotations
 
 import json
+import os.path
 import sys
 
 from repro.obs.export import BENCH_OBS_DEFAULT, BENCH_OBS_SCHEMA
+from repro.obs.prof import LAYERS
+
+BENCH_HOTPATH_ENV = "BENCH_HOTPATH_PATH"
+BENCH_HOTPATH_DEFAULT = "BENCH_hotpath.json"
+BENCH_HOTPATH_SCHEMA = 1
+#: ``make bench-hotpath`` must cover at least the four canonical mixes
+#: (read/write/create-unlink/lookup-heavy); a partial ``--mix`` run is
+#: a local experiment, not a trajectory datapoint.
+MIN_HOTPATH_MIXES = 4
+
+_PERCENTILE_KEYS = ("p50", "p95", "p99")
+_LAYER_KEYS = ("self_seconds", "calls", "share") + _PERCENTILE_KEYS
 
 
 def check_payload(payload) -> list[str]:
-    """Validate one parsed artifact; returns a list of problems."""
+    """Validate one parsed ``BENCH_obs.json``; returns problems."""
     if not isinstance(payload, dict):
         return [f"top-level value must be a JSON object, got {type(payload).__name__}"]
     problems = []
@@ -36,25 +62,123 @@ def check_payload(payload) -> list[str]:
     return problems
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = sys.argv[1:] if argv is None else argv
-    path = args[0] if args else BENCH_OBS_DEFAULT
+def _number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def check_hotpath_payload(payload) -> list[str]:
+    """Validate one parsed ``BENCH_hotpath.json``; returns problems."""
+    if not isinstance(payload, dict):
+        return [f"top-level value must be a JSON object, got {type(payload).__name__}"]
+    problems = []
+    if payload.get("schema") != BENCH_HOTPATH_SCHEMA:
+        problems.append(
+            f"schema is {payload.get('schema')!r}, expected {BENCH_HOTPATH_SCHEMA}"
+        )
+    meta = payload.get("meta")
+    if not isinstance(meta, dict) or not _number(meta.get("calibration_score")):
+        problems.append("meta.calibration_score missing — the ratchet cannot normalize")
+    mixes = payload.get("mixes")
+    if not isinstance(mixes, dict) or not mixes:
+        return problems + ["mixes is missing or empty — the run produced no datapoints"]
+    if len(mixes) < MIN_HOTPATH_MIXES:
+        problems.append(
+            f"only {len(mixes)} mixes, expected at least {MIN_HOTPATH_MIXES} "
+            "(partial --mix runs are not trajectory datapoints)"
+        )
+    for name in sorted(mixes):
+        mix = mixes[name]
+        if not isinstance(mix, dict):
+            problems.append(f"mix {name!r} is not an object")
+            continue
+        if not isinstance(mix.get("ops"), int) or mix["ops"] <= 0:
+            problems.append(f"mix {name!r}: ops missing or not a positive integer")
+        if not _number(mix.get("ops_per_second")) or mix.get("ops_per_second", 0) <= 0:
+            problems.append(f"mix {name!r}: ops_per_second missing or not positive")
+        latency = mix.get("latency_seconds")
+        if not isinstance(latency, dict) or any(
+            key not in latency for key in _PERCENTILE_KEYS
+        ):
+            problems.append(f"mix {name!r}: latency_seconds must carry p50/p95/p99")
+        layers = mix.get("layers")
+        if not isinstance(layers, dict) or set(layers) != set(LAYERS):
+            problems.append(
+                f"mix {name!r}: layers must be exactly {sorted(LAYERS)}"
+            )
+        else:
+            for layer in sorted(layers):
+                entry = layers[layer]
+                if not isinstance(entry, dict) or any(
+                    key not in entry for key in _LAYER_KEYS
+                ):
+                    problems.append(
+                        f"mix {name!r}: layer {layer!r} must carry {list(_LAYER_KEYS)}"
+                    )
+    return problems
+
+
+#: artifact kind -> (validator, summary formatter)
+_VALIDATORS = {
+    "obs": (
+        check_payload,
+        lambda payload: f"{len(payload['sections'])} sections, schema {BENCH_OBS_SCHEMA}",
+    ),
+    "hotpath": (
+        check_hotpath_payload,
+        lambda payload: f"{len(payload['mixes'])} mixes, schema {BENCH_HOTPATH_SCHEMA}",
+    ),
+}
+
+
+def detect_kind(path: str, payload) -> str | None:
+    """Pick a validator: filename first, content keys as fallback."""
+    basename = os.path.basename(path)
+    if basename.startswith("BENCH_obs"):
+        return "obs"
+    if basename.startswith("BENCH_hotpath"):
+        return "hotpath"
+    if isinstance(payload, dict):
+        if "sections" in payload:
+            return "obs"
+        if "mixes" in payload:
+            return "hotpath"
+    return None
+
+
+def check_file(path: str) -> tuple[list[str], str]:
+    """Load and validate one artifact; returns ``(problems, summary)``
+    where ``summary`` describes a clean artifact for the ok line."""
     try:
         with open(path, "r", encoding="utf-8") as f:
             payload = json.load(f)
     except OSError as exc:
-        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
-        return 1
+        return [f"cannot read {path}: {exc}"], ""
     except json.JSONDecodeError as exc:
-        print(f"error: {path} is not valid JSON (truncated write?): {exc}", file=sys.stderr)
-        return 1
-    problems = check_payload(payload)
-    if problems:
-        for problem in problems:
-            print(f"error: {path}: {problem}", file=sys.stderr)
-        return 1
-    print(f"{path}: ok ({len(payload['sections'])} sections, schema {BENCH_OBS_SCHEMA})")
-    return 0
+        return [f"{path} is not valid JSON (truncated write?): {exc}"], ""
+    kind = detect_kind(path, payload)
+    if kind is None:
+        return [
+            f"{path}: unrecognized artifact (expected BENCH_obs-style "
+            "'sections' or BENCH_hotpath-style 'mixes')"
+        ], ""
+    validator, summarize = _VALIDATORS[kind]
+    problems = [f"{path}: {problem}" for problem in validator(payload)]
+    return problems, "" if problems else summarize(payload)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    paths = args if args else [BENCH_OBS_DEFAULT]
+    failed = False
+    for path in paths:
+        problems, summary = check_file(path)
+        if problems:
+            failed = True
+            for problem in problems:
+                print(f"error: {problem}", file=sys.stderr)
+        else:
+            print(f"{path}: ok ({summary})")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -13,7 +13,6 @@ Two consumers:
 
 from __future__ import annotations
 
-import json
 import os
 
 from repro.obs.metrics import Registry
@@ -27,11 +26,14 @@ _sections: dict[str, dict] = {}
 
 
 def write_snapshot(path: str, registry: Registry, meta: dict | None = None) -> str:
-    """Write one registry snapshot (plus optional metadata) as JSON."""
+    """Write one registry snapshot (plus optional metadata) as JSON.
+
+    Crash-safe like every committed artifact: serialized first, then
+    written to a sibling temp file and :func:`os.replace`d into place —
+    a crash (or an unserializable ``meta``) can never truncate or
+    clobber an existing snapshot."""
     payload = {"meta": meta or {}, "snapshot": registry.snapshot()}
-    with open(path, "w", encoding="utf-8") as f:
-        json.dump(payload, f, indent=2, sort_keys=True)
-        f.write("\n")
+    atomic_write_json(path, payload)
     return path
 
 

@@ -353,6 +353,27 @@ def merge_timeline(spans: list[dict], events: list[dict]) -> list[dict]:
     return merged
 
 
+def _span_duration_footer(entries: list[dict]) -> str | None:
+    """Percentile summary line over the closed spans of a timeline —
+    the same p50/p95/p99 vocabulary as the histogram report lines."""
+    durations = sorted(
+        entry["duration"]
+        for entry in entries
+        if entry.get("kind") == "span" and entry.get("duration") is not None
+    )
+    if not durations:
+        return None
+
+    def pct(q: float) -> float:
+        index = min(len(durations) - 1, max(0, round(q * len(durations)) - 1))
+        return durations[index]
+
+    return (
+        f"spans: {len(durations)} closed, "
+        f"p50={_ms(pct(0.50))} p95={_ms(pct(0.95))} p99={_ms(pct(0.99))}"
+    )
+
+
 def render_timeline(entries: list[dict]) -> str:
     """Render a merged timeline for ``rae-report timeline``."""
     if not entries:
@@ -380,4 +401,7 @@ def render_timeline(entries: list[dict]) -> str:
                 if value is not None
             )
             lines.append(f"[{offset}] event {entry.get('name')}{corr}{detail}")
+    footer = _span_duration_footer(entries)
+    if footer is not None:
+        lines.append(footer)
     return "\n".join(lines)

@@ -19,10 +19,13 @@ Operates on image files (the :class:`FileBlockDevice` format):
 * ``bundle <file>`` — pretty-print a forensic bundle written with
   ``report --bundle`` (or ``--json`` to re-emit it normalized);
 * ``timeline <file>`` — merge the spans and events of a snapshot
-  written with ``report --json`` into one causally-ordered timeline.
+  written with ``report --json`` into one causally-ordered timeline;
+* ``hotpath <file>`` — render a ``BENCH_hotpath.json`` artifact
+  (written by ``rae-bench``) as per-mix / per-layer self-time tables.
 
-``rae-report`` dispatches to ``report``/``bundle``/``timeline`` when the
-first argument names one of them, and defaults to ``report`` otherwise.
+``rae-report`` dispatches to ``report``/``bundle``/``timeline``/
+``hotpath`` when the first argument names one of them, and defaults to
+``report`` otherwise.
 """
 
 from __future__ import annotations
@@ -237,6 +240,7 @@ def cmd_report(args) -> int:
         print(
             f"  {name}: count={hist['count']} mean={mean * 1e6:.1f}us "
             f"p50={(hist['p50'] or 0) * 1e6:.1f}us p95={(hist['p95'] or 0) * 1e6:.1f}us "
+            f"p99={(hist['p99'] or 0) * 1e6:.1f}us "
             f"min={(hist['min'] or 0) * 1e6:.1f}us max={(hist['max'] or 0) * 1e6:.1f}us"
         )
     timeline = fs.obs.tracer.timeline()
@@ -308,6 +312,40 @@ def cmd_timeline(args) -> int:
         print()
     else:
         print(render_timeline(merged))
+    return 0
+
+
+def cmd_hotpath(args) -> int:
+    """rae-report hotpath: render a ``BENCH_hotpath.json`` artifact as
+    per-mix / per-layer tables with percentile columns."""
+    import json
+
+    from repro.bench.reporting import render_hotpath
+    from repro.obs.check import check_hotpath_payload
+
+    try:
+        with open(args.file, "r", encoding="utf-8") as f:
+            payload = json.load(f)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.file}: not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    problems = check_hotpath_payload(payload)
+    if problems and not isinstance(payload.get("mixes"), dict):
+        print(
+            f"error: {args.file}: not a BENCH_hotpath artifact: {problems[0]}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.json:
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        print(render_hotpath(payload))
+        for problem in problems:
+            print(f"note: {problem}", file=sys.stderr)
     return 0
 
 
@@ -399,6 +437,11 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--json", action="store_true", help="emit the merged timeline as JSON")
     p.set_defaults(func=cmd_timeline)
 
+    p = sub.add_parser("hotpath", help="render a BENCH_hotpath.json per-layer breakdown")
+    p.add_argument("file")
+    p.add_argument("--json", action="store_true", help="re-emit the artifact as JSON")
+    p.set_defaults(func=cmd_hotpath)
+
     p = sub.add_parser("experiments", help="regenerate all tables/figures/ablations")
     p.set_defaults(func=cmd_experiments)
 
@@ -412,10 +455,11 @@ def main(argv: list[str] | None = None) -> int:
 
 def rae_report_main() -> int:
     """Console-script entry: ``rae-report`` dispatches to its own
-    subcommands (``report``/``bundle``/``timeline``) when named, and
-    defaults to ``report`` so ``rae-report --ops 500`` keeps working."""
+    subcommands (``report``/``bundle``/``timeline``/``hotpath``) when
+    named, and defaults to ``report`` so ``rae-report --ops 500`` keeps
+    working."""
     argv = sys.argv[1:]
-    if argv and argv[0] in ("report", "bundle", "timeline"):
+    if argv and argv[0] in ("report", "bundle", "timeline", "hotpath"):
         return main(argv)
     return main(["report", *argv])
 

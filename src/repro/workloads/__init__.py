@@ -20,7 +20,9 @@ Filebench-style profiles drive every performance experiment:
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.profiles import (
     Profile,
+    churn_profile,
     fileserver_profile,
+    lookup_profile,
     metadata_profile,
     varmail_profile,
     webserver_profile,
@@ -33,6 +35,8 @@ __all__ = [
     "varmail_profile",
     "webserver_profile",
     "metadata_profile",
+    "churn_profile",
+    "lookup_profile",
     "WorkloadGenerator",
     "SimulatedApplication",
     "AppStats",

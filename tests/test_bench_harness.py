@@ -1,12 +1,16 @@
 """Tests for the benchmark harness helpers and reporting."""
 
+import json
+
 from repro.api import OpenFlags, op
 from repro.bench import (
+    emit_obs_section,
     format_table,
     make_base,
     make_device,
     make_rae,
     make_shadow,
+    print_banner,
     run_ops,
     time_ops,
 )
@@ -21,6 +25,37 @@ class TestHarness:
         assert read_superblock(a).root_ino == 2
         a.write_block(100, b"\x77" * 4096)
         assert b.read_block(100) != a.read_block(100)
+
+    def test_make_device_journal_blocks_override(self):
+        from repro.ondisk.image import read_superblock
+
+        device = make_device(4096, journal_blocks=64)
+        assert read_superblock(device).journal_blocks == 64
+        # The template cache keys on (block_count, journal): the default
+        # geometry is not clobbered by the override.
+        assert read_superblock(make_device(4096)).journal_blocks != 64
+
+    def test_make_rae_obs_passthrough(self):
+        from repro.obs import Registry
+
+        registry = Registry()
+        fs = make_rae(4096, obs=registry)
+        assert fs.obs is registry
+        fs.mkdir("/x")
+        assert registry.snapshot()["counters"]["op.count.mkdir"] >= 1
+
+    def test_emit_obs_section_stages_for_flush(self, tmp_path):
+        from repro.obs import flush_bench_obs
+
+        fs = make_rae(4096)
+        fs.mkdir("/x")
+        emit_obs_section("harness_probe", fs, extra={"ops": 1})
+        payload = json.loads(
+            open(flush_bench_obs(str(tmp_path / "BENCH_obs.json"))).read()
+        )
+        section = payload["sections"]["harness_probe"]
+        assert section["extra"] == {"ops": 1}
+        assert section["snapshot"]["counters"]["op.count.mkdir"] >= 1
 
     def test_make_fs_variants(self, seq):
         base = make_base(4096)
@@ -60,3 +95,9 @@ class TestReporting:
         assert "0.1235" in text
         assert "5.68" in text
         assert "12346" in text
+
+    def test_print_banner(self, capsys):
+        print_banner("hello bench")
+        out = capsys.readouterr().out
+        assert "hello bench" in out
+        assert "====" in out

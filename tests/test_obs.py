@@ -254,7 +254,11 @@ class TestSupervisorObs:
 
     def test_injected_registry_and_clock(self, device, hooks):
         clock = FakeClock(step=0.5)
-        rae = RAEFilesystem(device, RAEConfig(), hooks=hooks, obs=Registry(clock=clock))
+        # profile=False: the layer profiler's wrappers read the same
+        # injected clock, which would add steps inside the measured op.
+        rae = RAEFilesystem(
+            device, RAEConfig(profile=False), hooks=hooks, obs=Registry(clock=clock)
+        )
         rae.mkdir("/a")
         hist = rae.obs.snapshot()["histograms"]["op.latency.mkdir"]
         assert hist["count"] == 1
@@ -356,6 +360,8 @@ class TestShadowStaysInstrumentationFree:
             "repro.obs.flight",
             "repro.obs.forensics",
             "repro.obs.check",
+            "repro.obs.prof",
+            "repro.obs.prof.profiler",
         }
         graph = {
             _module_name(path): _repro_imports(path)
@@ -410,3 +416,18 @@ class TestExport:
         # flushing clears the staging area
         empty = json.loads(Path(flush_bench_obs(str(tmp_path / "empty.json"))).read_text())
         assert empty["sections"] == {}
+
+    def test_write_snapshot_is_crash_safe(self, tmp_path):
+        """write_snapshot goes through atomic_write_json: a payload that
+        fails to serialize must leave an existing snapshot untouched and
+        no temp file behind (serialization happens before the target is
+        touched; replacement is a single os.replace)."""
+        from repro.obs import write_snapshot
+
+        target = tmp_path / "snap.json"
+        target.write_text('{"old": true}')
+        reg = Registry(clock=FakeClock())
+        with pytest.raises(TypeError):
+            write_snapshot(str(target), reg, meta={"bad": object()})
+        assert json.loads(target.read_text()) == {"old": True}
+        assert list(tmp_path.iterdir()) == [target]
